@@ -1,0 +1,188 @@
+// Command sqlsh is an interactive shell over the uniqopt engine:
+// CREATE TABLE, INSERT-free data loading via \load, queries with the
+// uniqueness optimizer, and side-by-side baseline comparison.
+//
+// Statements end with ';'. Shell commands:
+//
+//	\d              list tables
+//	\baseline       toggle baseline (no-rewrite) execution
+//	\stats          toggle per-query statistics output
+//	\load demo      load the paper's demo supplier database
+//	\analyze SQL;   analyze without executing
+//	\q              quit
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"uniqopt"
+	"uniqopt/internal/workload"
+)
+
+func main() {
+	if err := repl(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sqlsh:", err)
+		os.Exit(1)
+	}
+}
+
+type shell struct {
+	db       *uniqopt.DB
+	baseline bool
+	stats    bool
+	out      io.Writer
+}
+
+func repl(in io.Reader, out io.Writer) error {
+	sh := &shell{db: uniqopt.Open(), out: out}
+	fmt.Fprintln(out, "uniqopt sqlsh — statements end with ';', \\q quits, \\load demo loads the paper schema")
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Fprint(out, "sql> ")
+		} else {
+			fmt.Fprint(out, "...> ")
+		}
+	}
+	prompt()
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if strings.TrimSpace(buf.String()) == "" {
+			buf.Reset()
+		}
+		if buf.Len() == 0 && trimmed == "" {
+			prompt()
+			continue
+		}
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			if quit := sh.command(trimmed); quit {
+				return nil
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.HasSuffix(trimmed, ";") {
+			stmt := strings.TrimSpace(buf.String())
+			stmt = strings.TrimSuffix(stmt, ";")
+			buf.Reset()
+			sh.execute(stmt)
+		}
+		prompt()
+	}
+	return sc.Err()
+}
+
+func (sh *shell) command(cmd string) (quit bool) {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case "\\q", "\\quit":
+		return true
+	case "\\d":
+		for _, name := range sh.db.Store().Catalog.TableNames() {
+			t, _ := sh.db.Store().Catalog.Table(name)
+			st, _ := sh.db.Store().Table(name)
+			fmt.Fprintf(sh.out, "%s (%s) — %d rows\n",
+				name, strings.Join(t.ColumnNames(), ", "), st.Len())
+		}
+	case "\\baseline":
+		sh.baseline = !sh.baseline
+		fmt.Fprintf(sh.out, "baseline execution: %v\n", sh.baseline)
+	case "\\stats":
+		sh.stats = !sh.stats
+		fmt.Fprintf(sh.out, "statistics output: %v\n", sh.stats)
+	case "\\load":
+		if len(fields) < 2 || fields[1] != "demo" {
+			fmt.Fprintln(sh.out, "usage: \\load demo")
+			break
+		}
+		sh.loadDemo()
+	case "\\analyze":
+		rest := strings.TrimSpace(strings.TrimPrefix(cmd, "\\analyze"))
+		rest = strings.TrimSuffix(rest, ";")
+		a, err := sh.db.Analyze(rest)
+		if err != nil {
+			fmt.Fprintln(sh.out, "error:", err)
+			break
+		}
+		fmt.Fprintf(sh.out, "unique=%v distinct-redundant=%v V=%v\n",
+			a.Unique, a.DistinctRedundant, a.BoundColumns)
+	default:
+		fmt.Fprintf(sh.out, "unknown command %s\n", fields[0])
+	}
+	return false
+}
+
+func (sh *shell) loadDemo() {
+	cfg := workload.DefaultConfig()
+	cfg.Suppliers = 25
+	cfg.PartsPerSupplier = 4
+	fresh, err := workload.NewDB(cfg)
+	if err != nil {
+		fmt.Fprintln(sh.out, "error:", err)
+		return
+	}
+	db := uniqopt.Open()
+	for _, ddl := range workload.BenchDDL {
+		if err := db.Exec(ddl); err != nil {
+			fmt.Fprintln(sh.out, "error:", err)
+			return
+		}
+	}
+	for _, name := range []string{"SUPPLIER", "PARTS", "AGENTS"} { // parents before FK children
+		src := fresh.MustTable(name)
+		dst := db.Store().MustTable(name)
+		for i := 0; i < src.Len(); i++ {
+			if err := dst.Insert(src.Row(i)); err != nil {
+				fmt.Fprintln(sh.out, "error:", err)
+				return
+			}
+		}
+	}
+	sh.db = db
+	fmt.Fprintln(sh.out, "demo supplier database loaded (25 suppliers, 100 parts, 50 agents)")
+}
+
+func (sh *shell) execute(stmt string) {
+	upper := strings.ToUpper(strings.TrimSpace(stmt))
+	if strings.HasPrefix(upper, "CREATE") {
+		if err := sh.db.Exec(stmt); err != nil {
+			fmt.Fprintln(sh.out, "error:", err)
+			return
+		}
+		fmt.Fprintln(sh.out, "ok")
+		return
+	}
+	rows, err := sh.db.QueryWith(stmt, nil, !sh.baseline)
+	if err != nil {
+		fmt.Fprintln(sh.out, "error:", err)
+		return
+	}
+	for _, info := range rows.Rewrites {
+		fmt.Fprintf(sh.out, "-- rewrite [%s]: %s\n", info.Rule, info.After)
+	}
+	fmt.Fprintln(sh.out, strings.Join(rows.Columns, " | "))
+	for _, r := range rows.Data {
+		cells := make([]string, len(r))
+		for i, v := range r {
+			if v == nil {
+				cells[i] = "NULL"
+			} else {
+				cells[i] = fmt.Sprint(v)
+			}
+		}
+		fmt.Fprintln(sh.out, strings.Join(cells, " | "))
+	}
+	fmt.Fprintf(sh.out, "(%d rows)\n", len(rows.Data))
+	if sh.stats {
+		fmt.Fprintf(sh.out, "stats: %s\n", rows.Stats.String())
+	}
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runShell(t *testing.T, script string) string {
+	t.Helper()
+	var out strings.Builder
+	if err := repl(strings.NewReader(script), &out); err != nil {
+		t.Fatal(err)
+	}
+	return out.String()
+}
+
+func TestShellCreateInsertQuery(t *testing.T) {
+	out := runShell(t, `
+CREATE TABLE T (A INTEGER, B VARCHAR, PRIMARY KEY (A));
+SELECT A, B FROM T;
+\q
+`)
+	if !strings.Contains(out, "ok") {
+		t.Errorf("CREATE should report ok:\n%s", out)
+	}
+	if !strings.Contains(out, "(0 rows)") {
+		t.Errorf("empty query should report 0 rows:\n%s", out)
+	}
+}
+
+func TestShellDemoAndRewrites(t *testing.T) {
+	out := runShell(t, `
+\load demo
+\d
+SELECT DISTINCT S.SNO, P.PNO FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO;
+\q
+`)
+	if !strings.Contains(out, "demo supplier database loaded") {
+		t.Errorf("demo load missing:\n%s", out)
+	}
+	if !strings.Contains(out, "SUPPLIER (") || !strings.Contains(out, "PARTS (") {
+		t.Errorf("\\d output missing tables:\n%s", out)
+	}
+	if !strings.Contains(out, "-- rewrite [eliminate-distinct]") {
+		t.Errorf("rewrite banner missing:\n%s", out)
+	}
+}
+
+func TestShellBaselineToggle(t *testing.T) {
+	out := runShell(t, `
+\load demo
+\baseline
+SELECT DISTINCT S.SNO, P.PNO FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO;
+\q
+`)
+	if !strings.Contains(out, "baseline execution: true") {
+		t.Errorf("toggle missing:\n%s", out)
+	}
+	if strings.Contains(out, "-- rewrite") {
+		t.Errorf("baseline mode must not rewrite:\n%s", out)
+	}
+}
+
+func TestShellStatsToggleAndAnalyze(t *testing.T) {
+	out := runShell(t, `
+\load demo
+\stats
+SELECT S.SNO FROM SUPPLIER S;
+\analyze SELECT DISTINCT S.SNO FROM SUPPLIER S;
+\q
+`)
+	if !strings.Contains(out, "stats: scanned=") {
+		t.Errorf("stats line missing:\n%s", out)
+	}
+	if !strings.Contains(out, "unique=true distinct-redundant=true") {
+		t.Errorf("analyze output missing:\n%s", out)
+	}
+}
+
+func TestShellErrorsAndUnknownCommand(t *testing.T) {
+	out := runShell(t, `
+SELECT FROM;
+\nope
+\load wrong
+\q
+`)
+	if !strings.Contains(out, "error:") {
+		t.Errorf("parse error should be reported:\n%s", out)
+	}
+	if !strings.Contains(out, "unknown command") {
+		t.Errorf("unknown command should be reported:\n%s", out)
+	}
+	if !strings.Contains(out, "usage: \\load demo") {
+		t.Errorf("bad load usage should be reported:\n%s", out)
+	}
+}
+
+func TestShellMultilineStatement(t *testing.T) {
+	out := runShell(t, `
+\load demo
+SELECT S.SNO
+FROM SUPPLIER S
+WHERE S.SNO = 1;
+\q
+`)
+	if !strings.Contains(out, "(1 rows)") {
+		t.Errorf("multiline statement failed:\n%s", out)
+	}
+}
+
+func TestShellNullRendering(t *testing.T) {
+	out := runShell(t, `
+CREATE TABLE N (A INTEGER, B INTEGER, PRIMARY KEY (A));
+SELECT B FROM N WHERE B IS NULL;
+\q
+`)
+	// No rows, but the query path must not crash on NULL columns.
+	if !strings.Contains(out, "(0 rows)") {
+		t.Errorf("output:\n%s", out)
+	}
+}

@@ -1,0 +1,119 @@
+// Command uniqopt analyzes a SQL query against a schema and reports
+// the uniqueness verdict and the rewrites of Paulley & Larson (ICDE
+// 1994) that apply to it.
+//
+// Usage:
+//
+//	uniqopt -schema schema.sql [-query "SELECT ..."] [-keyfds] [-isnull]
+//
+// The schema file is a semicolon-separated CREATE TABLE script. When
+// -query is omitted the query is read from standard input. The
+// default schema (when -schema is omitted) is the paper's supplier
+// database (Figure 1).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"uniqopt/internal/catalog"
+	"uniqopt/internal/core"
+	"uniqopt/internal/sql/ast"
+	"uniqopt/internal/sql/parser"
+	"uniqopt/internal/workload"
+)
+
+func main() {
+	schemaPath := flag.String("schema", "", "CREATE TABLE script (default: the paper's Figure 1 schema)")
+	query := flag.String("query", "", "SQL query to analyze (default: read from stdin)")
+	keyFDs := flag.Bool("keyfds", false, "enable the key-FD closure extension")
+	isNull := flag.Bool("isnull", false, "enable the IS NULL binding extension")
+	flag.Parse()
+
+	if err := run(*schemaPath, *query, *keyFDs, *isNull, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "uniqopt:", err)
+		os.Exit(1)
+	}
+}
+
+func run(schemaPath, query string, keyFDs, isNull bool, out io.Writer) error {
+	var cat *catalog.Catalog
+	if schemaPath == "" {
+		cat = workload.PaperCatalog()
+		fmt.Fprintln(out, "-- using the paper's supplier schema (Figure 1)")
+	} else {
+		src, err := os.ReadFile(schemaPath)
+		if err != nil {
+			return err
+		}
+		cat = catalog.New()
+		stmts, err := parser.ParseScript(string(src))
+		if err != nil {
+			return err
+		}
+		for _, st := range stmts {
+			ct, ok := st.(*ast.CreateTable)
+			if !ok {
+				return fmt.Errorf("schema file contains a non-DDL statement: %s", st.SQL())
+			}
+			if _, err := cat.DefineFromAST(ct); err != nil {
+				return err
+			}
+		}
+	}
+	if query == "" {
+		b, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return err
+		}
+		query = string(b)
+	}
+	query = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(query), ";"))
+	if query == "" {
+		return fmt.Errorf("no query given")
+	}
+	q, err := parser.ParseQuery(query)
+	if err != nil {
+		return err
+	}
+	an := &core.Analyzer{Cat: cat, Opts: core.Options{UseKeyFDs: keyFDs, BindIsNull: isNull}}
+
+	v, err := an.AnalyzeQuery(q)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "query: %s\n\n", q.SQL())
+	if v.Unique {
+		fmt.Fprintln(out, "verdict: UNIQUE — the result cannot contain duplicate rows")
+	} else {
+		fmt.Fprintf(out, "verdict: NOT PROVEN UNIQUE (blocking table: %s)\n", v.MissingTable)
+	}
+	fmt.Fprintf(out, "bound columns (V): %s\n", strings.Join(v.Bound, ", "))
+	for corr, key := range v.KeysUsed {
+		fmt.Fprintf(out, "  key of %s bound: (%s)\n", corr, strings.Join(key, ", "))
+	}
+	if len(v.DerivedKeys) > 0 {
+		fmt.Fprintln(out, "derived candidate keys of the result:")
+		for _, k := range v.DerivedKeys {
+			fmt.Fprintf(out, "  (%s)\n", strings.Join(k, ", "))
+		}
+	}
+
+	aps, err := an.Suggest(q)
+	if err != nil {
+		return err
+	}
+	if len(aps) == 0 {
+		fmt.Fprintln(out, "\nno rewrites apply")
+		return nil
+	}
+	fmt.Fprintf(out, "\n%d rewrite(s) apply:\n", len(aps))
+	for _, ap := range aps {
+		fmt.Fprintf(out, "\n[%s] %s\n  before: %s\n  after:  %s\n",
+			ap.Rule, ap.Description, ap.Before, ap.After)
+	}
+	return nil
+}

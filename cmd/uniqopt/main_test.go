@@ -1,0 +1,113 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunDefaultSchemaUnique(t *testing.T) {
+	var out strings.Builder
+	err := run("", `SELECT DISTINCT S.SNO, P.PNO, P.PNAME FROM SUPPLIER S, PARTS P
+		WHERE S.SNO = P.SNO AND P.COLOR = 'RED'`, false, false, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"verdict: UNIQUE",
+		"key of S bound: (S.SNO)",
+		"key of P bound: (P.SNO, P.PNO)",
+		"eliminate-distinct",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunNotUnique(t *testing.T) {
+	var out strings.Builder
+	err := run("", `SELECT DISTINCT S.SNAME FROM SUPPLIER S`, false, false, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "NOT PROVEN UNIQUE") {
+		t.Errorf("output = %s", out.String())
+	}
+	if !strings.Contains(out.String(), "blocking table: S") {
+		t.Errorf("output = %s", out.String())
+	}
+}
+
+func TestRunCustomSchemaFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "schema.sql")
+	ddl := `CREATE TABLE T (A INTEGER, B INTEGER, PRIMARY KEY (A));
+	        CREATE TABLE U (A INTEGER, C INTEGER, PRIMARY KEY (A));`
+	if err := os.WriteFile(path, []byte(ddl), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	err := run(path, `SELECT DISTINCT T.A, T.B FROM T T`, false, false, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "verdict: UNIQUE") {
+		t.Errorf("output = %s", out.String())
+	}
+}
+
+func TestRunTrailingSemicolonAndEmpty(t *testing.T) {
+	var out strings.Builder
+	if err := run("", "SELECT S.SNO FROM SUPPLIER S;", false, false, &out); err != nil {
+		t.Errorf("trailing semicolon should be accepted: %v", err)
+	}
+	if err := run("", "   ", false, false, &out); err == nil {
+		t.Error("empty query should fail")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run("/nonexistent/schema.sql", "SELECT 1", false, false, &out); err == nil {
+		t.Error("missing schema file should fail")
+	}
+	if err := run("", "NOT SQL AT ALL", false, false, &out); err == nil {
+		t.Error("parse error should propagate")
+	}
+	// Schema file containing a query.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.sql")
+	if err := os.WriteFile(path, []byte("SELECT S.X FROM S"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, "SELECT S.SNO FROM SUPPLIER S", false, false, &out); err == nil {
+		t.Error("non-DDL schema file should fail")
+	}
+}
+
+func TestRunExtensionFlags(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "schema.sql")
+	ddl := `CREATE TABLE R (K INTEGER, X INTEGER, PRIMARY KEY (K));
+	        CREATE TABLE S (K INTEGER, Z INTEGER, PRIMARY KEY (K));`
+	if err := os.WriteFile(path, []byte(ddl), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	q := "SELECT DISTINCT R.K FROM R R, S S WHERE R.X = S.K"
+	var plain, ext strings.Builder
+	if err := run(path, q, false, false, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, q, true, false, &ext); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plain.String(), "NOT PROVEN UNIQUE") {
+		t.Errorf("paper-literal should say NO:\n%s", plain.String())
+	}
+	if !strings.Contains(ext.String(), "verdict: UNIQUE") {
+		t.Errorf("-keyfds should say YES:\n%s", ext.String())
+	}
+}

@@ -1,0 +1,116 @@
+package uniqopt_test
+
+import (
+	"fmt"
+	"log"
+
+	"uniqopt"
+)
+
+func setup() *uniqopt.DB {
+	db := uniqopt.Open()
+	ddl := []string{
+		`CREATE TABLE SUPPLIER (SNO INTEGER, SNAME VARCHAR, SCITY VARCHAR,
+			PRIMARY KEY (SNO))`,
+		`CREATE TABLE PARTS (SNO INTEGER, PNO INTEGER, PNAME VARCHAR,
+			COLOR VARCHAR, PRIMARY KEY (SNO, PNO),
+			FOREIGN KEY (SNO) REFERENCES SUPPLIER (SNO))`,
+	}
+	for _, d := range ddl {
+		if err := db.Exec(d); err != nil {
+			log.Fatal(err)
+		}
+	}
+	rows := [][]any{
+		{1, "Smith", "Toronto"},
+		{2, "Jones", "Chicago"},
+	}
+	for _, r := range rows {
+		if err := db.Insert("SUPPLIER", r...); err != nil {
+			log.Fatal(err)
+		}
+	}
+	parts := [][]any{
+		{1, 1, "bolt", "RED"},
+		{1, 2, "nut", "BLUE"},
+		{2, 1, "bolt", "RED"},
+	}
+	for _, r := range parts {
+		if err := db.Insert("PARTS", r...); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return db
+}
+
+// Analyzing the paper's Example 1: the DISTINCT is provably redundant
+// because the key of PARTS is carried through the join.
+func ExampleDB_Analyze() {
+	db := setup()
+	a, err := db.Analyze(`SELECT DISTINCT S.SNO, P.PNO, P.PNAME
+		FROM SUPPLIER S, PARTS P
+		WHERE S.SNO = P.SNO AND P.COLOR = 'RED'`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("distinct redundant:", a.DistinctRedundant)
+	fmt.Println("derived keys:", a.DerivedKeys)
+	// Output:
+	// distinct redundant: true
+	// derived keys: [[P.PNO S.SNO]]
+}
+
+// Executing with the optimizer: the rewrite trace is reported and the
+// result sort disappears.
+func ExampleDB_Query() {
+	db := setup()
+	rows, err := db.Query(`SELECT DISTINCT S.SNO, P.PNO, P.PNAME
+		FROM SUPPLIER S, PARTS P
+		WHERE S.SNO = P.SNO AND P.COLOR = 'RED'`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("rule:", rows.Rewrites[0].Rule)
+	fmt.Println("rows:", len(rows.Data))
+	fmt.Println("sorts:", rows.Stats.SortRuns)
+	// Output:
+	// rule: eliminate-distinct
+	// rows: 2
+	// sorts: 0
+}
+
+// Suggesting rewrites without executing: Theorem 2 merges the
+// correlated EXISTS into a join.
+func ExampleDB_Suggest() {
+	db := setup()
+	infos, err := db.Suggest(`SELECT ALL S.SNO, S.SNAME FROM SUPPLIER S
+		WHERE EXISTS (SELECT * FROM PARTS P
+		              WHERE P.SNO = S.SNO AND P.PNO = 1)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(infos[0].Rule)
+	fmt.Println(infos[0].After)
+	// Output:
+	// subquery-to-join
+	// SELECT ALL S.SNO, S.SNAME FROM SUPPLIER S, PARTS P WHERE P.SNO = S.SNO AND P.PNO = 1
+}
+
+// The exact (exponential) Theorem-1 check, usable as ground truth on
+// small schemas.
+func ExampleDB_CheckExact() {
+	db := setup()
+	unique, _, err := db.CheckExact(`SELECT S.SNO FROM SUPPLIER S`, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("key projection unique:", unique)
+	dup, witness, err := db.CheckExact(`SELECT S.SCITY FROM SUPPLIER S`, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("city projection unique:", dup, "witness found:", witness != "")
+	// Output:
+	// key projection unique: true
+	// city projection unique: false witness found: true
+}

@@ -1,0 +1,90 @@
+// IMS gateway: the paper's Section 6.1 end to end. A relational
+// supplier database is mirrored into a HIDAM hierarchy, the SQL join
+// of Example 10 is analyzed, the join → subquery rewrite (Theorem 2)
+// is shown, and both translated DL/I programs run with call counters —
+// reproducing the claim that the rewritten program halves the DL/I
+// calls against PARTS.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"uniqopt/internal/core"
+	"uniqopt/internal/ims"
+	"uniqopt/internal/sql/parser"
+	"uniqopt/internal/value"
+	"uniqopt/internal/workload"
+)
+
+func main() {
+	cfg := workload.DefaultConfig()
+	cfg.Suppliers = 200
+	cfg.PartsPerSupplier = 6
+	rel, err := workload.NewDB(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hdb, err := ims.FromRelational(rel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("HIDAM database: %d root segments (SUPPLIER), parts fan-out %d\n\n",
+		len(hdb.Roots()), cfg.PartsPerSupplier)
+
+	// The SQL the gateway receives (Example 10) and the Theorem 2
+	// rewrite the optimizer applies before translation to DL/I.
+	src := workload.PaperQueries["example10"]
+	s, err := parser.ParseSelect(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	an := core.NewAnalyzer(rel.Catalog)
+	ap, err := an.JoinToSubquery(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if ap == nil {
+		log.Fatal("join → subquery rewrite did not apply")
+	}
+	fmt.Println("SQL received by the gateway:")
+	fmt.Println(" ", ap.Before)
+	fmt.Println("rewritten (Theorem 2, reversed for navigational execution):")
+	fmt.Println(" ", ap.After)
+	fmt.Println("reason:", ap.Description)
+
+	// Translate both forms to DL/I programs and execute.
+	partNo := value.Int(3) // every supplier supplies part 3
+	join := hdb.JoinStrategy("PNO", partNo)
+	nested := hdb.NestedStrategy("PNO", partNo)
+	if len(join.Output) != len(nested.Output) {
+		log.Fatal("strategies disagree")
+	}
+	fmt.Printf("\nDL/I execution for PNO = %s (%d suppliers qualify):\n",
+		partNo, len(join.Output))
+	fmt.Printf("  join program:   %s\n", join.Stats.String())
+	fmt.Printf("  nested program: %s\n", nested.Stats.String())
+	jp := join.Stats.CallsBySegment["PARTS"]
+	np := nested.Stats.CallsBySegment["PARTS"]
+	fmt.Printf("  PARTS calls: %d -> %d (%.2fx — the paper's halving)\n\n", jp, np, float64(jp)/float64(np))
+
+	// The non-key variant: qualifying on OEM-PNO, where the join
+	// program cannot stop early on the key-sequenced twin chain.
+	target := value.Int(1000*100 + 3) // supplier 100's 3rd part OEM number... see workload
+	_ = target
+	// Pick the OEM of an existing part directly from the hierarchy.
+	root := hdb.Roots()[99]
+	pcb := hdb.NewPCB()
+	pcb.GU("SUPPLIER", ims.Qual{Field: "SNO", Op: ims.EQ, Value: root.Key()})
+	seg, st := pcb.GNP("PARTS")
+	if st != ims.StatusOK {
+		log.Fatal("no parts under supplier")
+	}
+	oem := seg.Get("OEM-PNO")
+	joinOEM := hdb.JoinStrategy("OEM-PNO", oem)
+	nestedOEM := hdb.NestedStrategy("OEM-PNO", oem)
+	fmt.Printf("non-key qualification (OEM-PNO = %s):\n", oem)
+	fmt.Printf("  join program visits %d segments; nested visits %d\n",
+		joinOEM.Stats.SegmentsVisited, nestedOEM.Stats.SegmentsVisited)
+	fmt.Println("  (the nested program halts each twin-chain scan at the first match)")
+}

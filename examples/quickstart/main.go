@@ -1,0 +1,97 @@
+// Quickstart: define the paper's schema, load a few rows, and watch
+// the optimizer prove a DISTINCT redundant (Example 1 of Paulley &
+// Larson, ICDE 1994) and execute the query without the sort.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"uniqopt"
+)
+
+func main() {
+	db := uniqopt.Open()
+
+	// Figure 1's tables: primary keys give the optimizer its key
+	// dependencies.
+	ddl := []string{
+		`CREATE TABLE SUPPLIER (SNO INTEGER, SNAME VARCHAR(30),
+			SCITY VARCHAR(20), BUDGET INTEGER, STATUS VARCHAR(10),
+			PRIMARY KEY (SNO))`,
+		`CREATE TABLE PARTS (SNO INTEGER, PNO INTEGER, PNAME VARCHAR(30),
+			OEM-PNO INTEGER, COLOR VARCHAR(10),
+			PRIMARY KEY (SNO, PNO), UNIQUE (OEM-PNO))`,
+	}
+	for _, stmt := range ddl {
+		if err := db.Exec(stmt); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	suppliers := [][]any{
+		{1, "Smith", "Toronto", 100, "Active"},
+		{2, "Jones", "Chicago", 200, "Active"},
+		{3, "Smith", "New York", 300, "Active"},
+	}
+	for _, row := range suppliers {
+		if err := db.Insert("SUPPLIER", row...); err != nil {
+			log.Fatal(err)
+		}
+	}
+	parts := [][]any{
+		{1, 1, "bolt", 101, "RED"},
+		{1, 2, "nut", 102, "BLUE"},
+		{2, 1, "bolt", 103, "RED"},
+		{3, 9, "cam", 104, "RED"},
+	}
+	for _, row := range parts {
+		if err := db.Insert("PARTS", row...); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Example 1: the DISTINCT is redundant because (SNO, PNO) — the
+	// key of PARTS — is carried through the join into the projection.
+	query := `SELECT DISTINCT S.SNO, P.PNO, P.PNAME
+	          FROM SUPPLIER S, PARTS P
+	          WHERE S.SNO = P.SNO AND P.COLOR = 'RED'`
+
+	analysis, err := db.Analyze(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("-- analysis")
+	fmt.Println("unique:            ", analysis.Unique)
+	fmt.Println("distinct redundant:", analysis.DistinctRedundant)
+	fmt.Println("bound columns (V): ", analysis.BoundColumns)
+	fmt.Println("derived keys:      ", analysis.DerivedKeys)
+
+	fmt.Println("\n-- execution (optimized vs baseline)")
+	opt, err := db.Query(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := db.QueryBaseline(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, rw := range opt.Rewrites {
+		fmt.Printf("rewrite [%s]: %s\n", rw.Rule, rw.After)
+	}
+	fmt.Printf("rows: %d (both strategies)\n", len(opt.Data))
+	fmt.Printf("baseline  sorts=%d comparisons=%d\n", base.Stats.SortRuns, base.Stats.Comparisons)
+	fmt.Printf("optimized sorts=%d comparisons=%d\n", opt.Stats.SortRuns, opt.Stats.Comparisons)
+
+	// Contrast with Example 2, where DISTINCT must stay: SNAME is not
+	// a key, so two Smiths supplying the same part would duplicate.
+	needsDistinct := `SELECT DISTINCT S.SNAME, P.PNO, P.PNAME
+	                  FROM SUPPLIER S, PARTS P
+	                  WHERE S.SNO = P.SNO AND P.COLOR = 'RED'`
+	a2, err := db.Analyze(needsDistinct)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n-- Example 2 (DISTINCT must stay)")
+	fmt.Println("distinct redundant:", a2.DistinctRedundant, "— blocking table:", a2.MissingTable)
+}

@@ -1,0 +1,3 @@
+module uniqopt
+
+go 1.22

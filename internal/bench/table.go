@@ -1,0 +1,76 @@
+// Package bench implements the experiment drivers E1–E9 of
+// EXPERIMENTS.md: each driver generates its workload, runs the
+// baseline and the uniqueness-aware strategies, and reports a table
+// whose shape reproduces the corresponding claim in Paulley & Larson
+// (ICDE 1994). cmd/benchrunner prints the tables; bench_test.go wraps
+// the same drivers in testing.B benchmarks.
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's output.
+type Table struct {
+	ID      string // e.g. "E1"
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// f formats a float compactly.
+func f(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// n formats an integer.
+func n(v int64) string { return fmt.Sprintf("%d", v) }
+
+// us formats a duration in microseconds.
+func us(nanos int64) string { return fmt.Sprintf("%.1f", float64(nanos)/1e3) }

@@ -1,0 +1,119 @@
+package catalog
+
+import (
+	"testing"
+
+	"uniqopt/internal/sql/ast"
+	"uniqopt/internal/sql/parser"
+)
+
+func defineFK(t *testing.T, c *Catalog, ddl string) (*Table, error) {
+	t.Helper()
+	st, err := parser.ParseStatement(ddl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.DefineFromAST(st.(*ast.CreateTable))
+}
+
+func TestForeignKeyDefinition(t *testing.T) {
+	c := paperCatalog(t)
+	tb, err := defineFK(t, c, `CREATE TABLE SHIPMENT (
+		SID INTEGER, SNO INTEGER NOT NULL, QTY INTEGER,
+		PRIMARY KEY (SID),
+		FOREIGN KEY (SNO) REFERENCES SUPPLIER (SNO))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.ForeignKeys) != 1 {
+		t.Fatalf("foreign keys = %d", len(tb.ForeignKeys))
+	}
+	fk := tb.ForeignKeys[0]
+	if fk.RefTable != "SUPPLIER" || fk.RefKey != 0 || len(fk.Columns) != 1 {
+		t.Errorf("fk = %+v", fk)
+	}
+	if tb.Columns[fk.Columns[0]].Name != "SNO" {
+		t.Error("fk column wrong")
+	}
+}
+
+func TestForeignKeyIntoCandidateKey(t *testing.T) {
+	// OEM-PNO is a UNIQUE (non-primary) candidate key of PARTS.
+	c := paperCatalog(t)
+	tb, err := defineFK(t, c, `CREATE TABLE OEMREF (
+		ID INTEGER, OEM INTEGER, PRIMARY KEY (ID),
+		FOREIGN KEY (OEM) REFERENCES PARTS (OEM-PNO))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fk := tb.ForeignKeys[0]
+	parts, _ := c.Table("PARTS")
+	if !samePositions(parts.Keys[fk.RefKey].Columns, []int{parts.ColumnIndex("OEM-PNO")}) {
+		t.Errorf("fk should reference the OEM-PNO key, got key %d", fk.RefKey)
+	}
+}
+
+func samePositions(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestForeignKeyValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		ddl  string
+	}{
+		{"unknown ref table", `CREATE TABLE T1 (A INTEGER, PRIMARY KEY (A),
+			FOREIGN KEY (A) REFERENCES NOPE (X))`},
+		{"unknown fk column", `CREATE TABLE T2 (A INTEGER, PRIMARY KEY (A),
+			FOREIGN KEY (B) REFERENCES SUPPLIER (SNO))`},
+		{"ref not a key", `CREATE TABLE T3 (A VARCHAR,
+			FOREIGN KEY (A) REFERENCES SUPPLIER (SNAME))`},
+		{"arity mismatch", `CREATE TABLE T4 (A INTEGER, PRIMARY KEY (A),
+			FOREIGN KEY (A) REFERENCES PARTS (SNO, PNO))`},
+		{"type mismatch", `CREATE TABLE T5 (A VARCHAR,
+			FOREIGN KEY (A) REFERENCES SUPPLIER (SNO))`},
+		{"partial composite key", `CREATE TABLE T6 (A INTEGER,
+			FOREIGN KEY (A) REFERENCES PARTS (SNO))`},
+	}
+	for _, cse := range cases {
+		c := paperCatalog(t)
+		if _, err := defineFK(t, c, cse.ddl); err == nil {
+			t.Errorf("%s: expected error", cse.name)
+		}
+	}
+}
+
+func TestForeignKeyCompositeOrder(t *testing.T) {
+	// Referenced columns must match the key's declared order.
+	c := paperCatalog(t)
+	if _, err := defineFK(t, c, `CREATE TABLE GOOD (
+		A INTEGER, B INTEGER,
+		FOREIGN KEY (A, B) REFERENCES PARTS (SNO, PNO))`); err != nil {
+		t.Errorf("ordered composite FK rejected: %v", err)
+	}
+	c2 := paperCatalog(t)
+	if _, err := defineFK(t, c2, `CREATE TABLE BAD (
+		A INTEGER, B INTEGER,
+		FOREIGN KEY (A, B) REFERENCES PARTS (PNO, SNO))`); err == nil {
+		t.Error("out-of-order composite FK should be rejected")
+	}
+}
+
+func TestForeignKeyRoundTripSQL(t *testing.T) {
+	src := `CREATE TABLE SHIPMENT (SID INTEGER NOT NULL, SNO INTEGER NOT NULL, PRIMARY KEY (SID), FOREIGN KEY (SNO) REFERENCES SUPPLIER (SNO))`
+	st, err := parser.ParseStatement(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SQL() != src {
+		t.Errorf("round trip:\n in:  %s\n out: %s", src, st.SQL())
+	}
+}

@@ -1,0 +1,168 @@
+package catalog
+
+import (
+	"fmt"
+	"strings"
+
+	"uniqopt/internal/sql/ast"
+)
+
+// ScopeTable is one FROM-clause entry bound to its schema.
+type ScopeTable struct {
+	Ref    ast.TableRef
+	Schema *Table
+}
+
+// Scope resolves column references for a query block. A correlated
+// subquery's scope links to the outer block's scope, so references
+// like S.SNO inside EXISTS(... WHERE S.SNO = P.SNO ...) resolve to the
+// outer SUPPLIER table.
+type Scope struct {
+	Tables []ScopeTable
+	Outer  *Scope
+}
+
+// NewScope binds the FROM clause of a query block against the catalog.
+// Correlation names must be unique within the block.
+func NewScope(c *Catalog, from []ast.TableRef, outer *Scope) (*Scope, error) {
+	if len(from) == 0 {
+		return nil, fmt.Errorf("catalog: empty FROM clause")
+	}
+	s := &Scope{Outer: outer}
+	seen := make(map[string]bool)
+	for _, tr := range from {
+		schema, ok := c.Table(tr.Table)
+		if !ok {
+			return nil, fmt.Errorf("catalog: unknown table %s", tr.Table)
+		}
+		name := strings.ToUpper(tr.Name())
+		if seen[name] {
+			return nil, fmt.Errorf("catalog: duplicate correlation name %s", name)
+		}
+		seen[name] = true
+		s.Tables = append(s.Tables, ScopeTable{Ref: tr, Schema: schema})
+	}
+	return s, nil
+}
+
+// Resolved identifies a column: which scope depth (0 = innermost),
+// which FROM entry, and which column ordinal.
+type Resolved struct {
+	Depth    int // 0 for the local block, 1 for the immediately enclosing block, ...
+	TableIdx int // index into the owning scope's Tables
+	ColIdx   int
+	Table    *Table // schema of the owning table
+}
+
+// Qualified returns the canonical "NAME.COLUMN" form using the
+// correlation name at the owning scope.
+func (r Resolved) Qualified(s *Scope) string {
+	owner := s
+	for i := 0; i < r.Depth; i++ {
+		owner = owner.Outer
+	}
+	return strings.ToUpper(owner.Tables[r.TableIdx].Ref.Name()) + "." + r.Table.Columns[r.ColIdx].Name
+}
+
+// Resolve resolves a column reference, searching the local block first
+// and then enclosing blocks. Unqualified names must be unambiguous
+// within the block that defines them.
+func (s *Scope) Resolve(ref *ast.ColumnRef) (Resolved, error) {
+	depth := 0
+	for sc := s; sc != nil; sc, depth = sc.Outer, depth+1 {
+		r, found, err := sc.resolveLocal(ref)
+		if err != nil {
+			return Resolved{}, err
+		}
+		if found {
+			r.Depth = depth
+			return r, nil
+		}
+	}
+	if ref.Qualifier != "" {
+		return Resolved{}, fmt.Errorf("catalog: unknown column %s.%s", ref.Qualifier, ref.Column)
+	}
+	return Resolved{}, fmt.Errorf("catalog: unknown column %s", ref.Column)
+}
+
+func (s *Scope) resolveLocal(ref *ast.ColumnRef) (Resolved, bool, error) {
+	if q := strings.ToUpper(ref.Qualifier); q != "" {
+		for i, st := range s.Tables {
+			if strings.ToUpper(st.Ref.Name()) != q {
+				continue
+			}
+			ci := st.Schema.ColumnIndex(ref.Column)
+			if ci < 0 {
+				return Resolved{}, false, fmt.Errorf("catalog: table %s has no column %s", q, ref.Column)
+			}
+			return Resolved{TableIdx: i, ColIdx: ci, Table: st.Schema}, true, nil
+		}
+		return Resolved{}, false, nil // qualifier may refer to an outer block
+	}
+	found := Resolved{TableIdx: -1}
+	for i, st := range s.Tables {
+		ci := st.Schema.ColumnIndex(ref.Column)
+		if ci < 0 {
+			continue
+		}
+		if found.TableIdx >= 0 {
+			return Resolved{}, false, fmt.Errorf("catalog: ambiguous column %s (matches %s and %s)",
+				ref.Column, s.Tables[found.TableIdx].Ref.Name(), st.Ref.Name())
+		}
+		found = Resolved{TableIdx: i, ColIdx: ci, Table: st.Schema}
+	}
+	if found.TableIdx < 0 {
+		return Resolved{}, false, nil
+	}
+	return found, true, nil
+}
+
+// ExpandItems expands the projection list of a query block into
+// concrete column references: * becomes every column of every FROM
+// table, T.* every column of T, and explicit items are resolved. The
+// returned references are fully qualified with correlation names.
+func (s *Scope) ExpandItems(items []ast.SelectItem) ([]*ast.ColumnRef, error) {
+	var out []*ast.ColumnRef
+	for _, it := range items {
+		switch {
+		case it.Star && it.StarQualifier == "":
+			for _, st := range s.Tables {
+				for _, col := range st.Schema.Columns {
+					out = append(out, &ast.ColumnRef{
+						Qualifier: strings.ToUpper(st.Ref.Name()), Column: col.Name})
+				}
+			}
+		case it.Star:
+			q := strings.ToUpper(it.StarQualifier)
+			var match *ScopeTable
+			for i := range s.Tables {
+				if strings.ToUpper(s.Tables[i].Ref.Name()) == q {
+					match = &s.Tables[i]
+					break
+				}
+			}
+			if match == nil {
+				return nil, fmt.Errorf("catalog: %s.* references unknown table", q)
+			}
+			for _, col := range match.Schema.Columns {
+				out = append(out, &ast.ColumnRef{Qualifier: q, Column: col.Name})
+			}
+		default:
+			ref, ok := it.Expr.(*ast.ColumnRef)
+			if !ok {
+				return nil, fmt.Errorf("catalog: projection item %s is not a column reference", it.Expr.SQL())
+			}
+			r, err := s.Resolve(ref)
+			if err != nil {
+				return nil, err
+			}
+			if r.Depth != 0 {
+				return nil, fmt.Errorf("catalog: projection item %s references an enclosing block", ref.SQL())
+			}
+			out = append(out, &ast.ColumnRef{
+				Qualifier: strings.ToUpper(s.Tables[r.TableIdx].Ref.Name()),
+				Column:    r.Table.Columns[r.ColIdx].Name})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,317 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"uniqopt/internal/catalog"
+	"uniqopt/internal/eval"
+	"uniqopt/internal/sql/ast"
+	"uniqopt/internal/value"
+)
+
+// Domains assigns finite candidate-value sets to columns and host
+// variables for the exact Theorem-1 check. Column keys are canonical
+// "CORRELATION.COLUMN" names.
+type Domains struct {
+	Cols  map[string][]value.Value
+	Hosts map[string][]value.Value
+}
+
+// Witness is a counterexample to uniqueness: two distinct qualifying
+// tuples of the extended Cartesian product that agree on the
+// projection, under a particular host-variable assignment.
+type Witness struct {
+	Hosts  map[string]value.Value
+	R1, R2 map[string]value.Value
+}
+
+// String renders the witness.
+func (w *Witness) String() string {
+	return fmt.Sprintf("hosts=%v r=%v r'=%v", w.Hosts, w.R1, w.R2)
+}
+
+// boundTable pairs a correlation name with its schema and the
+// canonical column names of the combined tuple.
+type boundTable struct {
+	corr   string
+	schema *catalog.Table
+	cols   []string
+}
+
+// ErrTooManyCombinations is returned when the bounded enumeration
+// would exceed the configured cap — the practical face of the
+// NP-completeness the paper notes for testing Theorem 1 directly.
+var ErrTooManyCombinations = fmt.Errorf("core: exact check exceeds combination cap")
+
+// DefaultDomains builds small default domains for every column of the
+// query's FROM tables: two distinct values per column plus NULL for
+// nullable columns, and for every host variable in the query, two
+// integer values. Sufficient to expose most duplicate constructions
+// while keeping enumeration tractable.
+func DefaultDomains(cat *catalog.Catalog, s *ast.Select) (Domains, error) {
+	scope, err := catalog.NewScope(cat, s.From, nil)
+	if err != nil {
+		return Domains{}, err
+	}
+	d := Domains{Cols: map[string][]value.Value{}, Hosts: map[string][]value.Value{}}
+	for _, st := range scope.Tables {
+		corr := strings.ToUpper(st.Ref.Name())
+		for _, col := range st.Schema.Columns {
+			var vals []value.Value
+			switch col.Type {
+			case value.KindString:
+				vals = []value.Value{value.String_("a"), value.String_("b")}
+			case value.KindBool:
+				vals = []value.Value{value.Bool(false), value.Bool(true)}
+			default:
+				vals = []value.Value{value.Int(1), value.Int(2)}
+			}
+			if !col.NotNull {
+				vals = append(vals, value.Null)
+			}
+			d.Cols[corr+"."+col.Name] = vals
+		}
+	}
+	for _, hv := range ast.HostVars(s.Where) {
+		d.Hosts[hv.Name] = []value.Value{value.Int(1), value.Int(2)}
+	}
+	return d, nil
+}
+
+// ExactUniqueness decides Theorem 1's condition over the given finite
+// domains: it searches for two different tuples of Domain(R × S) that
+// satisfy the table constraints (true-interpreted, matching what the
+// storage layer admits), satisfy the query predicate under some host
+// assignment (false-interpreted, the WHERE semantics), respect every
+// key dependency pairwise, and agree on the projection under ≐. If
+// such a pair exists the query can produce duplicates and the result
+// is (false, witness); otherwise (true, nil).
+//
+// maxCombos caps |candidates| × |host assignments|; exceeding it
+// returns ErrTooManyCombinations. The enumeration cost is exponential
+// in the number of columns — this is the exact test the paper replaces
+// with Algorithm 1, and experiment E7 measures the gap.
+func (a *Analyzer) ExactUniqueness(s *ast.Select, d Domains, maxCombos int) (bool, *Witness, error) {
+	if ast.HasExists(s.Where) {
+		return false, nil, fmt.Errorf("core: exact check does not support EXISTS predicates")
+	}
+	scope, err := catalog.NewScope(a.Cat, s.From, nil)
+	if err != nil {
+		return false, nil, err
+	}
+	refs, err := scope.ExpandItems(s.Items)
+	if err != nil {
+		return false, nil, err
+	}
+	proj := make([]string, len(refs))
+	for i, r := range refs {
+		proj[i] = r.Qualifier + "." + r.Column
+	}
+
+	// Flatten the combined-schema columns, per table.
+	var tabs []boundTable
+	var allCols []string
+	for _, st := range scope.Tables {
+		corr := strings.ToUpper(st.Ref.Name())
+		tc := boundTable{corr: corr, schema: st.Schema}
+		for _, c := range st.Schema.Columns {
+			tc.cols = append(tc.cols, corr+"."+c.Name)
+		}
+		if len(st.Schema.Keys) == 0 {
+			// Theorem 1 requires a candidate key per table; without
+			// one the exact condition cannot hold in general.
+			return false, nil, fmt.Errorf("core: table %s has no candidate key", corr)
+		}
+		tabs = append(tabs, tc)
+		allCols = append(allCols, tc.cols...)
+	}
+
+	// Enumerate host assignments.
+	hostNames, hostAssigns, err := enumerate(d.Hosts, nil)
+	if err != nil {
+		return false, nil, err
+	}
+	// Enumerate candidate tuples of Domain(R × S).
+	colDomains := make(map[string][]value.Value, len(allCols))
+	total := 1
+	for _, c := range allCols {
+		vals := d.Cols[c]
+		if len(vals) == 0 {
+			return false, nil, fmt.Errorf("core: no domain for column %s", c)
+		}
+		colDomains[c] = vals
+		total *= len(vals)
+		if total > maxCombos {
+			return false, nil, ErrTooManyCombinations
+		}
+	}
+	if total*max(1, len(hostAssigns)) > maxCombos {
+		return false, nil, ErrTooManyCombinations
+	}
+	colNames, tuples, err := enumerate(colDomains, allCols)
+	if err != nil {
+		return false, nil, err
+	}
+
+	for _, ha := range hostAssigns {
+		hosts := bindingMap(hostNames, ha)
+		// Qualifying candidates under this host assignment.
+		var cand []map[string]value.Value
+		for _, tu := range tuples {
+			row := bindingMap(colNames, tu)
+			ok, err := a.candidateQualifies(s, scope, tabs, row, hosts)
+			if err != nil {
+				return false, nil, err
+			}
+			if ok {
+				cand = append(cand, row)
+			}
+		}
+		// Group candidates by projection value under ≐; only pairs in
+		// the same group can witness a duplicate.
+		groups := make(map[uint64][]int)
+		for i, row := range cand {
+			pr := make(value.Row, len(proj))
+			for k, c := range proj {
+				pr[k] = row[c]
+			}
+			h := value.HashRow(pr)
+			groups[h] = append(groups[h], i)
+		}
+		for _, idxs := range groups {
+			for x := 0; x < len(idxs); x++ {
+				for y := x + 1; y < len(idxs); y++ {
+					r1, r2 := cand[idxs[x]], cand[idxs[y]]
+					if !agreeOn(r1, r2, proj) {
+						continue // hash collision
+					}
+					if sameTuple(r1, r2, allCols) {
+						continue // identical domain tuples, not a duplicate pair
+					}
+					if !keyDepsHold(tabs, r1, r2) {
+						continue // pair cannot coexist in a valid instance
+					}
+					return false, &Witness{Hosts: hosts, R1: r1, R2: r2}, nil
+				}
+			}
+		}
+	}
+	return true, nil, nil
+}
+
+// candidateQualifies tests table constraints (true-interpreted) and
+// the query predicate (false-interpreted) on a combined tuple.
+func (a *Analyzer) candidateQualifies(s *ast.Select, scope *catalog.Scope,
+	tabs []boundTable, row map[string]value.Value,
+	hosts map[string]value.Value) (bool, error) {
+
+	// Per-table CHECK constraints and NOT NULL.
+	for _, tc := range tabs {
+		env := &eval.Env{Cols: map[string]value.Value{}, Hosts: hosts}
+		for i, col := range tc.schema.Columns {
+			v := row[tc.cols[i]]
+			if v.IsNull() && col.NotNull {
+				return false, nil
+			}
+			env.Cols[col.Name] = v
+			env.Cols[tc.schema.Name+"."+col.Name] = v
+		}
+		for _, chk := range tc.schema.Checks {
+			ok, err := eval.Satisfied(chk, env)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return false, nil
+			}
+		}
+	}
+	// Query predicate.
+	env := &eval.Env{Cols: row, Hosts: hosts, Scope: scope}
+	return eval.Qualifies(s.Where, env)
+}
+
+// keyDepsHold verifies the pairwise key-dependency antecedents: for
+// every candidate key of every table, agreement on the key (under ≐)
+// implies agreement on all the table's columns.
+func keyDepsHold(tabs []boundTable, r1, r2 map[string]value.Value) bool {
+	for _, tc := range tabs {
+		for _, k := range tc.schema.Keys {
+			agree := true
+			for _, ci := range k.Columns {
+				if !value.NullEq(r1[tc.cols[ci]], r2[tc.cols[ci]]) {
+					agree = false
+					break
+				}
+			}
+			if agree && !agreeOn(r1, r2, tc.cols) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func agreeOn(r1, r2 map[string]value.Value, cols []string) bool {
+	for _, c := range cols {
+		if !value.NullEq(r1[c], r2[c]) {
+			return false
+		}
+	}
+	return true
+}
+
+func sameTuple(r1, r2 map[string]value.Value, cols []string) bool {
+	return agreeOn(r1, r2, cols)
+}
+
+// enumerate expands a map of name → candidate values into the full
+// cross product. order fixes the name ordering (nil = map order,
+// sorted for determinism).
+func enumerate(domains map[string][]value.Value, order []string) ([]string, [][]value.Value, error) {
+	if order == nil {
+		for n := range domains {
+			order = append(order, n)
+		}
+		sortStrings(order)
+	}
+	assigns := [][]value.Value{nil}
+	for _, n := range order {
+		vals := domains[n]
+		next := make([][]value.Value, 0, len(assigns)*len(vals))
+		for _, a := range assigns {
+			for _, v := range vals {
+				na := make([]value.Value, len(a)+1)
+				copy(na, a)
+				na[len(a)] = v
+				next = append(next, na)
+			}
+		}
+		assigns = next
+	}
+	return order, assigns, nil
+}
+
+func bindingMap(names []string, vals []value.Value) map[string]value.Value {
+	m := make(map[string]value.Value, len(names))
+	for i, n := range names {
+		m[n] = vals[i]
+	}
+	return m
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

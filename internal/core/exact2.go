@@ -1,0 +1,240 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"uniqopt/internal/catalog"
+	"uniqopt/internal/eval"
+	"uniqopt/internal/sql/ast"
+	"uniqopt/internal/value"
+)
+
+// ExactAtMostOne decides Theorem 2's condition over finite domains: is
+// there an assignment of the outer tables' columns (any tuple passing
+// their CHECK constraints) and host variables under which two
+// *different* tuples of the subquery block's Cartesian product both
+// qualify? If so the subquery can match more than one row and the
+// function returns (false, witness); otherwise (true, nil).
+//
+// outerFrom supplies the enclosing block's tables (their columns act
+// as constants inside the subquery, exactly as Theorem 2's quantifier
+// structure prescribes: ∀ r ∈ Domain(R) ... ∀ s, s' ∈ Domain(S)).
+// Host variables and all columns take values from d. maxCombos caps
+// |outer assignments| × |subquery tuple pairs|.
+func (a *Analyzer) ExactAtMostOne(outerFrom []ast.TableRef, sub *ast.Select,
+	d Domains, maxCombos int) (bool, *Witness, error) {
+
+	if ast.HasExists(sub.Where) {
+		return false, nil, fmt.Errorf("core: exact check does not support nested EXISTS")
+	}
+	outerScope, err := catalog.NewScope(a.Cat, outerFrom, nil)
+	if err != nil {
+		return false, nil, err
+	}
+	subScope, err := catalog.NewScope(a.Cat, sub.From, outerScope)
+	if err != nil {
+		return false, nil, err
+	}
+
+	outerTabs, outerCols, err := bindTables(outerScope)
+	if err != nil {
+		return false, nil, err
+	}
+	subTabs, subCols, err := bindTables(subScope)
+	if err != nil {
+		return false, nil, err
+	}
+	for _, tc := range subTabs {
+		if len(tc.schema.Keys) == 0 {
+			return false, nil, fmt.Errorf("core: table %s has no candidate key", tc.corr)
+		}
+	}
+
+	hostNames, hostAssigns, err := enumerate(d.Hosts, nil)
+	if err != nil {
+		return false, nil, err
+	}
+	outerDomains, err := domainsFor(d, outerCols)
+	if err != nil {
+		return false, nil, err
+	}
+	subDomains, err := domainsFor(d, subCols)
+	if err != nil {
+		return false, nil, err
+	}
+	outerCount, subCount := 1, 1
+	for _, c := range outerCols {
+		outerCount *= len(outerDomains[c])
+	}
+	for _, c := range subCols {
+		subCount *= len(subDomains[c])
+	}
+	if outerCount*subCount*max(1, len(hostAssigns)) > maxCombos {
+		return false, nil, ErrTooManyCombinations
+	}
+	_, outerTuples, err := enumerate(outerDomains, outerCols)
+	if err != nil {
+		return false, nil, err
+	}
+	_, subTuples, err := enumerate(subDomains, subCols)
+	if err != nil {
+		return false, nil, err
+	}
+
+	for _, ha := range hostAssigns {
+		hosts := bindingMap(hostNames, ha)
+		for _, ot := range outerTuples {
+			outerRow := bindingMap(outerCols, ot)
+			// The outer tuple must itself be a valid instance row.
+			ok, err := checksPass(outerTabs, outerRow, hosts)
+			if err != nil {
+				return false, nil, err
+			}
+			if !ok {
+				continue
+			}
+			// Qualifying subquery tuples for this outer row.
+			var cand []map[string]value.Value
+			for _, tu := range subTuples {
+				row := bindingMap(subCols, tu)
+				okChecks, err := checksPass(subTabs, row, hosts)
+				if err != nil {
+					return false, nil, err
+				}
+				if !okChecks {
+					continue
+				}
+				env := &eval.Env{Cols: merged(outerRow, row), Hosts: hosts, Scope: subScope}
+				q, err := eval.Qualifies(sub.Where, env)
+				if err != nil {
+					return false, nil, err
+				}
+				if q {
+					cand = append(cand, row)
+				}
+			}
+			for x := 0; x < len(cand); x++ {
+				for y := x + 1; y < len(cand); y++ {
+					if sameTuple(cand[x], cand[y], subCols) {
+						continue
+					}
+					if !keyDepsHold(subTabs, cand[x], cand[y]) {
+						continue // cannot coexist in a valid instance
+					}
+					return false, &Witness{Hosts: hosts,
+						R1: merged(outerRow, cand[x]),
+						R2: merged(outerRow, cand[y])}, nil
+				}
+			}
+		}
+	}
+	return true, nil, nil
+}
+
+// bindTables flattens a scope's local tables into boundTable records
+// and the canonical column list.
+func bindTables(scope *catalog.Scope) ([]boundTable, []string, error) {
+	var tabs []boundTable
+	var cols []string
+	for _, st := range scope.Tables {
+		corr := strings.ToUpper(st.Ref.Name())
+		tc := boundTable{corr: corr, schema: st.Schema}
+		for _, c := range st.Schema.Columns {
+			tc.cols = append(tc.cols, corr+"."+c.Name)
+		}
+		tabs = append(tabs, tc)
+		cols = append(cols, tc.cols...)
+	}
+	return tabs, cols, nil
+}
+
+// domainsFor selects the column domains for the given canonical names.
+func domainsFor(d Domains, cols []string) (map[string][]value.Value, error) {
+	out := make(map[string][]value.Value, len(cols))
+	for _, c := range cols {
+		vals := d.Cols[c]
+		if len(vals) == 0 {
+			return nil, fmt.Errorf("core: no domain for column %s", c)
+		}
+		out[c] = vals
+	}
+	return out, nil
+}
+
+// checksPass verifies NOT NULL and CHECK constraints for every bound
+// table against the row bindings.
+func checksPass(tabs []boundTable, row map[string]value.Value, hosts map[string]value.Value) (bool, error) {
+	for _, tc := range tabs {
+		env := &eval.Env{Cols: map[string]value.Value{}, Hosts: hosts}
+		for i, col := range tc.schema.Columns {
+			v := row[tc.cols[i]]
+			if v.IsNull() && col.NotNull {
+				return false, nil
+			}
+			env.Cols[col.Name] = v
+			env.Cols[tc.schema.Name+"."+col.Name] = v
+		}
+		for _, chk := range tc.schema.Checks {
+			ok, err := eval.Satisfied(chk, env)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+func merged(a, b map[string]value.Value) map[string]value.Value {
+	out := make(map[string]value.Value, len(a)+len(b))
+	for k, v := range a {
+		out[k] = v
+	}
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+// DomainsForSubquery builds default domains covering both the outer
+// tables and the subquery block, plus the subquery's host variables.
+func DomainsForSubquery(cat *catalog.Catalog, outerFrom []ast.TableRef, sub *ast.Select) (Domains, error) {
+	outerScope, err := catalog.NewScope(cat, outerFrom, nil)
+	if err != nil {
+		return Domains{}, err
+	}
+	subScope, err := catalog.NewScope(cat, sub.From, outerScope)
+	if err != nil {
+		return Domains{}, err
+	}
+	d := Domains{Cols: map[string][]value.Value{}, Hosts: map[string][]value.Value{}}
+	fill := func(scope *catalog.Scope) {
+		for _, st := range scope.Tables {
+			corr := strings.ToUpper(st.Ref.Name())
+			for _, col := range st.Schema.Columns {
+				var vals []value.Value
+				switch col.Type {
+				case value.KindString:
+					vals = []value.Value{value.String_("a"), value.String_("b")}
+				case value.KindBool:
+					vals = []value.Value{value.Bool(false), value.Bool(true)}
+				default:
+					vals = []value.Value{value.Int(1), value.Int(2)}
+				}
+				if !col.NotNull {
+					vals = append(vals, value.Null)
+				}
+				d.Cols[corr+"."+col.Name] = vals
+			}
+		}
+	}
+	fill(outerScope)
+	fill(subScope)
+	for _, hv := range ast.HostVars(sub.Where) {
+		d.Hosts[hv.Name] = []value.Value{value.Int(1), value.Int(2)}
+	}
+	return d, nil
+}

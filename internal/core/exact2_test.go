@@ -1,0 +1,167 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"uniqopt/internal/catalog"
+	"uniqopt/internal/sql/ast"
+	"uniqopt/internal/sql/parser"
+)
+
+// exactT2 runs the exact Theorem-2 check on the first EXISTS conjunct
+// of a correlated query.
+func exactT2(t *testing.T, cat *catalog.Catalog, src string) (bool, *Witness) {
+	t.Helper()
+	a := NewAnalyzer(cat)
+	s, err := parser.ParseSelect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ex *ast.Exists
+	for _, c := range ast.Conjuncts(s.Where) {
+		if e, ok := c.(*ast.Exists); ok {
+			ex = e
+		}
+	}
+	if ex == nil {
+		t.Fatalf("query %q has no EXISTS", src)
+	}
+	d, err := DomainsForSubquery(cat, s.From, ex.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, w, err := a.ExactAtMostOne(s.From, ex.Query, d, 50_000_000)
+	if err != nil {
+		t.Fatalf("ExactAtMostOne(%q): %v", src, err)
+	}
+	return u, w
+}
+
+func TestExactAtMostOneKeyBound(t *testing.T) {
+	cat := smallCatalog(t)
+	// Subquery binds S's full key via correlation: at most one match.
+	u, _ := exactT2(t, cat, `SELECT R.K FROM R R
+		WHERE EXISTS (SELECT * FROM S S WHERE S.K = R.K)`)
+	if !u {
+		t.Error("key-bound correlation must be at-most-one")
+	}
+	u, _ = exactT2(t, cat, `SELECT R.K FROM R R
+		WHERE EXISTS (SELECT * FROM S S WHERE S.K = 1)`)
+	if !u {
+		t.Error("key-constant binding must be at-most-one")
+	}
+}
+
+func TestExactAtMostOneManyMatch(t *testing.T) {
+	cat := smallCatalog(t)
+	// Non-key correlation: many S rows can share Z.
+	u, w := exactT2(t, cat, `SELECT R.K FROM R R
+		WHERE EXISTS (SELECT * FROM S S WHERE S.Z = R.X)`)
+	if u {
+		t.Fatal("non-key correlation must admit multiple matches")
+	}
+	if w == nil {
+		t.Fatal("witness expected")
+	}
+	// The two witness tuples differ in S's key (different S rows).
+	if w.R1["S.K"].String() == w.R2["S.K"].String() {
+		t.Errorf("witness rows should be different S tuples: %v", w)
+	}
+}
+
+func TestExactAtMostOneErrors(t *testing.T) {
+	cat := smallCatalog(t)
+	a := NewAnalyzer(cat)
+	sub, err := parser.ParseSelect("SELECT * FROM S S WHERE S.K = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer := []ast.TableRef{{Table: "R", Alias: "R"}}
+	d, err := DomainsForSubquery(cat, outer, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.ExactAtMostOne(outer, sub, d, 5); err != ErrTooManyCombinations {
+		t.Errorf("cap should trip: %v", err)
+	}
+	// Missing domains.
+	if _, _, err := a.ExactAtMostOne(outer, sub, Domains{}, 1000); err == nil {
+		t.Error("missing domains should fail")
+	}
+	// Keyless subquery table.
+	sub2, _ := parser.ParseSelect("SELECT * FROM NK NK WHERE NK.A = 1")
+	d2, _ := DomainsForSubquery(cat, outer, sub2)
+	if _, _, err := a.ExactAtMostOne(outer, sub2, d2, 1_000_000); err == nil ||
+		!strings.Contains(err.Error(), "candidate key") {
+		t.Errorf("keyless table should fail: %v", err)
+	}
+}
+
+// randomSubquery builds a random correlated subquery over S with R as
+// the outer table.
+func randomSubquery(r *rand.Rand) string {
+	var conj []string
+	pool := []string{
+		"S.K = R.K", "S.K = R.X", "S.K = 1", "S.K = :H",
+		"S.Z = R.X", "S.Z = 1", "S.Z = R.K", "S.K < 2", "S.Z IS NULL",
+	}
+	n := 1 + r.Intn(3)
+	for i := 0; i < n; i++ {
+		conj = append(conj, pool[r.Intn(len(pool))])
+	}
+	return "SELECT R.K FROM R R WHERE EXISTS (SELECT * FROM S S WHERE " +
+		strings.Join(conj, " AND ") + ")"
+}
+
+// Property: whenever AtMostOneMatch answers YES, the exact Theorem-2
+// check agrees — the analyzer's Theorem-2 condition is sound.
+func TestAtMostOneSoundAgainstExhaustive(t *testing.T) {
+	cat := smallCatalog(t)
+	a := NewAnalyzer(cat)
+	r := rand.New(rand.NewSource(451))
+	var yes, incomplete int
+	for trial := 0; trial < 150; trial++ {
+		src := randomSubquery(r)
+		s, err := parser.ParseSelect(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex := ast.Conjuncts(s.Where)[0].(*ast.Exists)
+		outerScope, err := catalogScope(t, cat, s.From)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := a.AtMostOneMatch(ex.Query, outerScope)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := DomainsForSubquery(cat, s.From, ex.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, w, err := a.ExactAtMostOne(s.From, ex.Query, d, 50_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Unique {
+			yes++
+			if !exact {
+				t.Fatalf("UNSOUND: AtMostOneMatch says YES but two matches exist\nquery: %s\nwitness: %v",
+					src, w)
+			}
+		} else if exact {
+			incomplete++
+		}
+	}
+	if yes == 0 {
+		t.Error("generator produced no YES cases; test is vacuous")
+	}
+	t.Logf("%d YES verdicts, %d incomplete", yes, incomplete)
+}
+
+func catalogScope(t *testing.T, cat *catalog.Catalog, from []ast.TableRef) (*catalog.Scope, error) {
+	t.Helper()
+	return catalog.NewScope(cat, from, nil)
+}

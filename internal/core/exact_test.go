@@ -1,0 +1,356 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"uniqopt/internal/catalog"
+	"uniqopt/internal/sql/ast"
+	"uniqopt/internal/sql/parser"
+	"uniqopt/internal/value"
+)
+
+// smallCatalog: R(K, X, Y) with key K; S(K, Z) with key K. Small
+// enough for exhaustive domain enumeration.
+func smallCatalog(t testing.TB) *catalog.Catalog {
+	t.Helper()
+	c := catalog.New()
+	for _, ddl := range []string{
+		`CREATE TABLE R (K INTEGER, X INTEGER, Y INTEGER, PRIMARY KEY (K))`,
+		`CREATE TABLE S (K INTEGER, Z INTEGER, PRIMARY KEY (K))`,
+		`CREATE TABLE NK (A INTEGER, B INTEGER)`, // no key
+	} {
+		st, err := parser.ParseStatement(ddl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.DefineFromAST(st.(*ast.CreateTable)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func exactCheck(t *testing.T, cat *catalog.Catalog, src string) (bool, *Witness) {
+	t.Helper()
+	a := NewAnalyzer(cat)
+	s := mustSelect(t, src)
+	d, err := DefaultDomains(cat, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, w, err := a.ExactUniqueness(s, d, 1_000_000)
+	if err != nil {
+		t.Fatalf("ExactUniqueness(%q): %v", src, err)
+	}
+	return u, w
+}
+
+func TestExactUniqueProjectingKey(t *testing.T) {
+	cat := smallCatalog(t)
+	u, _ := exactCheck(t, cat, "SELECT R.K, R.X FROM R R")
+	if !u {
+		t.Error("projecting the key must be unique")
+	}
+}
+
+func TestExactDuplicatesWithoutKey(t *testing.T) {
+	cat := smallCatalog(t)
+	u, w := exactCheck(t, cat, "SELECT R.X FROM R R")
+	if u {
+		t.Fatal("projecting a non-key must admit duplicates")
+	}
+	if w == nil {
+		t.Fatal("witness must be provided")
+	}
+	// Witness rows agree on X but differ on K.
+	if !value.NullEq(w.R1["R.X"], w.R2["R.X"]) {
+		t.Errorf("witness rows disagree on projection: %v", w)
+	}
+	if value.NullEq(w.R1["R.K"], w.R2["R.K"]) {
+		t.Errorf("witness rows should differ on the key: %v", w)
+	}
+}
+
+func TestExactConstantBindsKey(t *testing.T) {
+	cat := smallCatalog(t)
+	u, _ := exactCheck(t, cat, "SELECT R.X FROM R R WHERE R.K = 1")
+	if !u {
+		t.Error("K bound to a constant forces at most one row")
+	}
+	u, _ = exactCheck(t, cat, "SELECT R.X FROM R R WHERE R.K = :H")
+	if !u {
+		t.Error("K bound to a host variable forces at most one row per execution")
+	}
+}
+
+// The DISJUNCTION UNSOUNDNESS counterexample from the package comment:
+// every DNF term binds K, yet duplicates are possible. The exact
+// checker must find the witness, and Algorithm 1 must answer NO.
+func TestExactDisjunctionCounterexample(t *testing.T) {
+	cat := smallCatalog(t)
+	src := "SELECT R.X FROM R R WHERE (R.X = 1 AND R.K = 1) OR (R.X = 1 AND R.K = 2)"
+	u, w := exactCheck(t, cat, src)
+	if u {
+		t.Fatal("per-disjunct key binding is unsound; duplicates exist")
+	}
+	if w == nil || value.NullEq(w.R1["R.K"], w.R2["R.K"]) {
+		t.Fatalf("witness should differ on K: %v", w)
+	}
+	// Algorithm 1 (which deletes disjunctive clauses) correctly says NO.
+	a := NewAnalyzer(cat)
+	v, err := a.AnalyzeSelect(mustSelect(t, src), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Unique {
+		t.Error("Algorithm 1 must answer NO on the counterexample")
+	}
+}
+
+func TestExactJoinQuery(t *testing.T) {
+	cat := smallCatalog(t)
+	// Keys of both sides projected: unique.
+	u, _ := exactCheck(t, cat, "SELECT R.K, S.K FROM R R, S S WHERE R.X = S.Z")
+	if !u {
+		t.Error("projecting both keys must be unique")
+	}
+	// Join transfers key binding: R.K = S.K and R.K projected.
+	u, _ = exactCheck(t, cat, "SELECT R.K FROM R R, S S WHERE R.K = S.K")
+	if !u {
+		t.Error("equated keys: projecting one binds the other")
+	}
+	// No binding for S's key: duplicates possible.
+	u, _ = exactCheck(t, cat, "SELECT R.K FROM R R, S S WHERE R.X = S.Z")
+	if u {
+		t.Error("S unconstrained: Cartesian-product duplicates exist")
+	}
+}
+
+func TestExactErrorsAndCaps(t *testing.T) {
+	cat := smallCatalog(t)
+	a := NewAnalyzer(cat)
+	s := mustSelect(t, "SELECT R.X FROM R R")
+	d, _ := DefaultDomains(cat, s)
+	if _, _, err := a.ExactUniqueness(s, d, 10); err != ErrTooManyCombinations {
+		t.Errorf("cap should trip: %v", err)
+	}
+	// Missing domain.
+	bad := Domains{Cols: map[string][]value.Value{}, Hosts: map[string][]value.Value{}}
+	if _, _, err := a.ExactUniqueness(s, bad, 1000); err == nil {
+		t.Error("missing column domain should fail")
+	}
+	// Table without key.
+	s2 := mustSelect(t, "SELECT NK.A FROM NK NK")
+	d2, _ := DefaultDomains(cat, s2)
+	if _, _, err := a.ExactUniqueness(s2, d2, 100000); err == nil ||
+		!strings.Contains(err.Error(), "candidate key") {
+		t.Errorf("keyless table should fail: %v", err)
+	}
+	// EXISTS unsupported.
+	s3 := mustSelect(t, "SELECT R.K FROM R R WHERE EXISTS (SELECT * FROM S S WHERE S.K = R.K)")
+	if _, _, err := a.ExactUniqueness(s3, Domains{}, 1000); err == nil {
+		t.Error("EXISTS should be rejected")
+	}
+}
+
+// randomQuery builds a random single- or two-table query over the
+// small schema with random equality/comparison conjuncts and a random
+// projection.
+func randomQuery(r *rand.Rand) string {
+	cols := []string{"R.K", "R.X", "R.Y"}
+	twoTables := r.Intn(2) == 0
+	if twoTables {
+		cols = append(cols, "S.K", "S.Z")
+	}
+	// Projection: 1-3 random columns.
+	n := 1 + r.Intn(3)
+	proj := make([]string, 0, n)
+	seen := map[string]bool{}
+	for len(proj) < n {
+		c := cols[r.Intn(len(cols))]
+		if !seen[c] {
+			seen[c] = true
+			proj = append(proj, c)
+		}
+	}
+	from := "R R"
+	if twoTables {
+		from = "R R, S S"
+	}
+	// Conjuncts: 0-3 random atoms.
+	var conj []string
+	for i := 0; i < r.Intn(4); i++ {
+		a := cols[r.Intn(len(cols))]
+		switch r.Intn(4) {
+		case 0:
+			conj = append(conj, a+" = 1")
+		case 1:
+			b := cols[r.Intn(len(cols))]
+			conj = append(conj, a+" = "+b)
+		case 2:
+			conj = append(conj, a+" < 2")
+		default:
+			conj = append(conj, a+" = :H")
+		}
+	}
+	q := "SELECT " + strings.Join(proj, ", ") + " FROM " + from
+	if len(conj) > 0 {
+		q += " WHERE " + strings.Join(conj, " AND ")
+	}
+	return q
+}
+
+// Property (E8's soundness core): whenever Algorithm 1 answers YES,
+// the exact bounded-domain check agrees. The converse may fail
+// (Algorithm 1 is only sufficient) — incompleteness cases are counted
+// but not failed.
+func TestAlg1SoundAgainstExhaustive(t *testing.T) {
+	cat := smallCatalog(t)
+	for _, opts := range []Options{
+		{},
+		{UseKeyFDs: true},
+		{BindIsNull: true, UseKeyFDs: true},
+		{BindIsNull: true, UseKeyFDs: true, UseCheckConstraints: true},
+	} {
+		a := &Analyzer{Cat: cat, Opts: opts}
+		r := rand.New(rand.NewSource(99))
+		var yes, incomplete int
+		for trial := 0; trial < 300; trial++ {
+			src := randomQuery(r)
+			s, err := parser.ParseSelect(src)
+			if err != nil {
+				t.Fatalf("parse %q: %v", src, err)
+			}
+			v, err := a.AnalyzeSelect(s, nil)
+			if err != nil {
+				t.Fatalf("analyze %q: %v", src, err)
+			}
+			d, err := DefaultDomains(cat, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			exact, w, err := a.ExactUniqueness(s, d, 5_000_000)
+			if err != nil {
+				t.Fatalf("exact %q: %v", src, err)
+			}
+			if v.Unique {
+				yes++
+				if !exact {
+					t.Fatalf("UNSOUND (opts %+v): Algorithm 1 says YES but duplicates exist\nquery: %s\nwitness: %v",
+						opts, src, w)
+				}
+			} else if exact {
+				incomplete++
+			}
+		}
+		if yes == 0 {
+			t.Errorf("opts %+v: generator produced no YES cases; test is vacuous", opts)
+		}
+		t.Logf("opts %+v: %d YES verdicts, %d incomplete (exact-unique but unproven)", opts, yes, incomplete)
+	}
+}
+
+// The UseKeyFDs extension must answer YES at least as often as the
+// paper-literal algorithm, and strictly more often on a pinned case.
+func TestKeyFDExtensionDominates(t *testing.T) {
+	cat := smallCatalog(t)
+	plain := &Analyzer{Cat: cat}
+	ext := &Analyzer{Cat: cat, Opts: Options{UseKeyFDs: true}}
+	// R.K → R.X is a key FD; with R.K projected and R.X = S.K, the
+	// extension binds S.K transitively. The paper-literal V does not:
+	// R.X is neither projected nor constant.
+	src := "SELECT R.K FROM R R, S S WHERE R.X = S.K"
+	s := mustSelect(t, src)
+	pv, err := plain.AnalyzeSelect(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := ext.AnalyzeSelect(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pv.Unique {
+		t.Error("paper-literal Algorithm 1 should not prove this case")
+	}
+	if !ev.Unique {
+		t.Error("key-FD extension should prove this case")
+	}
+	// And the extension is validated sound by the exact checker.
+	d, _ := DefaultDomains(cat, s)
+	exact, w, err := ext.ExactUniqueness(s, d, 5_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exact {
+		t.Fatalf("extension verdict contradicted by exact check: %v", w)
+	}
+}
+
+// BindIsNull extension: an IS NULL conjunct binds its column.
+func TestBindIsNullExtension(t *testing.T) {
+	cat := smallCatalog(t)
+	// S.K IS NULL cannot qualify rows (K is primary key NOT NULL), so
+	// use a nullable-key table instead.
+	c2 := catalog.New()
+	st, _ := parser.ParseStatement(`CREATE TABLE U (K INTEGER, X INTEGER, UNIQUE (K))`)
+	if _, err := c2.DefineFromAST(st.(*ast.CreateTable)); err != nil {
+		t.Fatal(err)
+	}
+	plain := &Analyzer{Cat: c2}
+	ext := &Analyzer{Cat: c2, Opts: Options{BindIsNull: true}}
+	src := "SELECT U.X FROM U U WHERE U.K IS NULL"
+	s := mustSelect(t, src)
+	pv, _ := plain.AnalyzeSelect(s, nil)
+	ev, err := ext.AnalyzeSelect(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pv.Unique {
+		t.Error("paper-literal should not bind IS NULL")
+	}
+	if !ev.Unique {
+		t.Error("BindIsNull should prove uniqueness: at most one row has K NULL (≐ key semantics)")
+	}
+	// Exact validation.
+	d, _ := DefaultDomains(c2, s)
+	exact, w, err := ext.ExactUniqueness(s, d, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exact {
+		t.Fatalf("BindIsNull contradicted by exact check: %v", w)
+	}
+	_ = cat
+}
+
+// CHECK constraints participate in the exact condition: a constraint
+// pinning a column to a single value makes that column agree across
+// all rows even though Algorithm 1 ignores it (incompleteness, not
+// unsoundness).
+func TestExactUsesCheckConstraints(t *testing.T) {
+	c := catalog.New()
+	st, _ := parser.ParseStatement(`CREATE TABLE C (K INTEGER, X INTEGER,
+		PRIMARY KEY (K), CHECK (K = 1))`)
+	if _, err := c.DefineFromAST(st.(*ast.CreateTable)); err != nil {
+		t.Fatal(err)
+	}
+	a := NewAnalyzer(c)
+	s := mustSelect(t, "SELECT C.X FROM C C")
+	v, err := a.AnalyzeSelect(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Unique {
+		t.Error("Algorithm 1 ignores CHECKs and should say NO")
+	}
+	d, _ := DefaultDomains(c, s)
+	exact, w, err := a.ExactUniqueness(s, d, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exact {
+		t.Errorf("CHECK (K = 1) forces a single row; exact must say unique, witness %v", w)
+	}
+}

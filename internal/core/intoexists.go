@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+
+	"uniqopt/internal/catalog"
+	"uniqopt/internal/sql/ast"
+)
+
+// RuleInToExists converts a positive IN-subquery conjunct to EXISTS —
+// Kim's type-N/type-J unnesting entry point. The two forms differ
+// under three-valued logic when the subquery produces NULLs (IN may be
+// Unknown where EXISTS is False), but a top-level WHERE conjunct is
+// false-interpreted, so Unknown and False are indistinguishable there
+// and the conversion is exact. Negated IN-subqueries are NOT
+// converted: NOT IN over a NULL-producing subquery rejects rows that
+// NOT EXISTS would keep.
+const RuleInToExists Rule = "in-to-exists"
+
+// InToExists rewrites the first positive top-level IN-subquery
+// conjunct of s into an EXISTS conjunct, exposing it to the Theorem 2
+// machinery. A nil result with nil error means the rule does not
+// apply.
+func (a *Analyzer) InToExists(s *ast.Select) (*Applied, error) {
+	conj := ast.Conjuncts(s.Where)
+	idx := -1
+	for i, c := range conj {
+		if in, ok := c.(*ast.InSubquery); ok && !in.Negated {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, nil
+	}
+	in := conj[idx].(*ast.InSubquery)
+
+	outerScope, err := catalog.NewScope(a.Cat, s.From, nil)
+	if err != nil {
+		return nil, err
+	}
+	subScope, err := catalog.NewScope(a.Cat, in.Query.From, outerScope)
+	if err != nil {
+		return nil, err
+	}
+	// The subquery must produce exactly one column.
+	refs, err := subScope.ExpandItems(in.Query.Items)
+	if err != nil {
+		return nil, err
+	}
+	if len(refs) != 1 {
+		return nil, fmt.Errorf("core: IN subquery must produce one column, got %d", len(refs))
+	}
+	subCol := &ast.ColumnRef{Qualifier: refs[0].Qualifier, Column: refs[0].Column}
+
+	sub := ast.CloneSelect(in.Query)
+	sub.Quant = ast.QuantDefault
+	sub.Items = []ast.SelectItem{{Star: true}}
+	sub.Where = ast.AndAll(append(ast.Conjuncts(sub.Where),
+		&ast.Compare{Op: ast.EqOp, L: subCol, R: ast.CloneExpr(in.X)})...)
+
+	out := ast.CloneSelect(s)
+	newConj := make([]ast.Expr, len(conj))
+	for i, c := range conj {
+		if i == idx {
+			newConj[i] = &ast.Exists{Query: sub}
+		} else {
+			newConj[i] = ast.CloneExpr(c)
+		}
+	}
+	out.Where = ast.AndAll(newConj...)
+	return &Applied{
+		Rule: RuleInToExists,
+		Description: "positive IN-subquery conjunct is false-interpreted: " +
+			"equivalent to EXISTS with the membership test as correlation",
+		Before: s.SQL(),
+		After:  out.SQL(),
+		Query:  out,
+	}, nil
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"uniqopt/internal/catalog"
+	"uniqopt/internal/sql/ast"
+)
+
+// RuleJoinElimination removes a joined table entirely using an
+// inclusion dependency — King's join elimination, which the paper's
+// Section 8 lists as the natural next exploitation of uniqueness
+// ("utilizing inclusion dependencies to prune query graphs").
+const RuleJoinElimination Rule = "join-elimination"
+
+// EliminateJoin removes a FROM table S from the query when
+//
+//  1. no projection column comes from S,
+//  2. every predicate touching S is an equality pairing a declared
+//     NOT NULL foreign key of some remaining table R with the exact
+//     candidate key of S that the foreign key references, and
+//  3. the foreign key is declared in the catalog (the inclusion
+//     dependency guarantees every R row has a match in S).
+//
+// Under these conditions each R row joins with exactly one S row —
+// at least one by the inclusion dependency (FK columns NOT NULL), at
+// most one because the referenced columns are a key — so removing S
+// preserves the result as a multiset, for ALL and DISTINCT alike.
+// A nil result with nil error means the rule does not apply.
+func (a *Analyzer) EliminateJoin(s *ast.Select) (*Applied, error) {
+	if len(s.From) < 2 {
+		return nil, nil
+	}
+	scope, err := catalog.NewScope(a.Cat, s.From, nil)
+	if err != nil {
+		return nil, err
+	}
+	items, refs, err := a.qualifiedItems(s, scope)
+	if err != nil {
+		return nil, err
+	}
+	projected := make(map[string]bool)
+	for _, r := range refs {
+		projected[r.Qualifier] = true
+	}
+	var preds []ast.Expr
+	for _, c := range ast.Conjuncts(s.Where) {
+		q, err := a.QualifyExpr(c, scope)
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, q)
+	}
+
+	for i, tr := range s.From {
+		inner := strings.ToUpper(tr.Name())
+		if projected[inner] {
+			continue
+		}
+		innerSchema := scope.Tables[i].Schema
+
+		// Every predicate touching the inner table must be an equality
+		// between an inner column and a single outer column.
+		pairs := make(map[string]string) // inner column name -> outer "CORR.COL"
+		keep := make([]ast.Expr, 0, len(preds))
+		eligible := true
+		for _, p := range preds {
+			if !qualifiersOf(p)[inner] {
+				keep = append(keep, p)
+				continue
+			}
+			innerCol, outerRef, ok := joinPair(p, inner)
+			if !ok {
+				eligible = false
+				break
+			}
+			if prev, dup := pairs[innerCol]; dup && prev != outerRef {
+				// Two different outer columns equated to the same inner
+				// column: eliminating S would lose their transitive
+				// equality. (Could be rewritten as outer=outer; kept
+				// conservative.)
+				eligible = false
+				break
+			}
+			pairs[innerCol] = outerRef
+		}
+		if !eligible || len(pairs) == 0 {
+			continue
+		}
+
+		// Find a declared foreign key on a remaining table that the
+		// pairing realizes exactly.
+		fkCorr, fkDesc := a.matchForeignKey(scope, i, innerSchema, pairs)
+		if fkCorr == "" {
+			continue
+		}
+
+		remaining := make([]ast.TableRef, 0, len(s.From)-1)
+		for j, o := range s.From {
+			if j != i {
+				remaining = append(remaining, o)
+			}
+		}
+		out := &ast.Select{
+			Quant: s.Quant,
+			Items: items,
+			From:  remaining,
+			Where: ast.AndAll(cloneAll(keep)...),
+		}
+		return &Applied{
+			Rule: RuleJoinElimination,
+			Description: fmt.Sprintf(
+				"inclusion dependency %s guarantees exactly one %s match per %s row; join removed",
+				fkDesc, inner, fkCorr),
+			Before: s.SQL(),
+			After:  out.SQL(),
+			Query:  out,
+		}, nil
+	}
+	return nil, nil
+}
+
+// joinPair decomposes a qualified predicate into (inner column, outer
+// reference) if it is an equality between the inner table and exactly
+// one other table.
+func joinPair(p ast.Expr, inner string) (innerCol, outerRef string, ok bool) {
+	cmp, isCmp := p.(*ast.Compare)
+	if !isCmp || cmp.Op != ast.EqOp {
+		return "", "", false
+	}
+	l, lok := cmp.L.(*ast.ColumnRef)
+	r, rok := cmp.R.(*ast.ColumnRef)
+	if !lok || !rok {
+		return "", "", false
+	}
+	switch {
+	case l.Qualifier == inner && r.Qualifier != inner:
+		return l.Column, r.SQL(), true
+	case r.Qualifier == inner && l.Qualifier != inner:
+		return r.Column, l.SQL(), true
+	default:
+		return "", "", false
+	}
+}
+
+// matchForeignKey searches the remaining FROM tables for a declared
+// NOT NULL foreign key into innerSchema whose referenced candidate key
+// is exactly realized by pairs. Returns the owning correlation name
+// and a description, or "".
+func (a *Analyzer) matchForeignKey(scope *catalog.Scope, innerIdx int,
+	innerSchema *catalog.Table, pairs map[string]string) (string, string) {
+	for j, st := range scope.Tables {
+		if j == innerIdx {
+			continue
+		}
+		corr := strings.ToUpper(st.Ref.Name())
+		for _, fk := range st.Schema.ForeignKeys {
+			if fk.RefTable != innerSchema.Name {
+				continue
+			}
+			refKey := innerSchema.Keys[fk.RefKey]
+			if len(pairs) != len(refKey.Columns) {
+				continue
+			}
+			match := true
+			notNull := true
+			for i, refCi := range refKey.Columns {
+				innerCol := innerSchema.Columns[refCi].Name
+				fkCol := st.Schema.Columns[fk.Columns[i]]
+				if pairs[innerCol] != corr+"."+fkCol.Name {
+					match = false
+					break
+				}
+				if !fkCol.NotNull {
+					notNull = false
+					break
+				}
+			}
+			if match && notNull {
+				fkCols := make([]string, len(fk.Columns))
+				for i, ci := range fk.Columns {
+					fkCols[i] = st.Schema.Columns[ci].Name
+				}
+				return corr, fmt.Sprintf("%s(%s) → %s(%s)",
+					corr, strings.Join(fkCols, ","),
+					innerSchema.Name, strings.Join(innerSchema.KeyColumnNames(refKey), ","))
+			}
+		}
+	}
+	return "", ""
+}

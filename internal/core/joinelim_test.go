@@ -1,0 +1,171 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"uniqopt/internal/sql/ast"
+	"uniqopt/internal/sql/parser"
+	"uniqopt/internal/workload"
+)
+
+// fkAnalyzer uses the workload schema, which declares
+// PARTS.SNO → SUPPLIER(SNO) and AGENTS.SNO → SUPPLIER(SNO).
+func fkAnalyzer(t testing.TB) *Analyzer {
+	t.Helper()
+	return NewAnalyzer(workload.BenchCatalog())
+}
+
+func TestJoinEliminationBasic(t *testing.T) {
+	a := fkAnalyzer(t)
+	// SUPPLIER contributes nothing but the FK join: it can go.
+	s := mustSelect(t, `SELECT P.PNO, P.PNAME FROM SUPPLIER S, PARTS P
+		WHERE S.SNO = P.SNO AND P.COLOR = 'RED'`)
+	ap, err := a.EliminateJoin(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap == nil {
+		t.Fatal("join elimination must apply")
+	}
+	if ap.Rule != RuleJoinElimination {
+		t.Errorf("rule = %s", ap.Rule)
+	}
+	out := ap.Query.(*ast.Select)
+	if len(out.From) != 1 || out.From[0].Table != "PARTS" {
+		t.Errorf("FROM = %v", out.From)
+	}
+	if strings.Contains(out.SQL(), "S.") {
+		t.Errorf("eliminated table still referenced: %s", out.SQL())
+	}
+	if !strings.Contains(out.SQL(), "P.COLOR = 'RED'") {
+		t.Errorf("unrelated predicate lost: %s", out.SQL())
+	}
+	if !strings.Contains(ap.Description, "inclusion dependency") {
+		t.Errorf("description = %s", ap.Description)
+	}
+}
+
+func TestJoinEliminationFlippedEquality(t *testing.T) {
+	a := fkAnalyzer(t)
+	// The equality is written supplier-first; the rule must recognize
+	// the pairing regardless of operand order.
+	s := mustSelect(t, `SELECT A.ANAME FROM AGENTS A, SUPPLIER S WHERE S.SNO = A.SNO`)
+	ap, err := a.EliminateJoin(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap == nil {
+		t.Fatal("flipped equality must still eliminate")
+	}
+}
+
+func TestJoinEliminationRefusals(t *testing.T) {
+	a := fkAnalyzer(t)
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"projected", `SELECT S.SNAME, P.PNO FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO`},
+		{"extra filter on eliminated table",
+			`SELECT P.PNO FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO AND S.SCITY = 'Toronto'`},
+		{"non-equality join",
+			`SELECT P.PNO FROM SUPPLIER S, PARTS P WHERE S.SNO < P.SNO`},
+		{"no FK direction", // SUPPLIER has no FK into PARTS
+			`SELECT S.SNAME FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO AND P.PNO = 1`},
+		{"wrong key", // SNAME is not the referenced key
+			`SELECT P.PNO FROM SUPPLIER S, PARTS P WHERE S.SNAME = P.PNAME`},
+		{"single table", `SELECT P.PNO FROM PARTS P`},
+		{"disjunctive join", `SELECT P.PNO FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO OR P.PNO = 1`},
+	}
+	for _, c := range cases {
+		s := mustSelect(t, c.src)
+		ap, err := a.EliminateJoin(s)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if ap != nil {
+			t.Errorf("%s: should not eliminate; got %s", c.name, ap.After)
+		}
+	}
+}
+
+func TestJoinEliminationRequiresNotNullFK(t *testing.T) {
+	// Declare a nullable FK: rows with NULL FK survive elimination but
+	// are dropped by the join, so the rule must refuse.
+	c := workload.BenchCatalog()
+	st, err := parser.ParseStatement(`CREATE TABLE NOTE (
+		ID INTEGER, SNO INTEGER, TXT VARCHAR,
+		PRIMARY KEY (ID),
+		FOREIGN KEY (SNO) REFERENCES SUPPLIER (SNO))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.DefineFromAST(st.(*ast.CreateTable)); err != nil {
+		t.Fatal(err)
+	}
+	a := NewAnalyzer(c)
+	s := mustSelect(t, `SELECT N.TXT FROM NOTE N, SUPPLIER S WHERE N.SNO = S.SNO`)
+	ap, err := a.EliminateJoin(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap != nil {
+		t.Error("nullable FK must not license join elimination")
+	}
+}
+
+func TestJoinEliminationCompositeKey(t *testing.T) {
+	// A child of PARTS via its composite key (SNO, PNO).
+	c := workload.BenchCatalog()
+	st, err := parser.ParseStatement(`CREATE TABLE DEFECT (
+		DID INTEGER, SNO INTEGER, PNO INTEGER, SEVERITY INTEGER,
+		PRIMARY KEY (DID),
+		FOREIGN KEY (SNO, PNO) REFERENCES PARTS (SNO, PNO))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := st.(*ast.CreateTable)
+	// Composite FK columns must be NOT NULL for elimination.
+	ct.Columns[1].NotNull = true
+	ct.Columns[2].NotNull = true
+	if _, err := c.DefineFromAST(ct); err != nil {
+		t.Fatal(err)
+	}
+	a := NewAnalyzer(c)
+	s := mustSelect(t, `SELECT D.DID, D.SEVERITY FROM DEFECT D, PARTS P
+		WHERE D.SNO = P.SNO AND D.PNO = P.PNO`)
+	ap, err := a.EliminateJoin(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap == nil {
+		t.Fatal("composite-key elimination must apply")
+	}
+	// Partial key coverage must refuse.
+	s = mustSelect(t, `SELECT D.DID FROM DEFECT D, PARTS P WHERE D.SNO = P.SNO`)
+	ap, err = a.EliminateJoin(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap != nil {
+		t.Error("partial key equalities must not eliminate (many matches possible)")
+	}
+}
+
+func TestSuggestIncludesJoinElimination(t *testing.T) {
+	a := fkAnalyzer(t)
+	aps, err := a.Suggest(mustSelect(t, `SELECT P.PNO FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ap := range aps {
+		if ap.Rule == RuleJoinElimination {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Suggest missed join elimination: %v", aps)
+	}
+}

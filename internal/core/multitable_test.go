@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+
+	"uniqopt/internal/sql/ast"
+)
+
+// The paper notes Theorem 1 extends beyond two tables; Algorithm 1's
+// per-table key-coverage test generalizes directly. These tests pin
+// three-table behavior.
+
+func TestThreeWayUniqueness(t *testing.T) {
+	a := analyzer(t)
+	// All three keys carried or bound: YES.
+	s := mustSelect(t, `SELECT DISTINCT S.SNO, P.PNO, A.ANO
+		FROM SUPPLIER S, PARTS P, AGENTS A
+		WHERE S.SNO = P.SNO AND S.SNO = A.SNO`)
+	red, v, err := a.DistinctRedundant(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !red {
+		t.Fatalf("three-way key-complete query must be unique: %v", v)
+	}
+	if len(v.KeysUsed) != 3 {
+		t.Errorf("keys used = %v", v.KeysUsed)
+	}
+
+	// AGENTS key (SNO, ANO) only partially bound: NO.
+	s = mustSelect(t, `SELECT DISTINCT S.SNO, P.PNO
+		FROM SUPPLIER S, PARTS P, AGENTS A
+		WHERE S.SNO = P.SNO AND S.SNO = A.SNO`)
+	red, v, err = a.DistinctRedundant(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red {
+		t.Fatal("A.ANO unbound: duplicates possible")
+	}
+	if v.MissingTable != "A" {
+		t.Errorf("missing table = %q", v.MissingTable)
+	}
+}
+
+func TestThreeWayTransitiveBinding(t *testing.T) {
+	a := analyzer(t)
+	// A.SNO is reached transitively: S.SNO ∈ A(projection),
+	// S.SNO = P.SNO, P.SNO = A.SNO; A.ANO via host variable.
+	s := mustSelect(t, `SELECT DISTINCT S.SNO, P.PNO, A.ANAME
+		FROM SUPPLIER S, PARTS P, AGENTS A
+		WHERE S.SNO = P.SNO AND P.SNO = A.SNO AND A.ANO = :N`)
+	red, v, err := a.DistinctRedundant(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !red {
+		t.Fatalf("transitive chain must bind all keys: %v", v)
+	}
+	for _, col := range []string{"A.SNO", "A.ANO", "P.SNO"} {
+		found := false
+		for _, b := range v.Bound {
+			if b == col {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("V missing %s: %v", col, v.Bound)
+		}
+	}
+}
+
+func TestThreeWaySelfJoin(t *testing.T) {
+	a := analyzer(t)
+	// Self-join of PARTS under two correlation names: each instance
+	// needs its own key bound.
+	s := mustSelect(t, `SELECT DISTINCT P1.SNO, P1.PNO, P2.PNO
+		FROM PARTS P1, PARTS P2
+		WHERE P1.SNO = P2.SNO`)
+	red, v, err := a.DistinctRedundant(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !red {
+		t.Fatalf("self-join with both keys bound must be unique: %v", v)
+	}
+	// Without P2.PNO projected: NO.
+	s = mustSelect(t, `SELECT DISTINCT P1.SNO, P1.PNO
+		FROM PARTS P1, PARTS P2 WHERE P1.SNO = P2.SNO`)
+	red, _, err = a.DistinctRedundant(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red {
+		t.Fatal("P2 unbound: duplicates possible")
+	}
+}
+
+func TestThreeWaySubqueryMerge(t *testing.T) {
+	a := analyzer(t)
+	// EXISTS over a two-table subquery block merges when both inner
+	// tables are at-most-one (Theorem 2's extension to products).
+	s := mustSelect(t, `SELECT ALL S.SNO FROM SUPPLIER S
+		WHERE EXISTS (SELECT * FROM PARTS P, AGENTS A
+		              WHERE P.SNO = S.SNO AND P.PNO = :PN
+		                AND A.SNO = S.SNO AND A.ANO = :AN)`)
+	ap, err := a.SubqueryToJoin(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap == nil {
+		t.Fatal("two-table at-most-one subquery must merge")
+	}
+	if ap.Rule != RuleSubqueryToJoin {
+		t.Errorf("rule = %s", ap.Rule)
+	}
+	out := ap.Query.(*ast.Select)
+	if len(out.From) != 3 {
+		t.Errorf("merged FROM = %v, want 3 tables", out.From)
+	}
+	if ast.HasExists(out.Where) {
+		t.Error("EXISTS must be gone")
+	}
+}

@@ -1,0 +1,539 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"uniqopt/internal/catalog"
+	"uniqopt/internal/sql/ast"
+	"uniqopt/internal/sql/parser"
+)
+
+// paperCatalog builds Figure 1's schema, with the paper's CHECK
+// constraints on SUPPLIER and PARTS.
+func paperCatalog(t testing.TB) *catalog.Catalog {
+	t.Helper()
+	c := catalog.New()
+	for _, ddl := range []string{
+		`CREATE TABLE SUPPLIER (
+			SNO INTEGER, SNAME VARCHAR, SCITY VARCHAR, BUDGET INTEGER, STATUS VARCHAR,
+			PRIMARY KEY (SNO),
+			CHECK (SNO BETWEEN 1 AND 499),
+			CHECK (SCITY IN ('Chicago', 'New York', 'Toronto')),
+			CHECK (BUDGET <> 0 OR STATUS = 'Inactive'))`,
+		`CREATE TABLE PARTS (
+			SNO INTEGER, PNO INTEGER, PNAME VARCHAR, OEM-PNO INTEGER, COLOR VARCHAR,
+			PRIMARY KEY (SNO, PNO), UNIQUE (OEM-PNO),
+			CHECK (SNO BETWEEN 1 AND 499))`,
+		`CREATE TABLE AGENTS (
+			SNO INTEGER, ANO INTEGER, ANAME VARCHAR, ACITY VARCHAR,
+			PRIMARY KEY (SNO, ANO))`,
+	} {
+		st, err := parser.ParseStatement(ddl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.DefineFromAST(st.(*ast.CreateTable)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func mustSelect(t testing.TB, src string) *ast.Select {
+	t.Helper()
+	s, err := parser.ParseSelect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func analyzer(t testing.TB) *Analyzer { return NewAnalyzer(paperCatalog(t)) }
+
+// Example 1: DISTINCT is unnecessary because (SNO, PNO) — the primary
+// key of PARTS — together with the join equality identifies each
+// output row.
+func TestPaperExample1(t *testing.T) {
+	a := analyzer(t)
+	s := mustSelect(t, `SELECT DISTINCT S.SNO, P.PNO, P.PNAME
+		FROM SUPPLIER S, PARTS P
+		WHERE S.SNO = P.SNO AND P.COLOR = 'RED'`)
+	red, v, err := a.DistinctRedundant(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !red {
+		t.Fatalf("Example 1 must be provably unique; verdict: %v", v)
+	}
+	if got := strings.Join(v.KeysUsed["P"], ","); got != "P.SNO,P.PNO" {
+		t.Errorf("PARTS key used = %q", got)
+	}
+	if got := strings.Join(v.KeysUsed["S"], ","); got != "S.SNO" {
+		t.Errorf("SUPPLIER key used = %q", got)
+	}
+	ap, err := a.EliminateDistinct(s)
+	if err != nil || ap == nil {
+		t.Fatalf("EliminateDistinct: %v, %v", ap, err)
+	}
+	if !strings.HasPrefix(ap.After, "SELECT ALL ") {
+		t.Errorf("rewritten SQL = %q", ap.After)
+	}
+}
+
+// Example 2: duplicate elimination is required — two suppliers with
+// the same name may supply the same part.
+func TestPaperExample2(t *testing.T) {
+	a := analyzer(t)
+	s := mustSelect(t, `SELECT DISTINCT S.SNAME, P.PNO, P.PNAME
+		FROM SUPPLIER S, PARTS P
+		WHERE S.SNO = P.SNO AND P.COLOR = 'RED'`)
+	red, v, err := a.DistinctRedundant(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red {
+		t.Fatalf("Example 2 must not be provably unique; verdict: %v", v)
+	}
+	if v.MissingTable != "S" {
+		t.Errorf("missing table = %q, want S (its key SNO is unbound)", v.MissingTable)
+	}
+	if ap, err := a.EliminateDistinct(s); err != nil || ap != nil {
+		t.Errorf("EliminateDistinct should not apply: %v, %v", ap, err)
+	}
+}
+
+// Example 3: derived functional dependencies. PNO is a key of the
+// derived table, and SNO → SNAME survives as a non-key FD.
+func TestPaperExample3(t *testing.T) {
+	a := analyzer(t)
+	s := mustSelect(t, `SELECT ALL S.SNO, SNAME, P.PNO, PNAME
+		FROM SUPPLIER S, PARTS P
+		WHERE P.SNO = :SUPPLIER-NO AND S.SNO = P.SNO`)
+	v, err := a.AnalyzeSelect(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Unique {
+		t.Fatalf("Example 3's derived table must be duplicate-free: %v", v)
+	}
+	// P.PNO alone must be among the derived candidate keys.
+	foundPNO := false
+	for _, k := range v.DerivedKeys {
+		if len(k) == 1 && k[0] == "P.PNO" {
+			foundPNO = true
+		}
+	}
+	if !foundPNO {
+		t.Errorf("P.PNO must be a derived candidate key; got %v", v.DerivedKeys)
+	}
+}
+
+// Examples 4 and 5: the same query with DISTINCT; Algorithm 1 traces
+// to YES. The test mirrors the paper's line-by-line trace through the
+// verdict's V set.
+func TestPaperExamples4And5(t *testing.T) {
+	a := analyzer(t)
+	s := mustSelect(t, `SELECT DISTINCT S.SNO, SNAME, P.PNO, PNAME
+		FROM SUPPLIER S, PARTS P
+		WHERE P.SNO = :SUPPLIER-NO AND S.SNO = P.SNO`)
+	red, v, err := a.DistinctRedundant(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !red {
+		t.Fatalf("Examples 4/5 must be YES; verdict: %v", v)
+	}
+	// Line 14 of the trace: V = {S.SNO, SNAME, P.PNO, PNAME, P.SNO}.
+	want := []string{"P.PNAME", "P.PNO", "P.SNO", "S.SNAME", "S.SNO"}
+	if len(v.Bound) != len(want) {
+		t.Fatalf("V = %v, want %v", v.Bound, want)
+	}
+	for i := range want {
+		if v.Bound[i] != want[i] {
+			t.Fatalf("V = %v, want %v", v.Bound, want)
+		}
+	}
+}
+
+// Example 6: supplier name equated to a host variable, join on SNO —
+// DISTINCT unnecessary.
+func TestPaperExample6(t *testing.T) {
+	a := analyzer(t)
+	s := mustSelect(t, `SELECT DISTINCT S.SNO, PNO, PNAME, P.COLOR
+		FROM SUPPLIER S, PARTS P
+		WHERE S.SNAME = :SUPPLIER-NAME AND S.SNO = P.SNO`)
+	red, v, err := a.DistinctRedundant(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !red {
+		t.Fatalf("Example 6 must be YES; verdict: %v", v)
+	}
+}
+
+// Example 7 / Theorem 2: a correlated EXISTS whose block identifies at
+// most a single PARTS tuple merges into a join without changing ALL
+// semantics.
+func TestPaperExample7(t *testing.T) {
+	a := analyzer(t)
+	s := mustSelect(t, `SELECT ALL S.SNO, S.SNAME FROM SUPPLIER S
+		WHERE S.SNAME = :SUPPLIER-NAME AND
+		      EXISTS (SELECT * FROM PARTS P
+		              WHERE S.SNO = P.SNO AND P.PNO = :PART-NO)`)
+	ap, err := a.SubqueryToJoin(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap == nil {
+		t.Fatal("Theorem 2 rewrite must apply")
+	}
+	if ap.Rule != RuleSubqueryToJoin {
+		t.Errorf("rule = %s, want %s", ap.Rule, RuleSubqueryToJoin)
+	}
+	out := ap.Query.(*ast.Select)
+	if out.Quant == ast.QuantDistinct {
+		t.Error("Theorem 2 keeps the ALL quantifier")
+	}
+	if len(out.From) != 2 {
+		t.Errorf("merged FROM = %v", out.From)
+	}
+	if ast.HasExists(out.Where) {
+		t.Error("EXISTS must be gone after merging")
+	}
+	// The paper's expected rewrite.
+	wantConj := []string{"S.SNAME = :SUPPLIER-NAME", "S.SNO = P.SNO", "P.PNO = :PART-NO"}
+	got := make(map[string]bool)
+	for _, c := range ast.Conjuncts(out.Where) {
+		got[c.SQL()] = true
+	}
+	for _, w := range wantConj {
+		if !got[w] {
+			t.Errorf("missing conjunct %q in %q", w, out.Where.SQL())
+		}
+	}
+}
+
+// Example 8 / Corollary 1: the subquery block can match many red
+// parts, but the outer block is duplicate-free, so the merge adds
+// DISTINCT.
+func TestPaperExample8(t *testing.T) {
+	a := analyzer(t)
+	s := mustSelect(t, `SELECT ALL S.SNO, S.SNAME FROM SUPPLIER S
+		WHERE EXISTS (SELECT * FROM PARTS P
+		              WHERE P.SNO = S.SNO AND P.COLOR = 'RED')`)
+	ap, err := a.SubqueryToJoin(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap == nil {
+		t.Fatal("Corollary 1 rewrite must apply")
+	}
+	if ap.Rule != RuleSubqueryToDistinct {
+		t.Errorf("rule = %s, want %s", ap.Rule, RuleSubqueryToDistinct)
+	}
+	out := ap.Query.(*ast.Select)
+	if out.Quant != ast.QuantDistinct {
+		t.Error("Corollary 1 must add DISTINCT")
+	}
+	if ast.HasExists(out.Where) {
+		t.Error("EXISTS must be gone after merging")
+	}
+}
+
+// A DISTINCT outer query merges unconditionally (the observation
+// before Corollary 1).
+func TestDistinctOuterMergesUnconditionally(t *testing.T) {
+	a := analyzer(t)
+	s := mustSelect(t, `SELECT DISTINCT S.SNAME FROM SUPPLIER S
+		WHERE EXISTS (SELECT * FROM PARTS P
+		              WHERE P.SNO = S.SNO AND P.COLOR = 'RED')`)
+	// Outer block alone is NOT duplicate-free (SNAME is no key), and
+	// the subquery matches many rows; only the DISTINCT observation
+	// justifies the merge.
+	ap, err := a.SubqueryToJoin(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap == nil {
+		t.Fatal("DISTINCT outer merge must apply")
+	}
+	if ap.Query.(*ast.Select).Quant != ast.QuantDistinct {
+		t.Error("quantifier must remain DISTINCT")
+	}
+}
+
+// Example 9 / Theorem 3: INTERSECT rewritten as EXISTS. SNO is NOT
+// NULL on both sides (primary-key columns), so footnote 1 applies and
+// the correlation predicate is a plain equality.
+func TestPaperExample9(t *testing.T) {
+	a := analyzer(t)
+	q, err := parser.ParseQuery(`SELECT ALL S.SNO FROM SUPPLIER S WHERE S.SCITY = 'Toronto'
+		INTERSECT
+		SELECT ALL A.SNO FROM AGENTS A WHERE A.ACITY = 'Ottawa' OR A.ACITY = 'Hull'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, err := a.SetOpToExists(q.(*ast.SetOp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap == nil {
+		t.Fatal("Theorem 3 rewrite must apply")
+	}
+	if ap.Rule != RuleIntersectToExists {
+		t.Errorf("rule = %s", ap.Rule)
+	}
+	out := ap.Query.(*ast.Select)
+	conj := ast.Conjuncts(out.Where)
+	ex, ok := conj[len(conj)-1].(*ast.Exists)
+	if !ok {
+		t.Fatalf("last conjunct is %T, want EXISTS", conj[len(conj)-1])
+	}
+	if ex.Negated {
+		t.Error("INTERSECT produces positive EXISTS")
+	}
+	// Footnote 1: plain equality because both SNO columns are NOT NULL.
+	sub := ex.Query.Where.SQL()
+	if strings.Contains(sub, "IS NULL") {
+		t.Errorf("correlation should be plain equality for NOT NULL keys: %s", sub)
+	}
+	if !strings.Contains(sub, "A.SNO = S.SNO") {
+		t.Errorf("missing correlation predicate: %s", sub)
+	}
+}
+
+// Theorem 3 with nullable projection columns requires the NULL-aware
+// correlation predicate — the §5.3 correction to Starburst's Rule 8.
+func TestIntersectNullAwareCorrelation(t *testing.T) {
+	a := analyzer(t)
+	// OEM-PNO is a nullable UNIQUE key on both sides.
+	q, err := parser.ParseQuery(`SELECT ALL P.OEM-PNO FROM PARTS P
+		INTERSECT
+		SELECT ALL Q.OEM-PNO FROM PARTS Q`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, err := a.SetOpToExists(q.(*ast.SetOp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap == nil {
+		t.Fatal("rewrite must apply (OEM-PNO is a candidate key)")
+	}
+	out := ap.Query.(*ast.Select)
+	conj := ast.Conjuncts(out.Where)
+	sub := conj[len(conj)-1].(*ast.Exists).Query.Where.SQL()
+	if !strings.Contains(sub, "IS NULL") {
+		t.Errorf("nullable columns need NULL-aware correlation: %s", sub)
+	}
+}
+
+// Corollary 2: INTERSECT ALL with a duplicate-free operand; swapping
+// operands when only the right side is unique.
+func TestCorollary2IntersectAll(t *testing.T) {
+	a := analyzer(t)
+	// Left side (PARTS SNO) duplicates; right side (SUPPLIER SNO) is
+	// key — the rewrite must swap.
+	q, err := parser.ParseQuery(`SELECT ALL P.SNO FROM PARTS P
+		INTERSECT ALL
+		SELECT ALL S.SNO FROM SUPPLIER S`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, err := a.SetOpToExists(q.(*ast.SetOp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap == nil {
+		t.Fatal("Corollary 2 rewrite must apply via operand swap")
+	}
+	if ap.Rule != RuleIntersectAllToExists {
+		t.Errorf("rule = %s", ap.Rule)
+	}
+	if !strings.Contains(ap.Description, "swapped") {
+		t.Errorf("description should mention the swap: %s", ap.Description)
+	}
+	out := ap.Query.(*ast.Select)
+	if out.From[0].Table != "SUPPLIER" {
+		t.Errorf("probe side should be SUPPLIER after swap: %v", out.From)
+	}
+}
+
+// EXCEPT requires the left operand to be duplicate-free and does not
+// commute.
+func TestExceptRewrites(t *testing.T) {
+	a := analyzer(t)
+	q, err := parser.ParseQuery(`SELECT ALL S.SNO FROM SUPPLIER S WHERE S.SCITY = 'Toronto'
+		EXCEPT
+		SELECT ALL A.SNO FROM AGENTS A`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, err := a.SetOpToExists(q.(*ast.SetOp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap == nil || ap.Rule != RuleExceptToNotExists {
+		t.Fatalf("EXCEPT rewrite = %v", ap)
+	}
+	out := ap.Query.(*ast.Select)
+	conj := ast.Conjuncts(out.Where)
+	ex := conj[len(conj)-1].(*ast.Exists)
+	if !ex.Negated {
+		t.Error("EXCEPT must produce NOT EXISTS")
+	}
+
+	// Left side with duplicates: no rewrite (no swap for EXCEPT).
+	q2, _ := parser.ParseQuery(`SELECT ALL P.SNO FROM PARTS P
+		EXCEPT SELECT ALL S.SNO FROM SUPPLIER S`)
+	ap2, err := a.SetOpToExists(q2.(*ast.SetOp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap2 != nil {
+		t.Error("EXCEPT with duplicating left side must not rewrite")
+	}
+
+	// EXCEPT ALL with unique left side.
+	q3, _ := parser.ParseQuery(`SELECT ALL S.SNO FROM SUPPLIER S
+		EXCEPT ALL SELECT ALL A.SNO FROM AGENTS A`)
+	ap3, err := a.SetOpToExists(q3.(*ast.SetOp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap3 == nil || ap3.Rule != RuleExceptAllToNotExists {
+		t.Fatalf("EXCEPT ALL rewrite = %v", ap3)
+	}
+}
+
+// Example 10's SQL shape (Section 6.1): the join against PARTS with a
+// key-qualified predicate converts to a nested query, because at most
+// a single PARTS tuple can join with each SUPPLIER.
+func TestPaperExample10JoinToSubquery(t *testing.T) {
+	a := analyzer(t)
+	s := mustSelect(t, `SELECT ALL S.SNO, S.SNAME, S.SCITY, S.BUDGET, S.STATUS
+		FROM SUPPLIER S, PARTS P
+		WHERE S.SNO = P.SNO AND P.PNO = :PARTNO`)
+	ap, err := a.JoinToSubquery(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap == nil {
+		t.Fatal("join → subquery must apply (Theorem 2 condition holds)")
+	}
+	out := ap.Query.(*ast.Select)
+	if len(out.From) != 1 || out.From[0].Table != "SUPPLIER" {
+		t.Errorf("outer FROM = %v", out.From)
+	}
+	conj := ast.Conjuncts(out.Where)
+	ex, ok := conj[len(conj)-1].(*ast.Exists)
+	if !ok {
+		t.Fatalf("want EXISTS conjunct, got %q", out.Where.SQL())
+	}
+	subSQL := ex.Query.SQL()
+	if !strings.Contains(subSQL, "S.SNO = P.SNO") || !strings.Contains(subSQL, "P.PNO = :PARTNO") {
+		t.Errorf("subquery = %s", subSQL)
+	}
+}
+
+// Example 11's SQL shape (Section 6.2): range predicate on the parent
+// stays in the outer block; the child moves into the subquery.
+func TestPaperExample11JoinToSubquery(t *testing.T) {
+	a := analyzer(t)
+	s := mustSelect(t, `SELECT ALL S.SNO, S.SNAME, S.SCITY, S.BUDGET, S.STATUS
+		FROM SUPPLIER S, PARTS P
+		WHERE S.SNO BETWEEN 10 AND 20 AND S.SNO = P.SNO AND P.PNO = :PARTNO`)
+	ap, err := a.JoinToSubquery(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap == nil {
+		t.Fatal("join → subquery must apply")
+	}
+	out := ap.Query.(*ast.Select)
+	conj := ast.Conjuncts(out.Where)
+	// BETWEEN stays outside.
+	if _, ok := conj[0].(*ast.Between); !ok {
+		t.Errorf("range predicate should stay in the outer block: %q", out.Where.SQL())
+	}
+}
+
+// Join → subquery must not fire when the inner table can match many
+// rows under ALL semantics (multiplicities would change).
+func TestJoinToSubqueryRejectsManyMatch(t *testing.T) {
+	a := analyzer(t)
+	s := mustSelect(t, `SELECT ALL S.SNO FROM SUPPLIER S, PARTS P
+		WHERE S.SNO = P.SNO AND P.COLOR = 'RED'`)
+	ap, err := a.JoinToSubquery(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap != nil {
+		t.Errorf("must not rewrite: red parts per supplier are many; got %s", ap.After)
+	}
+	// With DISTINCT it becomes valid.
+	s2 := mustSelect(t, `SELECT DISTINCT S.SNO FROM SUPPLIER S, PARTS P
+		WHERE S.SNO = P.SNO AND P.COLOR = 'RED'`)
+	ap2, err := a.JoinToSubquery(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap2 == nil {
+		t.Error("DISTINCT join → subquery must apply")
+	}
+}
+
+// Suggest must return the applicable transformations for each node type.
+func TestSuggest(t *testing.T) {
+	a := analyzer(t)
+	s := mustSelect(t, `SELECT DISTINCT S.SNO, P.PNO, P.PNAME
+		FROM SUPPLIER S, PARTS P
+		WHERE S.SNO = P.SNO AND P.COLOR = 'RED'`)
+	aps, err := a.Suggest(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := make(map[Rule]bool)
+	for _, ap := range aps {
+		rules[ap.Rule] = true
+	}
+	if !rules[RuleEliminateDistinct] {
+		t.Errorf("Suggest missed eliminate-distinct: %v", rules)
+	}
+	// Both tables contribute projection columns, so join-to-subquery
+	// cannot apply here.
+	if rules[RuleJoinToSubquery] {
+		t.Errorf("join-to-subquery should not apply when all tables are projected")
+	}
+
+	// A DISTINCT query projecting only SUPPLIER columns offers both
+	// eliminate-distinct (via P's bound key? no — P.PNO unbound, so
+	// only join-to-subquery applies).
+	s2 := mustSelect(t, `SELECT DISTINCT S.SNO FROM SUPPLIER S, PARTS P
+		WHERE S.SNO = P.SNO AND P.COLOR = 'RED'`)
+	aps2, err := a.Suggest(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules2 := make(map[Rule]bool)
+	for _, ap := range aps2 {
+		rules2[ap.Rule] = true
+	}
+	if !rules2[RuleJoinToSubquery] {
+		t.Errorf("Suggest missed join-to-subquery: %v", rules2)
+	}
+	if rules2[RuleEliminateDistinct] {
+		t.Errorf("eliminate-distinct should not apply (P's key unbound)")
+	}
+
+	q, _ := parser.ParseQuery(`SELECT ALL S.SNO FROM SUPPLIER S
+		INTERSECT SELECT ALL A.SNO FROM AGENTS A`)
+	aps, err = a.Suggest(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aps) != 1 || aps[0].Rule != RuleIntersectToExists {
+		t.Errorf("Suggest on INTERSECT = %v", aps)
+	}
+}

@@ -1,0 +1,205 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"uniqopt/internal/catalog"
+	"uniqopt/internal/eval"
+	"uniqopt/internal/sql/ast"
+	"uniqopt/internal/storage"
+	"uniqopt/internal/tvl"
+	"uniqopt/internal/value"
+)
+
+// Executor evaluates queries directly from their AST with the naive
+// strategy: Cartesian product of scans, tuple-at-a-time selection with
+// nested-loops subqueries, projection, and sort-based duplicate
+// elimination. It is the semantic reference implementation — the plan
+// package's optimized strategies are validated against it.
+type Executor struct {
+	DB    *storage.DB
+	Hosts map[string]value.Value
+	Stats *Stats
+}
+
+// NewExecutor creates an executor over db with the given host-variable
+// bindings.
+func NewExecutor(db *storage.DB, hosts map[string]value.Value) *Executor {
+	if hosts == nil {
+		hosts = map[string]value.Value{}
+	}
+	return &Executor{DB: db, Hosts: hosts, Stats: &Stats{}}
+}
+
+// Query evaluates a query specification or query expression.
+func (ex *Executor) Query(q ast.Query) (*Relation, error) {
+	switch x := q.(type) {
+	case *ast.Select:
+		rel, err := ex.execSelect(x, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		ex.Stats.RowsOutput += int64(len(rel.Rows))
+		return rel, nil
+	case *ast.SetOp:
+		l, err := ex.execSelect(x.Left, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ex.execSelect(x.Right, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		if len(l.Cols) != len(r.Cols) {
+			return nil, fmt.Errorf("engine: set operands are not union-compatible (%d vs %d columns)",
+				len(l.Cols), len(r.Cols))
+		}
+		var rel *Relation
+		if x.Op == ast.Intersect {
+			rel = Intersect(ex.Stats, l, r, x.All)
+		} else {
+			rel = Except(ex.Stats, l, r, x.All)
+		}
+		ex.Stats.RowsOutput += int64(len(rel.Rows))
+		return rel, nil
+	default:
+		return nil, fmt.Errorf("engine: unknown query node %T", q)
+	}
+}
+
+// execSelect evaluates one query specification. outer and outerCols
+// carry the enclosing block's scope and current row bindings for
+// correlated subqueries.
+func (ex *Executor) execSelect(s *ast.Select, outer *catalog.Scope, outerCols map[string]value.Value) (*Relation, error) {
+	scope, err := catalog.NewScope(ex.DB.Catalog, s.From, outer)
+	if err != nil {
+		return nil, err
+	}
+	// Extended Cartesian product of all FROM tables.
+	var rel *Relation
+	for _, tr := range s.From {
+		tbl, ok := ex.DB.Table(tr.Table)
+		if !ok {
+			return nil, fmt.Errorf("engine: unknown table %s", tr.Table)
+		}
+		scan := Scan(ex.Stats, tbl, strings.ToUpper(tr.Name()))
+		if rel == nil {
+			rel = scan
+		} else {
+			rel = Product(ex.Stats, rel, scan)
+		}
+	}
+	// Selection, with EXISTS evaluated by recursive execution.
+	envProto := &eval.Env{
+		Cols:   map[string]value.Value{},
+		Hosts:  ex.Hosts,
+		Scope:  scope,
+		Exists: ex.existsFunc(),
+		In:     ex.inFunc(),
+	}
+	for k, v := range outerCols {
+		envProto.Cols[k] = v
+	}
+	rel, err = ex.filterWithScope(rel, s.Where, envProto)
+	if err != nil {
+		return nil, err
+	}
+	// Projection.
+	refs, err := scope.ExpandItems(s.Items)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]string, len(refs))
+	for i, r := range refs {
+		cols[i] = r.Qualifier + "." + r.Column
+	}
+	rel = Project(ex.Stats, rel, cols)
+	if s.Quant.IsDistinct() {
+		rel = DistinctSort(ex.Stats, rel)
+	}
+	return rel, nil
+}
+
+// filterWithScope is Filter but preserving the prototype's Scope.
+func (ex *Executor) filterWithScope(rel *Relation, pred ast.Expr, envProto *eval.Env) (*Relation, error) {
+	if pred == nil {
+		return rel, nil
+	}
+	env := &eval.Env{
+		Cols:   make(map[string]value.Value, len(rel.Cols)+len(envProto.Cols)),
+		Hosts:  envProto.Hosts,
+		Scope:  envProto.Scope,
+		Exists: envProto.Exists,
+		In:     envProto.In,
+	}
+	for k, v := range envProto.Cols {
+		env.Cols[k] = v
+	}
+	out := &Relation{Cols: rel.Cols}
+	for _, row := range rel.Rows {
+		bindRow(env, rel.Cols, row)
+		ok, err := eval.Qualifies(pred, env)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+// existsFunc returns the EXISTS callback: it snapshots the current
+// outer bindings and recursively executes the subquery; EXISTS is true
+// iff the result is non-empty.
+func (ex *Executor) existsFunc() eval.ExistsFunc {
+	return func(sub *ast.Select, env *eval.Env) (tvl.Truth, error) {
+		ex.Stats.SubqueryRuns++
+		snapshot := make(map[string]value.Value, len(env.Cols))
+		for k, v := range env.Cols {
+			snapshot[k] = v
+		}
+		rel, err := ex.execSelect(sub, env.Scope, snapshot)
+		if err != nil {
+			return tvl.Unknown, err
+		}
+		return tvl.Of(len(rel.Rows) > 0), nil
+	}
+}
+
+// inFunc returns the IN callback: it snapshots the current outer
+// bindings, recursively executes the subquery, and returns the values
+// of its single output column.
+func (ex *Executor) inFunc() eval.InFunc {
+	return func(sub *ast.Select, env *eval.Env) ([]value.Value, error) {
+		ex.Stats.SubqueryRuns++
+		snapshot := make(map[string]value.Value, len(env.Cols))
+		for k, v := range env.Cols {
+			snapshot[k] = v
+		}
+		rel, err := ex.execSelect(sub, env.Scope, snapshot)
+		if err != nil {
+			return nil, err
+		}
+		if len(rel.Cols) != 1 {
+			return nil, fmt.Errorf("engine: IN subquery must produce one column, got %d", len(rel.Cols))
+		}
+		out := make([]value.Value, len(rel.Rows))
+		for i, row := range rel.Rows {
+			out[i] = row[0]
+		}
+		return out, nil
+	}
+}
+
+// ExistsProbe is the exported form of the executor's EXISTS callback,
+// for planners that fall back to nested-loops subquery evaluation.
+func (ex *Executor) ExistsProbe(sub *ast.Select, env *eval.Env) (tvl.Truth, error) {
+	return ex.existsFunc()(sub, env)
+}
+
+// InProbe is the exported form of the executor's IN callback.
+func (ex *Executor) InProbe(sub *ast.Select, env *eval.Env) ([]value.Value, error) {
+	return ex.inFunc()(sub, env)
+}

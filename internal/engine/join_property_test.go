@@ -1,0 +1,146 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"uniqopt/internal/eval"
+	"uniqopt/internal/sql/parser"
+	"uniqopt/internal/value"
+)
+
+// randKeyedRelation builds a relation with a join column K (NULL-rich,
+// small domain so collisions and runs occur) and a payload column.
+func randKeyedRelation(r *rand.Rand, prefix string, n int) *Relation {
+	rel := &Relation{Cols: []string{prefix + ".K", prefix + ".V"}}
+	for i := 0; i < n; i++ {
+		var k value.Value
+		if r.Intn(4) == 0 {
+			k = value.Null
+		} else {
+			k = value.Int(int64(r.Intn(5)))
+		}
+		rel.Rows = append(rel.Rows, value.Row{k, value.Int(int64(i))})
+	}
+	return rel
+}
+
+// Property: the three equi-join implementations agree on arbitrary
+// NULL-rich multisets, for every trial.
+func TestJoinImplementationsAgreeProperty(t *testing.T) {
+	pred, err := parser.ParseExpr("L.K = R.K")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &eval.Env{Cols: map[string]value.Value{}, Hosts: map[string]value.Value{}}
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		l := randKeyedRelation(r, "L", r.Intn(25))
+		rr := randKeyedRelation(r, "R", r.Intn(25))
+		var st Stats
+		nl, err := NestedLoopJoin(&st, l, rr, pred, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hj := HashJoin(&st, l, rr, []string{"L.K"}, []string{"R.K"})
+		mj := MergeJoin(&st, l, rr, []string{"L.K"}, []string{"R.K"})
+		if !MultisetEqual(nl, hj) {
+			t.Fatalf("trial %d: hash join diverges\nNL:\n%v\nHJ:\n%v\nL=%v\nR=%v",
+				trial, nl, hj, l, rr)
+		}
+		if !MultisetEqual(nl, mj) {
+			t.Fatalf("trial %d: merge join diverges\nNL:\n%v\nMJ:\n%v\nL=%v\nR=%v",
+				trial, nl, mj, l, rr)
+		}
+	}
+}
+
+// Property: semi-join implementations agree (nested-loop EXISTS vs
+// hash probing) for equality correlations.
+func TestSemiJoinImplementationsAgreeProperty(t *testing.T) {
+	pred, err := parser.ParseExpr("L.K = R.K")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &eval.Env{Cols: map[string]value.Value{}, Hosts: map[string]value.Value{}}
+	r := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 200; trial++ {
+		l := randKeyedRelation(r, "L", r.Intn(25))
+		rr := randKeyedRelation(r, "R", r.Intn(25))
+		var st Stats
+		nl, err := SemiJoinExists(&st, l, rr, pred, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := SemiJoinHash(&st, l, rr, []string{"L.K"}, []string{"R.K"})
+		if !MultisetEqual(nl, hs) {
+			t.Fatalf("trial %d: semi-joins diverge\nNL:\n%v\nHS:\n%v", trial, nl, hs)
+		}
+	}
+}
+
+// Property: an equality join preserves exactly the pairs whose keys
+// are both non-NULL and equal (an independent oracle over counts).
+func TestJoinCardinalityOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 100; trial++ {
+		l := randKeyedRelation(r, "L", r.Intn(20))
+		rr := randKeyedRelation(r, "R", r.Intn(20))
+		want := 0
+		for _, lr := range l.Rows {
+			for _, x := range rr.Rows {
+				if !lr[0].IsNull() && !x[0].IsNull() && value.Compare(lr[0], x[0]) == 0 {
+					want++
+				}
+			}
+		}
+		var st Stats
+		hj := HashJoin(&st, l, rr, []string{"L.K"}, []string{"R.K"})
+		if hj.Len() != want {
+			t.Fatalf("trial %d: join rows = %d, oracle = %d", trial, hj.Len(), want)
+		}
+	}
+}
+
+// IndexScan operators must agree with scan+filter.
+func TestIndexScanAgainstFilter(t *testing.T) {
+	db := testDB(t)
+	tbl := db.MustTable("PARTS")
+	ix, err := tbl.CreateOrderedIndex("PNO_IX", "PNO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	full := Scan(&st, tbl, "P")
+	env := &eval.Env{Cols: map[string]value.Value{}, Hosts: map[string]value.Value{}}
+
+	for pno := int64(0); pno <= 10; pno++ {
+		pred, _ := parser.ParseExpr(fmt.Sprintf("P.PNO = %d", pno))
+		want, err := Filter(&st, full, pred, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := IndexScanEq(&st, tbl, "P", ix, value.Row{value.Int(pno)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !MultisetEqual(want, got) {
+			t.Fatalf("PNO=%d: index scan diverges from filter", pno)
+		}
+	}
+	// Range.
+	lo, hi := value.Int(1), value.Int(2)
+	pred, _ := parser.ParseExpr("P.PNO BETWEEN 1 AND 2")
+	want, err := Filter(&st, full, pred, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := IndexScanRange(&st, tbl, "P", ix, &lo, &hi)
+	if !MultisetEqual(want, got) {
+		t.Fatal("index range scan diverges from filter")
+	}
+	if st.IndexSeeks == 0 {
+		t.Error("index seeks not counted")
+	}
+}

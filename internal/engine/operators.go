@@ -1,0 +1,569 @@
+package engine
+
+import (
+	"uniqopt/internal/eval"
+	"uniqopt/internal/sql/ast"
+	"uniqopt/internal/storage"
+	"uniqopt/internal/tvl"
+	"uniqopt/internal/value"
+)
+
+// Scan materializes a base table as a relation whose columns are
+// qualified with the correlation name corr.
+func Scan(st *Stats, tbl *storage.Table, corr string) *Relation {
+	cols := make([]string, len(tbl.Schema.Columns))
+	for i, c := range tbl.Schema.Columns {
+		cols[i] = corr + "." + c.Name
+	}
+	out := &Relation{Cols: cols, Rows: make([]value.Row, tbl.Len())}
+	for i := 0; i < tbl.Len(); i++ {
+		out.Rows[i] = tbl.Row(i)
+	}
+	st.RowsScanned += int64(tbl.Len())
+	return out
+}
+
+// bindRow loads a relation row into an environment's column map.
+func bindRow(env *eval.Env, cols []string, row value.Row) {
+	for i, c := range cols {
+		env.Cols[c] = row[i]
+	}
+}
+
+// Filter returns the rows of rel that satisfy pred under the
+// false-interpreted WHERE semantics. envProto supplies host variables,
+// outer-block column bindings, and the EXISTS evaluator; its Cols map
+// is extended with rel's columns per row.
+func Filter(st *Stats, rel *Relation, pred ast.Expr, envProto *eval.Env) (*Relation, error) {
+	if pred == nil {
+		return rel, nil
+	}
+	env := &eval.Env{
+		Cols:   make(map[string]value.Value, len(rel.Cols)+len(envProto.Cols)),
+		Hosts:  envProto.Hosts,
+		Exists: envProto.Exists,
+	}
+	for k, v := range envProto.Cols {
+		env.Cols[k] = v
+	}
+	out := &Relation{Cols: rel.Cols}
+	for _, row := range rel.Rows {
+		bindRow(env, rel.Cols, row)
+		ok, err := eval.Qualifies(pred, env)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+// Product computes the extended Cartesian product l × r.
+func Product(st *Stats, l, r *Relation) *Relation {
+	out := &Relation{Cols: append(append([]string{}, l.Cols...), r.Cols...)}
+	out.Rows = make([]value.Row, 0, len(l.Rows)*len(r.Rows))
+	for _, lr := range l.Rows {
+		for _, rr := range r.Rows {
+			st.JoinPairs++
+			row := make(value.Row, 0, len(lr)+len(rr))
+			row = append(row, lr...)
+			row = append(row, rr...)
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}
+
+// NestedLoopJoin joins l and r with an arbitrary predicate, examining
+// every pair.
+func NestedLoopJoin(st *Stats, l, r *Relation, pred ast.Expr, envProto *eval.Env) (*Relation, error) {
+	out := &Relation{Cols: append(append([]string{}, l.Cols...), r.Cols...)}
+	env := &eval.Env{
+		Cols:   make(map[string]value.Value, len(out.Cols)+len(envProto.Cols)),
+		Hosts:  envProto.Hosts,
+		Exists: envProto.Exists,
+	}
+	for k, v := range envProto.Cols {
+		env.Cols[k] = v
+	}
+	for _, lr := range l.Rows {
+		bindRow(env, l.Cols, lr)
+		for _, rr := range r.Rows {
+			st.JoinPairs++
+			bindRow(env, r.Cols, rr)
+			ok, err := eval.Qualifies(pred, env)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				row := make(value.Row, 0, len(lr)+len(rr))
+				row = append(row, lr...)
+				row = append(row, rr...)
+				out.Rows = append(out.Rows, row)
+			}
+		}
+	}
+	return out, nil
+}
+
+// HashJoin equi-joins l and r on lKeys = rKeys (by column name).
+// WHERE-clause equality semantics apply: rows with NULL join keys
+// never match.
+func HashJoin(st *Stats, l, r *Relation, lKeys, rKeys []string) *Relation {
+	li := l.mustCols(lKeys)
+	ri := r.mustCols(rKeys)
+	out := &Relation{Cols: append(append([]string{}, l.Cols...), r.Cols...)}
+
+	// Build on the smaller input.
+	build, probe := r, l
+	bi, pi := ri, li
+	swapped := false
+	if len(l.Rows) < len(r.Rows) {
+		build, probe = l, r
+		bi, pi = li, ri
+		swapped = true
+	}
+	ht := make(map[uint64][]value.Row, len(build.Rows))
+	key := make(value.Row, len(bi))
+	for _, row := range build.Rows {
+		if hasNullAt(row, bi) {
+			continue
+		}
+		for i, c := range bi {
+			key[i] = row[c]
+		}
+		h := value.HashRow(key)
+		ht[h] = append(ht[h], row)
+		st.HashInserts++
+	}
+	pkey := make(value.Row, len(pi))
+	for _, prow := range probe.Rows {
+		if hasNullAt(prow, pi) {
+			continue
+		}
+		for i, c := range pi {
+			pkey[i] = prow[c]
+		}
+		st.HashProbes++
+		for _, brow := range ht[value.HashRow(pkey)] {
+			st.JoinPairs++
+			if !equalAt(prow, pi, brow, bi, st) {
+				continue
+			}
+			var lrow, rrow value.Row
+			if swapped {
+				lrow, rrow = brow, prow
+			} else {
+				lrow, rrow = prow, brow
+			}
+			row := make(value.Row, 0, len(lrow)+len(rrow))
+			row = append(row, lrow...)
+			row = append(row, rrow...)
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}
+
+func hasNullAt(row value.Row, idx []int) bool {
+	for _, i := range idx {
+		if row[i].IsNull() {
+			return true
+		}
+	}
+	return false
+}
+
+func equalAt(a value.Row, ai []int, b value.Row, bi []int, st *Stats) bool {
+	for k := range ai {
+		st.Comparisons++
+		if value.Compare(a[ai[k]], b[bi[k]]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// MergeJoin equi-joins two relations by sorting both on their join
+// keys and merging. NULL keys never match (WHERE semantics).
+func MergeJoin(st *Stats, l, r *Relation, lKeys, rKeys []string) *Relation {
+	li := l.mustCols(lKeys)
+	ri := r.mustCols(rKeys)
+	ls := append([]value.Row(nil), l.Rows...)
+	rs := append([]value.Row(nil), r.Rows...)
+	SortRowsOn(st, ls, li)
+	SortRowsOn(st, rs, ri)
+	out := &Relation{Cols: append(append([]string{}, l.Cols...), r.Cols...)}
+	i, j := 0, 0
+	for i < len(ls) && j < len(rs) {
+		c := compareAt(ls[i], li, rs[j], ri, st)
+		switch {
+		case c < 0:
+			i++
+		case c > 0:
+			j++
+		default:
+			if hasNullAt(ls[i], li) {
+				// NULL keys sort together but never join.
+				i++
+				continue
+			}
+			// Find the run of equal keys on each side.
+			i2 := i + 1
+			for i2 < len(ls) && compareAt(ls[i2], li, ls[i], li, st) == 0 {
+				i2++
+			}
+			j2 := j + 1
+			for j2 < len(rs) && compareAt(rs[j2], ri, rs[j], ri, st) == 0 {
+				j2++
+			}
+			for x := i; x < i2; x++ {
+				for y := j; y < j2; y++ {
+					st.JoinPairs++
+					row := make(value.Row, 0, len(ls[x])+len(rs[y]))
+					row = append(row, ls[x]...)
+					row = append(row, rs[y]...)
+					out.Rows = append(out.Rows, row)
+				}
+			}
+			i, j = i2, j2
+		}
+	}
+	return out
+}
+
+func compareAt(a value.Row, ai []int, b value.Row, bi []int, st *Stats) int {
+	for k := range ai {
+		st.Comparisons++
+		if c := value.OrderCompare(a[ai[k]], b[bi[k]]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// SortRowsOn sorts rows by the given key columns (then by all columns
+// as a tiebreak for determinism), counting comparisons and the sort.
+func SortRowsOn(st *Stats, rows []value.Row, keyIdx []int) {
+	st.SortRuns++
+	st.RowsSorted += int64(len(rows))
+	sortRowsBy(rows, func(a, b value.Row) int {
+		for _, i := range keyIdx {
+			st.Comparisons++
+			if c := value.OrderCompare(a[i], b[i]); c != 0 {
+				return c
+			}
+		}
+		return 0
+	})
+}
+
+// Project projects rel onto the named columns, retaining duplicates.
+func Project(st *Stats, rel *Relation, cols []string) *Relation {
+	idx := rel.mustCols(cols)
+	out := &Relation{Cols: append([]string(nil), cols...)}
+	out.Rows = make([]value.Row, len(rel.Rows))
+	for ri, row := range rel.Rows {
+		nr := make(value.Row, len(idx))
+		for i, c := range idx {
+			nr[i] = row[c]
+		}
+		out.Rows[ri] = nr
+	}
+	return out
+}
+
+// DistinctSort removes duplicate rows (≐ semantics: NULL ≐ NULL) by
+// sorting the whole relation and collapsing runs — the expensive
+// operation the paper's optimization avoids.
+func DistinctSort(st *Stats, rel *Relation) *Relation {
+	rows := append([]value.Row(nil), rel.Rows...)
+	st.SortRuns++
+	st.RowsSorted += int64(len(rows))
+	sortRowsBy(rows, func(a, b value.Row) int {
+		st.Comparisons++
+		return value.OrderCompareRows(a, b)
+	})
+	out := &Relation{Cols: rel.Cols}
+	for i, row := range rows {
+		if i > 0 {
+			st.Comparisons++
+			if value.NullEqRows(rows[i-1], row) {
+				continue
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// DistinctHash removes duplicate rows (≐ semantics) with a hash table.
+func DistinctHash(st *Stats, rel *Relation) *Relation {
+	seen := make(map[uint64][]value.Row, len(rel.Rows))
+	out := &Relation{Cols: rel.Cols}
+	for _, row := range rel.Rows {
+		h := value.HashRow(row)
+		st.HashProbes++
+		dup := false
+		for _, prev := range seen[h] {
+			st.Comparisons++
+			if value.NullEqRows(prev, row) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		seen[h] = append(seen[h], row)
+		st.HashInserts++
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// SemiJoinExists filters l to rows for which the EXISTS-style probe
+// into r succeeds: some row of r satisfies pred in the combined
+// environment. This is the naive nested-loops subquery strategy.
+func SemiJoinExists(st *Stats, l, r *Relation, pred ast.Expr, envProto *eval.Env) (*Relation, error) {
+	out := &Relation{Cols: l.Cols}
+	env := &eval.Env{
+		Cols:   make(map[string]value.Value, len(l.Cols)+len(r.Cols)+len(envProto.Cols)),
+		Hosts:  envProto.Hosts,
+		Exists: envProto.Exists,
+	}
+	for k, v := range envProto.Cols {
+		env.Cols[k] = v
+	}
+	for _, lr := range l.Rows {
+		bindRow(env, l.Cols, lr)
+		st.SubqueryRuns++
+		matched := false
+		for _, rr := range r.Rows {
+			st.JoinPairs++
+			bindRow(env, r.Cols, rr)
+			ok, err := eval.Qualifies(pred, env)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				matched = true
+				break
+			}
+		}
+		if matched {
+			out.Rows = append(out.Rows, lr)
+		}
+	}
+	return out, nil
+}
+
+// SemiJoinHash filters l to rows whose key appears in r (equi-probe
+// semantics; NULL keys never match). The hash table on r is built
+// once — the rewritten strategy Theorem 2 enables.
+func SemiJoinHash(st *Stats, l, r *Relation, lKeys, rKeys []string) *Relation {
+	li := l.mustCols(lKeys)
+	ri := r.mustCols(rKeys)
+	ht := make(map[uint64][]value.Row, len(r.Rows))
+	key := make(value.Row, len(ri))
+	for _, row := range r.Rows {
+		if hasNullAt(row, ri) {
+			continue
+		}
+		for i, c := range ri {
+			key[i] = row[c]
+		}
+		ht[value.HashRow(key)] = append(ht[value.HashRow(key)], row)
+		st.HashInserts++
+	}
+	out := &Relation{Cols: l.Cols}
+	pkey := make(value.Row, len(li))
+	for _, lr := range l.Rows {
+		if hasNullAt(lr, li) {
+			continue
+		}
+		for i, c := range li {
+			pkey[i] = lr[c]
+		}
+		st.HashProbes++
+		for _, rr := range ht[value.HashRow(pkey)] {
+			if equalAt(lr, li, rr, ri, st) {
+				out.Rows = append(out.Rows, lr)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// setOpCounts builds a ≐-keyed multiset counter for a relation.
+func setOpCounts(st *Stats, rel *Relation) map[uint64][]countedRow {
+	counts := make(map[uint64][]countedRow, len(rel.Rows))
+	for _, row := range rel.Rows {
+		h := value.HashRow(row)
+		st.HashInserts++
+		bucket := counts[h]
+		found := false
+		for i := range bucket {
+			st.Comparisons++
+			if value.NullEqRows(bucket[i].row, row) {
+				bucket[i].n++
+				found = true
+				break
+			}
+		}
+		if !found {
+			bucket = append(bucket, countedRow{row: row, n: 1})
+		}
+		counts[h] = bucket
+	}
+	return counts
+}
+
+// Intersect computes l ∩ r. With all=false duplicates are eliminated
+// (INTERSECT); with all=true each row appears min(j,k) times
+// (INTERSECT ALL). Tuple equivalence is ≐: NULL columns match NULL.
+func Intersect(st *Stats, l, r *Relation, all bool) *Relation {
+	rc := setOpCounts(st, r)
+	out := &Relation{Cols: l.Cols}
+	emitted := make(map[uint64][]countedRow)
+	for _, row := range l.Rows {
+		h := value.HashRow(row)
+		st.HashProbes++
+		bucket := rc[h]
+		avail := 0
+		bi := -1
+		for i := range bucket {
+			st.Comparisons++
+			if value.NullEqRows(bucket[i].row, row) {
+				avail = bucket[i].n
+				bi = i
+				break
+			}
+		}
+		if avail <= 0 {
+			continue
+		}
+		if all {
+			// Emit up to min(j, k): consume one match per emission.
+			bucket[bi].n--
+			out.Rows = append(out.Rows, row)
+			continue
+		}
+		// DISTINCT: emit once per distinct row.
+		eb := emitted[h]
+		dup := false
+		for i := range eb {
+			st.Comparisons++
+			if value.NullEqRows(eb[i].row, row) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			emitted[h] = append(eb, countedRow{row: row, n: 1})
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}
+
+// Except computes l − r. With all=false the result is the distinct
+// rows of l not occurring in r (EXCEPT); with all=true each row
+// appears max(j−k, 0) times (EXCEPT ALL).
+func Except(st *Stats, l, r *Relation, all bool) *Relation {
+	rc := setOpCounts(st, r)
+	out := &Relation{Cols: l.Cols}
+	emitted := make(map[uint64][]countedRow)
+	for _, row := range l.Rows {
+		h := value.HashRow(row)
+		st.HashProbes++
+		bucket := rc[h]
+		bi := -1
+		for i := range bucket {
+			st.Comparisons++
+			if value.NullEqRows(bucket[i].row, row) {
+				bi = i
+				break
+			}
+		}
+		if all {
+			if bi >= 0 && bucket[bi].n > 0 {
+				bucket[bi].n-- // cancelled by one occurrence in r
+				continue
+			}
+			out.Rows = append(out.Rows, row)
+			continue
+		}
+		// DISTINCT: emit rows of l absent from r, once each.
+		if bi >= 0 {
+			continue
+		}
+		eb := emitted[h]
+		dup := false
+		for i := range eb {
+			st.Comparisons++
+			if value.NullEqRows(eb[i].row, row) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			emitted[h] = append(eb, countedRow{row: row, n: 1})
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}
+
+// existsTruth evaluates EXISTS over a materialized inner relation:
+// true iff some row qualifies. EXISTS is two-valued.
+func existsTruth(st *Stats, inner *Relation, pred ast.Expr, env *eval.Env) (tvl.Truth, error) {
+	for _, row := range inner.Rows {
+		st.JoinPairs++
+		bindRow(env, inner.Cols, row)
+		ok, err := eval.Qualifies(pred, env)
+		if err != nil {
+			return tvl.Unknown, err
+		}
+		if ok {
+			return tvl.True, nil
+		}
+	}
+	return tvl.False, nil
+}
+
+// IndexScanEq materializes the rows of tbl whose index prefix equals
+// key, qualified by corr. The lookup replaces a full scan: only the
+// matching rows are counted as scanned.
+func IndexScanEq(st *Stats, tbl *storage.Table, corr string, ix *storage.OrderedIndex, key value.Row) (*Relation, error) {
+	ords, err := ix.Lookup(key)
+	if err != nil {
+		return nil, err
+	}
+	st.IndexSeeks++
+	return materialize(st, tbl, corr, ords), nil
+}
+
+// IndexScanRange materializes the rows of tbl whose first index
+// column lies in [lo, hi] (nil bound = open end).
+func IndexScanRange(st *Stats, tbl *storage.Table, corr string, ix *storage.OrderedIndex, lo, hi *value.Value) *Relation {
+	ords := ix.Range(lo, hi)
+	st.IndexSeeks++
+	return materialize(st, tbl, corr, ords)
+}
+
+func materialize(st *Stats, tbl *storage.Table, corr string, ords []int) *Relation {
+	cols := make([]string, len(tbl.Schema.Columns))
+	for i, c := range tbl.Schema.Columns {
+		cols[i] = corr + "." + c.Name
+	}
+	out := &Relation{Cols: cols, Rows: make([]value.Row, len(ords))}
+	for i, ri := range ords {
+		out.Rows[i] = tbl.Row(ri)
+	}
+	st.RowsScanned += int64(len(ords))
+	return out
+}

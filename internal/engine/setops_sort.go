@@ -1,0 +1,104 @@
+package engine
+
+import "uniqopt/internal/value"
+
+// IntersectSort implements INTERSECT [ALL] the way the paper says
+// typical optimizers do (§5.3): evaluate each operand, sort each
+// result, and merge. Tuple equivalence is ≐ (NULL ≐ NULL). This is
+// the baseline strategy whose two sorts the Theorem 3 rewrite avoids.
+func IntersectSort(st *Stats, l, r *Relation, all bool) *Relation {
+	ls := sortedCopy(st, l)
+	rs := sortedCopy(st, r)
+	out := &Relation{Cols: l.Cols}
+	i, j := 0, 0
+	for i < len(ls) && j < len(rs) {
+		st.Comparisons++
+		c := value.OrderCompareRows(ls[i], rs[j])
+		switch {
+		case c < 0:
+			i++
+		case c > 0:
+			j++
+		default:
+			// Runs of equal rows on both sides.
+			i2 := runEnd(st, ls, i)
+			j2 := runEnd(st, rs, j)
+			n := i2 - i
+			if m := j2 - j; m < n {
+				n = m
+			}
+			if !all {
+				n = 1
+			}
+			for k := 0; k < n; k++ {
+				out.Rows = append(out.Rows, ls[i])
+			}
+			i, j = i2, j2
+		}
+	}
+	return out
+}
+
+// ExceptSort implements EXCEPT [ALL] by sorting and merging, with the
+// same ≐ semantics: EXCEPT emits each left-distinct row absent from
+// the right once; EXCEPT ALL emits max(j−k, 0) occurrences.
+func ExceptSort(st *Stats, l, r *Relation, all bool) *Relation {
+	ls := sortedCopy(st, l)
+	rs := sortedCopy(st, r)
+	out := &Relation{Cols: l.Cols}
+	i, j := 0, 0
+	for i < len(ls) {
+		i2 := runEnd(st, ls, i)
+		// Advance the right side to the first run not below ls[i].
+		for j < len(rs) {
+			st.Comparisons++
+			if value.OrderCompareRows(rs[j], ls[i]) >= 0 {
+				break
+			}
+			j++
+		}
+		matched := 0
+		if j < len(rs) {
+			st.Comparisons++
+			if value.OrderCompareRows(rs[j], ls[i]) == 0 {
+				j2 := runEnd(st, rs, j)
+				matched = j2 - j
+				j = j2
+			}
+		}
+		if all {
+			for k := 0; k < (i2-i)-matched; k++ {
+				out.Rows = append(out.Rows, ls[i])
+			}
+		} else if matched == 0 {
+			out.Rows = append(out.Rows, ls[i])
+		}
+		i = i2
+	}
+	return out
+}
+
+// sortedCopy sorts a copy of the relation's rows, fully instrumented.
+func sortedCopy(st *Stats, rel *Relation) []value.Row {
+	rows := append([]value.Row(nil), rel.Rows...)
+	st.SortRuns++
+	st.RowsSorted += int64(len(rows))
+	sortRowsBy(rows, func(a, b value.Row) int {
+		st.Comparisons++
+		return value.OrderCompareRows(a, b)
+	})
+	return rows
+}
+
+// runEnd returns the end index of the run of ≐-equal rows starting at i.
+func runEnd(st *Stats, rows []value.Row, i int) int {
+	j := i + 1
+	for j < len(rows) {
+		st.Comparisons++
+		if !value.NullEqRows(rows[j], rows[i]) {
+			break
+		}
+		j++
+	}
+	return j
+}

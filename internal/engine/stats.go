@@ -1,0 +1,46 @@
+// Package engine implements a multiset execution engine for the SQL
+// subset of the paper: scan, selection, projection with ALL/DISTINCT,
+// extended Cartesian product, nested-loop/hash/merge joins, sort- and
+// hash-based duplicate elimination, INTERSECT/EXCEPT [ALL], and
+// existential semi-joins. Every operator is instrumented with
+// counters, because the experiments compare strategies by the work
+// they perform (comparisons, sort runs, probes) as well as wall time.
+package engine
+
+import "fmt"
+
+// Stats accumulates operator work counters across an execution.
+type Stats struct {
+	RowsScanned  int64 // rows read from base tables
+	RowsOutput   int64 // rows produced by the root operator
+	Comparisons  int64 // value comparisons in sorts, merges and dedup
+	SortRuns     int64 // number of sort operations performed
+	RowsSorted   int64 // total rows passed through sorts
+	HashProbes   int64 // hash table probes (joins, dedup, set ops)
+	HashInserts  int64 // hash table inserts
+	JoinPairs    int64 // row pairs examined by join/product operators
+	SubqueryRuns int64 // EXISTS subquery evaluations
+	IndexSeeks   int64 // ordered-index lookups/range scans
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.RowsScanned += o.RowsScanned
+	s.RowsOutput += o.RowsOutput
+	s.Comparisons += o.Comparisons
+	s.SortRuns += o.SortRuns
+	s.RowsSorted += o.RowsSorted
+	s.HashProbes += o.HashProbes
+	s.HashInserts += o.HashInserts
+	s.JoinPairs += o.JoinPairs
+	s.SubqueryRuns += o.SubqueryRuns
+	s.IndexSeeks += o.IndexSeeks
+}
+
+// String renders the counters compactly.
+func (s *Stats) String() string {
+	return fmt.Sprintf(
+		"scanned=%d output=%d cmp=%d sorts=%d sorted=%d probes=%d inserts=%d pairs=%d subq=%d seeks=%d",
+		s.RowsScanned, s.RowsOutput, s.Comparisons, s.SortRuns, s.RowsSorted,
+		s.HashProbes, s.HashInserts, s.JoinPairs, s.SubqueryRuns, s.IndexSeeks)
+}

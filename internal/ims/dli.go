@@ -1,0 +1,256 @@
+package ims
+
+import (
+	"fmt"
+
+	"uniqopt/internal/value"
+)
+
+// Status is a DL/I status code.
+type Status string
+
+// DL/I status codes used by the simulator: blank = success, GE = not
+// found (segment search failed), GB = end of database.
+const (
+	StatusOK Status = "  "
+	StatusGE Status = "GE"
+	StatusGB Status = "GB"
+)
+
+// CompareOp is a segment-search-argument comparison operator.
+type CompareOp uint8
+
+// SSA comparison operators.
+const (
+	EQ CompareOp = iota
+	GT
+	GE
+	LT
+	LE
+)
+
+// Qual is a segment search argument qualification: FIELD op VALUE.
+type Qual struct {
+	Field string
+	Op    CompareOp
+	Value value.Value
+}
+
+// matches tests the qualification against a segment. Comparisons with
+// NULL never match (DL/I fields are non-null in this model, but the
+// guard keeps behavior total).
+func (q Qual) matches(s *Segment) bool {
+	v := s.Get(q.Field)
+	if v.IsNull() || q.Value.IsNull() {
+		return false
+	}
+	if !value.Comparable(v.Kind(), q.Value.Kind()) {
+		return false
+	}
+	c := value.Compare(v, q.Value)
+	switch q.Op {
+	case EQ:
+		return c == 0
+	case GT:
+		return c > 0
+	case GE:
+		return c >= 0
+	case LT:
+		return c < 0
+	case LE:
+		return c <= 0
+	default:
+		return false
+	}
+}
+
+// CallStats counts DL/I activity. Calls are broken down per call type
+// and per segment type; SegmentsVisited counts twin-chain occurrences
+// inspected (the I/O proxy the OEM-PNO discussion in §6.1 relies on).
+type CallStats struct {
+	GU, GN, GNP     int64
+	CallsBySegment  map[string]int64
+	SegmentsVisited int64
+	IndexLookups    int64
+}
+
+// Total returns the total number of DL/I calls.
+func (c *CallStats) Total() int64 { return c.GU + c.GN + c.GNP }
+
+// String renders the counters.
+func (c *CallStats) String() string {
+	return fmt.Sprintf("GU=%d GN=%d GNP=%d visited=%d index=%d by-segment=%v",
+		c.GU, c.GN, c.GNP, c.SegmentsVisited, c.IndexLookups, c.CallsBySegment)
+}
+
+// PCB is a program communication block: the application's cursor into
+// the hierarchy. It tracks the current root position and, per child
+// type, the twin-chain position for GNP continuation.
+type PCB struct {
+	db       *Database
+	rootIdx  int // index of the current root; -1 before first GU/GN
+	childPos map[string]int
+	Stats    CallStats
+}
+
+// NewPCB opens a PCB over the database.
+func (db *Database) NewPCB() *PCB {
+	return &PCB{
+		db:       db,
+		rootIdx:  -1,
+		childPos: map[string]int{},
+		Stats:    CallStats{CallsBySegment: map[string]int64{}},
+	}
+}
+
+func (p *PCB) count(call string, segType string) {
+	switch call {
+	case "GU":
+		p.Stats.GU++
+	case "GN":
+		p.Stats.GN++
+	case "GNP":
+		p.Stats.GNP++
+	}
+	p.Stats.CallsBySegment[segType]++
+}
+
+// resetChildren clears GNP positions (parentage changed).
+func (p *PCB) resetChildren() {
+	for k := range p.childPos {
+		delete(p.childPos, k)
+	}
+}
+
+// GU (Get Unique) positions at the first root segment satisfying the
+// qualifications and establishes parentage. An EQ qualification on the
+// root key uses the HIDAM index; otherwise roots are scanned in key
+// sequence.
+func (p *PCB) GU(segType string, quals ...Qual) (*Segment, Status) {
+	p.count("GU", segType)
+	if segType != p.db.Root.Name {
+		return nil, StatusGE
+	}
+	// Key-equality fast path through the index.
+	if len(quals) == 1 && quals[0].Field == p.db.Root.KeyField && quals[0].Op == EQ {
+		p.Stats.IndexLookups++
+		if seg := p.db.FindRoot(quals[0].Value); seg != nil {
+			p.rootIdx = rootIndexOf(p.db, seg)
+			p.resetChildren()
+			return seg, StatusOK
+		}
+		return nil, StatusGE
+	}
+	for i, seg := range p.db.roots {
+		p.Stats.SegmentsVisited++
+		if matchesAll(seg, quals) {
+			p.rootIdx = i
+			p.resetChildren()
+			return seg, StatusOK
+		}
+	}
+	return nil, StatusGE
+}
+
+// GN (Get Next) advances to the next root segment satisfying the
+// qualifications, in hierarchic (key) sequence.
+func (p *PCB) GN(segType string, quals ...Qual) (*Segment, Status) {
+	p.count("GN", segType)
+	if segType != p.db.Root.Name {
+		return nil, StatusGE
+	}
+	for i := p.rootIdx + 1; i < len(p.db.roots); i++ {
+		p.Stats.SegmentsVisited++
+		seg := p.db.roots[i]
+		if matchesAll(seg, quals) {
+			p.rootIdx = i
+			p.resetChildren()
+			return seg, StatusOK
+		}
+		// Early termination on a key-qualified scan: roots are
+		// key-sequenced, so once past an upper bound nothing matches.
+		if keyUpperBoundExceeded(seg, p.db.Root.KeyField, quals) {
+			break
+		}
+	}
+	p.rootIdx = len(p.db.roots)
+	return nil, StatusGB
+}
+
+// GNP (Get Next within Parent) advances to the next child of the
+// current root matching the qualifications. Successive GNP calls with
+// the same segment type continue along the twin chain. When the twin
+// chain is key-sequenced and the qualification is an equality or upper
+// bound on the key field, the scan stops as soon as the next twin's
+// key passes the bound — the behavior Example 10's cost argument uses.
+func (p *PCB) GNP(segType string, quals ...Qual) (*Segment, Status) {
+	p.count("GNP", segType)
+	if p.rootIdx < 0 || p.rootIdx >= len(p.db.roots) {
+		return nil, StatusGE
+	}
+	parent := p.db.roots[p.rootIdx]
+	ct := parent.Type.child(segType)
+	if ct == nil {
+		return nil, StatusGE
+	}
+	twins := parent.children[segType]
+	for i := p.childPos[segType]; i < len(twins); i++ {
+		p.Stats.SegmentsVisited++
+		seg := twins[i]
+		if matchesAll(seg, quals) {
+			p.childPos[segType] = i + 1
+			return seg, StatusOK
+		}
+		if keyUpperBoundExceeded(seg, ct.KeyField, quals) {
+			p.childPos[segType] = len(twins)
+			return nil, StatusGE
+		}
+	}
+	p.childPos[segType] = len(twins)
+	return nil, StatusGE
+}
+
+func rootIndexOf(db *Database, seg *Segment) int {
+	for i, s := range db.roots {
+		if s == seg {
+			return i
+		}
+	}
+	return -1
+}
+
+func matchesAll(seg *Segment, quals []Qual) bool {
+	for _, q := range quals {
+		if !q.matches(seg) {
+			return false
+		}
+	}
+	return true
+}
+
+// keyUpperBoundExceeded reports whether a key-sequenced scan can stop:
+// some qualification bounds the key field from above (EQ, LT, LE) and
+// the current segment's key already exceeds the bound.
+func keyUpperBoundExceeded(seg *Segment, keyField string, quals []Qual) bool {
+	for _, q := range quals {
+		if q.Field != keyField {
+			continue
+		}
+		v := seg.Get(keyField)
+		if v.IsNull() || q.Value.IsNull() || !value.Comparable(v.Kind(), q.Value.Kind()) {
+			continue
+		}
+		c := value.Compare(v, q.Value)
+		switch q.Op {
+		case EQ, LE:
+			if c > 0 {
+				return true
+			}
+		case LT:
+			if c >= 0 {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,202 @@
+package ims
+
+import (
+	"fmt"
+
+	"uniqopt/internal/storage"
+	"uniqopt/internal/value"
+)
+
+// FromRelational builds the Figure 2 hierarchy from the relational
+// supplier database: each SUPPLIER row becomes a root, each PARTS and
+// AGENTS row a child of its supplier. Orphan children (no matching
+// supplier) are rejected — IMS hierarchies cannot represent them.
+func FromRelational(db *storage.DB) (*Database, error) {
+	out := NewDatabase(Schema())
+	sup, ok := db.Table("SUPPLIER")
+	if !ok {
+		return nil, fmt.Errorf("ims: relational source lacks SUPPLIER")
+	}
+	bySNO := map[int64]*Segment{}
+	for i := 0; i < sup.Len(); i++ {
+		r := sup.Row(i)
+		seg, err := out.InsertRoot(map[string]value.Value{
+			"SNO": r[0], "SNAME": r[1], "SCITY": r[2], "BUDGET": r[3], "STATUS": r[4],
+		})
+		if err != nil {
+			return nil, err
+		}
+		bySNO[r[0].AsInt()] = seg
+	}
+	if parts, ok := db.Table("PARTS"); ok {
+		for i := 0; i < parts.Len(); i++ {
+			r := parts.Row(i)
+			parent := bySNO[r[0].AsInt()]
+			if parent == nil {
+				return nil, fmt.Errorf("ims: PARTS row %v references missing supplier", r)
+			}
+			if _, err := out.InsertChild(parent, "PARTS", map[string]value.Value{
+				"PNO": r[1], "PNAME": r[2], "OEM-PNO": r[3], "COLOR": r[4],
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if agents, ok := db.Table("AGENTS"); ok {
+		for i := 0; i < agents.Len(); i++ {
+			r := agents.Row(i)
+			parent := bySNO[r[0].AsInt()]
+			if parent == nil {
+				return nil, fmt.Errorf("ims: AGENTS row %v references missing supplier", r)
+			}
+			if _, err := out.InsertChild(parent, "AGENT", map[string]value.Value{
+				"ANO": r[1], "ANAME": r[2], "ACITY": r[3],
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// GatewayResult is the outcome of one translated program: the SUPPLIER
+// segments output and the DL/I activity it took.
+type GatewayResult struct {
+	Output []*Segment
+	Stats  CallStats
+}
+
+// JoinStrategy is the paper's straightforward nested-loop join program
+// (Example 10, lines 21–29): for every supplier, iterate GNP over
+// qualifying PARTS children, emitting the supplier once per match —
+// note the second GNP after each match, which is the call the
+// rewritten program saves.
+//
+//	GU SUPPLIER;
+//	while status = '  ' do
+//	    GNP PARTS (field = v);
+//	    while status = '  ' do
+//	        output SUPPLIER tuple;
+//	        GNP PARTS (field = v)
+//	    od;
+//	    GN SUPPLIER
+//	od
+func (db *Database) JoinStrategy(field string, v value.Value) *GatewayResult {
+	pcb := db.NewPCB()
+	res := &GatewayResult{}
+	sup, status := pcb.GU("SUPPLIER")
+	for status == StatusOK {
+		_, st := pcb.GNP("PARTS", Qual{Field: field, Op: EQ, Value: v})
+		for st == StatusOK {
+			res.Output = append(res.Output, sup)
+			_, st = pcb.GNP("PARTS", Qual{Field: field, Op: EQ, Value: v})
+		}
+		sup, status = pcb.GN("SUPPLIER")
+	}
+	res.Stats = pcb.Stats
+	return res
+}
+
+// NestedStrategy is the rewritten program (Example 10, lines 30–35)
+// enabled by the join → subquery transformation: the inner loop stops
+// after the first qualifying PARTS segment, halving the DL/I calls
+// against PARTS when the qualification is on the child key.
+//
+//	GU SUPPLIER;
+//	while status = '  ' do
+//	    GNP PARTS (field = v);
+//	    if status = '  ' then output SUPPLIER tuple;
+//	    GN SUPPLIER
+//	od
+func (db *Database) NestedStrategy(field string, v value.Value) *GatewayResult {
+	pcb := db.NewPCB()
+	res := &GatewayResult{}
+	sup, status := pcb.GU("SUPPLIER")
+	for status == StatusOK {
+		_, st := pcb.GNP("PARTS", Qual{Field: field, Op: EQ, Value: v})
+		if st == StatusOK {
+			res.Output = append(res.Output, sup)
+		}
+		sup, status = pcb.GN("SUPPLIER")
+	}
+	res.Stats = pcb.Stats
+	return res
+}
+
+// JoinStrategyRange is the Example 11 shape on IMS: a range predicate
+// on the supplier plus a key-qualified part probe, still driven from
+// the root sequence.
+func (db *Database) JoinStrategyRange(lo, hi value.Value, field string, v value.Value, nested bool) *GatewayResult {
+	pcb := db.NewPCB()
+	res := &GatewayResult{}
+	quals := []Qual{
+		{Field: db.Root.KeyField, Op: GE, Value: lo},
+		{Field: db.Root.KeyField, Op: LE, Value: hi},
+	}
+	sup, status := pcb.GU("SUPPLIER", quals...)
+	for status == StatusOK {
+		_, st := pcb.GNP("PARTS", Qual{Field: field, Op: EQ, Value: v})
+		if nested {
+			if st == StatusOK {
+				res.Output = append(res.Output, sup)
+			}
+		} else {
+			for st == StatusOK {
+				res.Output = append(res.Output, sup)
+				_, st = pcb.GNP("PARTS", Qual{Field: field, Op: EQ, Value: v})
+			}
+		}
+		sup, status = pcb.GN("SUPPLIER", quals...)
+	}
+	res.Stats = pcb.Stats
+	return res
+}
+
+// ToRelational extracts the hierarchy back into relational tables —
+// the gateway's "post-processing layer" path (§6.1): queries the data
+// access layer cannot translate into an iterative DL/I program are
+// answered by materializing relational views of the segments and
+// running the relational engine, at increased cost. The extraction
+// issues one GU plus a GN per root and a GNP per child, all counted on
+// the returned PCB stats.
+func (db *Database) ToRelational(rel *storage.DB) (*CallStats, error) {
+	pcb := db.NewPCB()
+	sup, status := pcb.GU("SUPPLIER")
+	for status == StatusOK {
+		row := value.Row{
+			sup.Get("SNO"), sup.Get("SNAME"), sup.Get("SCITY"),
+			sup.Get("BUDGET"), sup.Get("STATUS"),
+		}
+		if err := rel.Insert("SUPPLIER", row); err != nil {
+			return nil, err
+		}
+		for {
+			p, st := pcb.GNP("PARTS")
+			if st != StatusOK {
+				break
+			}
+			row := value.Row{
+				sup.Get("SNO"), p.Get("PNO"), p.Get("PNAME"),
+				p.Get("OEM-PNO"), p.Get("COLOR"),
+			}
+			if err := rel.Insert("PARTS", row); err != nil {
+				return nil, err
+			}
+		}
+		for {
+			a, st := pcb.GNP("AGENT")
+			if st != StatusOK {
+				break
+			}
+			row := value.Row{
+				sup.Get("SNO"), a.Get("ANO"), a.Get("ANAME"), a.Get("ACITY"),
+			}
+			if err := rel.Insert("AGENTS", row); err != nil {
+				return nil, err
+			}
+		}
+		sup, status = pcb.GN("SUPPLIER")
+	}
+	stats := pcb.Stats
+	return &stats, nil
+}

@@ -1,0 +1,150 @@
+// Package ims simulates a HIDAM-style IMS hierarchical database with a
+// DL/I call interface, reproducing the substrate of the paper's
+// Section 6.1 (Figure 2): key-sequenced root segments, parent-child
+// and twin pointers, and the GU / GN / GNP calls with status codes.
+//
+// The paper's argument in §6.1 is entirely about the number and kind
+// of DL/I calls a translated SQL strategy issues — the simulator
+// therefore counts calls per segment type and the segments visited
+// while scanning twin chains (the I/O proxy), which is exactly the
+// quantity Example 10 reasons about.
+package ims
+
+import (
+	"fmt"
+	"sort"
+
+	"uniqopt/internal/value"
+)
+
+// SegmentType describes one segment type in the hierarchy.
+type SegmentType struct {
+	Name     string
+	KeyField string   // sequence field: twins are stored in this order
+	Fields   []string // includes KeyField
+	Parent   *SegmentType
+	Children []*SegmentType
+}
+
+// child returns the child type with the given name.
+func (t *SegmentType) child(name string) *SegmentType {
+	for _, c := range t.Children {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// Segment is one stored segment occurrence.
+type Segment struct {
+	Type   *SegmentType
+	Fields map[string]value.Value
+	// children holds the twin chains per child type, key-sequenced.
+	children map[string][]*Segment
+}
+
+// Get returns a field value.
+func (s *Segment) Get(field string) value.Value { return s.Fields[field] }
+
+// Key returns the sequence-field value.
+func (s *Segment) Key() value.Value { return s.Fields[s.Type.KeyField] }
+
+// Database is a hierarchical database: one root segment type with
+// key-sequenced root occurrences (the HIDAM index).
+type Database struct {
+	Root  *SegmentType
+	roots []*Segment // sorted by root key
+}
+
+// Schema constructs the supplier hierarchy of Figure 2:
+//
+//	SUPPLIER (key SNO)
+//	├── PARTS (key PNO; fields PNAME, OEM-PNO, COLOR)
+//	└── AGENT (key ANO; fields ANAME, ACITY)
+func Schema() *SegmentType {
+	root := &SegmentType{
+		Name:     "SUPPLIER",
+		KeyField: "SNO",
+		Fields:   []string{"SNO", "SNAME", "SCITY", "BUDGET", "STATUS"},
+	}
+	parts := &SegmentType{
+		Name:     "PARTS",
+		KeyField: "PNO",
+		Fields:   []string{"PNO", "PNAME", "OEM-PNO", "COLOR"},
+		Parent:   root,
+	}
+	agent := &SegmentType{
+		Name:     "AGENT",
+		KeyField: "ANO",
+		Fields:   []string{"ANO", "ANAME", "ACITY"},
+		Parent:   root,
+	}
+	root.Children = []*SegmentType{parts, agent}
+	return root
+}
+
+// NewDatabase creates an empty database with the given root type.
+func NewDatabase(root *SegmentType) *Database {
+	return &Database{Root: root}
+}
+
+// InsertRoot adds a root segment occurrence. Roots are kept
+// key-sequenced; duplicate root keys are rejected (SNO is the key).
+func (db *Database) InsertRoot(fields map[string]value.Value) (*Segment, error) {
+	seg := &Segment{Type: db.Root, Fields: fields, children: map[string][]*Segment{}}
+	key := seg.Key()
+	if key.IsNull() {
+		return nil, fmt.Errorf("ims: root key %s must not be NULL", db.Root.KeyField)
+	}
+	i := sort.Search(len(db.roots), func(i int) bool {
+		return value.OrderCompare(db.roots[i].Key(), key) >= 0
+	})
+	if i < len(db.roots) && value.NullEq(db.roots[i].Key(), key) {
+		return nil, fmt.Errorf("ims: duplicate root key %s", key)
+	}
+	db.roots = append(db.roots, nil)
+	copy(db.roots[i+1:], db.roots[i:])
+	db.roots[i] = seg
+	return seg, nil
+}
+
+// InsertChild adds a child occurrence under parent, key-sequenced in
+// its twin chain. Duplicate child keys under one parent are rejected.
+func (db *Database) InsertChild(parent *Segment, typeName string, fields map[string]value.Value) (*Segment, error) {
+	ct := parent.Type.child(typeName)
+	if ct == nil {
+		return nil, fmt.Errorf("ims: %s has no child type %s", parent.Type.Name, typeName)
+	}
+	seg := &Segment{Type: ct, Fields: fields, children: map[string][]*Segment{}}
+	key := seg.Key()
+	if key.IsNull() {
+		return nil, fmt.Errorf("ims: child key %s must not be NULL", ct.KeyField)
+	}
+	twins := parent.children[typeName]
+	i := sort.Search(len(twins), func(i int) bool {
+		return value.OrderCompare(twins[i].Key(), key) >= 0
+	})
+	if i < len(twins) && value.NullEq(twins[i].Key(), key) {
+		return nil, fmt.Errorf("ims: duplicate %s key %s under parent", typeName, key)
+	}
+	twins = append(twins, nil)
+	copy(twins[i+1:], twins[i:])
+	twins[i] = seg
+	parent.children[typeName] = twins
+	return seg, nil
+}
+
+// Roots returns the key-sequenced root occurrences.
+func (db *Database) Roots() []*Segment { return db.roots }
+
+// FindRoot locates a root by key via the HIDAM index (binary search).
+func (db *Database) FindRoot(key value.Value) *Segment {
+	i := sort.Search(len(db.roots), func(i int) bool {
+		return value.OrderCompare(db.roots[i].Key(), key) >= 0
+	})
+	if i < len(db.roots) && value.NullEq(db.roots[i].Key(), key) {
+		return db.roots[i]
+	}
+	return nil
+}

@@ -1,0 +1,342 @@
+// Package oodb simulates an object-oriented database in the style the
+// paper's Section 6.2 describes (EXODUS / O2): objects carry physical
+// object identifiers (OIDs), relationships are child→parent pointers
+// (Figure 3 — each PARTS and AGENT object points to its SUPPLIER),
+// and classes have extents plus optional value indexes.
+//
+// The §6.2 argument is about which objects must be *fetched* under a
+// given strategy when pointers run opposite to the join direction; the
+// store therefore counts object fetches (faults) and index activity,
+// and the two strategies of Example 11 are implemented against it.
+package oodb
+
+import (
+	"fmt"
+	"sort"
+
+	"uniqopt/internal/storage"
+	"uniqopt/internal/value"
+)
+
+// OID is a physical object identifier. The zero OID is nil.
+type OID int64
+
+// Class describes one object class.
+type Class struct {
+	Name     string
+	KeyField string
+	Fields   []string
+	Parent   *Class // the class this one's objects point to, if any
+}
+
+// Object is one stored object.
+type Object struct {
+	OID    OID
+	Class  *Class
+	Fields map[string]value.Value
+	Parent OID // child→parent pointer; 0 for roots
+}
+
+// Get returns a field value.
+func (o *Object) Get(field string) value.Value { return o.Fields[field] }
+
+// AccessStats counts store activity. Fetches is the number of object
+// faults — the §6.2 cost measure; index probes are counted separately
+// (entries are OID+key pairs, much cheaper than object faults).
+type AccessStats struct {
+	Fetches      int64
+	IndexProbes  int64
+	IndexEntries int64
+}
+
+// String renders the counters.
+func (s *AccessStats) String() string {
+	return fmt.Sprintf("fetches=%d probes=%d entries=%d", s.Fetches, s.IndexProbes, s.IndexEntries)
+}
+
+// indexEntry pairs a key value with the object's OID and parent OID —
+// parent OIDs are stored in the index so existence probes by (key,
+// parent) are index-only.
+type indexEntry struct {
+	key    value.Value
+	oid    OID
+	parent OID
+}
+
+type index struct {
+	entries []indexEntry // sorted by key, then parent OID
+}
+
+func (ix *index) insert(e indexEntry) {
+	i := sort.Search(len(ix.entries), func(i int) bool {
+		c := value.OrderCompare(ix.entries[i].key, e.key)
+		if c != 0 {
+			return c >= 0
+		}
+		return ix.entries[i].parent >= e.parent
+	})
+	ix.entries = append(ix.entries, indexEntry{})
+	copy(ix.entries[i+1:], ix.entries[i:])
+	ix.entries[i] = e
+}
+
+// lookup returns the span of entries with the given key.
+func (ix *index) lookup(key value.Value) []indexEntry {
+	lo := sort.Search(len(ix.entries), func(i int) bool {
+		return value.OrderCompare(ix.entries[i].key, key) >= 0
+	})
+	hi := lo
+	for hi < len(ix.entries) && value.NullEq(ix.entries[hi].key, key) {
+		hi++
+	}
+	return ix.entries[lo:hi]
+}
+
+// lookupRange returns entries with lo <= key <= hi.
+func (ix *index) lookupRange(lo, hi value.Value) []indexEntry {
+	a := sort.Search(len(ix.entries), func(i int) bool {
+		return value.OrderCompare(ix.entries[i].key, lo) >= 0
+	})
+	b := sort.Search(len(ix.entries), func(i int) bool {
+		return value.OrderCompare(ix.entries[i].key, hi) > 0
+	})
+	if a > b {
+		return nil
+	}
+	return ix.entries[a:b]
+}
+
+// Store is the object store: the "disk" of objects plus extents and
+// indexes.
+type Store struct {
+	classes map[string]*Class
+	objects map[OID]*Object
+	extents map[string][]OID
+	indexes map[string]*index // "CLASS.FIELD"
+	nextOID OID
+	Stats   AccessStats
+}
+
+// NewStore creates an empty store over the given classes.
+func NewStore(classes ...*Class) *Store {
+	s := &Store{
+		classes: map[string]*Class{},
+		objects: map[OID]*Object{},
+		extents: map[string][]OID{},
+		indexes: map[string]*index{},
+		nextOID: 1,
+	}
+	for _, c := range classes {
+		s.classes[c.Name] = c
+	}
+	return s
+}
+
+// SupplierSchema returns Figure 3's classes: SUPPLIER with PARTS and
+// AGENT pointing at it.
+func SupplierSchema() (supplier, parts, agent *Class) {
+	supplier = &Class{Name: "SUPPLIER", KeyField: "SNO",
+		Fields: []string{"SNO", "SNAME", "SCITY", "BUDGET", "STATUS"}}
+	parts = &Class{Name: "PARTS", KeyField: "PNO",
+		Fields: []string{"PNO", "PNAME", "OEM-PNO", "COLOR"}, Parent: supplier}
+	agent = &Class{Name: "AGENT", KeyField: "ANO",
+		Fields: []string{"ANO", "ANAME", "ACITY"}, Parent: supplier}
+	return
+}
+
+// CreateIndex builds a value index on class.field, with parent OIDs
+// stored in the entries.
+func (s *Store) CreateIndex(class, field string) error {
+	c, ok := s.classes[class]
+	if !ok {
+		return fmt.Errorf("oodb: unknown class %s", class)
+	}
+	found := false
+	for _, f := range c.Fields {
+		if f == field {
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("oodb: class %s has no field %s", class, field)
+	}
+	ix := &index{}
+	for _, oid := range s.extents[class] {
+		o := s.objects[oid]
+		ix.insert(indexEntry{key: o.Get(field), oid: oid, parent: o.Parent})
+	}
+	s.indexes[class+"."+field] = ix
+	return nil
+}
+
+// Insert stores a new object and returns its OID.
+func (s *Store) Insert(class string, fields map[string]value.Value, parent OID) (OID, error) {
+	c, ok := s.classes[class]
+	if !ok {
+		return 0, fmt.Errorf("oodb: unknown class %s", class)
+	}
+	if c.Parent != nil && parent == 0 {
+		return 0, fmt.Errorf("oodb: class %s requires a parent pointer", class)
+	}
+	if parent != 0 {
+		po, ok := s.objects[parent]
+		if !ok {
+			return 0, fmt.Errorf("oodb: parent OID %d does not exist", parent)
+		}
+		if c.Parent == nil || po.Class.Name != c.Parent.Name {
+			return 0, fmt.Errorf("oodb: parent of %s must be %v", class, c.Parent)
+		}
+	}
+	oid := s.nextOID
+	s.nextOID++
+	o := &Object{OID: oid, Class: c, Fields: fields, Parent: parent}
+	s.objects[oid] = o
+	s.extents[class] = append(s.extents[class], oid)
+	for name, ix := range s.indexes {
+		if fieldOf(name, class) != "" {
+			ix.insert(indexEntry{key: o.Get(fieldOf(name, class)), oid: oid, parent: parent})
+		}
+	}
+	return oid, nil
+}
+
+func fieldOf(indexName, class string) string {
+	prefix := class + "."
+	if len(indexName) > len(prefix) && indexName[:len(prefix)] == prefix {
+		return indexName[len(prefix):]
+	}
+	return ""
+}
+
+// Fetch faults an object in from the store (counted).
+func (s *Store) Fetch(oid OID) (*Object, error) {
+	o, ok := s.objects[oid]
+	if !ok {
+		return nil, fmt.Errorf("oodb: dangling OID %d", oid)
+	}
+	s.Stats.Fetches++
+	return o, nil
+}
+
+// Extent returns the OIDs of a class, in insertion order. Iterating an
+// extent costs one fetch per object when the objects are materialized.
+func (s *Store) Extent(class string) []OID { return s.extents[class] }
+
+// IndexLookup probes the index for entries with the given key.
+func (s *Store) IndexLookup(class, field string, key value.Value) ([]indexEntry, error) {
+	ix, ok := s.indexes[class+"."+field]
+	if !ok {
+		return nil, fmt.Errorf("oodb: no index on %s.%s", class, field)
+	}
+	s.Stats.IndexProbes++
+	out := ix.lookup(key)
+	s.Stats.IndexEntries += int64(len(out))
+	return out, nil
+}
+
+// IndexExists reports whether an entry with (key, parent) exists, by
+// binary search over the (key, parent)-sorted entries — an index-only
+// existence probe. The entries inspected during the search are counted.
+func (s *Store) IndexExists(class, field string, key value.Value, parent OID) (bool, error) {
+	ix, ok := s.indexes[class+"."+field]
+	if !ok {
+		return false, fmt.Errorf("oodb: no index on %s.%s", class, field)
+	}
+	s.Stats.IndexProbes++
+	lo, hi := 0, len(ix.entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		s.Stats.IndexEntries++
+		e := ix.entries[mid]
+		c := value.OrderCompare(e.key, key)
+		if c == 0 {
+			switch {
+			case e.parent == parent:
+				return true, nil
+			case e.parent < parent:
+				c = -1
+			default:
+				c = 1
+			}
+		}
+		if c < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return false, nil
+}
+
+// IndexRange probes the index for lo <= key <= hi.
+func (s *Store) IndexRange(class, field string, lo, hi value.Value) ([]indexEntry, error) {
+	ix, ok := s.indexes[class+"."+field]
+	if !ok {
+		return nil, fmt.Errorf("oodb: no index on %s.%s", class, field)
+	}
+	s.Stats.IndexProbes++
+	out := ix.lookupRange(lo, hi)
+	s.Stats.IndexEntries += int64(len(out))
+	return out, nil
+}
+
+// ResetStats zeroes the access counters.
+func (s *Store) ResetStats() { s.Stats = AccessStats{} }
+
+// FromRelational loads Figure 3's object base from the relational
+// supplier database, creating indexes on SUPPLIER.SNO and PARTS.PNO
+// (the indexes Example 11 assumes).
+func FromRelational(db *storage.DB) (*Store, error) {
+	supplier, parts, agent := SupplierSchema()
+	s := NewStore(supplier, parts, agent)
+	sup, ok := db.Table("SUPPLIER")
+	if !ok {
+		return nil, fmt.Errorf("oodb: relational source lacks SUPPLIER")
+	}
+	bySNO := map[int64]OID{}
+	for i := 0; i < sup.Len(); i++ {
+		r := sup.Row(i)
+		oid, err := s.Insert("SUPPLIER", map[string]value.Value{
+			"SNO": r[0], "SNAME": r[1], "SCITY": r[2], "BUDGET": r[3], "STATUS": r[4],
+		}, 0)
+		if err != nil {
+			return nil, err
+		}
+		bySNO[r[0].AsInt()] = oid
+	}
+	if pt, ok := db.Table("PARTS"); ok {
+		for i := 0; i < pt.Len(); i++ {
+			r := pt.Row(i)
+			parent, ok := bySNO[r[0].AsInt()]
+			if !ok {
+				return nil, fmt.Errorf("oodb: PARTS row %v references missing supplier", r)
+			}
+			if _, err := s.Insert("PARTS", map[string]value.Value{
+				"PNO": r[1], "PNAME": r[2], "OEM-PNO": r[3], "COLOR": r[4],
+			}, parent); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if at, ok := db.Table("AGENTS"); ok {
+		for i := 0; i < at.Len(); i++ {
+			r := at.Row(i)
+			parent, ok := bySNO[r[0].AsInt()]
+			if !ok {
+				return nil, fmt.Errorf("oodb: AGENTS row %v references missing supplier", r)
+			}
+			if _, err := s.Insert("AGENT", map[string]value.Value{
+				"ANO": r[1], "ANAME": r[2], "ACITY": r[3],
+			}, parent); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := s.CreateIndex("SUPPLIER", "SNO"); err != nil {
+		return nil, err
+	}
+	if err := s.CreateIndex("PARTS", "PNO"); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,228 @@
+package oodb
+
+import (
+	"sort"
+	"testing"
+
+	"uniqopt/internal/value"
+	"uniqopt/internal/workload"
+)
+
+func testStore(t testing.TB, suppliers, fanout int) *Store {
+	t.Helper()
+	cfg := workload.DefaultConfig()
+	cfg.Suppliers = suppliers
+	cfg.PartsPerSupplier = fanout
+	rel, err := workload.NewDB(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := FromRelational(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ResetStats()
+	return s
+}
+
+func TestInsertAndFetch(t *testing.T) {
+	sup, parts, agent := SupplierSchema()
+	s := NewStore(sup, parts, agent)
+	po, err := s.Insert("SUPPLIER", map[string]value.Value{"SNO": value.Int(1)}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := s.Insert("PARTS", map[string]value.Value{"PNO": value.Int(1)}, po)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := s.Fetch(co)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Parent != po {
+		t.Error("child→parent pointer wrong")
+	}
+	if s.Stats.Fetches != 1 {
+		t.Errorf("fetches = %d", s.Stats.Fetches)
+	}
+	if _, err := s.Fetch(999); err == nil {
+		t.Error("dangling OID should fail")
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	sup, parts, agent := SupplierSchema()
+	s := NewStore(sup, parts, agent)
+	if _, err := s.Insert("NOPE", nil, 0); err == nil {
+		t.Error("unknown class should fail")
+	}
+	if _, err := s.Insert("PARTS", map[string]value.Value{"PNO": value.Int(1)}, 0); err == nil {
+		t.Error("child without parent pointer should fail")
+	}
+	if _, err := s.Insert("PARTS", map[string]value.Value{"PNO": value.Int(1)}, 42); err == nil {
+		t.Error("dangling parent should fail")
+	}
+	po, _ := s.Insert("SUPPLIER", map[string]value.Value{"SNO": value.Int(1)}, 0)
+	ao, err := s.Insert("AGENT", map[string]value.Value{"ANO": value.Int(1)}, po)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parent of PARTS must be SUPPLIER, not AGENT.
+	if _, err := s.Insert("PARTS", map[string]value.Value{"PNO": value.Int(1)}, ao); err == nil {
+		t.Error("wrong parent class should fail")
+	}
+}
+
+func TestIndexLookup(t *testing.T) {
+	s := testStore(t, 20, 5)
+	entries, err := s.IndexLookup("PARTS", "PNO", value.Int(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 20 { // one part PNO=3 per supplier
+		t.Errorf("entries = %d, want 20", len(entries))
+	}
+	if s.Stats.IndexProbes != 1 || s.Stats.IndexEntries != 20 {
+		t.Errorf("stats = %s", s.Stats.String())
+	}
+	if _, err := s.IndexLookup("PARTS", "COLOR", value.String_("RED")); err == nil {
+		t.Error("missing index should fail")
+	}
+}
+
+func TestIndexRange(t *testing.T) {
+	s := testStore(t, 30, 1)
+	entries, err := s.IndexRange("SUPPLIER", "SNO", value.Int(10), value.Int(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 11 {
+		t.Errorf("entries = %d, want 11", len(entries))
+	}
+	var keys []int64
+	for _, e := range entries {
+		keys = append(keys, e.key.AsInt())
+	}
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Error("range scan must be key-ordered")
+	}
+	// Empty range.
+	entries, _ = s.IndexRange("SUPPLIER", "SNO", value.Int(50), value.Int(40))
+	if len(entries) != 0 {
+		t.Error("inverted range should be empty")
+	}
+}
+
+func TestCreateIndexValidation(t *testing.T) {
+	sup, parts, agent := SupplierSchema()
+	s := NewStore(sup, parts, agent)
+	if err := s.CreateIndex("NOPE", "X"); err == nil {
+		t.Error("unknown class should fail")
+	}
+	if err := s.CreateIndex("PARTS", "NOPE"); err == nil {
+		t.Error("unknown field should fail")
+	}
+	// Index built after inserts still sees existing objects.
+	po, _ := s.Insert("SUPPLIER", map[string]value.Value{"SNO": value.Int(7)}, 0)
+	if err := s.CreateIndex("SUPPLIER", "SNO"); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := s.IndexLookup("SUPPLIER", "SNO", value.Int(7))
+	if err != nil || len(entries) != 1 || entries[0].oid != po {
+		t.Errorf("late index build missed object: %v, %v", entries, err)
+	}
+}
+
+// Example 11: both strategies compute the same answer.
+func TestStrategiesAgree(t *testing.T) {
+	s := testStore(t, 50, 5)
+	for _, rng := range [][2]int64{{10, 20}, {1, 50}, {45, 60}, {90, 99}} {
+		cd, err := s.ChildDrivenJoin(value.Int(2), value.Int(rng[0]), value.Int(rng[1]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pd, err := s.ParentDrivenExists(value.Int(2), value.Int(rng[0]), value.Int(rng[1]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cd.Output) != len(pd.Output) {
+			t.Fatalf("range %v: child-driven %d rows vs parent-driven %d",
+				rng, len(cd.Output), len(pd.Output))
+		}
+		// Same suppliers (compare SNO sets).
+		a := snoSet(cd.Output)
+		b := snoSet(pd.Output)
+		for k := range a {
+			if !b[k] {
+				t.Fatalf("range %v: SNO %d missing from parent-driven", rng, k)
+			}
+		}
+	}
+}
+
+func snoSet(objs []*Object) map[int64]bool {
+	out := map[int64]bool{}
+	for _, o := range objs {
+		out[o.Get("SNO").AsInt()] = true
+	}
+	return out
+}
+
+// Example 11's cost claim: with a selective parent range, the
+// parent-driven strategy fetches far fewer objects.
+func TestParentDrivenFetchesFewerWhenSelective(t *testing.T) {
+	s := testStore(t, 100, 5)
+	// Range 10..20 (11 suppliers of 100); every supplier has PNO 2.
+	cd, err := s.ChildDrivenJoin(value.Int(2), value.Int(10), value.Int(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := s.ParentDrivenExists(value.Int(2), value.Int(10), value.Int(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Child-driven: 100 part fetches + 100 supplier fetches.
+	if cd.Stats.Fetches != 200 {
+		t.Errorf("child-driven fetches = %d, want 200", cd.Stats.Fetches)
+	}
+	// Parent-driven: 11 supplier fetches only.
+	if pd.Stats.Fetches != 11 {
+		t.Errorf("parent-driven fetches = %d, want 11", pd.Stats.Fetches)
+	}
+}
+
+// With an unselective range the child-driven strategy is no longer
+// dominated in index work — the "depending on the objects' selectivity"
+// caveat of §6.2.
+func TestSelectivityCrossover(t *testing.T) {
+	s := testStore(t, 100, 5)
+	cd, err := s.ChildDrivenJoin(value.Int(2), value.Int(1), value.Int(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := s.ParentDrivenExists(value.Int(2), value.Int(1), value.Int(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fetch counts still favor parent-driven (100 vs 200)...
+	if pd.Stats.Fetches >= cd.Stats.Fetches {
+		t.Errorf("fetches: pd=%d cd=%d", pd.Stats.Fetches, cd.Stats.Fetches)
+	}
+	// ...but its index-entry traffic is quadratic in the range size
+	// (one full PNO probe per supplier), far above child-driven's.
+	if pd.Stats.IndexEntries <= cd.Stats.IndexEntries {
+		t.Errorf("index entries: pd=%d cd=%d — expected the caveat to show",
+			pd.Stats.IndexEntries, cd.Stats.IndexEntries)
+	}
+}
+
+func TestExtent(t *testing.T) {
+	s := testStore(t, 10, 3)
+	if len(s.Extent("SUPPLIER")) != 10 || len(s.Extent("PARTS")) != 30 {
+		t.Errorf("extents = %d, %d", len(s.Extent("SUPPLIER")), len(s.Extent("PARTS")))
+	}
+	if len(s.Extent("NOPE")) != 0 {
+		t.Error("unknown extent should be empty")
+	}
+}

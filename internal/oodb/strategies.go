@@ -1,0 +1,82 @@
+package oodb
+
+import (
+	"uniqopt/internal/value"
+)
+
+// QueryResult is the outcome of one Example 11 strategy: the SUPPLIER
+// objects output and the access counts the strategy incurred.
+type QueryResult struct {
+	Output []*Object
+	Stats  AccessStats
+}
+
+// ChildDrivenJoin is Example 11's straightforward strategy (lines
+// 36–42): retrieve every PARTS object with the given PNO via the PNO
+// index, chase its child→parent pointer to the SUPPLIER, and test the
+// range predicate afterwards. Many SUPPLIER objects may be fetched
+// only to be discarded — the inefficiency §6.2 highlights.
+func (s *Store) ChildDrivenJoin(partNo value.Value, snoLo, snoHi value.Value) (*QueryResult, error) {
+	before := s.Stats
+	res := &QueryResult{}
+	entries, err := s.IndexLookup("PARTS", "PNO", partNo)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		// retrieve PARTS — the object itself is materialized...
+		if _, err := s.Fetch(e.oid); err != nil {
+			return nil, err
+		}
+		// ...then retrieve PARTS.SUPPLIER through the pointer.
+		sup, err := s.Fetch(e.parent)
+		if err != nil {
+			return nil, err
+		}
+		sno := sup.Get("SNO")
+		if !sno.IsNull() &&
+			value.Compare(sno, snoLo) >= 0 && value.Compare(sno, snoHi) <= 0 {
+			res.Output = append(res.Output, sup)
+		}
+	}
+	res.Stats = diff(before, s.Stats)
+	return res, nil
+}
+
+// ParentDrivenExists is the strategy the Theorem 2 rewrite enables
+// (lines 43–48): drive from the SUPPLIER index over the selective
+// range predicate, and for each supplier perform an index-only
+// existence probe into PARTS by (PNO, parent OID) — no PARTS objects
+// and no out-of-range SUPPLIER objects are ever fetched.
+func (s *Store) ParentDrivenExists(partNo value.Value, snoLo, snoHi value.Value) (*QueryResult, error) {
+	before := s.Stats
+	res := &QueryResult{}
+	sups, err := s.IndexRange("SUPPLIER", "SNO", snoLo, snoHi)
+	if err != nil {
+		return nil, err
+	}
+	for _, se := range sups {
+		found, err := s.IndexExists("PARTS", "PNO", partNo, se.oid)
+		if err != nil {
+			return nil, err
+		}
+		if !found {
+			continue
+		}
+		sup, err := s.Fetch(se.oid)
+		if err != nil {
+			return nil, err
+		}
+		res.Output = append(res.Output, sup)
+	}
+	res.Stats = diff(before, s.Stats)
+	return res, nil
+}
+
+func diff(before, after AccessStats) AccessStats {
+	return AccessStats{
+		Fetches:      after.Fetches - before.Fetches,
+		IndexProbes:  after.IndexProbes - before.IndexProbes,
+		IndexEntries: after.IndexEntries - before.IndexEntries,
+	}
+}

@@ -1,0 +1,341 @@
+// Package ast defines the abstract syntax tree for the SQL2 subset of
+// Paulley & Larson (ICDE 1994): query specifications built from
+// selection, projection, and extended Cartesian product; positive
+// existential subqueries; the query expressions INTERSECT [ALL] and
+// EXCEPT [ALL]; and CREATE TABLE statements carrying PRIMARY KEY,
+// UNIQUE, and CHECK constraints.
+package ast
+
+import (
+	"uniqopt/internal/sql/token"
+)
+
+// Node is implemented by every AST node.
+type Node interface {
+	// SQL renders the node as SQL text. The rendering is parseable by
+	// the parser package (a property pinned by round-trip tests).
+	SQL() string
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+// Expr is implemented by every expression node.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// ColumnRef references a column, optionally qualified by a table name
+// or alias, e.g. S.SNO or PNAME.
+type ColumnRef struct {
+	Qualifier string // "" when unqualified
+	Column    string
+	Pos       token.Pos
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	V int64
+}
+
+// StringLit is a string literal.
+type StringLit struct {
+	V string
+}
+
+// BoolLit is TRUE or FALSE.
+type BoolLit struct {
+	V bool
+}
+
+// NullLit is the NULL literal.
+type NullLit struct{}
+
+// HostVar is a host variable such as :SUPPLIER-NO — a constant whose
+// value becomes known only at execution time.
+type HostVar struct {
+	Name string
+	Pos  token.Pos
+}
+
+// CompareOp enumerates comparison operators.
+type CompareOp uint8
+
+// Comparison operators.
+const (
+	EqOp CompareOp = iota
+	NeOp
+	LtOp
+	LeOp
+	GtOp
+	GeOp
+)
+
+// String returns the SQL spelling of the operator.
+func (op CompareOp) String() string {
+	switch op {
+	case EqOp:
+		return "="
+	case NeOp:
+		return "<>"
+	case LtOp:
+		return "<"
+	case LeOp:
+		return "<="
+	case GtOp:
+		return ">"
+	case GeOp:
+		return ">="
+	default:
+		return "?"
+	}
+}
+
+// Flip returns the operator with its operands swapped (a op b ≡ b op' a).
+func (op CompareOp) Flip() CompareOp {
+	switch op {
+	case LtOp:
+		return GtOp
+	case LeOp:
+		return GeOp
+	case GtOp:
+		return LtOp
+	case GeOp:
+		return LeOp
+	default:
+		return op // = and <> are symmetric
+	}
+}
+
+// Compare is a binary comparison L op R.
+type Compare struct {
+	Op   CompareOp
+	L, R Expr
+}
+
+// Between is X [NOT] BETWEEN Lo AND Hi.
+type Between struct {
+	X, Lo, Hi Expr
+	Negated   bool
+}
+
+// InList is X [NOT] IN (e1, e2, ...).
+type InList struct {
+	X       Expr
+	List    []Expr
+	Negated bool
+}
+
+// IsNull is X IS [NOT] NULL.
+type IsNull struct {
+	X       Expr
+	Negated bool
+}
+
+// Not is logical negation.
+type Not struct {
+	X Expr
+}
+
+// And is logical conjunction.
+type And struct {
+	L, R Expr
+}
+
+// Or is logical disjunction.
+type Or struct {
+	L, R Expr
+}
+
+// Exists is [NOT] EXISTS (subquery). The paper's theorems cover
+// positive existential subqueries; NOT EXISTS is parsed but the
+// rewrite rules refuse it.
+type Exists struct {
+	Query   *Select
+	Negated bool
+}
+
+// InSubquery is X [NOT] IN (subquery) — Kim's classic nesting form.
+// Under three-valued logic it is NOT equivalent to [NOT] EXISTS in
+// general (a NULL in the subquery result makes a non-matching IN
+// Unknown rather than False), so it is kept as its own node; the
+// optimizer converts only positive occurrences to EXISTS, where the
+// WHERE clause's false interpretation makes the two coincide.
+type InSubquery struct {
+	X       Expr
+	Query   *Select
+	Negated bool
+}
+
+func (*ColumnRef) exprNode()  {}
+func (*IntLit) exprNode()     {}
+func (*StringLit) exprNode()  {}
+func (*BoolLit) exprNode()    {}
+func (*NullLit) exprNode()    {}
+func (*HostVar) exprNode()    {}
+func (*Compare) exprNode()    {}
+func (*Between) exprNode()    {}
+func (*InList) exprNode()     {}
+func (*IsNull) exprNode()     {}
+func (*Not) exprNode()        {}
+func (*And) exprNode()        {}
+func (*Or) exprNode()         {}
+func (*Exists) exprNode()     {}
+func (*InSubquery) exprNode() {}
+
+// ---------------------------------------------------------------------------
+// Queries
+// ---------------------------------------------------------------------------
+
+// Quantifier is the projection quantifier of a query specification.
+type Quantifier uint8
+
+// Projection quantifiers. QuantDefault means the query spelled neither
+// ALL nor DISTINCT (SQL defaults to ALL; the optimizer cares about the
+// difference only for reporting).
+const (
+	QuantDefault Quantifier = iota
+	QuantAll
+	QuantDistinct
+)
+
+// IsDistinct reports whether the quantifier requests duplicate
+// elimination.
+func (q Quantifier) IsDistinct() bool { return q == QuantDistinct }
+
+// SelectItem is one projection-list entry: either an expression (in
+// this subset always a column reference) or a star, optionally
+// qualified as T.*.
+type SelectItem struct {
+	Expr          Expr   // nil when Star
+	Star          bool   // SELECT * or SELECT T.*
+	StarQualifier string // "" for bare *
+}
+
+// TableRef names a base table in the FROM clause with an optional
+// correlation name (alias).
+type TableRef struct {
+	Table string
+	Alias string // "" when no alias; effective name is Alias or Table
+}
+
+// Name returns the effective correlation name of the reference.
+func (t TableRef) Name() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Table
+}
+
+// Select is a query specification: SELECT [ALL|DISTINCT] items FROM
+// tables [WHERE cond].
+type Select struct {
+	Quant Quantifier
+	Items []SelectItem
+	From  []TableRef
+	Where Expr // nil when absent
+}
+
+// Query is either a *Select or a *SetOp.
+type Query interface {
+	Node
+	queryNode()
+}
+
+// SetOpKind enumerates the supported query-expression operators.
+type SetOpKind uint8
+
+// Set operation kinds.
+const (
+	Intersect SetOpKind = iota
+	Except
+)
+
+// String returns the SQL spelling of the set operator.
+func (k SetOpKind) String() string {
+	if k == Except {
+		return "EXCEPT"
+	}
+	return "INTERSECT"
+}
+
+// SetOp is a query expression combining two query specifications with
+// INTERSECT [ALL] or EXCEPT [ALL].
+type SetOp struct {
+	Op          SetOpKind
+	All         bool
+	Left, Right *Select
+}
+
+func (*Select) queryNode() {}
+func (*SetOp) queryNode()  {}
+
+// ---------------------------------------------------------------------------
+// DDL
+// ---------------------------------------------------------------------------
+
+// TypeName enumerates column types in CREATE TABLE.
+type TypeName uint8
+
+// Column types.
+const (
+	TypeInteger TypeName = iota
+	TypeVarchar
+	TypeBoolean
+)
+
+// String returns the SQL spelling of the type.
+func (t TypeName) String() string {
+	switch t {
+	case TypeInteger:
+		return "INTEGER"
+	case TypeVarchar:
+		return "VARCHAR"
+	case TypeBoolean:
+		return "BOOLEAN"
+	default:
+		return "?"
+	}
+}
+
+// ColumnDef is one column definition.
+type ColumnDef struct {
+	Name    string
+	Type    TypeName
+	NotNull bool
+}
+
+// KeyDef is a PRIMARY KEY or UNIQUE table constraint.
+type KeyDef struct {
+	Columns []string
+	Primary bool
+}
+
+// ForeignKeyDef is a FOREIGN KEY ... REFERENCES table constraint — an
+// inclusion dependency into a candidate key of the referenced table.
+type ForeignKeyDef struct {
+	Columns    []string
+	RefTable   string
+	RefColumns []string
+}
+
+// CreateTable is a CREATE TABLE statement with SQL2 table constraints.
+type CreateTable struct {
+	Name        string
+	Columns     []ColumnDef
+	Keys        []KeyDef
+	ForeignKeys []ForeignKeyDef
+	Checks      []Expr
+}
+
+// Statement is a top-level SQL statement: a Query or a CreateTable.
+type Statement interface {
+	Node
+	stmtNode()
+}
+
+func (*Select) stmtNode()      {}
+func (*SetOp) stmtNode()       {}
+func (*CreateTable) stmtNode() {}

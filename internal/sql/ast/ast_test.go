@@ -1,0 +1,228 @@
+package ast
+
+import (
+	"testing"
+)
+
+func col(q, c string) *ColumnRef { return &ColumnRef{Qualifier: q, Column: c} }
+
+func TestCompareOpStringAndFlip(t *testing.T) {
+	cases := []struct {
+		op   CompareOp
+		str  string
+		flip CompareOp
+	}{
+		{EqOp, "=", EqOp},
+		{NeOp, "<>", NeOp},
+		{LtOp, "<", GtOp},
+		{LeOp, "<=", GeOp},
+		{GtOp, ">", LtOp},
+		{GeOp, ">=", LeOp},
+	}
+	for _, c := range cases {
+		if c.op.String() != c.str {
+			t.Errorf("%v.String() = %q, want %q", c.op, c.op.String(), c.str)
+		}
+		if c.op.Flip() != c.flip {
+			t.Errorf("%v.Flip() = %v, want %v", c.op, c.op.Flip(), c.flip)
+		}
+	}
+}
+
+func TestTableRefName(t *testing.T) {
+	if (TableRef{Table: "SUPPLIER"}).Name() != "SUPPLIER" {
+		t.Error("bare table name wrong")
+	}
+	if (TableRef{Table: "SUPPLIER", Alias: "S"}).Name() != "S" {
+		t.Error("alias should win")
+	}
+}
+
+func TestQuantifier(t *testing.T) {
+	if QuantDefault.IsDistinct() || QuantAll.IsDistinct() || !QuantDistinct.IsDistinct() {
+		t.Error("IsDistinct wrong")
+	}
+}
+
+func TestConjunctsDisjuncts(t *testing.T) {
+	a := &Compare{Op: EqOp, L: col("T", "A"), R: &IntLit{V: 1}}
+	b := &Compare{Op: EqOp, L: col("T", "B"), R: &IntLit{V: 2}}
+	c := &Compare{Op: EqOp, L: col("T", "C"), R: &IntLit{V: 3}}
+	e := &And{L: a, R: &And{L: b, R: c}}
+	if got := Conjuncts(e); len(got) != 3 {
+		t.Errorf("Conjuncts: got %d, want 3", len(got))
+	}
+	if got := Conjuncts(nil); got != nil {
+		t.Error("Conjuncts(nil) should be nil")
+	}
+	o := &Or{L: &Or{L: a, R: b}, R: c}
+	if got := Disjuncts(o); len(got) != 3 {
+		t.Errorf("Disjuncts: got %d, want 3", len(got))
+	}
+}
+
+func TestAndAllOrAll(t *testing.T) {
+	a := &Compare{Op: EqOp, L: col("", "A"), R: &IntLit{V: 1}}
+	b := &Compare{Op: EqOp, L: col("", "B"), R: &IntLit{V: 2}}
+	if AndAll() != nil || OrAll() != nil {
+		t.Error("empty combine should be nil")
+	}
+	if AndAll(nil, a, nil) != Expr(a) {
+		t.Error("single non-nil should be returned as-is")
+	}
+	e := AndAll(a, b)
+	if len(Conjuncts(e)) != 2 {
+		t.Error("AndAll of two should have two conjuncts")
+	}
+	o := OrAll(a, b)
+	if len(Disjuncts(o)) != 2 {
+		t.Error("OrAll of two should have two disjuncts")
+	}
+}
+
+func TestWalkDescendsIntoExists(t *testing.T) {
+	sub := &Select{
+		Items: []SelectItem{{Star: true}},
+		From:  []TableRef{{Table: "PARTS", Alias: "P"}},
+		Where: &Compare{Op: EqOp, L: col("P", "SNO"), R: col("S", "SNO")},
+	}
+	e := &And{
+		L: &Compare{Op: EqOp, L: col("S", "SNAME"), R: &HostVar{Name: "N"}},
+		R: &Exists{Query: sub},
+	}
+	refs := ColumnRefs(e)
+	if len(refs) != 3 {
+		t.Fatalf("got %d column refs, want 3 (including subquery)", len(refs))
+	}
+	if !HasExists(e) {
+		t.Error("HasExists false negative")
+	}
+	if HasExists(e.L) {
+		t.Error("HasExists false positive")
+	}
+	hv := HostVars(e)
+	if len(hv) != 1 || hv[0].Name != "N" {
+		t.Errorf("host vars = %v", hv)
+	}
+}
+
+func TestWalkPruning(t *testing.T) {
+	e := &And{
+		L: &Compare{Op: EqOp, L: col("T", "A"), R: &IntLit{V: 1}},
+		R: &Compare{Op: EqOp, L: col("T", "B"), R: &IntLit{V: 2}},
+	}
+	var seen int
+	WalkExpr(e, func(x Expr) bool {
+		seen++
+		_, isAnd := x.(*And)
+		return isAnd // descend only from the root
+	})
+	// Root AND + its two Compare children, but not the children's operands.
+	if seen != 3 {
+		t.Errorf("visited %d nodes, want 3", seen)
+	}
+}
+
+func TestCloneExprIsDeep(t *testing.T) {
+	orig := &And{
+		L: &Between{X: col("T", "A"), Lo: &IntLit{V: 1}, Hi: &IntLit{V: 9}},
+		R: &InList{X: col("T", "B"), List: []Expr{&StringLit{V: "x"}}},
+	}
+	cp := CloneExpr(orig).(*And)
+	cp.L.(*Between).Lo.(*IntLit).V = 100
+	cp.R.(*InList).List[0].(*StringLit).V = "mutated"
+	if orig.L.(*Between).Lo.(*IntLit).V != 1 {
+		t.Error("Between clone shares Lo")
+	}
+	if orig.R.(*InList).List[0].(*StringLit).V != "x" {
+		t.Error("InList clone shares list")
+	}
+}
+
+func TestCloneSelectIsDeep(t *testing.T) {
+	s := &Select{
+		Quant: QuantDistinct,
+		Items: []SelectItem{{Expr: col("S", "SNO")}, {Star: true, StarQualifier: "P"}},
+		From:  []TableRef{{Table: "SUPPLIER", Alias: "S"}},
+		Where: &IsNull{X: col("S", "SNAME")},
+	}
+	cp := CloneSelect(s)
+	cp.Items[0].Expr.(*ColumnRef).Column = "MUTATED"
+	cp.From[0].Alias = "Z"
+	cp.Where.(*IsNull).Negated = true
+	if s.Items[0].Expr.(*ColumnRef).Column != "SNO" ||
+		s.From[0].Alias != "S" || s.Where.(*IsNull).Negated {
+		t.Error("CloneSelect shares state")
+	}
+	if CloneSelect(nil) != nil {
+		t.Error("CloneSelect(nil) should be nil")
+	}
+}
+
+func TestCloneQuery(t *testing.T) {
+	so := &SetOp{
+		Op:  Intersect,
+		All: true,
+		Left: &Select{Items: []SelectItem{{Expr: col("", "X")}},
+			From: []TableRef{{Table: "A"}}},
+		Right: &Select{Items: []SelectItem{{Expr: col("", "X")}},
+			From: []TableRef{{Table: "B"}}},
+	}
+	cp := CloneQuery(so).(*SetOp)
+	cp.Left.From[0].Table = "MUTATED"
+	if so.Left.From[0].Table != "A" {
+		t.Error("CloneQuery shares state")
+	}
+	if _, ok := CloneQuery(so.Left).(*Select); !ok {
+		t.Error("CloneQuery of Select should be Select")
+	}
+}
+
+func TestPrintParenthesization(t *testing.T) {
+	a := &Compare{Op: EqOp, L: col("", "A"), R: &IntLit{V: 1}}
+	b := &Compare{Op: EqOp, L: col("", "B"), R: &IntLit{V: 2}}
+	c := &Compare{Op: EqOp, L: col("", "C"), R: &IntLit{V: 3}}
+	// (A OR B) AND C must print with parens.
+	e := &And{L: &Or{L: a, R: b}, R: c}
+	want := "(A = 1 OR B = 2) AND C = 3"
+	if got := e.SQL(); got != want {
+		t.Errorf("SQL() = %q, want %q", got, want)
+	}
+	// A OR (B AND C) — the printer parenthesizes AND under OR
+	// conservatively; re-parsing groups identically either way.
+	e2 := &Or{L: a, R: &And{L: b, R: c}}
+	if got := e2.SQL(); got != "A = 1 OR (B = 2 AND C = 3)" {
+		t.Errorf("SQL() = %q", got)
+	}
+}
+
+func TestPrintMisc(t *testing.T) {
+	if (&NullLit{}).SQL() != "NULL" {
+		t.Error("NullLit print wrong")
+	}
+	if (&BoolLit{V: true}).SQL() != "TRUE" || (&BoolLit{V: false}).SQL() != "FALSE" {
+		t.Error("BoolLit print wrong")
+	}
+	if (&HostVar{Name: "PART-NO"}).SQL() != ":PART-NO" {
+		t.Error("HostVar print wrong")
+	}
+	if (&StringLit{V: "o'clock"}).SQL() != "'o''clock'" {
+		t.Error("string escaping wrong")
+	}
+	n := &Not{X: &Compare{Op: EqOp, L: col("", "A"), R: &IntLit{V: 1}}}
+	if n.SQL() != "NOT (A = 1)" {
+		t.Errorf("Not print = %q", n.SQL())
+	}
+	ex := &Exists{Negated: true, Query: &Select{
+		Items: []SelectItem{{Star: true}}, From: []TableRef{{Table: "T"}}}}
+	if ex.SQL() != "NOT EXISTS (SELECT * FROM T)" {
+		t.Errorf("Exists print = %q", ex.SQL())
+	}
+	if (SetOpKind(9)).String() != "INTERSECT" && Except.String() != "EXCEPT" {
+		t.Error("SetOpKind string wrong")
+	}
+	if TypeInteger.String() != "INTEGER" || TypeVarchar.String() != "VARCHAR" ||
+		TypeBoolean.String() != "BOOLEAN" {
+		t.Error("TypeName string wrong")
+	}
+}

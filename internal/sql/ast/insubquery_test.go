@@ -1,0 +1,124 @@
+package ast
+
+import "testing"
+
+func sampleSub() *Select {
+	return &Select{
+		Items: []SelectItem{{Expr: &ColumnRef{Qualifier: "P", Column: "SNO"}}},
+		From:  []TableRef{{Table: "PARTS", Alias: "P"}},
+		Where: &Compare{Op: EqOp,
+			L: &ColumnRef{Qualifier: "P", Column: "COLOR"},
+			R: &StringLit{V: "RED"}},
+	}
+}
+
+func TestInSubquerySQL(t *testing.T) {
+	in := &InSubquery{X: &ColumnRef{Qualifier: "S", Column: "SNO"}, Query: sampleSub()}
+	want := "S.SNO IN (SELECT P.SNO FROM PARTS P WHERE P.COLOR = 'RED')"
+	if got := in.SQL(); got != want {
+		t.Errorf("SQL() = %q, want %q", got, want)
+	}
+	in.Negated = true
+	if got := in.SQL(); got != "S.SNO NOT "+want[len("S.SNO "):] {
+		t.Errorf("negated SQL() = %q", got)
+	}
+}
+
+func TestInSubqueryCloneIsDeep(t *testing.T) {
+	in := &InSubquery{X: &ColumnRef{Qualifier: "S", Column: "SNO"}, Query: sampleSub()}
+	cp := CloneExpr(in).(*InSubquery)
+	cp.X.(*ColumnRef).Column = "MUTATED"
+	cp.Query.From[0].Alias = "Z"
+	cp.Query.Where.(*Compare).R.(*StringLit).V = "BLUE"
+	if in.X.(*ColumnRef).Column != "SNO" ||
+		in.Query.From[0].Alias != "P" ||
+		in.Query.Where.(*Compare).R.(*StringLit).V != "RED" {
+		t.Error("clone shares state with the original")
+	}
+}
+
+func TestInSubqueryWalk(t *testing.T) {
+	in := &InSubquery{X: &ColumnRef{Qualifier: "S", Column: "SNO"}, Query: sampleSub()}
+	refs := ColumnRefs(in)
+	// S.SNO (the operand) and P.COLOR (inside the subquery predicate).
+	if len(refs) != 2 {
+		t.Fatalf("refs = %d, want 2", len(refs))
+	}
+	if !HasExists(in) {
+		t.Error("IN-subquery must count as a subquery predicate")
+	}
+}
+
+func TestSelectItemAndTableRefSQL(t *testing.T) {
+	if (SelectItem{Star: true}).SQL() != "*" {
+		t.Error("bare star print wrong")
+	}
+	if (SelectItem{Star: true, StarQualifier: "P"}).SQL() != "P.*" {
+		t.Error("qualified star print wrong")
+	}
+	if (TableRef{Table: "T", Alias: "T"}).SQL() != "T" {
+		t.Error("identity alias should be suppressed")
+	}
+	if (TableRef{Table: "SUPPLIER", Alias: "S"}).SQL() != "SUPPLIER S" {
+		t.Error("alias print wrong")
+	}
+}
+
+func TestComparisonOperandParenthesization(t *testing.T) {
+	// Boolean connectives as comparison operands (Clone-built trees)
+	// must parenthesize.
+	e := &Compare{Op: EqOp,
+		L: &And{L: &BoolLit{V: true}, R: &BoolLit{V: false}},
+		R: &IntLit{V: 1}}
+	if got := e.SQL(); got != "(TRUE AND FALSE) = 1" {
+		t.Errorf("SQL() = %q", got)
+	}
+	n := &IsNull{X: &Or{L: &BoolLit{V: true}, R: &BoolLit{V: false}}}
+	if got := n.SQL(); got != "(TRUE OR FALSE) IS NULL" {
+		t.Errorf("SQL() = %q", got)
+	}
+}
+
+func TestQuantifierPrintForms(t *testing.T) {
+	s := &Select{Items: []SelectItem{{Star: true}}, From: []TableRef{{Table: "T"}}}
+	if s.SQL() != "SELECT * FROM T" {
+		t.Errorf("default quantifier print = %q", s.SQL())
+	}
+	s.Quant = QuantAll
+	if s.SQL() != "SELECT ALL * FROM T" {
+		t.Errorf("ALL print = %q", s.SQL())
+	}
+	s.Quant = QuantDistinct
+	if s.SQL() != "SELECT DISTINCT * FROM T" {
+		t.Errorf("DISTINCT print = %q", s.SQL())
+	}
+}
+
+func TestCloneExprPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("CloneExpr on an unknown node should panic")
+		}
+	}()
+	type weird struct{ Expr }
+	CloneExpr(weird{})
+}
+
+func TestCloneQueryPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("CloneQuery on an unknown node should panic")
+		}
+	}()
+	type weird struct{ Query }
+	CloneQuery(weird{})
+}
+
+func TestCompareOpUnknownString(t *testing.T) {
+	if CompareOp(99).String() != "?" {
+		t.Error("unknown operator should render as ?")
+	}
+	if TypeName(99).String() != "?" {
+		t.Error("unknown type should render as ?")
+	}
+}

@@ -1,0 +1,239 @@
+package ast
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// SQL renderings. Parenthesization is conservative: AND/OR operands
+// that are themselves OR/AND are parenthesized so the output re-parses
+// to the same tree shape.
+
+// SQL renders the column reference.
+func (e *ColumnRef) SQL() string {
+	if e.Qualifier != "" {
+		return e.Qualifier + "." + e.Column
+	}
+	return e.Column
+}
+
+// SQL renders the integer literal.
+func (e *IntLit) SQL() string { return strconv.FormatInt(e.V, 10) }
+
+// SQL renders the string literal with ” escaping.
+func (e *StringLit) SQL() string {
+	return "'" + strings.ReplaceAll(e.V, "'", "''") + "'"
+}
+
+// SQL renders TRUE or FALSE.
+func (e *BoolLit) SQL() string {
+	if e.V {
+		return "TRUE"
+	}
+	return "FALSE"
+}
+
+// SQL renders NULL.
+func (e *NullLit) SQL() string { return "NULL" }
+
+// SQL renders the host variable as :NAME.
+func (e *HostVar) SQL() string { return ":" + e.Name }
+
+// SQL renders the comparison.
+func (e *Compare) SQL() string {
+	return fmt.Sprintf("%s %s %s", parenOperand(e.L), e.Op, parenOperand(e.R))
+}
+
+// SQL renders the BETWEEN predicate.
+func (e *Between) SQL() string {
+	not := ""
+	if e.Negated {
+		not = "NOT "
+	}
+	return fmt.Sprintf("%s %sBETWEEN %s AND %s",
+		parenOperand(e.X), not, parenOperand(e.Lo), parenOperand(e.Hi))
+}
+
+// SQL renders the IN predicate.
+func (e *InList) SQL() string {
+	parts := make([]string, len(e.List))
+	for i, x := range e.List {
+		parts[i] = x.SQL()
+	}
+	not := ""
+	if e.Negated {
+		not = "NOT "
+	}
+	return fmt.Sprintf("%s %sIN (%s)", parenOperand(e.X), not, strings.Join(parts, ", "))
+}
+
+// SQL renders the IS [NOT] NULL predicate.
+func (e *IsNull) SQL() string {
+	if e.Negated {
+		return parenOperand(e.X) + " IS NOT NULL"
+	}
+	return parenOperand(e.X) + " IS NULL"
+}
+
+// SQL renders the negation.
+func (e *Not) SQL() string { return "NOT (" + e.X.SQL() + ")" }
+
+// SQL renders the conjunction.
+func (e *And) SQL() string {
+	return parenIfOr(e.L) + " AND " + parenIfOr(e.R)
+}
+
+// SQL renders the disjunction.
+func (e *Or) SQL() string {
+	return parenIfAnd(e.L) + " OR " + parenIfAnd(e.R)
+}
+
+// SQL renders the EXISTS predicate.
+func (e *Exists) SQL() string {
+	not := ""
+	if e.Negated {
+		not = "NOT "
+	}
+	return not + "EXISTS (" + e.Query.SQL() + ")"
+}
+
+// SQL renders the IN-subquery predicate.
+func (e *InSubquery) SQL() string {
+	not := ""
+	if e.Negated {
+		not = "NOT "
+	}
+	return parenOperand(e.X) + " " + not + "IN (" + e.Query.SQL() + ")"
+}
+
+// parenOperand wraps boolean connectives appearing as comparison
+// operands (which the grammar does not produce, but Clone-built trees
+// might).
+func parenOperand(e Expr) string {
+	switch e.(type) {
+	case *And, *Or:
+		return "(" + e.SQL() + ")"
+	}
+	return e.SQL()
+}
+
+func parenIfOr(e Expr) string {
+	if _, ok := e.(*Or); ok {
+		return "(" + e.SQL() + ")"
+	}
+	return e.SQL()
+}
+
+func parenIfAnd(e Expr) string {
+	if _, ok := e.(*And); ok {
+		return "(" + e.SQL() + ")"
+	}
+	return e.SQL()
+}
+
+// SQL renders the projection item.
+func (it SelectItem) SQL() string {
+	if it.Star {
+		if it.StarQualifier != "" {
+			return it.StarQualifier + ".*"
+		}
+		return "*"
+	}
+	return it.Expr.SQL()
+}
+
+// SQL renders the table reference.
+func (t TableRef) SQL() string {
+	if t.Alias != "" && t.Alias != t.Table {
+		return t.Table + " " + t.Alias
+	}
+	return t.Table
+}
+
+// SQL renders the query specification.
+func (s *Select) SQL() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	switch s.Quant {
+	case QuantAll:
+		sb.WriteString("ALL ")
+	case QuantDistinct:
+		sb.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(it.SQL())
+	}
+	sb.WriteString(" FROM ")
+	for i, t := range s.From {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(t.SQL())
+	}
+	if s.Where != nil {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(s.Where.SQL())
+	}
+	return sb.String()
+}
+
+// SQL renders the query expression.
+func (s *SetOp) SQL() string {
+	op := s.Op.String()
+	if s.All {
+		op += " ALL"
+	}
+	return s.Left.SQL() + " " + op + " " + s.Right.SQL()
+}
+
+// SQL renders the CREATE TABLE statement.
+func (c *CreateTable) SQL() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "CREATE TABLE %s (", c.Name)
+	first := true
+	sep := func() {
+		if !first {
+			sb.WriteString(", ")
+		}
+		first = false
+	}
+	for _, col := range c.Columns {
+		sep()
+		fmt.Fprintf(&sb, "%s %s", col.Name, col.Type)
+		if col.NotNull {
+			sb.WriteString(" NOT NULL")
+		}
+	}
+	for _, k := range c.Keys {
+		sep()
+		if k.Primary {
+			sb.WriteString("PRIMARY KEY (")
+		} else {
+			sb.WriteString("UNIQUE (")
+		}
+		sb.WriteString(strings.Join(k.Columns, ", "))
+		sb.WriteString(")")
+	}
+	for _, fk := range c.ForeignKeys {
+		sep()
+		sb.WriteString("FOREIGN KEY (")
+		sb.WriteString(strings.Join(fk.Columns, ", "))
+		sb.WriteString(") REFERENCES ")
+		sb.WriteString(fk.RefTable)
+		sb.WriteString(" (")
+		sb.WriteString(strings.Join(fk.RefColumns, ", "))
+		sb.WriteString(")")
+	}
+	for _, chk := range c.Checks {
+		sep()
+		sb.WriteString("CHECK (")
+		sb.WriteString(chk.SQL())
+		sb.WriteString(")")
+	}
+	sb.WriteString(")")
+	return sb.String()
+}

@@ -1,0 +1,231 @@
+// Package lexer tokenizes the SQL2 subset accepted by the parser.
+//
+// Identifiers and keywords are case-insensitive and are canonicalized
+// to upper case, matching the paper's presentation. Identifiers may
+// contain '-' after the first character (the paper writes host
+// variables and columns like :SUPPLIER-NO and OEM-PNO), which is
+// unusual for SQL but faithful to the source. String literals use
+// single quotes with ” as the escape.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+
+	"uniqopt/internal/sql/token"
+)
+
+// Error is a lexical error with its source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("lex error at %s: %s", e.Pos, e.Msg) }
+
+// Lexer scans an input string into tokens.
+type Lexer struct {
+	src       string
+	off       int
+	line, col int
+}
+
+// New returns a Lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Tokenize scans the entire input and returns all tokens, ending with
+// an EOF token.
+func Tokenize(src string) ([]token.Token, error) {
+	lx := New(src)
+	var out []token.Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == token.EOF {
+			return out, nil
+		}
+	}
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) pos() token.Pos { return token.Pos{Line: l.line, Col: l.col} }
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+func isIdentCont(c byte) bool { return isIdentStart(c) || isDigit(c) || c == '-' }
+
+// skipSpaceAndComments consumes whitespace and "--" line comments.
+func (l *Lexer) skipSpaceAndComments() {
+	for l.off < len(l.src) {
+		switch {
+		case isSpace(l.peek()):
+			l.advance()
+		case l.peek() == '-' && l.peek2() == '-':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (token.Token, error) {
+	l.skipSpaceAndComments()
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return token.Token{Kind: token.EOF, Pos: pos}, nil
+	}
+	c := l.peek()
+	switch {
+	case isIdentStart(c):
+		return l.scanIdent(pos), nil
+	case isDigit(c):
+		return l.scanNumber(pos), nil
+	case c == '\'':
+		return l.scanString(pos)
+	case c == ':':
+		return l.scanHostVar(pos)
+	}
+	l.advance()
+	simple := func(k token.Kind, text string) (token.Token, error) {
+		return token.Token{Kind: k, Text: text, Pos: pos}, nil
+	}
+	switch c {
+	case '(':
+		return simple(token.LParen, "(")
+	case ')':
+		return simple(token.RParen, ")")
+	case ',':
+		return simple(token.Comma, ",")
+	case ';':
+		return simple(token.Semicolon, ";")
+	case '*':
+		return simple(token.Star, "*")
+	case '.':
+		return simple(token.Dot, ".")
+	case '=':
+		return simple(token.Eq, "=")
+	case '<':
+		if l.peek() == '=' {
+			l.advance()
+			return simple(token.LtEq, "<=")
+		}
+		if l.peek() == '>' {
+			l.advance()
+			return simple(token.NotEq, "<>")
+		}
+		return simple(token.Lt, "<")
+	case '>':
+		if l.peek() == '=' {
+			l.advance()
+			return simple(token.GtEq, ">=")
+		}
+		return simple(token.Gt, ">")
+	case '!':
+		if l.peek() == '=' {
+			l.advance()
+			return simple(token.NotEq, "!=")
+		}
+	}
+	return token.Token{}, &Error{Pos: pos, Msg: fmt.Sprintf("unexpected character %q", c)}
+}
+
+// scanIdent scans an identifier or keyword. A '-' is included in the
+// identifier only when followed by another identifier character, so
+// "A-B" is one identifier but "A - B" and "A -- comment" are not.
+func (l *Lexer) scanIdent(pos token.Pos) token.Token {
+	start := l.off
+	l.advance()
+	for l.off < len(l.src) {
+		c := l.peek()
+		if c == '-' {
+			if isIdentCont(l.peek2()) && l.peek2() != '-' {
+				l.advance()
+				continue
+			}
+			break
+		}
+		if !isIdentCont(c) {
+			break
+		}
+		l.advance()
+	}
+	text := strings.ToUpper(l.src[start:l.off])
+	if k, ok := token.Keywords[text]; ok {
+		return token.Token{Kind: k, Text: text, Pos: pos}
+	}
+	return token.Token{Kind: token.Ident, Text: text, Pos: pos}
+}
+
+func (l *Lexer) scanNumber(pos token.Pos) token.Token {
+	start := l.off
+	for l.off < len(l.src) && isDigit(l.peek()) {
+		l.advance()
+	}
+	return token.Token{Kind: token.Number, Text: l.src[start:l.off], Pos: pos}
+}
+
+func (l *Lexer) scanString(pos token.Pos) (token.Token, error) {
+	l.advance() // opening quote
+	var sb strings.Builder
+	for {
+		if l.off >= len(l.src) {
+			return token.Token{}, &Error{Pos: pos, Msg: "unterminated string literal"}
+		}
+		c := l.advance()
+		if c == '\'' {
+			if l.peek() == '\'' { // escaped quote
+				l.advance()
+				sb.WriteByte('\'')
+				continue
+			}
+			return token.Token{Kind: token.String, Text: sb.String(), Pos: pos}, nil
+		}
+		sb.WriteByte(c)
+	}
+}
+
+func (l *Lexer) scanHostVar(pos token.Pos) (token.Token, error) {
+	l.advance() // ':'
+	if l.off >= len(l.src) || !isIdentStart(l.peek()) {
+		return token.Token{}, &Error{Pos: pos, Msg: "expected identifier after ':'"}
+	}
+	t := l.scanIdent(l.pos())
+	return token.Token{Kind: token.HostVar, Text: t.Text, Pos: pos}, nil
+}

@@ -1,0 +1,175 @@
+package lexer
+
+import (
+	"testing"
+
+	"uniqopt/internal/sql/token"
+)
+
+func kinds(t *testing.T, src string) []token.Kind {
+	t.Helper()
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatalf("Tokenize(%q): %v", src, err)
+	}
+	out := make([]token.Kind, len(toks))
+	for i, tk := range toks {
+		out[i] = tk.Kind
+	}
+	return out
+}
+
+func texts(t *testing.T, src string) []string {
+	t.Helper()
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatalf("Tokenize(%q): %v", src, err)
+	}
+	out := make([]string, 0, len(toks)-1)
+	for _, tk := range toks {
+		if tk.Kind != token.EOF {
+			out = append(out, tk.Text)
+		}
+	}
+	return out
+}
+
+func eqKinds(a, b []token.Kind) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestKeywordsAndIdents(t *testing.T) {
+	got := kinds(t, "SELECT distinct S.SNO FROM supplier s")
+	want := []token.Kind{token.KwSelect, token.KwDistinct, token.Ident,
+		token.Dot, token.Ident, token.KwFrom, token.Ident, token.Ident, token.EOF}
+	if !eqKinds(got, want) {
+		t.Errorf("kinds = %v, want %v", got, want)
+	}
+}
+
+func TestCaseFolding(t *testing.T) {
+	ts := texts(t, "select Supplier sNo")
+	want := []string{"SELECT", "SUPPLIER", "SNO"}
+	for i := range want {
+		if ts[i] != want[i] {
+			t.Errorf("text[%d] = %q, want %q", i, ts[i], want[i])
+		}
+	}
+}
+
+func TestHyphenatedIdentifiers(t *testing.T) {
+	// OEM-PNO is a single identifier (paper's column name); "A - B" is
+	// a comparison-like sequence; "A -- c" starts a comment.
+	ts := texts(t, "OEM-PNO")
+	if len(ts) != 1 || ts[0] != "OEM-PNO" {
+		t.Errorf("OEM-PNO lexed as %v", ts)
+	}
+	got := kinds(t, "A -- comment\nB")
+	want := []token.Kind{token.Ident, token.Ident, token.EOF}
+	if !eqKinds(got, want) {
+		t.Errorf("comment handling: kinds = %v, want %v", got, want)
+	}
+}
+
+func TestHostVariables(t *testing.T) {
+	toks, err := Tokenize(":SUPPLIER-NO = :part_no")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != token.HostVar || toks[0].Text != "SUPPLIER-NO" {
+		t.Errorf("first token = %v", toks[0])
+	}
+	if toks[1].Kind != token.Eq {
+		t.Errorf("second token = %v", toks[1])
+	}
+	if toks[2].Kind != token.HostVar || toks[2].Text != "PART_NO" {
+		t.Errorf("third token = %v", toks[2])
+	}
+}
+
+func TestStringsAndEscapes(t *testing.T) {
+	toks, err := Tokenize("'New York' 'it''s'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "New York" {
+		t.Errorf("string 0 = %q", toks[0].Text)
+	}
+	if toks[1].Text != "it's" {
+		t.Errorf("string 1 = %q", toks[1].Text)
+	}
+}
+
+func TestOperators(t *testing.T) {
+	got := kinds(t, "= <> != < <= > >= ( ) , ; * .")
+	want := []token.Kind{token.Eq, token.NotEq, token.NotEq, token.Lt,
+		token.LtEq, token.Gt, token.GtEq, token.LParen, token.RParen,
+		token.Comma, token.Semicolon, token.Star, token.Dot, token.EOF}
+	if !eqKinds(got, want) {
+		t.Errorf("kinds = %v, want %v", got, want)
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	toks, err := Tokenize("499 0 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []string{"499", "0", "10"} {
+		if toks[i].Kind != token.Number || toks[i].Text != want {
+			t.Errorf("token %d = %v, want number %q", i, toks[i], want)
+		}
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, err := Tokenize("SELECT\n  SNO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("SELECT pos = %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("SNO pos = %v", toks[1].Pos)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []string{
+		"'unterminated",
+		": 5",   // bare colon
+		"a @ b", // stray character
+		"!",     // lone bang
+	}
+	for _, src := range cases {
+		if _, err := Tokenize(src); err == nil {
+			t.Errorf("Tokenize(%q): expected error", src)
+		}
+	}
+}
+
+func TestFullPaperQuery(t *testing.T) {
+	src := `SELECT DISTINCT S.SNO, P.PNO, P.PNAME
+	        FROM SUPPLIER S, PARTS P
+	        WHERE S.SNO = P.SNO AND P.COLOR = 'RED'`
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[len(toks)-1].Kind != token.EOF {
+		t.Error("missing EOF")
+	}
+	// Spot checks.
+	if toks[0].Kind != token.KwSelect || toks[1].Kind != token.KwDistinct {
+		t.Error("prefix wrong")
+	}
+}

@@ -1,0 +1,71 @@
+package parser
+
+import (
+	"testing"
+)
+
+// FuzzParseStatement asserts the parser never panics on arbitrary
+// input and that anything it accepts round-trips through the printer
+// to a re-parseable, print-stable statement.
+func FuzzParseStatement(f *testing.F) {
+	seeds := []string{
+		"SELECT DISTINCT S.SNO, P.PNO FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO",
+		"SELECT ALL A FROM T WHERE A BETWEEN 1 AND 9 AND B IN ('x', 'y')",
+		"SELECT * FROM R WHERE EXISTS (SELECT * FROM S WHERE S.K = R.K)",
+		"SELECT X FROM A INTERSECT ALL SELECT X FROM B",
+		"SELECT X FROM A EXCEPT SELECT X FROM B",
+		"SELECT S.SNO FROM S WHERE S.SNO NOT IN (SELECT P.SNO FROM P)",
+		"CREATE TABLE T (A INTEGER NOT NULL, B VARCHAR(9), PRIMARY KEY (A), UNIQUE (B), CHECK (A > 0), FOREIGN KEY (B) REFERENCES U (C))",
+		"SELECT :H FROM", // malformed
+		"((((",
+		"'unterminated",
+		"SELECT -- comment\nX FROM T",
+		"SELECT OEM-PNO FROM PARTS WHERE A <> 1 OR NOT B = 2",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		st, err := ParseStatement(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		printed := st.SQL()
+		st2, err := ParseStatement(printed)
+		if err != nil {
+			t.Fatalf("accepted %q but its printed form %q does not re-parse: %v",
+				src, printed, err)
+		}
+		if st2.SQL() != printed {
+			t.Fatalf("print not stable:\n 1: %s\n 2: %s", printed, st2.SQL())
+		}
+	})
+}
+
+// FuzzParseExpr mirrors the statement fuzzer for bare expressions.
+func FuzzParseExpr(f *testing.F) {
+	for _, s := range []string{
+		"A = 1 AND (B = 2 OR C = 3)",
+		"NOT (X IS NULL)",
+		"A BETWEEN :L AND :H",
+		"SCITY IN ('a', 'b', 'c')",
+		"TRUE OR FALSE",
+		"A <> B AND NOT C < D",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := ParseExpr(src)
+		if err != nil {
+			return
+		}
+		printed := e.SQL()
+		e2, err := ParseExpr(printed)
+		if err != nil {
+			t.Fatalf("accepted %q but printed form %q does not re-parse: %v", src, printed, err)
+		}
+		if e2.SQL() != printed {
+			t.Fatalf("print not stable: %q vs %q", printed, e2.SQL())
+		}
+	})
+}

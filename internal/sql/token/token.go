@@ -1,0 +1,131 @@
+// Package token defines the lexical tokens of the SQL2 subset used by
+// the uniqueness optimizer: query specifications (SELECT/FROM/WHERE),
+// query expressions (INTERSECT/EXCEPT [ALL]), EXISTS subqueries,
+// CREATE TABLE with PRIMARY KEY / UNIQUE / CHECK constraints, and
+// host variables of the form :NAME.
+package token
+
+import "fmt"
+
+// Kind identifies a class of token.
+type Kind uint8
+
+// Token kinds. Keyword kinds follow the operator and literal kinds.
+const (
+	EOF Kind = iota
+	Ident
+	Number
+	String
+	HostVar // :IDENT
+
+	// Punctuation and operators.
+	LParen
+	RParen
+	Comma
+	Semicolon
+	Star
+	Dot
+	Eq    // =
+	NotEq // <> or !=
+	Lt    // <
+	LtEq  // <=
+	Gt    // >
+	GtEq  // >=
+
+	// Keywords.
+	KwSelect
+	KwDistinct
+	KwAll
+	KwFrom
+	KwWhere
+	KwAnd
+	KwOr
+	KwNot
+	KwExists
+	KwBetween
+	KwIn
+	KwIs
+	KwNull
+	KwTrue
+	KwFalse
+	KwIntersect
+	KwExcept
+	KwCreate
+	KwTable
+	KwPrimary
+	KwKey
+	KwUnique
+	KwCheck
+	KwConstraint
+	KwForeign
+	KwReferences
+	KwInteger
+	KwVarchar
+	KwBoolean
+	KwAs
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", Ident: "identifier", Number: "number", String: "string",
+	HostVar: "host variable",
+	LParen:  "(", RParen: ")", Comma: ",", Semicolon: ";", Star: "*",
+	Dot: ".", Eq: "=", NotEq: "<>", Lt: "<", LtEq: "<=", Gt: ">", GtEq: ">=",
+	KwSelect: "SELECT", KwDistinct: "DISTINCT", KwAll: "ALL", KwFrom: "FROM",
+	KwWhere: "WHERE", KwAnd: "AND", KwOr: "OR", KwNot: "NOT",
+	KwExists: "EXISTS", KwBetween: "BETWEEN", KwIn: "IN", KwIs: "IS",
+	KwNull: "NULL", KwTrue: "TRUE", KwFalse: "FALSE",
+	KwIntersect: "INTERSECT", KwExcept: "EXCEPT",
+	KwCreate: "CREATE", KwTable: "TABLE", KwPrimary: "PRIMARY", KwKey: "KEY",
+	KwUnique: "UNIQUE", KwCheck: "CHECK", KwConstraint: "CONSTRAINT",
+	KwForeign: "FOREIGN", KwReferences: "REFERENCES",
+	KwInteger: "INTEGER", KwVarchar: "VARCHAR", KwBoolean: "BOOLEAN",
+	KwAs: "AS",
+}
+
+// String returns a human-readable name for k.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Keywords maps upper-cased keyword spellings to their kinds.
+var Keywords = map[string]Kind{
+	"SELECT": KwSelect, "DISTINCT": KwDistinct, "ALL": KwAll,
+	"FROM": KwFrom, "WHERE": KwWhere, "AND": KwAnd, "OR": KwOr,
+	"NOT": KwNot, "EXISTS": KwExists, "BETWEEN": KwBetween, "IN": KwIn,
+	"IS": KwIs, "NULL": KwNull, "TRUE": KwTrue, "FALSE": KwFalse,
+	"INTERSECT": KwIntersect, "EXCEPT": KwExcept,
+	"CREATE": KwCreate, "TABLE": KwTable, "PRIMARY": KwPrimary,
+	"KEY": KwKey, "UNIQUE": KwUnique, "CHECK": KwCheck,
+	"CONSTRAINT": KwConstraint,
+	"FOREIGN":    KwForeign, "REFERENCES": KwReferences,
+	"INTEGER": KwInteger, "INT": KwInteger, "VARCHAR": KwVarchar,
+	"CHAR": KwVarchar, "BOOLEAN": KwBoolean, "AS": KwAs,
+}
+
+// Pos is a 1-based source position.
+type Pos struct {
+	Line, Col int
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a single lexical token with its source text and position.
+type Token struct {
+	Kind Kind
+	Text string // original text (identifiers upper-cased by the lexer)
+	Pos  Pos
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case Ident, Number, String, HostVar:
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}

@@ -1,0 +1,59 @@
+package token
+
+import "testing"
+
+func TestKindStrings(t *testing.T) {
+	cases := map[Kind]string{
+		EOF:       "EOF",
+		Ident:     "identifier",
+		Number:    "number",
+		String:    "string",
+		HostVar:   "host variable",
+		LParen:    "(",
+		Eq:        "=",
+		NotEq:     "<>",
+		LtEq:      "<=",
+		GtEq:      ">=",
+		KwSelect:  "SELECT",
+		KwBetween: "BETWEEN",
+		KwCheck:   "CHECK",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+	if Kind(200).String() == "" {
+		t.Error("unknown kind must still render")
+	}
+}
+
+func TestKeywordsTable(t *testing.T) {
+	// Spot-check aliases and coverage.
+	if Keywords["INT"] != KwInteger || Keywords["INTEGER"] != KwInteger {
+		t.Error("INT alias missing")
+	}
+	if Keywords["CHAR"] != KwVarchar {
+		t.Error("CHAR alias missing")
+	}
+	for kw, kind := range Keywords {
+		if kind == EOF || kind == Ident {
+			t.Errorf("keyword %q maps to non-keyword kind %v", kw, kind)
+		}
+	}
+}
+
+func TestPosAndTokenString(t *testing.T) {
+	p := Pos{Line: 3, Col: 14}
+	if p.String() != "3:14" {
+		t.Errorf("Pos.String() = %q", p.String())
+	}
+	tok := Token{Kind: Ident, Text: "SNO", Pos: p}
+	if tok.String() != `identifier "SNO"` {
+		t.Errorf("Token.String() = %q", tok.String())
+	}
+	kw := Token{Kind: KwSelect, Text: "SELECT"}
+	if kw.String() != "SELECT" {
+		t.Errorf("keyword Token.String() = %q", kw.String())
+	}
+}

@@ -1,0 +1,150 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"uniqopt/internal/value"
+)
+
+// OrderedIndex is a sorted secondary index over one or more columns:
+// entries are (key projection, row ordinal) pairs ordered by
+// value.OrderCompareRows then ordinal. It supports equality lookups on
+// a leading prefix and range scans on the first column — the access
+// paths the paper's Section 6 examples assume ("an index on PARTS by
+// PNO and an index on SUPPLIER by SNO").
+type OrderedIndex struct {
+	Name    string
+	Columns []int // ordinals in the owning table
+	keys    []value.Row
+	rows    []int
+}
+
+// Len reports the number of index entries.
+func (ix *OrderedIndex) Len() int { return len(ix.rows) }
+
+func (ix *OrderedIndex) insert(key value.Row, row int) {
+	i := sort.Search(len(ix.keys), func(i int) bool {
+		c := value.OrderCompareRows(ix.keys[i], key)
+		if c != 0 {
+			return c >= 0
+		}
+		return ix.rows[i] >= row
+	})
+	ix.keys = append(ix.keys, nil)
+	ix.rows = append(ix.rows, 0)
+	copy(ix.keys[i+1:], ix.keys[i:])
+	copy(ix.rows[i+1:], ix.rows[i:])
+	ix.keys[i] = key
+	ix.rows[i] = row
+}
+
+// prefixBounds returns the half-open entry span whose keys start with
+// prefix (compared with OrderCompareRows on the prefix length).
+func (ix *OrderedIndex) prefixBounds(prefix value.Row) (int, int) {
+	n := len(prefix)
+	lo := sort.Search(len(ix.keys), func(i int) bool {
+		return value.OrderCompareRows(ix.keys[i][:n], prefix) >= 0
+	})
+	hi := sort.Search(len(ix.keys), func(i int) bool {
+		return value.OrderCompareRows(ix.keys[i][:n], prefix) > 0
+	})
+	return lo, hi
+}
+
+// Lookup returns the row ordinals whose leading index columns equal
+// prefix under ≐ ordering. An over-long prefix is an error.
+func (ix *OrderedIndex) Lookup(prefix value.Row) ([]int, error) {
+	if len(prefix) == 0 || len(prefix) > len(ix.Columns) {
+		return nil, fmt.Errorf("storage: index %s: prefix length %d out of range", ix.Name, len(prefix))
+	}
+	lo, hi := ix.prefixBounds(prefix)
+	return append([]int(nil), ix.rows[lo:hi]...), nil
+}
+
+// Range returns the row ordinals whose first index column lies in
+// [lo, hi] (NULLs excluded; a nil bound is open).
+func (ix *OrderedIndex) Range(lo, hi *value.Value) []int {
+	a := 0
+	if lo != nil {
+		a = sort.Search(len(ix.keys), func(i int) bool {
+			if ix.keys[i][0].IsNull() {
+				return false // NULL sorts first, excluded
+			}
+			return value.OrderCompare(ix.keys[i][0], *lo) >= 0
+		})
+	} else {
+		// Skip NULL entries.
+		a = sort.Search(len(ix.keys), func(i int) bool {
+			return !ix.keys[i][0].IsNull()
+		})
+	}
+	b := len(ix.keys)
+	if hi != nil {
+		b = sort.Search(len(ix.keys), func(i int) bool {
+			if ix.keys[i][0].IsNull() {
+				return false
+			}
+			return value.OrderCompare(ix.keys[i][0], *hi) > 0
+		})
+	}
+	if a > b {
+		return nil
+	}
+	return append([]int(nil), ix.rows[a:b]...)
+}
+
+// CreateOrderedIndex builds a sorted index over the named columns and
+// registers it on the table; existing rows are indexed immediately and
+// future inserts maintain it.
+func (t *Table) CreateOrderedIndex(name string, cols ...string) (*OrderedIndex, error) {
+	if name == "" || len(cols) == 0 {
+		return nil, fmt.Errorf("storage: index needs a name and columns")
+	}
+	name = strings.ToUpper(name)
+	for _, ix := range t.ordered {
+		if ix.Name == name {
+			return nil, fmt.Errorf("storage: %s: duplicate index %s", t.Schema.Name, name)
+		}
+	}
+	ix := &OrderedIndex{Name: name}
+	for _, cn := range cols {
+		ci := t.Schema.ColumnIndex(cn)
+		if ci < 0 {
+			return nil, fmt.Errorf("storage: %s: index column %s does not exist", t.Schema.Name, cn)
+		}
+		ix.Columns = append(ix.Columns, ci)
+	}
+	for ri, row := range t.rows {
+		ix.insert(indexKey(row, ix.Columns), ri)
+	}
+	t.ordered = append(t.ordered, ix)
+	return ix, nil
+}
+
+// OrderedIndexes returns the table's ordered indexes.
+func (t *Table) OrderedIndexes() []*OrderedIndex { return t.ordered }
+
+// OrderedIndexOn returns an index whose leading column is the named
+// column, if one exists.
+func (t *Table) OrderedIndexOn(col string) *OrderedIndex {
+	ci := t.Schema.ColumnIndex(col)
+	if ci < 0 {
+		return nil
+	}
+	for _, ix := range t.ordered {
+		if ix.Columns[0] == ci {
+			return ix
+		}
+	}
+	return nil
+}
+
+func indexKey(row value.Row, cols []int) value.Row {
+	out := make(value.Row, len(cols))
+	for i, c := range cols {
+		out[i] = row[c]
+	}
+	return out
+}

@@ -1,0 +1,268 @@
+// Package storage provides in-memory multiset heap tables with SQL2
+// constraint enforcement on insert:
+//
+//   - column types and NOT NULL,
+//   - CHECK table constraints under the true interpretation ⌈P⌉
+//     (a row violates a CHECK only when it is definitely False),
+//   - key constraints under the ≐ (null-equivalent) comparison: at
+//     most one row may carry any particular combination of key values,
+//     where NULL is treated as a single special value — the paper's
+//     reading of SQL2 candidate keys ("only one tuple in R may have
+//     K equal to Null").
+//
+// Because every insert is validated, any populated database is a valid
+// instance in the sense of Theorem 1, which is what makes the
+// equivalence tests in internal/core and internal/plan meaningful.
+package storage
+
+import (
+	"fmt"
+
+	"uniqopt/internal/catalog"
+	"uniqopt/internal/eval"
+	"uniqopt/internal/value"
+)
+
+// Table is one stored base table: a multiset of rows plus hash indexes
+// on each candidate key used for uniqueness enforcement and key
+// lookups.
+type Table struct {
+	Schema *catalog.Table
+	rows   []value.Row
+	keyIdx []map[uint64][]int // parallel to Schema.Keys
+	// ordered holds the secondary ordered indexes.
+	ordered []*OrderedIndex
+	// db, when non-nil, is the owning database; it enables FOREIGN KEY
+	// enforcement against sibling tables. Standalone tables created
+	// with NewTable do not enforce foreign keys.
+	db *DB
+}
+
+// NewTable creates an empty table for the given schema.
+func NewTable(schema *catalog.Table) *Table {
+	t := &Table{Schema: schema}
+	t.keyIdx = make([]map[uint64][]int, len(schema.Keys))
+	for i := range t.keyIdx {
+		t.keyIdx[i] = make(map[uint64][]int)
+	}
+	return t
+}
+
+// Len reports the number of stored rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Rows returns the stored rows. The slice and rows are owned by the
+// table; callers must not modify them.
+func (t *Table) Rows() []value.Row { return t.rows }
+
+// Row returns the i-th row.
+func (t *Table) Row(i int) value.Row { return t.rows[i] }
+
+// keyProjection extracts the key columns of row for key k.
+func keyProjection(row value.Row, k catalog.Key) value.Row {
+	out := make(value.Row, len(k.Columns))
+	for i, c := range k.Columns {
+		out[i] = row[c]
+	}
+	return out
+}
+
+// checkEnv builds the evaluation environment for CHECK constraints:
+// bare column names plus table-qualified names.
+func (t *Table) checkEnv(row value.Row) *eval.Env {
+	cols := make(map[string]value.Value, 2*len(row))
+	for i, c := range t.Schema.Columns {
+		cols[c.Name] = row[i]
+		cols[t.Schema.Name+"."+c.Name] = row[i]
+	}
+	return &eval.Env{Cols: cols}
+}
+
+// Validate checks a row against all constraints without inserting it.
+func (t *Table) Validate(row value.Row) error {
+	s := t.Schema
+	if len(row) != len(s.Columns) {
+		return fmt.Errorf("storage: %s: row has %d values, want %d", s.Name, len(row), len(s.Columns))
+	}
+	for i, col := range s.Columns {
+		v := row[i]
+		if v.IsNull() {
+			if col.NotNull {
+				return fmt.Errorf("storage: %s.%s: NULL violates NOT NULL", s.Name, col.Name)
+			}
+			continue
+		}
+		if v.Kind() != col.Type {
+			return fmt.Errorf("storage: %s.%s: value %s has type %s, want %s",
+				s.Name, col.Name, v, v.Kind(), col.Type)
+		}
+	}
+	env := t.checkEnv(row)
+	for _, chk := range s.Checks {
+		ok, err := eval.Satisfied(chk, env)
+		if err != nil {
+			return fmt.Errorf("storage: %s: CHECK %s: %w", s.Name, chk.SQL(), err)
+		}
+		if !ok {
+			return fmt.Errorf("storage: %s: row %s violates CHECK (%s)", s.Name, row, chk.SQL())
+		}
+	}
+	for ki, k := range s.Keys {
+		kv := keyProjection(row, k)
+		for _, ri := range t.keyIdx[ki][value.HashRow(kv)] {
+			if value.NullEqRows(kv, keyProjection(t.rows[ri], k)) {
+				kind := "UNIQUE"
+				if k.Primary {
+					kind = "PRIMARY KEY"
+				}
+				return fmt.Errorf("storage: %s: row %s violates %s (%v)",
+					s.Name, row, kind, s.KeyColumnNames(k))
+			}
+		}
+	}
+	if t.db != nil {
+		for _, fk := range s.ForeignKeys {
+			if err := t.db.checkForeignKey(s, fk, row); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// checkForeignKey enforces one inclusion dependency for a candidate
+// row: if every FK column is non-NULL, the referenced key value must
+// exist. Any NULL component makes the dependency vacuous (SQL's MATCH
+// SIMPLE rule).
+func (db *DB) checkForeignKey(owner *catalog.Table, fk catalog.ForeignKey, row value.Row) error {
+	kv := make(value.Row, len(fk.Columns))
+	for i, ci := range fk.Columns {
+		if row[ci].IsNull() {
+			return nil
+		}
+		kv[i] = row[ci]
+	}
+	ref, ok := db.Table(fk.RefTable)
+	if !ok {
+		return fmt.Errorf("storage: %s: FOREIGN KEY references unattached table %s",
+			owner.Name, fk.RefTable)
+	}
+	if ref.LookupKey(fk.RefKey, kv) < 0 {
+		return fmt.Errorf("storage: %s: row %s violates FOREIGN KEY into %s (no row with key %s)",
+			owner.Name, row, fk.RefTable, kv)
+	}
+	return nil
+}
+
+// Insert validates and stores a row. The row is cloned; the caller
+// keeps ownership of its argument.
+func (t *Table) Insert(row value.Row) error {
+	if err := t.Validate(row); err != nil {
+		return err
+	}
+	r := row.Clone()
+	idx := len(t.rows)
+	t.rows = append(t.rows, r)
+	for ki, k := range t.Schema.Keys {
+		h := value.HashRow(keyProjection(r, k))
+		t.keyIdx[ki][h] = append(t.keyIdx[ki][h], idx)
+	}
+	for _, ix := range t.ordered {
+		ix.insert(indexKey(r, ix.Columns), idx)
+	}
+	return nil
+}
+
+// LookupKey returns the ordinal of the row whose key ki equals keyVals
+// under ≐, or -1. Key uniqueness guarantees at most one match.
+func (t *Table) LookupKey(ki int, keyVals value.Row) int {
+	k := t.Schema.Keys[ki]
+	for _, ri := range t.keyIdx[ki][value.HashRow(keyVals)] {
+		if value.NullEqRows(keyVals, keyProjection(t.rows[ri], k)) {
+			return ri
+		}
+	}
+	return -1
+}
+
+// Truncate removes all rows. Ordered indexes are emptied but kept.
+func (t *Table) Truncate() {
+	t.rows = nil
+	for i := range t.keyIdx {
+		t.keyIdx[i] = make(map[uint64][]int)
+	}
+	for _, ix := range t.ordered {
+		ix.keys = nil
+		ix.rows = nil
+	}
+}
+
+// DB is a collection of stored tables over a catalog.
+type DB struct {
+	Catalog *catalog.Catalog
+	tables  map[string]*Table
+}
+
+// NewDB creates an empty database over cat. A stored table is created
+// for every table currently in the catalog.
+func NewDB(cat *catalog.Catalog) *DB {
+	db := &DB{Catalog: cat, tables: make(map[string]*Table)}
+	for _, name := range cat.TableNames() {
+		schema, _ := cat.Table(name)
+		t := NewTable(schema)
+		t.db = db
+		db.tables[name] = t
+	}
+	return db
+}
+
+// AttachTable creates an empty stored table for a schema defined in
+// the catalog after the DB was opened. It is a no-op if the table is
+// already attached.
+func (db *DB) AttachTable(schema *catalog.Table) error {
+	if _, ok := db.Catalog.Table(schema.Name); !ok {
+		return fmt.Errorf("storage: schema %s is not in the catalog", schema.Name)
+	}
+	if _, exists := db.tables[schema.Name]; exists {
+		return nil
+	}
+	t := NewTable(schema)
+	t.db = db
+	db.tables[schema.Name] = t
+	return nil
+}
+
+// Table returns the stored table with the given name.
+func (db *DB) Table(name string) (*Table, bool) {
+	t, ok := db.tables[normalize(name)]
+	return t, ok
+}
+
+// MustTable returns the stored table or panics; for tests and
+// generators over known schemas.
+func (db *DB) MustTable(name string) *Table {
+	t, ok := db.Table(name)
+	if !ok {
+		panic(fmt.Sprintf("storage: unknown table %s", name))
+	}
+	return t
+}
+
+// Insert inserts a row into the named table.
+func (db *DB) Insert(table string, row value.Row) error {
+	t, ok := db.Table(table)
+	if !ok {
+		return fmt.Errorf("storage: unknown table %s", table)
+	}
+	return t.Insert(row)
+}
+
+func normalize(name string) string {
+	b := []byte(name)
+	for i, c := range b {
+		if 'a' <= c && c <= 'z' {
+			b[i] = c - 'a' + 'A'
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,133 @@
+// Package tvl implements SQL's three-valued logic (3VL) together with
+// the interpretation operators used throughout Paulley & Larson,
+// "Exploiting Uniqueness in Query Optimization" (ICDE 1994).
+//
+// SQL predicates evaluate to one of three truth values: True, False, or
+// Unknown. Unknown arises whenever a comparison involves NULL. The
+// paper's Table 2 defines two interpretation operators that collapse a
+// three-valued predicate P(x) to two values:
+//
+//	⌈P(x)⌉  true-interpreted:  x IS NULL OR P(x)
+//	⌊P(x)⌋  false-interpreted: x IS NOT NULL AND P(x)
+//
+// WHERE and HAVING clauses are false-interpreted (rows for which the
+// predicate is Unknown are rejected), while duplicate elimination,
+// GROUP BY and ORDER BY treat NULL values as equal to each other —
+// the null-equivalence operator ≐ of Table 2, implemented by the value
+// package.
+package tvl
+
+import "fmt"
+
+// Truth is a three-valued logic truth value.
+type Truth uint8
+
+// The three truth values of SQL's 3VL. The zero value is Unknown so
+// that an uninitialized Truth is conservative in both interpretations'
+// senses of "don't know".
+const (
+	Unknown Truth = iota
+	False
+	True
+)
+
+// Of converts a Go bool to a Truth.
+func Of(b bool) Truth {
+	if b {
+		return True
+	}
+	return False
+}
+
+// String returns the conventional SQL spelling of t.
+func (t Truth) String() string {
+	switch t {
+	case True:
+		return "TRUE"
+	case False:
+		return "FALSE"
+	case Unknown:
+		return "UNKNOWN"
+	default:
+		return fmt.Sprintf("Truth(%d)", uint8(t))
+	}
+}
+
+// Valid reports whether t is one of the three defined truth values.
+func Valid(t Truth) bool { return t <= True }
+
+// Not implements 3VL negation: ¬Unknown = Unknown.
+func Not(t Truth) Truth {
+	switch t {
+	case True:
+		return False
+	case False:
+		return True
+	default:
+		return Unknown
+	}
+}
+
+// And implements Kleene conjunction: False dominates, then Unknown.
+func And(a, b Truth) Truth {
+	if a == False || b == False {
+		return False
+	}
+	if a == Unknown || b == Unknown {
+		return Unknown
+	}
+	return True
+}
+
+// Or implements Kleene disjunction: True dominates, then Unknown.
+func Or(a, b Truth) Truth {
+	if a == True || b == True {
+		return True
+	}
+	if a == Unknown || b == Unknown {
+		return Unknown
+	}
+	return False
+}
+
+// AndAll folds And over ts; the conjunction of no operands is True.
+func AndAll(ts ...Truth) Truth {
+	out := True
+	for _, t := range ts {
+		out = And(out, t)
+		if out == False {
+			return False
+		}
+	}
+	return out
+}
+
+// OrAll folds Or over ts; the disjunction of no operands is False.
+func OrAll(ts ...Truth) Truth {
+	out := False
+	for _, t := range ts {
+		out = Or(out, t)
+		if out == True {
+			return True
+		}
+	}
+	return out
+}
+
+// Implies implements 3VL material implication a ⇒ b ≡ ¬a ∨ b.
+func Implies(a, b Truth) Truth { return Or(Not(a), b) }
+
+// Equiv implements 3VL logical equivalence (a ⇒ b) ∧ (b ⇒ a).
+func Equiv(a, b Truth) Truth { return And(Implies(a, b), Implies(b, a)) }
+
+// TrueInterpreted is the paper's ⌈P⌉ operator: Unknown is promoted to
+// True. Used when a constraint must be given the benefit of the doubt.
+func TrueInterpreted(t Truth) bool { return t != False }
+
+// FalseInterpreted is the paper's ⌊P⌋ operator: Unknown is demoted to
+// False. This is the WHERE-clause interpretation: a row qualifies only
+// if the predicate is definitely True.
+func FalseInterpreted(t Truth) bool { return t == True }
+
+// IsUnknown reports whether t is Unknown.
+func IsUnknown(t Truth) bool { return t == Unknown }

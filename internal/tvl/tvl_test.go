@@ -1,0 +1,218 @@
+package tvl
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		in   Truth
+		want string
+	}{
+		{True, "TRUE"},
+		{False, "FALSE"},
+		{Unknown, "UNKNOWN"},
+		{Truth(7), "Truth(7)"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String(%d) = %q, want %q", uint8(c.in), got, c.want)
+		}
+	}
+}
+
+func TestOf(t *testing.T) {
+	if Of(true) != True || Of(false) != False {
+		t.Fatalf("Of mapped bools incorrectly: Of(true)=%v Of(false)=%v", Of(true), Of(false))
+	}
+}
+
+func TestValid(t *testing.T) {
+	for _, v := range []Truth{Unknown, False, True} {
+		if !Valid(v) {
+			t.Errorf("Valid(%v) = false, want true", v)
+		}
+	}
+	if Valid(Truth(3)) {
+		t.Error("Valid(3) = true, want false")
+	}
+}
+
+// Truth tables straight from the SQL standard.
+func TestNotTable(t *testing.T) {
+	cases := []struct{ in, want Truth }{
+		{True, False},
+		{False, True},
+		{Unknown, Unknown},
+	}
+	for _, c := range cases {
+		if got := Not(c.in); got != c.want {
+			t.Errorf("Not(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAndTable(t *testing.T) {
+	cases := []struct{ a, b, want Truth }{
+		{True, True, True},
+		{True, False, False},
+		{True, Unknown, Unknown},
+		{False, True, False},
+		{False, False, False},
+		{False, Unknown, False},
+		{Unknown, True, Unknown},
+		{Unknown, False, False},
+		{Unknown, Unknown, Unknown},
+	}
+	for _, c := range cases {
+		if got := And(c.a, c.b); got != c.want {
+			t.Errorf("And(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestOrTable(t *testing.T) {
+	cases := []struct{ a, b, want Truth }{
+		{True, True, True},
+		{True, False, True},
+		{True, Unknown, True},
+		{False, True, True},
+		{False, False, False},
+		{False, Unknown, Unknown},
+		{Unknown, True, True},
+		{Unknown, False, Unknown},
+		{Unknown, Unknown, Unknown},
+	}
+	for _, c := range cases {
+		if got := Or(c.a, c.b); got != c.want {
+			t.Errorf("Or(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestImpliesTable(t *testing.T) {
+	cases := []struct{ a, b, want Truth }{
+		{True, True, True},
+		{True, False, False},
+		{True, Unknown, Unknown},
+		{False, True, True},
+		{False, False, True},
+		{False, Unknown, True},
+		{Unknown, True, True},
+		{Unknown, False, Unknown},
+		{Unknown, Unknown, Unknown},
+	}
+	for _, c := range cases {
+		if got := Implies(c.a, c.b); got != c.want {
+			t.Errorf("Implies(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEquiv(t *testing.T) {
+	if Equiv(True, True) != True || Equiv(False, False) != True {
+		t.Error("Equiv of identical definite values should be True")
+	}
+	if Equiv(True, False) != False {
+		t.Error("Equiv(True,False) should be False")
+	}
+	if Equiv(Unknown, True) != Unknown || Equiv(Unknown, Unknown) != Unknown {
+		t.Error("Equiv involving Unknown should be Unknown")
+	}
+}
+
+func TestFolds(t *testing.T) {
+	if AndAll() != True {
+		t.Error("empty conjunction must be True")
+	}
+	if OrAll() != False {
+		t.Error("empty disjunction must be False")
+	}
+	if AndAll(True, Unknown, True) != Unknown {
+		t.Error("AndAll with Unknown should be Unknown")
+	}
+	if AndAll(True, Unknown, False) != False {
+		t.Error("AndAll with False should be False")
+	}
+	if OrAll(False, Unknown, False) != Unknown {
+		t.Error("OrAll with Unknown should be Unknown")
+	}
+	if OrAll(False, True, Unknown) != True {
+		t.Error("OrAll with True should be True")
+	}
+}
+
+func TestInterpretations(t *testing.T) {
+	// ⌈P⌉: Unknown counts as satisfied; ⌊P⌋: Unknown counts as failed.
+	if !TrueInterpreted(Unknown) || !TrueInterpreted(True) || TrueInterpreted(False) {
+		t.Error("TrueInterpreted truth table wrong")
+	}
+	if FalseInterpreted(Unknown) || !FalseInterpreted(True) || FalseInterpreted(False) {
+		t.Error("FalseInterpreted truth table wrong")
+	}
+	if !IsUnknown(Unknown) || IsUnknown(True) || IsUnknown(False) {
+		t.Error("IsUnknown wrong")
+	}
+}
+
+func clamp(t Truth) Truth { return Truth(uint8(t) % 3) }
+
+// Property: De Morgan's laws hold in Kleene 3VL.
+func TestDeMorganProperty(t *testing.T) {
+	f := func(a, b uint8) bool {
+		x, y := clamp(Truth(a)), clamp(Truth(b))
+		return Not(And(x, y)) == Or(Not(x), Not(y)) &&
+			Not(Or(x, y)) == And(Not(x), Not(y))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: And/Or are commutative, associative and idempotent.
+func TestLatticeProperties(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		x, y, z := clamp(Truth(a)), clamp(Truth(b)), clamp(Truth(c))
+		return And(x, y) == And(y, x) &&
+			Or(x, y) == Or(y, x) &&
+			And(And(x, y), z) == And(x, And(y, z)) &&
+			Or(Or(x, y), z) == Or(x, Or(y, z)) &&
+			And(x, x) == x && Or(x, x) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: double negation and absorption.
+func TestNegationProperties(t *testing.T) {
+	f := func(a, b uint8) bool {
+		x, y := clamp(Truth(a)), clamp(Truth(b))
+		return Not(Not(x)) == x &&
+			And(x, Or(x, y)) == x &&
+			Or(x, And(x, y)) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the two interpretations bracket the truth value.
+// ⌊P⌋ ⇒ P is not False, and P True ⇒ ⌈P⌉.
+func TestInterpretationBracketProperty(t *testing.T) {
+	f := func(a uint8) bool {
+		x := clamp(Truth(a))
+		if FalseInterpreted(x) && x == False {
+			return false
+		}
+		if x == True && !TrueInterpreted(x) {
+			return false
+		}
+		// ⌊P⌋ ⇒ ⌈P⌉ always.
+		return !FalseInterpreted(x) || TrueInterpreted(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

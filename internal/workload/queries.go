@@ -1,0 +1,162 @@
+package workload
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// PaperQueries are the SQL texts of the paper's worked examples
+// (Examples 1–9 plus the SQL shapes of Examples 10–11), keyed by
+// example number for the integration suites.
+var PaperQueries = map[string]string{
+	"example1": `SELECT DISTINCT S.SNO, P.PNO, P.PNAME FROM SUPPLIER S, PARTS P
+		WHERE S.SNO = P.SNO AND P.COLOR = 'RED'`,
+	"example2": `SELECT DISTINCT S.SNAME, P.PNO, P.PNAME FROM SUPPLIER S, PARTS P
+		WHERE S.SNO = P.SNO AND P.COLOR = 'RED'`,
+	"example3": `SELECT ALL S.SNO, SNAME, P.PNO, PNAME FROM SUPPLIER S, PARTS P
+		WHERE P.SNO = :SUPPLIER-NO AND S.SNO = P.SNO`,
+	"example4": `SELECT DISTINCT S.SNO, SNAME, P.PNO, PNAME FROM SUPPLIER S, PARTS P
+		WHERE P.SNO = :SUPPLIER-NO AND S.SNO = P.SNO`,
+	"example6": `SELECT DISTINCT S.SNO, PNO, PNAME, P.COLOR FROM SUPPLIER S, PARTS P
+		WHERE S.SNAME = :SUPPLIER-NAME AND S.SNO = P.SNO`,
+	"example7": `SELECT ALL S.SNO, S.SNAME FROM SUPPLIER S
+		WHERE S.SNAME = :SUPPLIER-NAME AND
+		EXISTS (SELECT * FROM PARTS P WHERE S.SNO = P.SNO AND P.PNO = :PART-NO)`,
+	"example8": `SELECT ALL S.SNO, S.SNAME FROM SUPPLIER S
+		WHERE EXISTS (SELECT * FROM PARTS P WHERE P.SNO = S.SNO AND P.COLOR = 'RED')`,
+	"example9": `SELECT ALL S.SNO FROM SUPPLIER S WHERE S.SCITY = 'Toronto'
+		INTERSECT
+		SELECT ALL A.SNO FROM AGENTS A WHERE A.ACITY = 'Ottawa' OR A.ACITY = 'Hull'`,
+	"example10": `SELECT ALL S.SNO, S.SNAME, S.SCITY, S.BUDGET, S.STATUS
+		FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO AND P.PNO = :PARTNO`,
+	"example11": `SELECT ALL S.SNO, S.SNAME, S.SCITY, S.BUDGET, S.STATUS
+		FROM SUPPLIER S, PARTS P
+		WHERE S.SNO BETWEEN 10 AND 20 AND S.SNO = P.SNO AND P.PNO = :PARTNO`,
+}
+
+// PaperHostVars lists the host variables each paper query needs, so
+// harnesses can bind them.
+var PaperHostVars = map[string][]string{
+	"example3":  {"SUPPLIER-NO"},
+	"example4":  {"SUPPLIER-NO"},
+	"example6":  {"SUPPLIER-NAME"},
+	"example7":  {"SUPPLIER-NAME", "PART-NO"},
+	"example10": {"PARTNO"},
+	"example11": {"PARTNO"},
+}
+
+var supplierCols = []string{"S.SNO", "S.SNAME", "S.SCITY", "S.BUDGET", "S.STATUS"}
+var partsCols = []string{"P.SNO", "P.PNO", "P.PNAME", "P.COLOR"}
+
+// RandomQuery generates a random, always-resolvable query over the
+// supplier schema: a query specification (possibly with DISTINCT, a
+// join, and/or a correlated EXISTS) or an INTERSECT/EXCEPT [ALL]
+// expression. Used by the plan-equivalence property suite.
+func RandomQuery(r *rand.Rand) string {
+	if r.Intn(5) == 0 {
+		return randomSetOp(r)
+	}
+	return randomSelect(r)
+}
+
+func pick(r *rand.Rand, xs []string) string { return xs[r.Intn(len(xs))] }
+
+func subset(r *rand.Rand, xs []string, min int) []string {
+	n := min + r.Intn(len(xs)-min+1)
+	idx := r.Perm(len(xs))[:n]
+	out := make([]string, n)
+	for i, j := range idx {
+		out[i] = xs[j]
+	}
+	return out
+}
+
+func randomSelect(r *rand.Rand) string {
+	quant := pick(r, []string{"", "ALL ", "DISTINCT "})
+	join := r.Intn(2) == 0
+
+	var cols []string
+	var from string
+	var preds []string
+
+	if join {
+		from = "SUPPLIER S, PARTS P"
+		cols = subset(r, append(append([]string{}, supplierCols...), partsCols...), 1)
+		preds = append(preds, "S.SNO = P.SNO")
+		if r.Intn(2) == 0 {
+			preds = append(preds, "P.COLOR = 'RED'")
+		}
+		if r.Intn(3) == 0 {
+			preds = append(preds, "P.PNO = 1")
+		}
+		if r.Intn(4) == 0 {
+			preds = append(preds, "S.BUDGET > 500")
+		}
+	} else {
+		from = "SUPPLIER S"
+		cols = subset(r, supplierCols, 1)
+		switch r.Intn(4) {
+		case 0:
+			preds = append(preds, "S.SCITY = 'Toronto'")
+		case 1:
+			preds = append(preds, "S.SNO BETWEEN 10 AND 40")
+		case 2:
+			preds = append(preds, "S.SNO = 7")
+		}
+		switch r.Intn(5) {
+		case 0, 1:
+			sub := "SELECT * FROM PARTS P WHERE P.SNO = S.SNO"
+			switch r.Intn(3) {
+			case 0:
+				sub += " AND P.COLOR = 'RED'"
+			case 1:
+				sub += " AND P.PNO = 2"
+			}
+			not := ""
+			if r.Intn(4) == 0 {
+				not = "NOT "
+			}
+			preds = append(preds, not+"EXISTS ("+sub+")")
+		case 2:
+			sub := "SELECT P.SNO FROM PARTS P"
+			if r.Intn(2) == 0 {
+				sub += " WHERE P.COLOR = 'RED'"
+			}
+			not := ""
+			if r.Intn(4) == 0 {
+				not = "NOT "
+			}
+			preds = append(preds, "S.SNO "+not+"IN ("+sub+")")
+		}
+	}
+	q := "SELECT " + quant + strings.Join(cols, ", ") + " FROM " + from
+	if len(preds) > 0 {
+		q += " WHERE " + strings.Join(preds, " AND ")
+	}
+	return q
+}
+
+func randomSetOp(r *rand.Rand) string {
+	op := pick(r, []string{"INTERSECT", "INTERSECT ALL", "EXCEPT", "EXCEPT ALL"})
+	// Union-compatible single-column operands over SNO.
+	lsel := "SELECT ALL S.SNO FROM SUPPLIER S"
+	if r.Intn(2) == 0 {
+		lsel += " WHERE S.SCITY = 'Toronto'"
+	}
+	var rsel string
+	if r.Intn(2) == 0 {
+		rsel = "SELECT ALL A.SNO FROM AGENTS A"
+		if r.Intn(2) == 0 {
+			rsel += " WHERE A.ACITY = 'Ottawa' OR A.ACITY = 'Hull'"
+		}
+	} else {
+		rsel = "SELECT ALL P.SNO FROM PARTS P"
+		if r.Intn(2) == 0 {
+			rsel += " WHERE P.COLOR = 'RED'"
+		}
+	}
+	if r.Intn(2) == 0 {
+		return rsel + " " + op + " " + lsel
+	}
+	return lsel + " " + op + " " + rsel
+}

@@ -1,0 +1,247 @@
+// Package workload generates deterministic synthetic databases over
+// the paper's supplier schema (Figure 1) and the parameterized query
+// workloads used by the experiments in EXPERIMENTS.md.
+//
+// Two schema variants are provided: PaperCatalog is Figure 1 verbatim
+// , including the CHECK constraints that cap SNO at 499; BenchCatalog
+// removes the range caps so cardinality sweeps can exceed them while
+// keeping the same keys.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"uniqopt/internal/catalog"
+	"uniqopt/internal/sql/ast"
+	"uniqopt/internal/sql/parser"
+	"uniqopt/internal/storage"
+	"uniqopt/internal/value"
+)
+
+// PaperDDL is Figure 1's schema with the CHECK constraints from
+// Section 2.1 and the referential relationships the figure's caption
+// states ("Tuples in PARTS reference the SUPPLIER who supply them;
+// tuples in AGENTS reference the SUPPLIER they represent") as
+// FOREIGN KEY inclusion dependencies.
+var PaperDDL = []string{
+	`CREATE TABLE SUPPLIER (
+		SNO INTEGER, SNAME VARCHAR(30), SCITY VARCHAR(20),
+		BUDGET INTEGER, STATUS VARCHAR(10),
+		PRIMARY KEY (SNO),
+		CHECK (SNO BETWEEN 1 AND 499),
+		CHECK (SCITY IN ('Chicago', 'New York', 'Toronto')),
+		CHECK (BUDGET <> 0 OR STATUS = 'Inactive'))`,
+	`CREATE TABLE PARTS (
+		SNO INTEGER, PNO INTEGER, PNAME VARCHAR(30),
+		OEM-PNO INTEGER, COLOR VARCHAR(10),
+		PRIMARY KEY (SNO, PNO),
+		UNIQUE (OEM-PNO),
+		FOREIGN KEY (SNO) REFERENCES SUPPLIER (SNO),
+		CHECK (SNO BETWEEN 1 AND 499))`,
+	`CREATE TABLE AGENTS (
+		SNO INTEGER, ANO INTEGER, ANAME VARCHAR(30), ACITY VARCHAR(20),
+		PRIMARY KEY (SNO, ANO),
+		FOREIGN KEY (SNO) REFERENCES SUPPLIER (SNO))`,
+}
+
+// BenchDDL is the same schema without the SNO range caps and city
+// whitelist, so benchmarks can scale beyond 499 suppliers.
+var BenchDDL = []string{
+	`CREATE TABLE SUPPLIER (
+		SNO INTEGER, SNAME VARCHAR(30), SCITY VARCHAR(20),
+		BUDGET INTEGER, STATUS VARCHAR(10),
+		PRIMARY KEY (SNO))`,
+	`CREATE TABLE PARTS (
+		SNO INTEGER, PNO INTEGER, PNAME VARCHAR(30),
+		OEM-PNO INTEGER, COLOR VARCHAR(10),
+		PRIMARY KEY (SNO, PNO),
+		UNIQUE (OEM-PNO),
+		FOREIGN KEY (SNO) REFERENCES SUPPLIER (SNO))`,
+	`CREATE TABLE AGENTS (
+		SNO INTEGER, ANO INTEGER, ANAME VARCHAR(30), ACITY VARCHAR(20),
+		PRIMARY KEY (SNO, ANO),
+		FOREIGN KEY (SNO) REFERENCES SUPPLIER (SNO))`,
+}
+
+// buildCatalog parses DDL into a catalog.
+func buildCatalog(ddl []string) (*catalog.Catalog, error) {
+	c := catalog.New()
+	for _, src := range ddl {
+		st, err := parser.ParseStatement(src)
+		if err != nil {
+			return nil, fmt.Errorf("workload: %w", err)
+		}
+		ct, ok := st.(*ast.CreateTable)
+		if !ok {
+			return nil, fmt.Errorf("workload: DDL statement is %T", st)
+		}
+		if _, err := c.DefineFromAST(ct); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// PaperCatalog returns Figure 1's schema with all CHECK constraints.
+func PaperCatalog() *catalog.Catalog {
+	c, err := buildCatalog(PaperDDL)
+	if err != nil {
+		panic(err) // static DDL; cannot fail
+	}
+	return c
+}
+
+// BenchCatalog returns the scalable variant of the schema.
+func BenchCatalog() *catalog.Catalog {
+	c, err := buildCatalog(BenchDDL)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config parameterizes data generation.
+type Config struct {
+	Suppliers         int     // number of SUPPLIER rows (SNO 1..N)
+	PartsPerSupplier  int     // fan-out of PARTS per supplier
+	AgentsPerSupplier int     // fan-out of AGENTS per supplier
+	RedFraction       float64 // fraction of parts colored RED
+	NameDupEvery      int     // every k-th supplier reuses a name (0 = all unique)
+	NullOEM           bool    // give one part a NULL OEM-PNO (at most one: OEM-PNO is a ≐ key)
+	Seed              int64
+	PaperLimits       bool // honor Figure 1's CHECK ranges (caps Suppliers at 499)
+}
+
+// DefaultConfig is a small, fast instance.
+func DefaultConfig() Config {
+	return Config{
+		Suppliers:         100,
+		PartsPerSupplier:  10,
+		AgentsPerSupplier: 2,
+		RedFraction:       0.3,
+		NameDupEvery:      3,
+		Seed:              1,
+		PaperLimits:       false,
+	}
+}
+
+var cities = []string{"Chicago", "New York", "Toronto"}
+var extraCities = []string{"Ottawa", "Hull", "Paris", "Waterloo"}
+var colors = []string{"RED", "BLUE", "GREEN", "YELLOW"}
+var namePool = []string{"Smith", "Jones", "Blake", "Clark", "Adams", "Kim", "Larson", "Paulley"}
+
+// NewDB builds and populates a database per cfg. With PaperLimits the
+// Figure 1 catalog (and its CHECKs) is used and Suppliers is capped at
+// 499; otherwise the scalable catalog is used.
+func NewDB(cfg Config) (*storage.DB, error) {
+	var cat *catalog.Catalog
+	if cfg.PaperLimits {
+		cat = PaperCatalog()
+		if cfg.Suppliers > 499 {
+			cfg.Suppliers = 499
+		}
+	} else {
+		cat = BenchCatalog()
+	}
+	db := storage.NewDB(cat)
+	if err := Populate(db, cfg); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// Populate fills db with deterministic data per cfg.
+func Populate(db *storage.DB, cfg Config) error {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	cityPool := cities
+	if !cfg.PaperLimits {
+		cityPool = append(append([]string{}, cities...), extraCities...)
+	}
+	oem := int64(1000)
+	for i := 1; i <= cfg.Suppliers; i++ {
+		name := namePool[r.Intn(len(namePool))] + fmt.Sprint(i)
+		if cfg.NameDupEvery > 0 && i%cfg.NameDupEvery == 0 {
+			name = namePool[r.Intn(len(namePool))] // deliberately collides
+		}
+		budget := int64(1 + r.Intn(1000))
+		status := "Active"
+		if r.Intn(10) == 0 {
+			budget = 0
+			status = "Inactive"
+		}
+		row := value.Row{
+			value.Int(int64(i)),
+			value.String_(name),
+			value.String_(cityPool[r.Intn(len(cityPool))]),
+			value.Int(budget),
+			value.String_(status),
+		}
+		if err := db.Insert("SUPPLIER", row); err != nil {
+			return fmt.Errorf("workload: supplier %d: %w", i, err)
+		}
+		for p := 1; p <= cfg.PartsPerSupplier; p++ {
+			color := colors[1+r.Intn(len(colors)-1)]
+			if r.Float64() < cfg.RedFraction {
+				color = "RED"
+			}
+			oem++
+			oemVal := value.Value(value.Int(oem))
+			if cfg.NullOEM && i == 1 && p == 1 {
+				// SQL2's ≐ key semantics allow exactly one NULL key
+				// value per table ("only one tuple in PARTS may have
+				// OEM-PNO = NULL").
+				oemVal = value.Null
+			}
+			row := value.Row{
+				value.Int(int64(i)),
+				value.Int(int64(p)),
+				value.String_(fmt.Sprintf("part-%d-%d", i, p)),
+				oemVal,
+				value.String_(color),
+			}
+			if err := db.Insert("PARTS", row); err != nil {
+				return fmt.Errorf("workload: part %d/%d: %w", i, p, err)
+			}
+		}
+		for a := 1; a <= cfg.AgentsPerSupplier; a++ {
+			row := value.Row{
+				value.Int(int64(i)),
+				value.Int(int64(a)),
+				value.String_(fmt.Sprintf("agent-%d-%d", i, a)),
+				value.String_(append(append([]string{}, cities...), extraCities...)[r.Intn(7)]),
+			}
+			if err := db.Insert("AGENTS", row); err != nil {
+				return fmt.Errorf("workload: agent %d/%d: %w", i, a, err)
+			}
+		}
+	}
+	return nil
+}
+
+// CreateIndexes builds the ordered secondary indexes the paper's
+// Section 6 examples assume — "an index on PARTS by PNO and an index
+// on SUPPLIER by SNO" — plus selection-friendly indexes used by the
+// planner's access-path tests.
+func CreateIndexes(db *storage.DB) error {
+	specs := []struct {
+		table, name string
+		cols        []string
+	}{
+		{"SUPPLIER", "SUPPLIER_SNO", []string{"SNO"}},
+		{"SUPPLIER", "SUPPLIER_SCITY", []string{"SCITY"}},
+		{"PARTS", "PARTS_SNO", []string{"SNO", "PNO"}},
+		{"PARTS", "PARTS_COLOR", []string{"COLOR"}},
+		{"AGENTS", "AGENTS_ACITY", []string{"ACITY"}},
+	}
+	for _, sp := range specs {
+		t, ok := db.Table(sp.table)
+		if !ok {
+			return fmt.Errorf("workload: no table %s", sp.table)
+		}
+		if _, err := t.CreateOrderedIndex(sp.name, sp.cols...); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"uniqopt/internal/sql/parser"
+)
+
+func TestPaperCatalogShape(t *testing.T) {
+	c := PaperCatalog()
+	names := c.TableNames()
+	if len(names) != 3 {
+		t.Fatalf("tables = %v", names)
+	}
+	sup, _ := c.Table("SUPPLIER")
+	if len(sup.Checks) != 3 {
+		t.Errorf("SUPPLIER checks = %d", len(sup.Checks))
+	}
+	parts, _ := c.Table("PARTS")
+	if len(parts.Keys) != 2 {
+		t.Errorf("PARTS keys = %d", len(parts.Keys))
+	}
+}
+
+func TestPopulateRespectsConstraints(t *testing.T) {
+	// Inserting through storage validates everything, so a successful
+	// Populate proves the generator emits only valid rows.
+	cfg := DefaultConfig()
+	cfg.Suppliers = 50
+	cfg.PaperLimits = true
+	db, err := NewDB(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.MustTable("SUPPLIER").Len() != 50 {
+		t.Errorf("suppliers = %d", db.MustTable("SUPPLIER").Len())
+	}
+	if db.MustTable("PARTS").Len() != 50*cfg.PartsPerSupplier {
+		t.Errorf("parts = %d", db.MustTable("PARTS").Len())
+	}
+	if db.MustTable("AGENTS").Len() != 50*cfg.AgentsPerSupplier {
+		t.Errorf("agents = %d", db.MustTable("AGENTS").Len())
+	}
+}
+
+func TestPaperLimitsCapSuppliers(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Suppliers = 600
+	cfg.PaperLimits = true
+	db, err := NewDB(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.MustTable("SUPPLIER").Len() != 499 {
+		t.Errorf("suppliers = %d, want capped at 499", db.MustTable("SUPPLIER").Len())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Suppliers = 20
+	a, err := NewDB(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewDB(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at, bt := a.MustTable("PARTS"), b.MustTable("PARTS")
+	if at.Len() != bt.Len() {
+		t.Fatal("sizes differ")
+	}
+	for i := 0; i < at.Len(); i++ {
+		if at.Row(i).String() != bt.Row(i).String() {
+			t.Fatalf("row %d differs: %v vs %v", i, at.Row(i), bt.Row(i))
+		}
+	}
+}
+
+func TestNameDuplicatesOccur(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Suppliers = 200
+	cfg.NameDupEvery = 2
+	db, err := NewDB(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := db.MustTable("SUPPLIER")
+	seen := map[string]int{}
+	for i := 0; i < sup.Len(); i++ {
+		seen[sup.Row(i)[1].AsString()]++
+	}
+	dups := 0
+	for _, n := range seen {
+		if n > 1 {
+			dups++
+		}
+	}
+	if dups == 0 {
+		t.Error("generator should produce duplicate supplier names (Example 2's premise)")
+	}
+}
+
+func TestRedFraction(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Suppliers = 200
+	cfg.RedFraction = 0.5
+	db, err := NewDB(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := db.MustTable("PARTS")
+	red := 0
+	for i := 0; i < parts.Len(); i++ {
+		if parts.Row(i)[4].AsString() == "RED" {
+			red++
+		}
+	}
+	frac := float64(red) / float64(parts.Len())
+	if frac < 0.4 || frac > 0.75 {
+		t.Errorf("red fraction = %.2f, want ≈0.5 (plus random color hits)", frac)
+	}
+}
+
+func TestPaperQueriesParse(t *testing.T) {
+	for name, src := range PaperQueries {
+		if _, err := parser.ParseQuery(src); err != nil {
+			t.Errorf("%s does not parse: %v", name, err)
+		}
+	}
+	if len(PaperHostVars["example7"]) != 2 {
+		t.Error("example7 host vars wrong")
+	}
+}
+
+func TestRandomQueriesParse(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		src := RandomQuery(r)
+		if _, err := parser.ParseQuery(src); err != nil {
+			t.Fatalf("random query %q does not parse: %v", src, err)
+		}
+	}
+}
+
+func TestNullOEMOption(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Suppliers = 10
+	cfg.NullOEM = true
+	db, err := NewDB(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := db.MustTable("PARTS")
+	nulls := 0
+	for i := 0; i < parts.Len(); i++ {
+		if parts.Row(i)[3].IsNull() {
+			nulls++
+		}
+	}
+	if nulls != 1 {
+		t.Errorf("NULL OEM rows = %d, want exactly 1", nulls)
+	}
+}

@@ -1,0 +1,333 @@
+// Package uniqopt is a query-optimization library that reproduces
+// Paulley & Larson, "Exploiting Uniqueness in Query Optimization"
+// (ICDE 1994): detection of redundant DISTINCT clauses via derived
+// key/functional dependencies (Theorem 1 / Algorithm 1), the
+// subquery ↔ join transformations (Theorem 2, Corollary 1), and the
+// set-operation ↔ EXISTS transformations (Theorem 3, Corollary 2,
+// plus the EXCEPT variants), together with an executable SQL subset,
+// a constraint-enforcing storage engine, and planners that measure
+// what the rewrites buy.
+//
+// Quick start:
+//
+//	db := uniqopt.Open()
+//	db.Exec(`CREATE TABLE SUPPLIER (SNO INTEGER, SNAME VARCHAR,
+//	         PRIMARY KEY (SNO))`)
+//	db.Insert("SUPPLIER", 1, "Smith")
+//	a, _ := db.Analyze(`SELECT DISTINCT SNO, SNAME FROM SUPPLIER`)
+//	fmt.Println(a.DistinctRedundant) // true — SNO is the key
+//
+// The deeper substrates — the IMS hierarchical simulator and the OODB
+// navigational simulator of the paper's Section 6 — live in
+// internal/ims and internal/oodb and are exercised by the examples and
+// the benchmark harness.
+package uniqopt
+
+import (
+	"fmt"
+
+	"uniqopt/internal/catalog"
+	"uniqopt/internal/core"
+	"uniqopt/internal/engine"
+	"uniqopt/internal/plan"
+	"uniqopt/internal/sql/ast"
+	"uniqopt/internal/sql/parser"
+	"uniqopt/internal/storage"
+	"uniqopt/internal/value"
+)
+
+// DB is an in-memory database with the uniqueness-aware optimizer
+// attached.
+type DB struct {
+	store *storage.DB
+	opts  Options
+}
+
+// Options tune the optimizer.
+type Options struct {
+	// UseKeyFDs lets the analyzer close over key dependencies (sound
+	// extension; answers YES more often than the paper's Algorithm 1).
+	UseKeyFDs bool
+	// BindIsNull treats IS NULL conjuncts as binding (sound extension).
+	BindIsNull bool
+	// UseCheckConstraints imports column=constant CHECKs on NOT NULL
+	// columns as bindings (sound extension, §2.1's observation).
+	UseCheckConstraints bool
+	// HashDistinct uses hash-based instead of sort-based duplicate
+	// elimination during execution.
+	HashDistinct bool
+	// CostBased estimates original-vs-rewritten cost and executes the
+	// cheaper form (§5's cost-model framing). Without it the rewritten
+	// form always runs.
+	CostBased bool
+}
+
+// Open creates an empty database.
+func Open() *DB { return OpenWith(Options{}) }
+
+// OpenWith creates an empty database with the given optimizer options.
+func OpenWith(opts Options) *DB {
+	return &DB{store: storage.NewDB(catalog.New()), opts: opts}
+}
+
+// Exec runs a DDL statement (CREATE TABLE).
+func (d *DB) Exec(ddl string) error {
+	st, err := parser.ParseStatement(ddl)
+	if err != nil {
+		return err
+	}
+	ct, ok := st.(*ast.CreateTable)
+	if !ok {
+		return fmt.Errorf("uniqopt: Exec accepts CREATE TABLE; use Query for queries")
+	}
+	schema, err := d.store.Catalog.DefineFromAST(ct)
+	if err != nil {
+		return err
+	}
+	return d.store.AttachTable(schema)
+}
+
+// Insert adds a row; Go values are converted (int/int64 → INTEGER,
+// string → VARCHAR, bool → BOOLEAN, nil → NULL).
+func (d *DB) Insert(table string, values ...any) error {
+	row := make(value.Row, len(values))
+	for i, v := range values {
+		cv, err := Convert(v)
+		if err != nil {
+			return fmt.Errorf("uniqopt: value %d: %w", i, err)
+		}
+		row[i] = cv
+	}
+	return d.store.Insert(table, row)
+}
+
+// Convert maps a Go value to a SQL value.
+func Convert(v any) (value.Value, error) {
+	switch x := v.(type) {
+	case nil:
+		return value.Null, nil
+	case int:
+		return value.Int(int64(x)), nil
+	case int64:
+		return value.Int(x), nil
+	case string:
+		return value.String_(x), nil
+	case bool:
+		return value.Bool(x), nil
+	case value.Value:
+		return x, nil
+	default:
+		return value.Null, fmt.Errorf("unsupported Go type %T", v)
+	}
+}
+
+// Rows is a materialized query result.
+type Rows struct {
+	Columns []string
+	Data    [][]any
+	// Stats are the engine work counters for the execution.
+	Stats engine.Stats
+	// Rewrites lists the transformations the optimizer applied
+	// (empty when executed with Optimize=false).
+	Rewrites []RewriteInfo
+	// Plan is the physical plan, one operator per line.
+	Plan []string
+}
+
+// RewriteInfo describes one applied transformation.
+type RewriteInfo struct {
+	Rule        string
+	Description string
+	Before      string
+	After       string
+}
+
+// Query parses, optimizes, and executes a SQL query with no host
+// variables.
+func (d *DB) Query(sql string) (*Rows, error) {
+	return d.QueryWith(sql, nil, true)
+}
+
+// QueryBaseline executes the query exactly as written (no rewrites) —
+// the comparison point for the optimizer's effect.
+func (d *DB) QueryBaseline(sql string) (*Rows, error) {
+	return d.QueryWith(sql, nil, false)
+}
+
+// QueryWith executes a query with host-variable bindings (Go values),
+// optionally applying the uniqueness rewrites first.
+func (d *DB) QueryWith(sql string, hosts map[string]any, optimize bool) (*Rows, error) {
+	q, err := parser.ParseQuery(sql)
+	if err != nil {
+		return nil, err
+	}
+	hv := map[string]value.Value{}
+	for k, v := range hosts {
+		cv, err := Convert(v)
+		if err != nil {
+			return nil, fmt.Errorf("uniqopt: host :%s: %w", k, err)
+		}
+		hv[k] = cv
+	}
+	p := plan.NewPlanner(d.store, plan.Options{
+		ApplyRewrites: optimize,
+		CostBased:     d.opts.CostBased,
+		HashDistinct:  d.opts.HashDistinct,
+		Core: core.Options{
+			UseKeyFDs:           d.opts.UseKeyFDs,
+			BindIsNull:          d.opts.BindIsNull,
+			UseCheckConstraints: d.opts.UseCheckConstraints,
+		},
+	})
+	res, err := p.Run(q, hv)
+	if err != nil {
+		return nil, err
+	}
+	out := &Rows{Columns: res.Rel.Cols, Stats: res.Stats, Plan: res.Plan}
+	for _, ap := range res.Rewrites {
+		out.Rewrites = append(out.Rewrites, RewriteInfo{
+			Rule:        string(ap.Rule),
+			Description: ap.Description,
+			Before:      ap.Before,
+			After:       ap.After,
+		})
+	}
+	out.Data = make([][]any, len(res.Rel.Rows))
+	for i, row := range res.Rel.Rows {
+		out.Data[i] = make([]any, len(row))
+		for j, v := range row {
+			out.Data[i][j] = toGo(v)
+		}
+	}
+	return out, nil
+}
+
+func toGo(v value.Value) any {
+	switch v.Kind() {
+	case value.KindInt:
+		return v.AsInt()
+	case value.KindString:
+		return v.AsString()
+	case value.KindBool:
+		return v.AsBool()
+	default:
+		return nil
+	}
+}
+
+// Analysis is the user-facing uniqueness report for a query.
+type Analysis struct {
+	// Unique reports the analyzer proved the result duplicate-free.
+	Unique bool
+	// DistinctRedundant is Unique for a query that spells DISTINCT.
+	DistinctRedundant bool
+	// BoundColumns is Algorithm 1's final V set.
+	BoundColumns []string
+	// KeysUsed names the candidate key found bound for each table.
+	KeysUsed map[string][]string
+	// DerivedKeys are the candidate keys of the derived table.
+	DerivedKeys [][]string
+	// MissingTable names the table blocking a YES verdict, if any.
+	MissingTable string
+}
+
+// Analyze runs Algorithm 1 (with the configured extensions) on a
+// query and reports the verdict.
+func (d *DB) Analyze(sql string) (*Analysis, error) {
+	q, err := parser.ParseQuery(sql)
+	if err != nil {
+		return nil, err
+	}
+	an := d.analyzer()
+	v, err := an.AnalyzeQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	out := &Analysis{
+		Unique:       v.Unique,
+		BoundColumns: v.Bound,
+		KeysUsed:     v.KeysUsed,
+		DerivedKeys:  v.DerivedKeys,
+		MissingTable: v.MissingTable,
+	}
+	if s, ok := q.(*ast.Select); ok && s.Quant.IsDistinct() {
+		out.DistinctRedundant = v.Unique
+	}
+	return out, nil
+}
+
+// Suggest returns every rewrite the optimizer would consider for the
+// query, without executing anything.
+func (d *DB) Suggest(sql string) ([]RewriteInfo, error) {
+	q, err := parser.ParseQuery(sql)
+	if err != nil {
+		return nil, err
+	}
+	aps, err := d.analyzer().Suggest(q)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]RewriteInfo, len(aps))
+	for i, ap := range aps {
+		out[i] = RewriteInfo{
+			Rule:        string(ap.Rule),
+			Description: ap.Description,
+			Before:      ap.Before,
+			After:       ap.After,
+		}
+	}
+	return out, nil
+}
+
+func (d *DB) analyzer() *core.Analyzer {
+	return &core.Analyzer{Cat: d.store.Catalog, Opts: core.Options{
+		UseKeyFDs:           d.opts.UseKeyFDs,
+		BindIsNull:          d.opts.BindIsNull,
+		UseCheckConstraints: d.opts.UseCheckConstraints,
+	}}
+}
+
+// Store exposes the underlying storage for advanced integrations
+// (the IMS/OODB loaders, the benchmark harness).
+func (d *DB) Store() *storage.DB { return d.store }
+
+// CreateIndex builds an ordered secondary index on the named table,
+// enabling the planner's point/range access paths.
+func (d *DB) CreateIndex(table, name string, columns ...string) error {
+	t, ok := d.store.Table(table)
+	if !ok {
+		return fmt.Errorf("uniqopt: unknown table %s", table)
+	}
+	_, err := t.CreateOrderedIndex(name, columns...)
+	return err
+}
+
+// CheckExact runs the exact (exponential) Theorem-1 test for a query
+// specification over small default domains: two values per column plus
+// NULL where allowed. It returns whether the query is duplicate-free
+// over those domains and, when it is not, a human-readable witness —
+// two qualifying tuples that agree on the projection. maxCombos caps
+// the enumeration (0 = 5,000,000); exceeding it returns an error, which
+// is the practical face of the NP-completeness the paper notes.
+func (d *DB) CheckExact(sql string, maxCombos int) (unique bool, witness string, err error) {
+	s, err := parser.ParseSelect(sql)
+	if err != nil {
+		return false, "", err
+	}
+	if maxCombos <= 0 {
+		maxCombos = 5_000_000
+	}
+	an := d.analyzer()
+	domains, err := core.DefaultDomains(d.store.Catalog, s)
+	if err != nil {
+		return false, "", err
+	}
+	u, w, err := an.ExactUniqueness(s, domains, maxCombos)
+	if err != nil {
+		return false, "", err
+	}
+	if w != nil {
+		witness = w.String()
+	}
+	return u, witness, nil
+}

@@ -1,0 +1,303 @@
+package uniqopt
+
+import (
+	"strings"
+	"testing"
+)
+
+// paperDB opens a database with Figure 1's schema and a small instance.
+func paperDB(t testing.TB) *DB {
+	t.Helper()
+	db := Open()
+	ddl := []string{
+		`CREATE TABLE SUPPLIER (SNO INTEGER, SNAME VARCHAR, SCITY VARCHAR,
+			BUDGET INTEGER, STATUS VARCHAR, PRIMARY KEY (SNO))`,
+		`CREATE TABLE PARTS (SNO INTEGER, PNO INTEGER, PNAME VARCHAR,
+			OEM-PNO INTEGER, COLOR VARCHAR, PRIMARY KEY (SNO, PNO), UNIQUE (OEM-PNO))`,
+		`CREATE TABLE AGENTS (SNO INTEGER, ANO INTEGER, ANAME VARCHAR,
+			ACITY VARCHAR, PRIMARY KEY (SNO, ANO))`,
+	}
+	for _, d := range ddl {
+		if err := db.Exec(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sup := [][]any{
+		{1, "Smith", "Toronto", 100, "Active"},
+		{2, "Jones", "Chicago", 200, "Active"},
+		{3, "Smith", "New York", 300, "Active"},
+	}
+	for _, r := range sup {
+		if err := db.Insert("SUPPLIER", r...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	parts := [][]any{
+		{1, 1, "bolt", 101, "RED"},
+		{1, 2, "nut", nil, "BLUE"},
+		{2, 1, "bolt", 103, "RED"},
+		{3, 9, "cam", 104, "RED"},
+	}
+	for _, r := range parts {
+		if err := db.Insert("PARTS", r...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Insert("AGENTS", 1, 1, "Ann", "Ottawa"); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestExecValidation(t *testing.T) {
+	db := Open()
+	if err := db.Exec("SELECT 1 FROM T"); err == nil {
+		t.Error("Exec should reject queries")
+	}
+	if err := db.Exec("CREATE TABLE"); err == nil {
+		t.Error("Exec should propagate parse errors")
+	}
+}
+
+func TestInsertConversion(t *testing.T) {
+	db := paperDB(t)
+	if err := db.Insert("SUPPLIER", int64(4), "Kim", "Toronto", 1, "Active"); err != nil {
+		t.Errorf("int64 insert failed: %v", err)
+	}
+	if err := db.Insert("SUPPLIER", 5, "Kim", nil, 1, "Active"); err != nil {
+		t.Errorf("nil insert failed: %v", err)
+	}
+	if err := db.Insert("SUPPLIER", 3.14, "x", "y", 1, "z"); err == nil {
+		t.Error("unsupported type should fail")
+	}
+	if err := db.Insert("SUPPLIER", 1, "dup", "Toronto", 1, "Active"); err == nil {
+		t.Error("duplicate primary key should fail")
+	}
+}
+
+func TestAnalyzePaperExamples(t *testing.T) {
+	db := paperDB(t)
+	a, err := db.Analyze(`SELECT DISTINCT S.SNO, P.PNO, P.PNAME FROM SUPPLIER S, PARTS P
+		WHERE S.SNO = P.SNO AND P.COLOR = 'RED'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.DistinctRedundant || !a.Unique {
+		t.Errorf("Example 1 should be redundant: %+v", a)
+	}
+	if len(a.KeysUsed["P"]) != 2 {
+		t.Errorf("keys used = %v", a.KeysUsed)
+	}
+
+	a, err = db.Analyze(`SELECT DISTINCT S.SNAME, P.PNO, P.PNAME FROM SUPPLIER S, PARTS P
+		WHERE S.SNO = P.SNO AND P.COLOR = 'RED'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DistinctRedundant {
+		t.Error("Example 2 must keep its DISTINCT")
+	}
+	if a.MissingTable != "S" {
+		t.Errorf("missing table = %q", a.MissingTable)
+	}
+}
+
+func TestQueryAndBaselineAgree(t *testing.T) {
+	db := paperDB(t)
+	src := `SELECT DISTINCT S.SNO, P.PNO, P.PNAME FROM SUPPLIER S, PARTS P
+		WHERE S.SNO = P.SNO AND P.COLOR = 'RED'`
+	opt, err := db.Query(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := db.QueryBaseline(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opt.Data) != 3 || len(base.Data) != 3 {
+		t.Fatalf("rows: opt=%d base=%d", len(opt.Data), len(base.Data))
+	}
+	if len(opt.Rewrites) == 0 {
+		t.Error("optimizer should report the DISTINCT elimination")
+	}
+	if len(base.Rewrites) != 0 {
+		t.Error("baseline must not rewrite")
+	}
+	if opt.Stats.SortRuns != 0 {
+		t.Error("optimized run should not sort")
+	}
+	if base.Stats.SortRuns == 0 {
+		t.Error("baseline run should sort")
+	}
+}
+
+func TestQueryWithHosts(t *testing.T) {
+	db := paperDB(t)
+	rows, err := db.QueryWith(`SELECT ALL S.SNO, SNAME, P.PNO, PNAME
+		FROM SUPPLIER S, PARTS P
+		WHERE P.SNO = :SUPPLIER-NO AND S.SNO = P.SNO`,
+		map[string]any{"SUPPLIER-NO": 1}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 2 {
+		t.Errorf("rows = %d", len(rows.Data))
+	}
+	if rows.Data[0][1] != "Smith" {
+		t.Errorf("data = %v", rows.Data)
+	}
+	if _, err := db.QueryWith("SELECT S.SNO FROM SUPPLIER S WHERE S.SNO = :H",
+		map[string]any{"H": 3.14}, true); err == nil {
+		t.Error("bad host type should fail")
+	}
+}
+
+func TestNullRoundTrip(t *testing.T) {
+	db := paperDB(t)
+	rows, err := db.Query(`SELECT P.OEM-PNO FROM PARTS P WHERE P.OEM-PNO IS NULL`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 1 || rows.Data[0][0] != nil {
+		t.Errorf("NULL round trip = %v", rows.Data)
+	}
+}
+
+func TestSuggest(t *testing.T) {
+	db := paperDB(t)
+	infos, err := db.Suggest(`SELECT ALL S.SNO, S.SNAME FROM SUPPLIER S
+		WHERE EXISTS (SELECT * FROM PARTS P WHERE P.SNO = S.SNO AND P.COLOR = 'RED')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) == 0 {
+		t.Fatal("expected a suggestion")
+	}
+	if infos[0].Rule != "subquery-to-distinct-join" {
+		t.Errorf("rule = %s", infos[0].Rule)
+	}
+	if !strings.Contains(infos[0].After, "SELECT DISTINCT") {
+		t.Errorf("after = %s", infos[0].After)
+	}
+}
+
+func TestOptionsFlowThrough(t *testing.T) {
+	// UseKeyFDs changes a verdict (pinned case from core tests).
+	ddl := []string{
+		`CREATE TABLE R (K INTEGER, X INTEGER, Y INTEGER, PRIMARY KEY (K))`,
+		`CREATE TABLE S (K INTEGER, Z INTEGER, PRIMARY KEY (K))`,
+	}
+	plain := Open()
+	ext := OpenWith(Options{UseKeyFDs: true})
+	for _, d := range ddl {
+		if err := plain.Exec(d); err != nil {
+			t.Fatal(err)
+		}
+		if err := ext.Exec(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src := "SELECT R.K FROM R R, S S WHERE R.X = S.K"
+	pa, err := plain.Analyze(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, err := ext.Analyze(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa.Unique || !ea.Unique {
+		t.Errorf("options did not flow through: plain=%v ext=%v", pa.Unique, ea.Unique)
+	}
+}
+
+func TestSetOpThroughFacade(t *testing.T) {
+	db := paperDB(t)
+	rows, err := db.Query(`SELECT ALL S.SNO FROM SUPPLIER S
+		INTERSECT SELECT ALL A.SNO FROM AGENTS A`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 1 || rows.Data[0][0] != int64(1) {
+		t.Errorf("intersect = %v", rows.Data)
+	}
+	if len(rows.Rewrites) == 0 {
+		t.Error("intersect rewrite should fire through the façade")
+	}
+}
+
+func TestHashDistinctOption(t *testing.T) {
+	db := OpenWith(Options{HashDistinct: true})
+	if err := db.Exec(`CREATE TABLE T (A INTEGER, B INTEGER)`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := db.Insert("T", i%3, i%2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows, err := db.Query(`SELECT DISTINCT A FROM T`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 3 {
+		t.Errorf("rows = %d", len(rows.Data))
+	}
+	if rows.Stats.SortRuns != 0 {
+		t.Error("hash distinct should not sort")
+	}
+}
+
+func TestStoreAccessor(t *testing.T) {
+	db := paperDB(t)
+	if db.Store() == nil || db.Store().MustTable("SUPPLIER").Len() != 3 {
+		t.Error("Store accessor broken")
+	}
+}
+
+func TestCreateIndexAndAccessPath(t *testing.T) {
+	db := paperDB(t)
+	if err := db.CreateIndex("SUPPLIER", "SNO_IX", "SNO"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateIndex("NOPE", "X", "Y"); err == nil {
+		t.Error("unknown table should fail")
+	}
+	if err := db.CreateIndex("SUPPLIER", "BAD", "NOPE"); err == nil {
+		t.Error("unknown column should fail")
+	}
+	rows, err := db.Query("SELECT S.SNAME FROM SUPPLIER S WHERE S.SNO = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 1 || rows.Data[0][0] != "Jones" {
+		t.Errorf("data = %v", rows.Data)
+	}
+	if rows.Stats.IndexSeeks != 1 || rows.Stats.RowsScanned != 1 {
+		t.Errorf("index path not used: %s", rows.Stats.String())
+	}
+}
+
+func TestCheckExact(t *testing.T) {
+	db := paperDB(t)
+	u, _, err := db.CheckExact("SELECT S.SNO, S.SNAME FROM SUPPLIER S", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u {
+		t.Error("key-projecting query must be exactly unique")
+	}
+	u, w, err := db.CheckExact("SELECT S.SNAME FROM SUPPLIER S", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u || w == "" {
+		t.Errorf("non-key projection must yield a witness: unique=%v w=%q", u, w)
+	}
+	if _, _, err := db.CheckExact("SELECT S.SNAME FROM SUPPLIER S", 5); err == nil {
+		t.Error("tiny cap should fail with too-many-combinations")
+	}
+	if _, _, err := db.CheckExact("not sql", 0); err == nil {
+		t.Error("parse errors should propagate")
+	}
+}
