@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all vet build test race bench-smoke bench-tables ci clean
+
+all: ci
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Quick benchrunner pass over the parallel/cache experiment; emits the
+# machine-readable artifact BENCH_parallel.json alongside the table.
+bench-smoke:
+	$(GO) run ./cmd/benchrunner -exp ep -scale 0.1 -json BENCH_parallel.json
+
+# Full experiment sweep, regenerating bench_output_tables.txt.
+bench-tables:
+	$(GO) run ./cmd/benchrunner -exp all -scale 0.25 > bench_output_tables.txt
+
+ci: vet build test race bench-smoke
+
+clean:
+	rm -f BENCH_parallel.json

@@ -4,13 +4,15 @@
 //
 // Usage:
 //
-//	benchrunner [-exp e1|e2|...|e8|all] [-scale 1.0] [-hash] [-trials N]
+//	benchrunner [-exp e1|e2|...|e9|ep|all] [-scale 1.0] [-hash] [-trials N] [-json FILE]
 //
 // -scale shrinks or grows the workload sizes; -hash runs E1's
-// hash-DISTINCT ablation; -trials overrides E8's corpus size.
+// hash-DISTINCT ablation; -trials overrides E8's corpus size; -json
+// additionally writes the tables as a JSON array to FILE.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,10 +22,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: e1..e9 or all")
+	exp := flag.String("exp", "all", "experiment to run: e1..e9, ep, or all")
 	scale := flag.Float64("scale", 1.0, "workload scale factor")
 	hash := flag.Bool("hash", false, "E1 ablation: hash-based DISTINCT instead of sort")
 	trials := flag.Int("trials", 0, "E8 corpus size (0 = default)")
+	jsonOut := flag.String("json", "", "also write the tables as JSON to this file")
 	flag.Parse()
 
 	sc := bench.Scale{Factor: *scale}
@@ -47,6 +50,8 @@ func main() {
 		tables = []*bench.Table{bench.E8(sc, *trials)}
 	case "e9":
 		tables = []*bench.Table{bench.E9(sc)}
+	case "ep":
+		tables = []*bench.Table{bench.EP(sc)}
 	case "all":
 		tables = bench.All(sc)
 		if *hash {
@@ -61,5 +66,17 @@ func main() {
 			fmt.Println()
 		}
 		fmt.Print(t.Format())
+	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(tables, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: marshal: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -4,6 +4,11 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"uniqopt/internal/core"
+	"uniqopt/internal/engine"
+	"uniqopt/internal/sql/parser"
+	"uniqopt/internal/workload"
 )
 
 // small is the scale used by unit tests (fast but non-degenerate).
@@ -188,8 +193,8 @@ func TestAllRunsAndFormats(t *testing.T) {
 		t.Skip("full experiment sweep is slow")
 	}
 	tabs := All(Scale{Factor: 0.02})
-	if len(tabs) != 9 {
-		t.Fatalf("experiments = %d, want 9", len(tabs))
+	if len(tabs) != 10 {
+		t.Fatalf("experiments = %d, want 10", len(tabs))
 	}
 	for _, tab := range tabs {
 		out := tab.Format()
@@ -230,5 +235,105 @@ func TestE8ExtensionsReduceIncompleteness(t *testing.T) {
 	}
 	if cellInt(t, tab, 1, 2) < cellInt(t, tab, 0, 2) {
 		t.Errorf("key-FD extension should not lose YES verdicts")
+	}
+}
+
+func TestEPShape(t *testing.T) {
+	tab := EP(small)
+	if len(tab.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8:\n%s", len(tab.Rows), tab.Format())
+	}
+	// Every operator row must report byte-identical serial/parallel
+	// results.
+	for i := 0; i < 6; i++ {
+		if got := cell(t, tab, i, 5); got != "yes" {
+			t.Errorf("row %d (%s): parallel result not identical", i, cell(t, tab, i, 0))
+		}
+	}
+	// Warm analyzer verdicts must be at least 10× faster than cold
+	// (race instrumentation taxes the cache path disproportionately, so
+	// require a looser bound there).
+	min := 10.0
+	if raceEnabled {
+		min = 3.0
+	}
+	if sp := cellFloat(t, tab, 7, 4); sp < min {
+		t.Errorf("warm-cache analyzer speedup = %.2f, want >= %.0f", sp, min)
+	}
+}
+
+func benchRelPair(rows int) (*engine.Relation, *engine.Relation) {
+	return synthRelation(1, "L", rows), synthRelation(2, "R", rows/4)
+}
+
+func BenchmarkHashJoinSerial100k(b *testing.B) {
+	l, r := benchRelPair(100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := &engine.Stats{}
+		engine.HashJoin(st, l, r, []string{"L.K"}, []string{"R.K"})
+	}
+}
+
+func BenchmarkHashJoinParallel100k(b *testing.B) {
+	l, r := benchRelPair(100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := &engine.Stats{}
+		engine.ParallelHashJoin(st, l, r, []string{"L.K"}, []string{"R.K"}, 4)
+	}
+}
+
+func BenchmarkDistinctHashSerial100k(b *testing.B) {
+	l, _ := benchRelPair(100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := &engine.Stats{}
+		engine.DistinctHash(st, l)
+	}
+}
+
+func BenchmarkDistinctHashParallel100k(b *testing.B) {
+	l, _ := benchRelPair(100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := &engine.Stats{}
+		engine.ParallelDistinctHash(st, l, 4)
+	}
+}
+
+func BenchmarkAnalyzerCold(b *testing.B) {
+	cat := workload.PaperCatalog()
+	cache := core.NewVerdictCache(0)
+	an := core.NewCachedAnalyzer(cat, cache)
+	s, err := parser.ParseSelect(workload.PaperQueries["example1"])
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cache.Reset()
+		if _, err := an.AnalyzeSelect(s, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAnalyzerWarm(b *testing.B) {
+	cat := workload.PaperCatalog()
+	cache := core.NewVerdictCache(0)
+	an := core.NewCachedAnalyzer(cat, cache)
+	s, err := parser.ParseSelect(workload.PaperQueries["example1"])
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := an.AnalyzeSelect(s, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := an.AnalyzeSelect(s, nil); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -300,5 +300,6 @@ func All(sc Scale) []*Table {
 		E7(sc),
 		E8(sc, 0),
 		E9(sc),
+		EP(sc),
 	}
 }

@@ -1,0 +1,7 @@
+//go:build !race
+
+package bench
+
+// raceEnabled reports whether the race detector instruments this
+// build; timing-ratio assertions are loosened under it.
+const raceEnabled = false

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"uniqopt/internal/sql/ast"
 	"uniqopt/internal/value"
@@ -209,7 +210,20 @@ type Catalog struct {
 	// the intersection of the column domains it is compared with; an
 	// explicit declaration lets applications pin it.
 	hostDomains map[string]string
+	// version counts schema mutations. Analysis caches key on it, so
+	// any DDL change invalidates every memoized verdict.
+	version atomic.Uint64
 }
+
+// Version reports the schema version: it increases on every mutation
+// (table definition, foreign key, host-domain declaration). Cached
+// analysis results keyed on the version are invalidated by any change.
+func (c *Catalog) Version() uint64 { return c.version.Load() }
+
+// Bump invalidates version-keyed caches explicitly. Callers that
+// mutate a *Table directly after Define (AddKey, AddCheck) must call
+// it, since those mutations bypass the catalog.
+func (c *Catalog) Bump() { c.version.Add(1) }
 
 // New returns an empty catalog.
 func New() *Catalog {
@@ -225,6 +239,7 @@ func (c *Catalog) Define(t *Table) error {
 		return fmt.Errorf("catalog: table %s already defined", t.Name)
 	}
 	c.tables[t.Name] = t
+	c.Bump()
 	return nil
 }
 
@@ -276,6 +291,7 @@ func (c *Catalog) AddForeignKey(t *Table, cols []string, refTable string, refCol
 		}
 	}
 	t.ForeignKeys = append(t.ForeignKeys, fk)
+	c.Bump()
 	return nil
 }
 
@@ -348,6 +364,7 @@ func (c *Catalog) DeclareHostDomain(hostVar, table, column string) error {
 		return fmt.Errorf("catalog: host domain: unknown column %s.%s", table, column)
 	}
 	c.hostDomains[strings.ToUpper(hostVar)] = t.Name + "." + strings.ToUpper(column)
+	c.Bump()
 	return nil
 }
 

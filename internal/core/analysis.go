@@ -94,6 +94,10 @@ func (v *Verdict) String() string {
 type Analyzer struct {
 	Cat  *catalog.Catalog
 	Opts Options
+	// Cache, when non-nil, memoizes verdicts and predicate
+	// normalizations across queries. It may be shared by concurrent
+	// analyzers over the same catalog.
+	Cache *VerdictCache
 }
 
 // NewAnalyzer returns an analyzer with paper-literal options.
@@ -101,10 +105,26 @@ func NewAnalyzer(cat *catalog.Catalog) *Analyzer {
 	return &Analyzer{Cat: cat}
 }
 
+// NewCachedAnalyzer returns an analyzer with paper-literal options
+// that memoizes its work in cache.
+func NewCachedAnalyzer(cat *catalog.Catalog, cache *VerdictCache) *Analyzer {
+	return &Analyzer{Cat: cat, Cache: cache}
+}
+
 // AnalyzeSelect applies Algorithm 1 to a query specification: it
 // answers whether the block's result is duplicate-free. outer is the
 // enclosing scope for correlated subquery blocks (nil for top level).
 func (a *Analyzer) AnalyzeSelect(s *ast.Select, outer *catalog.Scope) (*Verdict, error) {
+	var key cacheKey
+	var src string
+	cacheable := a.Cache != nil && outer == nil
+	if cacheable {
+		src = s.SQL()
+		key = a.keyFor('S', src)
+		if v, ok := a.Cache.getVerdict(key, src); ok {
+			return v, nil
+		}
+	}
 	scope, err := catalog.NewScope(a.Cat, s.From, outer)
 	if err != nil {
 		return nil, err
@@ -117,7 +137,11 @@ func (a *Analyzer) AnalyzeSelect(s *ast.Select, outer *catalog.Scope) (*Verdict,
 	for i, r := range refs {
 		proj[i] = r.Qualifier + "." + r.Column
 	}
-	return a.analyze(s, scope, proj)
+	v, err := a.analyze(s, scope, proj)
+	if err == nil && cacheable {
+		a.Cache.putVerdict(key, src, v)
+	}
+	return v, err
 }
 
 // AtMostOneMatch applies Theorem 2's subquery-side condition: given
@@ -126,11 +150,24 @@ func (a *Analyzer) AnalyzeSelect(s *ast.Select, outer *catalog.Scope) (*Verdict,
 // Cartesian product qualify? It is exactly Algorithm 1 with an empty
 // projection list: V starts from the constants alone.
 func (a *Analyzer) AtMostOneMatch(sub *ast.Select, outer *catalog.Scope) (*Verdict, error) {
+	var key cacheKey
+	var src string
+	if a.Cache != nil {
+		src = sub.SQL() + "\x00" + scopeSignature(outer)
+		key = a.keyFor('M', src)
+		if v, ok := a.Cache.getVerdict(key, src); ok {
+			return v, nil
+		}
+	}
 	scope, err := catalog.NewScope(a.Cat, sub.From, outer)
 	if err != nil {
 		return nil, err
 	}
-	return a.analyze(sub, scope, nil)
+	v, err := a.analyze(sub, scope, nil)
+	if err == nil && a.Cache != nil {
+		a.Cache.putVerdict(key, src, v)
+	}
+	return v, err
 }
 
 // analyze is the shared Algorithm-1 core: compute V from the
@@ -139,10 +176,7 @@ func (a *Analyzer) AtMostOneMatch(sub *ast.Select, outer *catalog.Scope) (*Verdi
 func (a *Analyzer) analyze(s *ast.Select, scope *catalog.Scope, proj []string) (*Verdict, error) {
 	v := &Verdict{KeysUsed: make(map[string][]string)}
 
-	eq := norm.Extract(s.Where, scope, norm.ExtractOptions{
-		BindIsNull: a.Opts.BindIsNull,
-		MaxClauses: a.Opts.MaxClauses,
-	})
+	eq := a.extractEqualities(s.Where, scope)
 	v.Dropped = eq.Dropped
 	if a.Opts.UseCheckConstraints {
 		a.importCheckEqualities(scope, &eq)
@@ -260,6 +294,33 @@ func (a *Analyzer) DistinctRedundant(s *ast.Select) (bool, *Verdict, error) {
 		return false, nil, err
 	}
 	return v.Unique, v, nil
+}
+
+// extractEqualities runs the CNF conversion and Type 1 / Type 2
+// classification of norm.Extract, memoized in the analysis cache when
+// one is attached. The key covers the predicate's NNF fingerprint, the
+// scope chain (resolution depends on it), the option set, and the
+// catalog version.
+func (a *Analyzer) extractEqualities(where ast.Expr, scope *catalog.Scope) norm.Equalities {
+	opts := norm.ExtractOptions{
+		BindIsNull: a.Opts.BindIsNull,
+		MaxClauses: a.Opts.MaxClauses,
+	}
+	if a.Cache == nil {
+		return norm.Extract(where, scope, opts)
+	}
+	var wsrc string
+	if where != nil {
+		wsrc = norm.NNF(where).SQL()
+	}
+	src := wsrc + "\x00" + scopeSignature(scope)
+	key := a.keyFor('N', src)
+	if eq, ok := a.Cache.getNorm(key, src); ok {
+		return eq
+	}
+	eq := norm.Extract(where, scope, opts)
+	a.Cache.putNorm(key, src, eq)
+	return eq
 }
 
 // importCheckEqualities adds ∅ → column bindings for CHECK

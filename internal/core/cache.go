@@ -1,0 +1,207 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"uniqopt/internal/catalog"
+	"uniqopt/internal/norm"
+)
+
+// VerdictCache memoizes the outputs of the Paulley–Larson analysis: the
+// uniqueness verdicts of Algorithm 1 and the CNF-derived equality
+// extraction that feeds it. The whole point of the paper's analysis is
+// that uniqueness is a cheap compile-time property — the cache makes it
+// near-zero-cost for repeated query shapes, which is what production
+// workloads are made of (the same parameterized statements over and
+// over with different host values; verdicts do not depend on host
+// values, only on shapes).
+//
+// Entries are keyed by a fingerprint of the normalized AST, the
+// analyzer option set, and the catalog schema version; any DDL change
+// bumps the version and implicitly invalidates every entry. The cache
+// is safe for concurrent use and hands out deep copies, so callers may
+// mutate results freely.
+type VerdictCache struct {
+	mu       sync.RWMutex
+	verdicts map[cacheKey]verdictEntry
+	norms    map[cacheKey]normEntry
+	max      int
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// Entries carry the source rendering behind the fingerprint: a lookup
+// whose fingerprint matches but whose source differs (a 64-bit hash
+// collision) is treated as a miss rather than returning a verdict for
+// a different query — verdicts drive semantic rewrites, so a false hit
+// would corrupt results, not just waste time.
+type verdictEntry struct {
+	src string
+	v   *Verdict
+}
+
+type normEntry struct {
+	src string
+	eq  norm.Equalities
+}
+
+type cacheKey struct {
+	kind   byte   // 'S' select verdict, 'M' at-most-one-match, 'N' norm extraction
+	fp     uint64 // fingerprint of the entry's source string
+	catVer uint64 // catalog schema version
+	opts   uint64 // analyzer option bits + clause cap
+}
+
+// DefaultCacheEntries bounds each cache map. When a map fills up it is
+// cleared wholesale — simple, and correct under any access pattern.
+const DefaultCacheEntries = 4096
+
+// NewVerdictCache returns an empty cache holding at most maxEntries
+// verdicts (0 = DefaultCacheEntries).
+func NewVerdictCache(maxEntries int) *VerdictCache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultCacheEntries
+	}
+	return &VerdictCache{
+		verdicts: make(map[cacheKey]verdictEntry),
+		norms:    make(map[cacheKey]normEntry),
+		max:      maxEntries,
+	}
+}
+
+// Counters reports cumulative hit/miss counts (verdict and
+// normalization lookups combined).
+func (c *VerdictCache) Counters() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Len reports the number of cached verdicts.
+func (c *VerdictCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.verdicts)
+}
+
+// Reset drops every entry and zeroes the hit/miss counters, returning
+// the cache to its cold state (the benchmark harness uses this to
+// compare cold and warm analysis).
+func (c *VerdictCache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.verdicts = make(map[cacheKey]verdictEntry)
+	c.norms = make(map[cacheKey]normEntry)
+	c.hits.Store(0)
+	c.misses.Store(0)
+}
+
+func (c *VerdictCache) getVerdict(k cacheKey, src string) (*Verdict, bool) {
+	c.mu.RLock()
+	e, ok := c.verdicts[k]
+	c.mu.RUnlock()
+	if !ok || e.src != src {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return e.v.clone(), true
+}
+
+func (c *VerdictCache) putVerdict(k cacheKey, src string, v *Verdict) {
+	cp := v.clone()
+	c.mu.Lock()
+	if len(c.verdicts) >= c.max {
+		c.verdicts = make(map[cacheKey]verdictEntry)
+	}
+	c.verdicts[k] = verdictEntry{src: src, v: cp}
+	c.mu.Unlock()
+}
+
+func (c *VerdictCache) getNorm(k cacheKey, src string) (norm.Equalities, bool) {
+	c.mu.RLock()
+	e, ok := c.norms[k]
+	c.mu.RUnlock()
+	if !ok || e.src != src {
+		c.misses.Add(1)
+		return norm.Equalities{}, false
+	}
+	c.hits.Add(1)
+	return e.eq.Clone(), true
+}
+
+func (c *VerdictCache) putNorm(k cacheKey, src string, eq norm.Equalities) {
+	cp := eq.Clone()
+	c.mu.Lock()
+	if len(c.norms) >= c.max {
+		c.norms = make(map[cacheKey]normEntry)
+	}
+	c.norms[k] = normEntry{src: src, eq: cp}
+	c.mu.Unlock()
+}
+
+// clone deep-copies a verdict so cache consumers can mutate it.
+func (v *Verdict) clone() *Verdict {
+	if v == nil {
+		return nil
+	}
+	out := &Verdict{
+		Unique:       v.Unique,
+		Bound:        append([]string(nil), v.Bound...),
+		KeysUsed:     make(map[string][]string, len(v.KeysUsed)),
+		MissingTable: v.MissingTable,
+		Dropped:      v.Dropped,
+	}
+	for k, cols := range v.KeysUsed {
+		out.KeysUsed[k] = append([]string(nil), cols...)
+	}
+	if v.DerivedKeys != nil {
+		out.DerivedKeys = make([][]string, len(v.DerivedKeys))
+		for i, dk := range v.DerivedKeys {
+			out.DerivedKeys[i] = append([]string(nil), dk...)
+		}
+	}
+	return out
+}
+
+// optsBits encodes the analyzer options into a cache-key word.
+func (o Options) optsBits() uint64 {
+	var b uint64
+	if o.BindIsNull {
+		b |= 1
+	}
+	if o.UseKeyFDs {
+		b |= 2
+	}
+	if o.UseCheckConstraints {
+		b |= 4
+	}
+	return b | uint64(o.MaxClauses)<<3
+}
+
+// scopeSignature renders a scope chain as a canonical string:
+// correlation-name → table bindings at every depth. Two analyses over
+// structurally identical scopes (same correlations bound to the same
+// tables, same nesting) share a signature; the schema content behind
+// the table names is covered by the catalog version.
+func scopeSignature(s *catalog.Scope) string {
+	var sb strings.Builder
+	for ; s != nil; s = s.Outer {
+		for _, st := range s.Tables {
+			sb.WriteString(st.Ref.Name())
+			sb.WriteByte('=')
+			sb.WriteString(st.Schema.Name)
+			sb.WriteByte(',')
+		}
+		sb.WriteByte('|')
+	}
+	return sb.String()
+}
+
+// keyFor builds the cache key for a source string under the analyzer's
+// current options and catalog version.
+func (a *Analyzer) keyFor(kind byte, src string) cacheKey {
+	return cacheKey{kind: kind, fp: norm.FingerprintStrings(src),
+		catVer: a.Cat.Version(), opts: a.Opts.optsBits()}
+}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"uniqopt/internal/catalog"
+	"uniqopt/internal/sql/ast"
+	"uniqopt/internal/sql/parser"
+	"uniqopt/internal/workload"
+)
+
+func mustSelectC(t *testing.T, src string) *ast.Select {
+	t.Helper()
+	s, err := parser.ParseSelect(src)
+	if err != nil {
+		t.Fatalf("%s: %v", src, err)
+	}
+	return s
+}
+
+func TestCacheWarmHitSameVerdict(t *testing.T) {
+	cat := workload.PaperCatalog()
+	cache := NewVerdictCache(0)
+	an := NewCachedAnalyzer(cat, cache)
+
+	s := mustSelectC(t, `SELECT DISTINCT SNO, SNAME FROM SUPPLIER`)
+	cold, err := an.AnalyzeSelect(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, m := cache.Counters()
+	if h != 0 || m == 0 {
+		t.Fatalf("cold run: hits=%d misses=%d, want 0 hits and >0 misses", h, m)
+	}
+
+	warm, err := an.AnalyzeSelect(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, _ := cache.Counters()
+	if h2 == 0 {
+		t.Fatal("warm run did not hit the cache")
+	}
+	if warm.Unique != cold.Unique || warm.String() != cold.String() {
+		t.Fatalf("warm verdict differs:\n cold %s\n warm %s", cold, warm)
+	}
+}
+
+func TestCacheReturnsIsolatedCopies(t *testing.T) {
+	cat := workload.PaperCatalog()
+	cache := NewVerdictCache(0)
+	an := NewCachedAnalyzer(cat, cache)
+
+	s := mustSelectC(t, `SELECT DISTINCT SNO FROM SUPPLIER`)
+	first, err := an.AnalyzeSelect(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutate everything a caller could reach.
+	first.Unique = !first.Unique
+	first.Bound = append(first.Bound, "JUNK.COL")
+	for k := range first.KeysUsed {
+		first.KeysUsed[k] = append(first.KeysUsed[k], "JUNK")
+	}
+
+	second, err := an.AnalyzeSelect(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Unique {
+		t.Fatal("cached verdict corrupted by caller mutation (Unique flipped)")
+	}
+	for _, c := range second.Bound {
+		if c == "JUNK.COL" {
+			t.Fatal("cached verdict corrupted by caller mutation (Bound slice shared)")
+		}
+	}
+	for _, cols := range second.KeysUsed {
+		for _, c := range cols {
+			if c == "JUNK" {
+				t.Fatal("cached verdict corrupted by caller mutation (KeysUsed shared)")
+			}
+		}
+	}
+}
+
+func TestCacheInvalidatedByDDL(t *testing.T) {
+	cat := catalog.New()
+	cache := NewVerdictCache(0)
+	an := NewCachedAnalyzer(cat, cache)
+
+	st, err := parser.ParseStatement(`CREATE TABLE T (A INTEGER, B INTEGER, PRIMARY KEY (A))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.DefineFromAST(st.(*ast.CreateTable)); err != nil {
+		t.Fatal(err)
+	}
+
+	s := mustSelectC(t, `SELECT DISTINCT A FROM T`)
+	if _, err := an.AnalyzeSelect(s, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := an.AnalyzeSelect(s, nil); err != nil {
+		t.Fatal(err)
+	}
+	h1, _ := cache.Counters()
+	if h1 == 0 {
+		t.Fatal("expected a warm hit before DDL")
+	}
+
+	// New DDL bumps the catalog version; old entries must not serve.
+	st2, err := parser.ParseStatement(`CREATE TABLE U (X INTEGER, PRIMARY KEY (X))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.DefineFromAST(st2.(*ast.CreateTable)); err != nil {
+		t.Fatal(err)
+	}
+	_, m1 := cache.Counters()
+	if _, err := an.AnalyzeSelect(s, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, m2 := cache.Counters()
+	if m2 == m1 {
+		t.Fatal("analysis after DDL hit a stale cache entry")
+	}
+}
+
+func TestCacheDistinguishesOptions(t *testing.T) {
+	cat := workload.PaperCatalog()
+	cache := NewVerdictCache(0)
+	s := mustSelectC(t, `SELECT DISTINCT SNAME FROM SUPPLIER WHERE SNO = 5`)
+
+	a1 := &Analyzer{Cat: cat, Cache: cache}
+	if _, err := a1.AnalyzeSelect(s, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, m1 := cache.Counters()
+
+	// Same query, different option bits → distinct cache slot (miss).
+	a2 := &Analyzer{Cat: cat, Opts: Options{UseKeyFDs: true}, Cache: cache}
+	if _, err := a2.AnalyzeSelect(s, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, m2 := cache.Counters()
+	if m2 == m1 {
+		t.Fatal("analyzers with different options shared a cache entry")
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	cat := workload.PaperCatalog()
+	cache := NewVerdictCache(2)
+	an := NewCachedAnalyzer(cat, cache)
+
+	queries := []string{
+		`SELECT DISTINCT SNO FROM SUPPLIER`,
+		`SELECT DISTINCT PNO FROM PARTS`,
+		`SELECT DISTINCT SNO, PNO FROM PARTS`,
+		`SELECT DISTINCT SNAME FROM SUPPLIER`,
+	}
+	for _, src := range queries {
+		if _, err := an.AnalyzeSelect(mustSelectC(t, src), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := cache.Len(); n > 4 {
+		t.Fatalf("bounded cache holds %d entries, want ≤ 2 per map", n)
+	}
+	// Reset empties and zeroes counters.
+	cache.Reset()
+	if cache.Len() != 0 {
+		t.Fatal("Reset left entries behind")
+	}
+	if h, m := cache.Counters(); h != 0 || m != 0 {
+		t.Fatalf("Reset left counters %d/%d", h, m)
+	}
+}
+
+func TestCacheConcurrentAnalyzers(t *testing.T) {
+	cat := workload.PaperCatalog()
+	cache := NewVerdictCache(0)
+
+	srcs := []string{
+		`SELECT DISTINCT SNO FROM SUPPLIER`,
+		`SELECT DISTINCT SNO, SNAME FROM SUPPLIER WHERE SCITY = 'Chicago'`,
+		`SELECT DISTINCT PNO FROM PARTS WHERE COLOR = 'RED'`,
+		`SELECT SNAME FROM SUPPLIER WHERE SNO = 7`,
+	}
+	want := make([]string, len(srcs))
+	ref := NewCachedAnalyzer(cat, NewVerdictCache(0))
+	for i, src := range srcs {
+		v, err := ref.AnalyzeSelect(mustSelectC(t, src), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = v.String()
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			an := NewCachedAnalyzer(cat, cache)
+			for round := 0; round < 5; round++ {
+				for i, src := range srcs {
+					s, err := parser.ParseSelect(src)
+					if err != nil {
+						errs <- err
+						return
+					}
+					v, err := an.AnalyzeSelect(s, nil)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if v.String() != want[i] {
+						errs <- errVerdictDrift{src, want[i], v.String()}
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	h, _ := cache.Counters()
+	if h == 0 {
+		t.Fatal("concurrent analyzers never hit the shared cache")
+	}
+}
+
+type errVerdictDrift struct{ src, want, got string }
+
+func (e errVerdictDrift) Error() string {
+	return "verdict drift for " + e.src + ": want " + e.want + " got " + e.got
+}

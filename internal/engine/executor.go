@@ -17,6 +17,10 @@ import (
 // nested-loops subqueries, projection, and sort-based duplicate
 // elimination. It is the semantic reference implementation — the plan
 // package's optimized strategies are validated against it.
+//
+// Query is safe for concurrent use from multiple goroutines over a
+// quiescent database: each call collects work counters into a private
+// Stats instance and merges it into Stats atomically on completion.
 type Executor struct {
 	DB    *storage.DB
 	Hosts map[string]value.Value
@@ -34,20 +38,22 @@ func NewExecutor(db *storage.DB, hosts map[string]value.Value) *Executor {
 
 // Query evaluates a query specification or query expression.
 func (ex *Executor) Query(q ast.Query) (*Relation, error) {
+	st := &Stats{}
+	defer func() { ex.Stats.Add(*st) }()
 	switch x := q.(type) {
 	case *ast.Select:
-		rel, err := ex.execSelect(x, nil, nil)
+		rel, err := ex.execSelect(st, x, nil, nil)
 		if err != nil {
 			return nil, err
 		}
-		ex.Stats.RowsOutput += int64(len(rel.Rows))
+		st.RowsOutput += int64(len(rel.Rows))
 		return rel, nil
 	case *ast.SetOp:
-		l, err := ex.execSelect(x.Left, nil, nil)
+		l, err := ex.execSelect(st, x.Left, nil, nil)
 		if err != nil {
 			return nil, err
 		}
-		r, err := ex.execSelect(x.Right, nil, nil)
+		r, err := ex.execSelect(st, x.Right, nil, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -57,11 +63,11 @@ func (ex *Executor) Query(q ast.Query) (*Relation, error) {
 		}
 		var rel *Relation
 		if x.Op == ast.Intersect {
-			rel = Intersect(ex.Stats, l, r, x.All)
+			rel = Intersect(st, l, r, x.All)
 		} else {
-			rel = Except(ex.Stats, l, r, x.All)
+			rel = Except(st, l, r, x.All)
 		}
-		ex.Stats.RowsOutput += int64(len(rel.Rows))
+		st.RowsOutput += int64(len(rel.Rows))
 		return rel, nil
 	default:
 		return nil, fmt.Errorf("engine: unknown query node %T", q)
@@ -70,8 +76,8 @@ func (ex *Executor) Query(q ast.Query) (*Relation, error) {
 
 // execSelect evaluates one query specification. outer and outerCols
 // carry the enclosing block's scope and current row bindings for
-// correlated subqueries.
-func (ex *Executor) execSelect(s *ast.Select, outer *catalog.Scope, outerCols map[string]value.Value) (*Relation, error) {
+// correlated subqueries; st receives this call's work counters.
+func (ex *Executor) execSelect(st *Stats, s *ast.Select, outer *catalog.Scope, outerCols map[string]value.Value) (*Relation, error) {
 	scope, err := catalog.NewScope(ex.DB.Catalog, s.From, outer)
 	if err != nil {
 		return nil, err
@@ -83,11 +89,11 @@ func (ex *Executor) execSelect(s *ast.Select, outer *catalog.Scope, outerCols ma
 		if !ok {
 			return nil, fmt.Errorf("engine: unknown table %s", tr.Table)
 		}
-		scan := Scan(ex.Stats, tbl, strings.ToUpper(tr.Name()))
+		scan := Scan(st, tbl, strings.ToUpper(tr.Name()))
 		if rel == nil {
 			rel = scan
 		} else {
-			rel = Product(ex.Stats, rel, scan)
+			rel = Product(st, rel, scan)
 		}
 	}
 	// Selection, with EXISTS evaluated by recursive execution.
@@ -95,13 +101,13 @@ func (ex *Executor) execSelect(s *ast.Select, outer *catalog.Scope, outerCols ma
 		Cols:   map[string]value.Value{},
 		Hosts:  ex.Hosts,
 		Scope:  scope,
-		Exists: ex.existsFunc(),
-		In:     ex.inFunc(),
+		Exists: ex.existsFunc(st),
+		In:     ex.inFunc(st),
 	}
 	for k, v := range outerCols {
 		envProto.Cols[k] = v
 	}
-	rel, err = ex.filterWithScope(rel, s.Where, envProto)
+	rel, err = ex.filterWithScope(st, rel, s.Where, envProto)
 	if err != nil {
 		return nil, err
 	}
@@ -114,17 +120,22 @@ func (ex *Executor) execSelect(s *ast.Select, outer *catalog.Scope, outerCols ma
 	for i, r := range refs {
 		cols[i] = r.Qualifier + "." + r.Column
 	}
-	rel = Project(ex.Stats, rel, cols)
+	rel = Project(st, rel, cols)
 	if s.Quant.IsDistinct() {
-		rel = DistinctSort(ex.Stats, rel)
+		rel = DistinctSort(st, rel)
 	}
 	return rel, nil
 }
 
-// filterWithScope is Filter but preserving the prototype's Scope.
-func (ex *Executor) filterWithScope(rel *Relation, pred ast.Expr, envProto *eval.Env) (*Relation, error) {
+// filterWithScope is Filter but preserving the prototype's Scope. The
+// row loop stays serial here: the environment's Exists/In callbacks
+// recurse into this executor with the same st.
+func (ex *Executor) filterWithScope(st *Stats, rel *Relation, pred ast.Expr, envProto *eval.Env) (*Relation, error) {
 	if pred == nil {
 		return rel, nil
+	}
+	if w, ok := shouldParallel(len(rel.Rows)); ok && !ast.HasExists(pred) {
+		return ParallelFilter(st, rel, pred, envProto, w)
 	}
 	env := &eval.Env{
 		Cols:   make(map[string]value.Value, len(rel.Cols)+len(envProto.Cols)),
@@ -153,14 +164,14 @@ func (ex *Executor) filterWithScope(rel *Relation, pred ast.Expr, envProto *eval
 // existsFunc returns the EXISTS callback: it snapshots the current
 // outer bindings and recursively executes the subquery; EXISTS is true
 // iff the result is non-empty.
-func (ex *Executor) existsFunc() eval.ExistsFunc {
+func (ex *Executor) existsFunc(st *Stats) eval.ExistsFunc {
 	return func(sub *ast.Select, env *eval.Env) (tvl.Truth, error) {
-		ex.Stats.SubqueryRuns++
+		st.SubqueryRuns++
 		snapshot := make(map[string]value.Value, len(env.Cols))
 		for k, v := range env.Cols {
 			snapshot[k] = v
 		}
-		rel, err := ex.execSelect(sub, env.Scope, snapshot)
+		rel, err := ex.execSelect(st, sub, env.Scope, snapshot)
 		if err != nil {
 			return tvl.Unknown, err
 		}
@@ -171,14 +182,14 @@ func (ex *Executor) existsFunc() eval.ExistsFunc {
 // inFunc returns the IN callback: it snapshots the current outer
 // bindings, recursively executes the subquery, and returns the values
 // of its single output column.
-func (ex *Executor) inFunc() eval.InFunc {
+func (ex *Executor) inFunc(st *Stats) eval.InFunc {
 	return func(sub *ast.Select, env *eval.Env) ([]value.Value, error) {
-		ex.Stats.SubqueryRuns++
+		st.SubqueryRuns++
 		snapshot := make(map[string]value.Value, len(env.Cols))
 		for k, v := range env.Cols {
 			snapshot[k] = v
 		}
-		rel, err := ex.execSelect(sub, env.Scope, snapshot)
+		rel, err := ex.execSelect(st, sub, env.Scope, snapshot)
 		if err != nil {
 			return nil, err
 		}
@@ -195,11 +206,13 @@ func (ex *Executor) inFunc() eval.InFunc {
 
 // ExistsProbe is the exported form of the executor's EXISTS callback,
 // for planners that fall back to nested-loops subquery evaluation.
+// Unlike Query it accumulates into ex.Stats directly and is therefore
+// single-goroutine, like the planner that owns it.
 func (ex *Executor) ExistsProbe(sub *ast.Select, env *eval.Env) (tvl.Truth, error) {
-	return ex.existsFunc()(sub, env)
+	return ex.existsFunc(ex.Stats)(sub, env)
 }
 
 // InProbe is the exported form of the executor's IN callback.
 func (ex *Executor) InProbe(sub *ast.Select, env *eval.Env) ([]value.Value, error) {
-	return ex.inFunc()(sub, env)
+	return ex.inFunc(ex.Stats)(sub, env)
 }

@@ -38,6 +38,11 @@ func Filter(st *Stats, rel *Relation, pred ast.Expr, envProto *eval.Env) (*Relat
 	if pred == nil {
 		return rel, nil
 	}
+	if w, ok := shouldParallel(len(rel.Rows)); ok && !ast.HasExists(pred) {
+		// Subquery-bearing predicates stay serial: their evaluation
+		// callbacks recurse into shared executor state.
+		return ParallelFilter(st, rel, pred, envProto, w)
+	}
 	env := &eval.Env{
 		Cols:   make(map[string]value.Value, len(rel.Cols)+len(envProto.Cols)),
 		Hosts:  envProto.Hosts,
@@ -112,6 +117,9 @@ func NestedLoopJoin(st *Stats, l, r *Relation, pred ast.Expr, envProto *eval.Env
 // WHERE-clause equality semantics apply: rows with NULL join keys
 // never match.
 func HashJoin(st *Stats, l, r *Relation, lKeys, rKeys []string) *Relation {
+	if w, ok := shouldParallel(len(l.Rows) + len(r.Rows)); ok {
+		return ParallelHashJoin(st, l, r, lKeys, rKeys, w)
+	}
 	li := l.mustCols(lKeys)
 	ri := r.mustCols(rKeys)
 	out := &Relation{Cols: append(append([]string{}, l.Cols...), r.Cols...)}
@@ -134,7 +142,7 @@ func HashJoin(st *Stats, l, r *Relation, lKeys, rKeys []string) *Relation {
 		for i, c := range bi {
 			key[i] = row[c]
 		}
-		h := value.HashRow(key)
+		h := hashRow(key)
 		ht[h] = append(ht[h], row)
 		st.HashInserts++
 	}
@@ -147,7 +155,7 @@ func HashJoin(st *Stats, l, r *Relation, lKeys, rKeys []string) *Relation {
 			pkey[i] = prow[c]
 		}
 		st.HashProbes++
-		for _, brow := range ht[value.HashRow(pkey)] {
+		for _, brow := range ht[hashRow(pkey)] {
 			st.JoinPairs++
 			if !equalAt(prow, pi, brow, bi, st) {
 				continue
@@ -262,6 +270,9 @@ func SortRowsOn(st *Stats, rows []value.Row, keyIdx []int) {
 
 // Project projects rel onto the named columns, retaining duplicates.
 func Project(st *Stats, rel *Relation, cols []string) *Relation {
+	if w, ok := shouldParallel(len(rel.Rows)); ok {
+		return ParallelProject(st, rel, cols, w)
+	}
 	idx := rel.mustCols(cols)
 	out := &Relation{Cols: append([]string(nil), cols...)}
 	out.Rows = make([]value.Row, len(rel.Rows))
@@ -301,10 +312,13 @@ func DistinctSort(st *Stats, rel *Relation) *Relation {
 
 // DistinctHash removes duplicate rows (≐ semantics) with a hash table.
 func DistinctHash(st *Stats, rel *Relation) *Relation {
+	if w, ok := shouldParallel(len(rel.Rows)); ok {
+		return ParallelDistinctHash(st, rel, w)
+	}
 	seen := make(map[uint64][]value.Row, len(rel.Rows))
 	out := &Relation{Cols: rel.Cols}
 	for _, row := range rel.Rows {
-		h := value.HashRow(row)
+		h := hashRow(row)
 		st.HashProbes++
 		dup := false
 		for _, prev := range seen[h] {
@@ -364,6 +378,9 @@ func SemiJoinExists(st *Stats, l, r *Relation, pred ast.Expr, envProto *eval.Env
 // semantics; NULL keys never match). The hash table on r is built
 // once — the rewritten strategy Theorem 2 enables.
 func SemiJoinHash(st *Stats, l, r *Relation, lKeys, rKeys []string) *Relation {
+	if w, ok := shouldParallel(len(l.Rows) + len(r.Rows)); ok {
+		return ParallelSemiJoinHash(st, l, r, lKeys, rKeys, w)
+	}
 	li := l.mustCols(lKeys)
 	ri := r.mustCols(rKeys)
 	ht := make(map[uint64][]value.Row, len(r.Rows))
@@ -375,7 +392,8 @@ func SemiJoinHash(st *Stats, l, r *Relation, lKeys, rKeys []string) *Relation {
 		for i, c := range ri {
 			key[i] = row[c]
 		}
-		ht[value.HashRow(key)] = append(ht[value.HashRow(key)], row)
+		h := hashRow(key)
+		ht[h] = append(ht[h], row)
 		st.HashInserts++
 	}
 	out := &Relation{Cols: l.Cols}
@@ -388,7 +406,7 @@ func SemiJoinHash(st *Stats, l, r *Relation, lKeys, rKeys []string) *Relation {
 			pkey[i] = lr[c]
 		}
 		st.HashProbes++
-		for _, rr := range ht[value.HashRow(pkey)] {
+		for _, rr := range ht[hashRow(pkey)] {
 			if equalAt(lr, li, rr, ri, st) {
 				out.Rows = append(out.Rows, lr)
 				break
@@ -402,7 +420,7 @@ func SemiJoinHash(st *Stats, l, r *Relation, lKeys, rKeys []string) *Relation {
 func setOpCounts(st *Stats, rel *Relation) map[uint64][]countedRow {
 	counts := make(map[uint64][]countedRow, len(rel.Rows))
 	for _, row := range rel.Rows {
-		h := value.HashRow(row)
+		h := hashRow(row)
 		st.HashInserts++
 		bucket := counts[h]
 		found := false
@@ -430,7 +448,7 @@ func Intersect(st *Stats, l, r *Relation, all bool) *Relation {
 	out := &Relation{Cols: l.Cols}
 	emitted := make(map[uint64][]countedRow)
 	for _, row := range l.Rows {
-		h := value.HashRow(row)
+		h := hashRow(row)
 		st.HashProbes++
 		bucket := rc[h]
 		avail := 0
@@ -478,7 +496,7 @@ func Except(st *Stats, l, r *Relation, all bool) *Relation {
 	out := &Relation{Cols: l.Cols}
 	emitted := make(map[uint64][]countedRow)
 	for _, row := range l.Rows {
-		h := value.HashRow(row)
+		h := hashRow(row)
 		st.HashProbes++
 		bucket := rc[h]
 		bi := -1

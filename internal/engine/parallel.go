@@ -1,0 +1,310 @@
+package engine
+
+import (
+	"sort"
+
+	"uniqopt/internal/eval"
+	"uniqopt/internal/sql/ast"
+	"uniqopt/internal/value"
+)
+
+// Parallel partitioned operators. Each operator splits its probe (or
+// sole) input into contiguous chunks — one per worker — and its hash
+// side into hash-disjoint partitions, so no lock is ever taken on row
+// data. Outputs are concatenated in chunk order and hash buckets are
+// filled in input order, which makes every parallel operator produce a
+// relation byte-identical to its serial counterpart: same rows, same
+// order. Work counters are collected in per-worker Stats instances and
+// merged through Stats.Add after the barrier.
+
+// hashRow is the row-hash function used by every hash-based operator.
+// It is a variable so tests can substitute a degenerate hash and force
+// every row into one bucket/partition, proving the collision fallback
+// (row-by-row ≐ comparison on hash match) in all operators.
+var hashRow = value.HashRow
+
+// rowHashes computes the hash of every row in parallel. The returned
+// null slice flags rows with a NULL in any key column (idx non-nil);
+// such rows never participate in hash matching under WHERE semantics.
+func rowHashes(rows []value.Row, idx []int, workers int) (hashes []uint64, nulls []bool) {
+	hashes = make([]uint64, len(rows))
+	if idx != nil {
+		nulls = make([]bool, len(rows))
+	}
+	key := idx == nil
+	parallelFor(len(rows), workers, func(_, lo, hi int) {
+		var kbuf value.Row
+		if !key {
+			kbuf = make(value.Row, len(idx))
+		}
+		for i := lo; i < hi; i++ {
+			row := rows[i]
+			if key {
+				hashes[i] = hashRow(row)
+				continue
+			}
+			if hasNullAt(row, idx) {
+				nulls[i] = true
+				continue
+			}
+			for k, c := range idx {
+				kbuf[k] = row[c]
+			}
+			hashes[i] = hashRow(kbuf)
+		}
+	})
+	return hashes, nulls
+}
+
+// buildPartitioned builds P hash-disjoint tables over rows: partition
+// h%P owns every row whose key hash is h. Each partition is built by
+// one worker scanning the precomputed hashes, so bucket contents stay
+// in input order — exactly what a serial single-table build produces.
+func buildPartitioned(st *Stats, rows []value.Row, hashes []uint64, nulls []bool, parts int) []map[uint64][]value.Row {
+	tables := make([]map[uint64][]value.Row, parts)
+	locals := make([]Stats, parts)
+	parallelFor(parts, parts, func(p, _, _ int) {
+		ht := make(map[uint64][]value.Row, len(rows)/parts+1)
+		for i, row := range rows {
+			if nulls != nil && nulls[i] {
+				continue
+			}
+			h := hashes[i]
+			if h%uint64(parts) != uint64(p) {
+				continue
+			}
+			ht[h] = append(ht[h], row)
+			locals[p].HashInserts++
+		}
+		tables[p] = ht
+	})
+	for i := range locals {
+		st.Add(locals[i])
+	}
+	return tables
+}
+
+// ParallelHashJoin is the partitioned-parallel form of HashJoin: the
+// smaller input is built into hash-disjoint partition tables, the
+// larger is probed in contiguous chunks. Identical output to HashJoin.
+func ParallelHashJoin(st *Stats, l, r *Relation, lKeys, rKeys []string, workers int) *Relation {
+	li := l.mustCols(lKeys)
+	ri := r.mustCols(rKeys)
+	out := &Relation{Cols: append(append([]string{}, l.Cols...), r.Cols...)}
+
+	build, probe := r, l
+	bi, pi := ri, li
+	swapped := false
+	if len(l.Rows) < len(r.Rows) {
+		build, probe = l, r
+		bi, pi = li, ri
+		swapped = true
+	}
+	st.ParallelRuns++
+	st.ParallelRows += int64(len(l.Rows) + len(r.Rows))
+
+	bh, bn := rowHashes(build.Rows, bi, workers)
+	tables := buildPartitioned(st, build.Rows, bh, bn, workers)
+	ph, pn := rowHashes(probe.Rows, pi, workers)
+
+	chunkOut := make([][]value.Row, workers)
+	locals := make([]Stats, workers)
+	chunks := parallelFor(len(probe.Rows), workers, func(c, lo, hi int) {
+		my := &locals[c]
+		var rows []value.Row
+		for i := lo; i < hi; i++ {
+			if pn[i] {
+				continue
+			}
+			prow := probe.Rows[i]
+			h := ph[i]
+			my.HashProbes++
+			for _, brow := range tables[h%uint64(workers)][h] {
+				my.JoinPairs++
+				if !equalAt(prow, pi, brow, bi, my) {
+					continue
+				}
+				var lrow, rrow value.Row
+				if swapped {
+					lrow, rrow = brow, prow
+				} else {
+					lrow, rrow = prow, brow
+				}
+				row := make(value.Row, 0, len(lrow)+len(rrow))
+				row = append(row, lrow...)
+				row = append(row, rrow...)
+				rows = append(rows, row)
+			}
+		}
+		chunkOut[c] = rows
+	})
+	for c := 0; c < chunks; c++ {
+		st.Add(locals[c])
+		out.Rows = append(out.Rows, chunkOut[c]...)
+	}
+	return out
+}
+
+// ParallelDistinctHash removes duplicates (≐ semantics) with
+// per-partition hash tables: rows with equal hashes land in the same
+// partition, so each partition dedups independently; survivors are
+// re-ordered by original row index, reproducing DistinctHash's
+// first-occurrence order exactly.
+func ParallelDistinctHash(st *Stats, rel *Relation, workers int) *Relation {
+	st.ParallelRuns++
+	st.ParallelRows += int64(len(rel.Rows))
+	hashes, _ := rowHashes(rel.Rows, nil, workers)
+
+	kept := make([][]int, workers)
+	locals := make([]Stats, workers)
+	parallelFor(workers, workers, func(p, _, _ int) {
+		my := &locals[p]
+		seen := make(map[uint64][]value.Row, len(rel.Rows)/workers+1)
+		var keep []int
+		for i, row := range rel.Rows {
+			h := hashes[i]
+			if h%uint64(workers) != uint64(p) {
+				continue
+			}
+			my.HashProbes++
+			dup := false
+			for _, prev := range seen[h] {
+				my.Comparisons++
+				if value.NullEqRows(prev, row) {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			seen[h] = append(seen[h], row)
+			my.HashInserts++
+			keep = append(keep, i)
+		}
+		kept[p] = keep
+	})
+	var order []int
+	for p := 0; p < workers; p++ {
+		st.Add(locals[p])
+		order = append(order, kept[p]...)
+	}
+	sort.Ints(order)
+	out := &Relation{Cols: rel.Cols, Rows: make([]value.Row, len(order))}
+	for i, ri := range order {
+		out.Rows[i] = rel.Rows[ri]
+	}
+	return out
+}
+
+// ParallelSemiJoinHash is the partitioned-parallel form of
+// SemiJoinHash: partitioned build on r, chunked probe of l. Identical
+// output to SemiJoinHash (l's row order is preserved).
+func ParallelSemiJoinHash(st *Stats, l, r *Relation, lKeys, rKeys []string, workers int) *Relation {
+	li := l.mustCols(lKeys)
+	ri := r.mustCols(rKeys)
+	st.ParallelRuns++
+	st.ParallelRows += int64(len(l.Rows) + len(r.Rows))
+
+	rh, rn := rowHashes(r.Rows, ri, workers)
+	tables := buildPartitioned(st, r.Rows, rh, rn, workers)
+	lh, ln := rowHashes(l.Rows, li, workers)
+
+	chunkOut := make([][]value.Row, workers)
+	locals := make([]Stats, workers)
+	chunks := parallelFor(len(l.Rows), workers, func(c, lo, hi int) {
+		my := &locals[c]
+		var rows []value.Row
+		for i := lo; i < hi; i++ {
+			if ln[i] {
+				continue
+			}
+			lr := l.Rows[i]
+			h := lh[i]
+			my.HashProbes++
+			for _, rr := range tables[h%uint64(workers)][h] {
+				if equalAt(lr, li, rr, ri, my) {
+					rows = append(rows, lr)
+					break
+				}
+			}
+		}
+		chunkOut[c] = rows
+	})
+	out := &Relation{Cols: l.Cols}
+	for c := 0; c < chunks; c++ {
+		st.Add(locals[c])
+		out.Rows = append(out.Rows, chunkOut[c]...)
+	}
+	return out
+}
+
+// ParallelProject projects rel onto cols with chunked row rewriting.
+// Identical output to Project.
+func ParallelProject(st *Stats, rel *Relation, cols []string, workers int) *Relation {
+	idx := rel.mustCols(cols)
+	st.ParallelRuns++
+	st.ParallelRows += int64(len(rel.Rows))
+	out := &Relation{Cols: append([]string(nil), cols...)}
+	out.Rows = make([]value.Row, len(rel.Rows))
+	parallelFor(len(rel.Rows), workers, func(_, lo, hi int) {
+		for ri := lo; ri < hi; ri++ {
+			row := rel.Rows[ri]
+			nr := make(value.Row, len(idx))
+			for i, c := range idx {
+				nr[i] = row[c]
+			}
+			out.Rows[ri] = nr
+		}
+	})
+	return out
+}
+
+// ParallelFilter evaluates pred over contiguous chunks of rel, each
+// worker with a private environment cloned from envProto. The caller
+// must ensure pred is parallel-safe: no EXISTS / IN-subquery leaves
+// (their evaluation callbacks recurse into shared executor state).
+// Identical output to Filter.
+func ParallelFilter(st *Stats, rel *Relation, pred ast.Expr, envProto *eval.Env, workers int) (*Relation, error) {
+	if pred == nil {
+		return rel, nil
+	}
+	st.ParallelRuns++
+	st.ParallelRows += int64(len(rel.Rows))
+	chunkOut := make([][]value.Row, workers)
+	errs := make([]error, workers)
+	chunks := parallelFor(len(rel.Rows), workers, func(c, lo, hi int) {
+		env := &eval.Env{
+			Cols:   make(map[string]value.Value, len(rel.Cols)+len(envProto.Cols)),
+			Hosts:  envProto.Hosts,
+			Scope:  envProto.Scope,
+			Exists: envProto.Exists,
+			In:     envProto.In,
+		}
+		for k, v := range envProto.Cols {
+			env.Cols[k] = v
+		}
+		var rows []value.Row
+		for i := lo; i < hi; i++ {
+			row := rel.Rows[i]
+			bindRow(env, rel.Cols, row)
+			ok, err := eval.Qualifies(pred, env)
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			if ok {
+				rows = append(rows, row)
+			}
+		}
+		chunkOut[c] = rows
+	})
+	out := &Relation{Cols: rel.Cols}
+	for c := 0; c < chunks; c++ {
+		if errs[c] != nil {
+			return nil, errs[c]
+		}
+		out.Rows = append(out.Rows, chunkOut[c]...)
+	}
+	return out, nil
+}

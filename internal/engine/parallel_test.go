@@ -1,0 +1,203 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"uniqopt/internal/eval"
+	"uniqopt/internal/sql/ast"
+	"uniqopt/internal/value"
+)
+
+// forceParallel pins the pool to n workers and a threshold of 1 so
+// every operator takes the parallel path regardless of input size, and
+// restores the previous configuration on cleanup.
+func forceParallel(t *testing.T, n int) {
+	t.Helper()
+	pw := SetWorkers(n)
+	pt := SetParallelThreshold(1)
+	t.Cleanup(func() {
+		SetWorkers(pw)
+		SetParallelThreshold(pt)
+	})
+}
+
+// forceSerial pins the pool to one worker.
+func forceSerial(t *testing.T) {
+	t.Helper()
+	pw := SetWorkers(1)
+	t.Cleanup(func() { SetWorkers(pw) })
+}
+
+// randomRelation builds a deterministic pseudo-random relation with
+// duplicate-heavy keys and a sprinkling of NULLs in every column.
+func randomRelation(r *rand.Rand, prefix string, n int) *Relation {
+	rel := &Relation{Cols: []string{prefix + ".K", prefix + ".A", prefix + ".B"}}
+	rel.Rows = make([]value.Row, n)
+	for i := range rel.Rows {
+		k := value.Int(int64(r.Intn(n/4 + 1)))
+		if r.Intn(20) == 0 {
+			k = value.Null
+		}
+		a := value.Int(int64(r.Intn(10)))
+		b := value.String_(fmt.Sprintf("s%d", r.Intn(8)))
+		if r.Intn(25) == 0 {
+			b = value.Null
+		}
+		rel.Rows[i] = value.Row{k, a, b}
+	}
+	return rel
+}
+
+// identicalRelations requires byte-identical results: same columns,
+// same rows, same order.
+func identicalRelations(t *testing.T, want, got *Relation, what string) {
+	t.Helper()
+	if len(want.Cols) != len(got.Cols) {
+		t.Fatalf("%s: column count %d != %d", what, len(got.Cols), len(want.Cols))
+	}
+	for i := range want.Cols {
+		if want.Cols[i] != got.Cols[i] {
+			t.Fatalf("%s: column %d: %s != %s", what, i, got.Cols[i], want.Cols[i])
+		}
+	}
+	if len(want.Rows) != len(got.Rows) {
+		t.Fatalf("%s: row count %d != %d", what, len(got.Rows), len(want.Rows))
+	}
+	for i := range want.Rows {
+		if value.OrderCompareRows(want.Rows[i], got.Rows[i]) != 0 {
+			t.Fatalf("%s: row %d: %s != %s", what, i, got.Rows[i], want.Rows[i])
+		}
+	}
+}
+
+// sameWork asserts the parallel run performed exactly the same counted
+// operator work as the serial run (the parallel-path counters aside).
+func sameWork(t *testing.T, serial, par Stats, what string) {
+	t.Helper()
+	par.ParallelRuns, par.ParallelRows = 0, 0
+	if serial != par {
+		t.Errorf("%s: parallel work differs from serial:\n serial: %s\n par:    %s",
+			what, serial.String(), par.String())
+	}
+}
+
+func TestParallelHashJoinIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	l := randomRelation(r, "L", 3000)
+	rr := randomRelation(r, "R", 1000)
+
+	forceSerial(t)
+	st0 := &Stats{}
+	want := HashJoin(st0, l, rr, []string{"L.K"}, []string{"R.K"})
+
+	for _, workers := range []int{2, 3, 4, 8} {
+		st1 := &Stats{}
+		got := ParallelHashJoin(st1, l, rr, []string{"L.K"}, []string{"R.K"}, workers)
+		identicalRelations(t, want, got, fmt.Sprintf("HashJoin w=%d", workers))
+		sameWork(t, *st0, st1.Snapshot(), fmt.Sprintf("HashJoin w=%d", workers))
+	}
+
+	// Swap sides so the build/probe choice flips.
+	st2 := &Stats{}
+	want2 := HashJoin(st2, rr, l, []string{"R.K"}, []string{"L.K"})
+	st3 := &Stats{}
+	got2 := ParallelHashJoin(st3, rr, l, []string{"R.K"}, []string{"L.K"}, 4)
+	identicalRelations(t, want2, got2, "HashJoin swapped")
+}
+
+func TestParallelDistinctHashIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	rel := randomRelation(r, "T", 5000)
+
+	forceSerial(t)
+	st0 := &Stats{}
+	want := DistinctHash(st0, rel)
+
+	for _, workers := range []int{2, 4, 7} {
+		st1 := &Stats{}
+		got := ParallelDistinctHash(st1, rel, workers)
+		identicalRelations(t, want, got, fmt.Sprintf("DistinctHash w=%d", workers))
+		sameWork(t, *st0, st1.Snapshot(), fmt.Sprintf("DistinctHash w=%d", workers))
+	}
+
+	// And against the sort-based reference, as multisets.
+	st2 := &Stats{}
+	sorted := DistinctSort(st2, rel)
+	if !MultisetEqual(want, sorted) {
+		t.Fatal("DistinctHash and DistinctSort disagree")
+	}
+}
+
+func TestParallelSemiJoinHashIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	l := randomRelation(r, "L", 4000)
+	rr := randomRelation(r, "R", 800)
+
+	forceSerial(t)
+	st0 := &Stats{}
+	want := SemiJoinHash(st0, l, rr, []string{"L.K"}, []string{"R.K"})
+
+	st1 := &Stats{}
+	got := ParallelSemiJoinHash(st1, l, rr, []string{"L.K"}, []string{"R.K"}, 4)
+	identicalRelations(t, want, got, "SemiJoinHash")
+	sameWork(t, *st0, st1.Snapshot(), "SemiJoinHash")
+}
+
+func TestParallelProjectAndFilterIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	rel := randomRelation(r, "T", 4000)
+
+	forceSerial(t)
+	st0 := &Stats{}
+	wantP := Project(st0, rel, []string{"T.B", "T.K"})
+	env := &eval.Env{Cols: map[string]value.Value{}}
+	pred := &ast.Compare{Op: ast.GtOp,
+		L: &ast.ColumnRef{Qualifier: "T", Column: "A"}, R: &ast.IntLit{V: 4}}
+	wantF, err := Filter(st0, rel, pred, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st1 := &Stats{}
+	gotP := ParallelProject(st1, rel, []string{"T.B", "T.K"}, 4)
+	identicalRelations(t, wantP, gotP, "Project")
+
+	gotF, err := ParallelFilter(st1, rel, pred, env, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	identicalRelations(t, wantF, gotF, "Filter")
+}
+
+// TestAutoDispatch verifies the serial entry points cut over to the
+// parallel path above the threshold and that results stay identical.
+func TestAutoDispatch(t *testing.T) {
+	r := rand.New(rand.NewSource(19))
+	l := randomRelation(r, "L", 6000)
+	rr := randomRelation(r, "R", 2000)
+
+	forceSerial(t)
+	stS := &Stats{}
+	wantJ := HashJoin(stS, l, rr, []string{"L.K"}, []string{"R.K"})
+	wantD := DistinctHash(stS, wantJ)
+
+	forceParallel(t, 4)
+	stP := &Stats{}
+	gotJ := HashJoin(stP, l, rr, []string{"L.K"}, []string{"R.K"})
+	gotD := DistinctHash(stP, gotJ)
+	identicalRelations(t, wantJ, gotJ, "auto HashJoin")
+	identicalRelations(t, wantD, gotD, "auto DistinctHash")
+	if got := stP.Snapshot(); got.ParallelRuns == 0 {
+		t.Error("parallel path not taken above threshold")
+	}
+
+	// Below the threshold the serial path runs (no parallel counters).
+	SetParallelThreshold(1 << 30)
+	stQ := &Stats{}
+	HashJoin(stQ, l, rr, []string{"L.K"}, []string{"R.K"})
+	if got := stQ.Snapshot(); got.ParallelRuns != 0 {
+		t.Error("parallel path taken below threshold")
+	}
+}

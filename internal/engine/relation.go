@@ -75,7 +75,7 @@ func MultisetEqual(a, b *Relation) bool {
 	}
 	counts := make(map[uint64][]countedRow, len(a.Rows))
 	for _, row := range a.Rows {
-		h := value.HashRow(row)
+		h := hashRow(row)
 		bucket := counts[h]
 		found := false
 		for i := range bucket {
@@ -91,7 +91,7 @@ func MultisetEqual(a, b *Relation) bool {
 		counts[h] = bucket
 	}
 	for _, row := range b.Rows {
-		h := value.HashRow(row)
+		h := hashRow(row)
 		bucket := counts[h]
 		found := false
 		for i := range bucket {

@@ -5,11 +5,24 @@
 // existential semi-joins. Every operator is instrumented with
 // counters, because the experiments compare strategies by the work
 // they perform (comparisons, sort runs, probes) as well as wall time.
+//
+// Operators over large inputs automatically run on the partitioned
+// parallel path (see parallel.go); serial and parallel execution
+// produce byte-identical relations.
 package engine
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Stats accumulates operator work counters across an execution.
+//
+// Within one operator invocation the fields are incremented directly
+// by a single goroutine (parallel operators give each worker its own
+// Stats instance and merge them). Cross-goroutine accumulation must go
+// through Add, which is atomic on the destination: concurrent Add
+// calls into a shared Stats are race-free.
 type Stats struct {
 	RowsScanned  int64 // rows read from base tables
 	RowsOutput   int64 // rows produced by the root operator
@@ -21,26 +34,80 @@ type Stats struct {
 	JoinPairs    int64 // row pairs examined by join/product operators
 	SubqueryRuns int64 // EXISTS subquery evaluations
 	IndexSeeks   int64 // ordered-index lookups/range scans
+	ParallelRuns int64 // operator invocations that took the parallel path
+	ParallelRows int64 // rows processed by parallel operator invocations
+	CacheHits    int64 // analyzer verdict/normalization cache hits
+	CacheMisses  int64 // analyzer verdict/normalization cache misses
 }
 
-// Add accumulates o into s.
+// fields returns pointers to every counter, pairing s with o, so
+// accumulation code cannot silently miss a newly added field.
+func (s *Stats) fields(o *Stats) [][2]*int64 {
+	return [][2]*int64{
+		{&s.RowsScanned, &o.RowsScanned},
+		{&s.RowsOutput, &o.RowsOutput},
+		{&s.Comparisons, &o.Comparisons},
+		{&s.SortRuns, &o.SortRuns},
+		{&s.RowsSorted, &o.RowsSorted},
+		{&s.HashProbes, &o.HashProbes},
+		{&s.HashInserts, &o.HashInserts},
+		{&s.JoinPairs, &o.JoinPairs},
+		{&s.SubqueryRuns, &o.SubqueryRuns},
+		{&s.IndexSeeks, &o.IndexSeeks},
+		{&s.ParallelRuns, &o.ParallelRuns},
+		{&s.ParallelRows, &o.ParallelRows},
+		{&s.CacheHits, &o.CacheHits},
+		{&s.CacheMisses, &o.CacheMisses},
+	}
+}
+
+// Add accumulates o into s. The addition is atomic per counter on s,
+// so workers may merge into a shared Stats concurrently; o must not be
+// mutated concurrently with the call.
 func (s *Stats) Add(o Stats) {
-	s.RowsScanned += o.RowsScanned
-	s.RowsOutput += o.RowsOutput
-	s.Comparisons += o.Comparisons
-	s.SortRuns += o.SortRuns
-	s.RowsSorted += o.RowsSorted
-	s.HashProbes += o.HashProbes
-	s.HashInserts += o.HashInserts
-	s.JoinPairs += o.JoinPairs
-	s.SubqueryRuns += o.SubqueryRuns
-	s.IndexSeeks += o.IndexSeeks
+	for _, f := range s.fields(&o) {
+		if v := *f[1]; v != 0 {
+			atomic.AddInt64(f[0], v)
+		}
+	}
 }
 
-// String renders the counters compactly.
+// AddCache atomically bumps the analyzer-cache counters.
+func (s *Stats) AddCache(hits, misses int64) {
+	if hits != 0 {
+		atomic.AddInt64(&s.CacheHits, hits)
+	}
+	if misses != 0 {
+		atomic.AddInt64(&s.CacheMisses, misses)
+	}
+}
+
+// Snapshot returns an atomically loaded copy of s, safe to read while
+// other goroutines Add into it.
+func (s *Stats) Snapshot() Stats {
+	var out Stats
+	for _, f := range out.fields(s) {
+		*f[0] = atomic.LoadInt64(f[1])
+	}
+	return out
+}
+
+// String renders the counters compactly. Parallel-path and
+// analyzer-cache counters are appended only when non-zero, keeping the
+// serial rendering stable.
 func (s *Stats) String() string {
-	return fmt.Sprintf(
+	c := s.Snapshot()
+	out := fmt.Sprintf(
 		"scanned=%d output=%d cmp=%d sorts=%d sorted=%d probes=%d inserts=%d pairs=%d subq=%d seeks=%d",
-		s.RowsScanned, s.RowsOutput, s.Comparisons, s.SortRuns, s.RowsSorted,
-		s.HashProbes, s.HashInserts, s.JoinPairs, s.SubqueryRuns, s.IndexSeeks)
+		c.RowsScanned, c.RowsOutput, c.Comparisons, c.SortRuns, c.RowsSorted,
+		c.HashProbes, c.HashInserts, c.JoinPairs, c.SubqueryRuns, c.IndexSeeks)
+	if c.ParallelRuns > 0 {
+		out += fmt.Sprintf(" parruns=%d parrows=%d workers=%d", c.ParallelRuns, c.ParallelRows, Workers())
+	}
+	if c.CacheHits+c.CacheMisses > 0 {
+		out += fmt.Sprintf(" cachehits=%d cachemisses=%d hitrate=%.0f%%",
+			c.CacheHits, c.CacheMisses,
+			100*float64(c.CacheHits)/float64(c.CacheHits+c.CacheMisses))
+	}
+	return out
 }

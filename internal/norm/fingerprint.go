@@ -1,0 +1,64 @@
+package norm
+
+import (
+	"hash/fnv"
+
+	"uniqopt/internal/sql/ast"
+)
+
+// Fingerprinting of normalized forms. The analysis cache keys verdicts
+// and extracted equalities on a 64-bit hash of the *negation normal
+// form* rendering of an expression, so predicates that differ only in
+// the placement of NOT (e.g. NOT (A <> 1) vs A = 1) share a cache
+// slot. AST SQL renderings are deterministic and round-trip through
+// the parser (a pinned property), which makes them a sound hash basis.
+
+// Fingerprint hashes the NNF rendering of e. A nil expression (absent
+// WHERE clause) has the fixed fingerprint of the empty string.
+func Fingerprint(e ast.Expr) uint64 {
+	h := fnv.New64a()
+	if e != nil {
+		h.Write([]byte(NNF(e).SQL()))
+	}
+	return h.Sum64()
+}
+
+// FingerprintQuery hashes the rendering of a whole query (SELECT or
+// set operation). Queries are not NNF-rewritten — their predicate
+// normalization happens per block during analysis — but the rendering
+// is canonical for a given AST.
+func FingerprintQuery(q ast.Query) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(q.SQL()))
+	return h.Sum64()
+}
+
+// FingerprintStrings hashes a sequence of strings with separators, for
+// composing cache keys from context (scope signatures, option sets).
+func FingerprintStrings(parts ...string) uint64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+// Clone returns a deep-enough copy of eq for a cache to hand out:
+// mutating the copy's maps or Pairs slice leaves the original intact.
+// The ast.Expr values are shared — extraction never mutates them.
+func (eq Equalities) Clone() Equalities {
+	out := Equalities{
+		ConstCols: make(map[string]ast.Expr, len(eq.ConstCols)),
+		NullCols:  make(map[string]bool, len(eq.NullCols)),
+		Pairs:     append([][2]string(nil), eq.Pairs...),
+		Dropped:   eq.Dropped,
+	}
+	for k, v := range eq.ConstCols {
+		out.ConstCols[k] = v
+	}
+	for k := range eq.NullCols {
+		out.NullCols[k] = true
+	}
+	return out
+}

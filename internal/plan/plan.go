@@ -48,6 +48,10 @@ type Options struct {
 	Core core.Options
 	// MaxRewritePasses bounds the rewrite fixpoint loop (0 = 8).
 	MaxRewritePasses int
+	// Cache, when non-nil, memoizes analyzer verdicts and predicate
+	// normalizations across Run calls (and across planners sharing the
+	// cache). Hit/miss deltas are reported in Result.Stats.
+	Cache *core.VerdictCache
 }
 
 // Result is the outcome of planning and executing one query.
@@ -69,7 +73,7 @@ type Planner struct {
 func NewPlanner(db *storage.DB, opts Options) *Planner {
 	return &Planner{
 		DB:   db,
-		An:   &core.Analyzer{Cat: db.Catalog, Opts: opts.Core},
+		An:   &core.Analyzer{Cat: db.Catalog, Opts: opts.Core, Cache: opts.Cache},
 		Opts: opts,
 	}
 }
@@ -80,6 +84,13 @@ func (p *Planner) Run(q ast.Query, hosts map[string]value.Value) (*Result, error
 		hosts = map[string]value.Value{}
 	}
 	res := &Result{}
+	if c := p.An.Cache; c != nil {
+		h0, m0 := c.Counters()
+		defer func() {
+			h1, m1 := c.Counters()
+			res.Stats.AddCache(h1-h0, m1-m0)
+		}()
+	}
 	if p.Opts.ApplyRewrites {
 		original := q
 		rewritten, err := p.rewriteFixpoint(q, res)

@@ -37,10 +37,13 @@ import (
 )
 
 // DB is an in-memory database with the uniqueness-aware optimizer
-// attached.
+// attached. Analysis verdicts are memoized in a per-DB cache keyed on
+// query shape and schema version, so repeated statements skip
+// Algorithm 1 entirely; DDL invalidates the cache automatically.
 type DB struct {
 	store *storage.DB
 	opts  Options
+	cache *core.VerdictCache
 }
 
 // Options tune the optimizer.
@@ -67,7 +70,11 @@ func Open() *DB { return OpenWith(Options{}) }
 
 // OpenWith creates an empty database with the given optimizer options.
 func OpenWith(opts Options) *DB {
-	return &DB{store: storage.NewDB(catalog.New()), opts: opts}
+	return &DB{
+		store: storage.NewDB(catalog.New()),
+		opts:  opts,
+		cache: core.NewVerdictCache(0),
+	}
 }
 
 // Exec runs a DDL statement (CREATE TABLE).
@@ -178,6 +185,7 @@ func (d *DB) QueryWith(sql string, hosts map[string]any, optimize bool) (*Rows, 
 			BindIsNull:          d.opts.BindIsNull,
 			UseCheckConstraints: d.opts.UseCheckConstraints,
 		},
+		Cache: d.cache,
 	})
 	res, err := p.Run(q, hv)
 	if err != nil {
@@ -284,8 +292,12 @@ func (d *DB) analyzer() *core.Analyzer {
 		UseKeyFDs:           d.opts.UseKeyFDs,
 		BindIsNull:          d.opts.BindIsNull,
 		UseCheckConstraints: d.opts.UseCheckConstraints,
-	}}
+	}, Cache: d.cache}
 }
+
+// CacheCounters reports the cumulative analyzer-cache hits and misses
+// for this DB.
+func (d *DB) CacheCounters() (hits, misses int64) { return d.cache.Counters() }
 
 // Store exposes the underlying storage for advanced integrations
 // (the IMS/OODB loaders, the benchmark harness).
