@@ -1,11 +1,17 @@
 GO ?= go
 
-.PHONY: all vet build test race bench-smoke bench-tables ci clean
+.PHONY: all vet lint build test race bench-smoke bench-tables ci clean
 
 all: ci
 
 vet:
 	$(GO) vet ./...
+
+# uniqlint enforces the repo's semantic invariants (3VL comparisons,
+# Stats atomics, row aliasing, catalog version bumps, deterministic
+# map iteration). Exits nonzero on any unsuppressed finding.
+lint:
+	$(GO) run ./cmd/uniqlint ./...
 
 build:
 	$(GO) build ./...
@@ -25,7 +31,7 @@ bench-smoke:
 bench-tables:
 	$(GO) run ./cmd/benchrunner -exp all -scale 0.25 > bench_output_tables.txt
 
-ci: vet build test race bench-smoke
+ci: vet lint build test race bench-smoke
 
 clean:
 	rm -f BENCH_parallel.json

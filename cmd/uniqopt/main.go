@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"uniqopt/internal/catalog"
@@ -92,8 +93,13 @@ func run(schemaPath, query string, keyFDs, isNull bool, out io.Writer) error {
 		fmt.Fprintf(out, "verdict: NOT PROVEN UNIQUE (blocking table: %s)\n", v.MissingTable)
 	}
 	fmt.Fprintf(out, "bound columns (V): %s\n", strings.Join(v.Bound, ", "))
-	for corr, key := range v.KeysUsed {
-		fmt.Fprintf(out, "  key of %s bound: (%s)\n", corr, strings.Join(key, ", "))
+	corrs := make([]string, 0, len(v.KeysUsed))
+	for corr := range v.KeysUsed {
+		corrs = append(corrs, corr)
+	}
+	sort.Strings(corrs)
+	for _, corr := range corrs {
+		fmt.Fprintf(out, "  key of %s bound: (%s)\n", corr, strings.Join(v.KeysUsed[corr], ", "))
 	}
 	if len(v.DerivedKeys) > 0 {
 		fmt.Fprintln(out, "derived candidate keys of the result:")

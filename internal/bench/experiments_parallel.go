@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"sort"
 	"time"
 
 	"uniqopt/internal/core"
@@ -100,9 +101,14 @@ func EP(sc Scale) *Table {
 	cat := workload.PaperCatalog()
 	cache := core.NewVerdictCache(0)
 	an := core.NewCachedAnalyzer(cat, cache)
+	names := make([]string, 0, len(workload.PaperQueries))
+	for name := range workload.PaperQueries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	var sels []*ast.Select
-	for _, src := range workload.PaperQueries {
-		if s, err := parser.ParseSelect(src); err == nil {
+	for _, name := range names {
+		if s, err := parser.ParseSelect(workload.PaperQueries[name]); err == nil {
 			sels = append(sels, s)
 		}
 	}

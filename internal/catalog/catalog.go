@@ -59,6 +59,10 @@ type Table struct {
 	ForeignKeys []ForeignKey // inclusion dependencies into other tables
 	Checks      []ast.Expr   // T_R: CHECK constraints, columns unqualified or self-qualified
 	byName      map[string]int
+	// cat points back to the catalog the table was Defined in, so that
+	// post-Define mutations (AddKey, AddCheck) invalidate version-keyed
+	// analysis caches automatically.
+	cat *Catalog
 }
 
 // NewTable builds a table schema and validates it: non-empty unique
@@ -133,6 +137,7 @@ func (t *Table) AddKey(primary bool, colNames ...string) error {
 		}
 	}
 	t.Keys = append(t.Keys, k)
+	t.bump()
 	return nil
 }
 
@@ -170,7 +175,51 @@ func (t *Table) AddCheck(e ast.Expr) error {
 		return bad
 	}
 	t.Checks = append(t.Checks, e)
+	t.bump()
 	return nil
+}
+
+// DropKey removes candidate key i (an index into Keys), modelling
+// ALTER TABLE … DROP CONSTRAINT. A key referenced by a FOREIGN KEY of
+// any table in the owning catalog cannot be dropped; RefKey indices
+// pointing past the removed key shift down by one. Columns a dropped
+// PRIMARY KEY forced NOT NULL stay NOT NULL, as in SQL. The schema
+// version is bumped so every cached uniqueness verdict derived from
+// the key is invalidated.
+func (t *Table) DropKey(i int) error {
+	if i < 0 || i >= len(t.Keys) {
+		return fmt.Errorf("catalog: table %s: no key %d to drop", t.Name, i)
+	}
+	if t.cat != nil {
+		for _, name := range t.cat.TableNames() {
+			other, _ := t.cat.Table(name)
+			for _, fk := range other.ForeignKeys {
+				if fk.RefTable == t.Name && fk.RefKey == i {
+					return fmt.Errorf("catalog: table %s: key %d is referenced by a FOREIGN KEY of %s",
+						t.Name, i, other.Name)
+				}
+			}
+		}
+		for _, name := range t.cat.TableNames() {
+			other, _ := t.cat.Table(name)
+			for fi := range other.ForeignKeys {
+				if other.ForeignKeys[fi].RefTable == t.Name && other.ForeignKeys[fi].RefKey > i {
+					other.ForeignKeys[fi].RefKey--
+				}
+			}
+		}
+	}
+	t.Keys = append(t.Keys[:i], t.Keys[i+1:]...)
+	t.bump()
+	return nil
+}
+
+// bump invalidates version-keyed caches of the owning catalog. Tables
+// not yet Defined have no observers, so mutating them needs no bump.
+func (t *Table) bump() {
+	if t.cat != nil {
+		t.cat.Bump()
+	}
 }
 
 // PrimaryKey returns the primary key, if any.
@@ -220,9 +269,10 @@ type Catalog struct {
 // analysis results keyed on the version are invalidated by any change.
 func (c *Catalog) Version() uint64 { return c.version.Load() }
 
-// Bump invalidates version-keyed caches explicitly. Callers that
-// mutate a *Table directly after Define (AddKey, AddCheck) must call
-// it, since those mutations bypass the catalog.
+// Bump invalidates version-keyed caches explicitly. Schema mutations
+// through the catalog or through a Defined table (AddKey, AddCheck)
+// bump automatically; Bump remains for callers that mutate exported
+// Table fields in place.
 func (c *Catalog) Bump() { c.version.Add(1) }
 
 // New returns an empty catalog.
@@ -239,6 +289,7 @@ func (c *Catalog) Define(t *Table) error {
 		return fmt.Errorf("catalog: table %s already defined", t.Name)
 	}
 	c.tables[t.Name] = t
+	t.cat = c
 	c.Bump()
 	return nil
 }

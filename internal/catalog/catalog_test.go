@@ -331,3 +331,85 @@ func TestExpandItems(t *testing.T) {
 		t.Error("non-column item should fail")
 	}
 }
+
+func TestDropKey(t *testing.T) {
+	c := paperCatalog(t)
+	parts, _ := c.Table("PARTS")
+
+	if err := parts.DropKey(-1); err == nil {
+		t.Error("negative key index should fail")
+	}
+	if err := parts.DropKey(len(parts.Keys)); err == nil {
+		t.Error("out-of-range key index should fail")
+	}
+
+	// Reference PARTS's UNIQUE (OEM-PNO) key (index 1) from a new table.
+	ord, err := NewTable("ORD", []Column{{Name: "OPN", Type: value.KindInt}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Define(ord); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddForeignKey(ord, []string{"OPN"}, "PARTS", []string{"OEM-PNO"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := parts.DropKey(1); err == nil || !strings.Contains(err.Error(), "FOREIGN KEY") {
+		t.Errorf("dropping an FK-referenced key: err = %v, want FOREIGN KEY refusal", err)
+	}
+
+	// Dropping the primary key (index 0) shifts ORD's RefKey from 1 to
+	// 0 so the inclusion dependency still names UNIQUE (OEM-PNO).
+	v0 := c.Version()
+	if err := parts.DropKey(0); err != nil {
+		t.Fatal(err)
+	}
+	if c.Version() == v0 {
+		t.Error("DropKey did not bump the catalog version")
+	}
+	if len(parts.Keys) != 1 {
+		t.Fatalf("Keys = %v, want just the unique key", parts.Keys)
+	}
+	if _, ok := parts.PrimaryKey(); ok {
+		t.Error("primary key still reported after drop")
+	}
+	if got := parts.KeyColumnNames(parts.Keys[0]); len(got) != 1 || got[0] != "OEM-PNO" {
+		t.Errorf("surviving key columns = %v", got)
+	}
+	if fk := ord.ForeignKeys[0]; fk.RefKey != 0 {
+		t.Errorf("RefKey = %d after drop, want 0 (shifted down)", fk.RefKey)
+	}
+	// SQL keeps the NOT NULL the primary key forced.
+	if col, _ := parts.Column("SNO"); !col.NotNull {
+		t.Error("dropping the primary key must not clear NOT NULL")
+	}
+}
+
+func TestAddKeyBumpsVersionAfterDefine(t *testing.T) {
+	c := New()
+	tb, err := NewTable("T", []Column{{Name: "A", Type: value.KindInt}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before Define there is no catalog to notify; AddKey must not panic.
+	if err := tb.AddKey(false, "A"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Define(tb); err != nil {
+		t.Fatal(err)
+	}
+	v0 := c.Version()
+	if err := tb.AddKey(true, "A"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Version() == v0 {
+		t.Error("AddKey after Define did not bump the catalog version")
+	}
+	v1 := c.Version()
+	if err := tb.AddCheck(&ast.Compare{Op: ast.GtOp, L: &ast.ColumnRef{Column: "A"}, R: &ast.IntLit{V: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Version() == v1 {
+		t.Error("AddCheck after Define did not bump the catalog version")
+	}
+}

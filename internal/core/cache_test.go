@@ -242,3 +242,87 @@ type errVerdictDrift struct{ src, want, got string }
 func (e errVerdictDrift) Error() string {
 	return "verdict drift for " + e.src + ": want " + e.want + " got " + e.got
 }
+
+// TestCacheInvalidatedByEachDDLKind walks one query through every DDL
+// kind the catalog supports — defining a new table, adding a candidate
+// key, and dropping a constraint — and asserts that none of them lets
+// a stale verdict out of the cache. Adding and dropping the key must
+// also flip the verdict itself: the same SQL goes from unprovable to
+// provably duplicate-free and back.
+func TestCacheInvalidatedByEachDDLKind(t *testing.T) {
+	cat := catalog.New()
+	st, err := parser.ParseStatement(`CREATE TABLE T (A INTEGER NOT NULL, B INTEGER)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := cat.DefineFromAST(st.(*ast.CreateTable))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewVerdictCache(0)
+	an := NewCachedAnalyzer(cat, cache)
+	s := mustSelectC(t, `SELECT A, B FROM T`)
+	analyze := func() *Verdict {
+		t.Helper()
+		v, err := an.AnalyzeSelect(s, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+
+	if v := analyze(); v.Unique {
+		t.Fatal("T has no keys; the result must not be proven unique")
+	}
+	h0, m0 := cache.Counters()
+	analyze()
+	h1, m1 := cache.Counters()
+	if h1 == h0 || m1 != m0 {
+		t.Fatalf("warm re-analysis: hits %d→%d misses %d→%d, want a pure hit", h0, h1, m0, m1)
+	}
+
+	// DDL kind 1: define an unrelated table. The verdict cannot change,
+	// but the old entry must not be served.
+	st2, err := parser.ParseStatement(`CREATE TABLE U (X INTEGER, PRIMARY KEY (X))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.DefineFromAST(st2.(*ast.CreateTable)); err != nil {
+		t.Fatal(err)
+	}
+	if v := analyze(); v.Unique {
+		t.Fatal("defining an unrelated table cannot make T's result unique")
+	}
+	_, m2 := cache.Counters()
+	if m2 == m1 {
+		t.Fatal("analysis after CREATE TABLE was served from a stale cache entry")
+	}
+
+	// DDL kind 2: add a candidate key directly on the table handle.
+	// Table.AddKey bumps the catalog version through its back-pointer —
+	// no explicit Bump — and the verdict flips to unique because the
+	// projection now covers a key.
+	if err := tb.AddKey(true, "A"); err != nil {
+		t.Fatal(err)
+	}
+	if v := analyze(); !v.Unique {
+		t.Fatal("PRIMARY KEY (A) with A projected must prove uniqueness")
+	}
+	_, m3 := cache.Counters()
+	if m3 == m2 {
+		t.Fatal("analysis after ADD KEY was served from a stale cache entry")
+	}
+
+	// DDL kind 3: drop the constraint. The verdict must revert, not
+	// replay the key-era answer.
+	if err := tb.DropKey(0); err != nil {
+		t.Fatal(err)
+	}
+	if v := analyze(); v.Unique {
+		t.Fatal("after DROP CONSTRAINT the result must no longer be proven unique")
+	}
+	_, m4 := cache.Counters()
+	if m4 == m3 {
+		t.Fatal("analysis after DROP CONSTRAINT was served from a stale cache entry")
+	}
+}

@@ -128,7 +128,7 @@ func Truth(e ast.Expr, env *Env) (tvl.Truth, error) {
 				return tvl.Unknown, err
 			}
 			out = tvl.Or(out, t)
-			if out == tvl.True {
+			if tvl.IsTrue(out) {
 				break
 			}
 		}
@@ -154,7 +154,7 @@ func Truth(e ast.Expr, env *Env) (tvl.Truth, error) {
 		if err != nil {
 			return tvl.Unknown, err
 		}
-		if l == tvl.False {
+		if tvl.IsFalse(l) {
 			return tvl.False, nil
 		}
 		r, err := Truth(x.R, env)
@@ -167,7 +167,7 @@ func Truth(e ast.Expr, env *Env) (tvl.Truth, error) {
 		if err != nil {
 			return tvl.Unknown, err
 		}
-		if l == tvl.True {
+		if tvl.IsTrue(l) {
 			return tvl.True, nil
 		}
 		r, err := Truth(x.R, env)
@@ -202,7 +202,7 @@ func Truth(e ast.Expr, env *Env) (tvl.Truth, error) {
 				t = value.Eq(xv, v)
 			}
 			out = tvl.Or(out, t)
-			if out == tvl.True {
+			if tvl.IsTrue(out) {
 				break
 			}
 		}

@@ -135,7 +135,7 @@ func TestConnectives(t *testing.T) {
 
 func TestNilExprIsTrue(t *testing.T) {
 	tr, err := Truth(nil, env(nil))
-	if err != nil || tr != tvl.True {
+	if err != nil || !tvl.IsTrue(tr) {
 		t.Errorf("Truth(nil) = %v, %v", tr, err)
 	}
 }
@@ -181,10 +181,10 @@ func TestExistsCallback(t *testing.T) {
 			return tvl.True, nil
 		},
 	}
-	if got := mustTruth(t, "EXISTS (SELECT * FROM T WHERE T.A = 1)", e); got != tvl.True {
+	if got := mustTruth(t, "EXISTS (SELECT * FROM T WHERE T.A = 1)", e); !tvl.IsTrue(got) {
 		t.Errorf("EXISTS = %v", got)
 	}
-	if got := mustTruth(t, "NOT EXISTS (SELECT * FROM T WHERE T.A = 1)", e); got != tvl.False {
+	if got := mustTruth(t, "NOT EXISTS (SELECT * FROM T WHERE T.A = 1)", e); !tvl.IsFalse(got) {
 		t.Errorf("NOT EXISTS = %v", got)
 	}
 	if calls != 2 {

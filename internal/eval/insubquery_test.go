@@ -98,7 +98,7 @@ func TestInSubqueryShortCircuit(t *testing.T) {
 		},
 	}
 	got, err := Truth(inExpr(false), env)
-	if err != nil || got != tvl.True {
+	if err != nil || !tvl.IsTrue(got) {
 		t.Fatalf("got %v, %v", got, err)
 	}
 	if served != 1 {

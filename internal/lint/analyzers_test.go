@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTvlBoolFixture(t *testing.T) {
+	fs := checkFixture(t, "fix/tvlbool", TvlBool)
+	if len(fs) != 5 {
+		t.Errorf("tvlbool findings = %d, want 5", len(fs))
+	}
+}
+
+func TestTvlBoolExemptInsideTvl(t *testing.T) {
+	// The stand-in tvl package compares Truth values internally; the
+	// analyzer must stay silent there.
+	fs, _ := loadFixture(t, "uniqopt/internal/tvl", TvlBool)
+	if len(fs) != 0 {
+		t.Errorf("tvlbool flagged the tvl package itself: %v", fs)
+	}
+}
+
+func TestRowAliasFixture(t *testing.T) {
+	fs := checkFixture(t, "fix/rowalias", RowAlias)
+	if len(fs) != 4 {
+		t.Errorf("rowalias findings = %d, want 4", len(fs))
+	}
+}
+
+func TestStatsAtomicConsumerFixture(t *testing.T) {
+	fs := checkFixture(t, "fix/statsatomic", StatsAtomic)
+	if len(fs) != 4 {
+		t.Errorf("statsatomic findings = %d, want 4", len(fs))
+	}
+}
+
+func TestEngineImplFixture(t *testing.T) {
+	// The engine-side fixture carries both statsatomic centralization
+	// violations and rowalias shared-storage writes.
+	fs := checkFixture(t, "engfix/internal/engine", StatsAtomic, RowAlias)
+	var atomics, shared int
+	for _, f := range fs {
+		switch f.Analyzer {
+		case "statsatomic":
+			atomics++
+		case "rowalias":
+			shared++
+		}
+	}
+	if atomics != 2 || shared != 2 {
+		t.Errorf("engine fixture findings: statsatomic=%d rowalias=%d, want 2 and 2", atomics, shared)
+	}
+}
+
+func TestCatVerFixture(t *testing.T) {
+	fs := checkFixture(t, "catfix/internal/catalog", CatVer)
+	if len(fs) != 2 {
+		t.Errorf("catver findings = %d, want 2", len(fs))
+	}
+}
+
+func TestCatVerSkipsOtherPackages(t *testing.T) {
+	fs, _ := loadFixture(t, "fix/tvlbool", CatVer)
+	if len(fs) != 0 {
+		t.Errorf("catver ran outside internal/catalog: %v", fs)
+	}
+}
+
+func TestDetOrderFixture(t *testing.T) {
+	fs := checkFixture(t, "fix/detorder", DetOrder)
+	if len(fs) != 3 {
+		t.Errorf("detorder findings = %d, want 3", len(fs))
+	}
+}
+
+func TestFindingFormat(t *testing.T) {
+	fs, _ := loadFixture(t, "fix/tvlbool", TvlBool)
+	if len(fs) == 0 {
+		t.Fatal("no findings")
+	}
+	s := fs[0].String()
+	if !strings.Contains(s, "x.go:") || !strings.Contains(s, "[tvlbool]") {
+		t.Errorf("finding format %q lacks file:line: [analyzer]", s)
+	}
+}
+
+func TestByName(t *testing.T) {
+	found, unknown := ByName("tvlbool,catver")
+	if len(found) != 2 || len(unknown) != 0 {
+		t.Fatalf("ByName: found=%v unknown=%v", found, unknown)
+	}
+	_, unknown = ByName("tvlbool,nosuch")
+	if len(unknown) != 1 || unknown[0] != "nosuch" {
+		t.Fatalf("ByName unknown = %v", unknown)
+	}
+}

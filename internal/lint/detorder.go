@@ -1,0 +1,199 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DetOrder protects the engine's byte-identical-to-serial guarantee
+// and the stability of plans and EXPLAIN output: Go map iteration
+// order is deliberately randomized, so a `for … range m` over a map
+// that appends to a result slice, or writes output directly, produces
+// a different ordering on every run unless the result is sorted
+// afterwards. The analyzer flags:
+//
+//   - appends (inside a map-range body) into a slice declared outside
+//     the loop, when no later call in the same function passes that
+//     slice to something that sorts it (a callee whose name contains
+//     "sort", e.g. sort.Strings, sort.Slice, SortRows);
+//   - direct output from a map-range body (fmt printing, Write*
+//     methods on a destination declared outside the loop).
+var DetOrder = &Analyzer{
+	Name: "detorder",
+	Doc:  "flag map iteration that builds ordered output (slices, printed text) without a subsequent sort",
+	Run:  runDetOrder,
+}
+
+func runDetOrder(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			runDetOrderFunc(pass, fd)
+		}
+	}
+}
+
+// calleeName extracts the called function/method name from a call.
+func calleeName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	}
+	return ""
+}
+
+// qualifiedCalleeName includes the package/receiver qualifier when it
+// is a plain identifier, so "sort.Strings" is recognizably sorty.
+func qualifiedCalleeName(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			return id.Name + "." + sel.Sel.Name
+		}
+		return sel.Sel.Name
+	}
+	return calleeName(call)
+}
+
+// isFmtOutput reports whether call is a fmt printing call
+// (Print/Printf/Println/Fprint*) — direct output.
+func isFmtOutput(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "fmt" {
+		return false
+	}
+	return strings.HasPrefix(sel.Sel.Name, "Print") || strings.HasPrefix(sel.Sel.Name, "Fprint")
+}
+
+func runDetOrderFunc(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Info
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		xt := info.Types[rng.X].Type
+		if xt == nil {
+			return true
+		}
+		if _, isMap := xt.Underlying().(*types.Map); !isMap {
+			return true
+		}
+
+		// Accumulators appended to inside the body, declared outside
+		// the range statement.
+		type acc struct {
+			obj *types.Var
+			id  *ast.Ident
+		}
+		var accs []acc
+		ast.Inspect(rng.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || calleeName(call) != "append" || i >= len(as.Lhs) {
+					continue
+				}
+				id, ok := as.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := objOf(info, id)
+				if obj == nil || obj.Pos() > rng.Pos() {
+					continue // declared inside the loop: per-iteration, no cross-key order
+				}
+				accs = append(accs, acc{obj: obj, id: id})
+			}
+			return true
+		})
+
+		// Direct output from the body is unfixable after the fact.
+		ast.Inspect(rng.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := calleeName(call)
+			writer := strings.HasPrefix(name, "Write") || name == "Fprintf" || name == "Fprintln"
+			if isFmtOutput(info, call) || writer {
+				if writer {
+					// Write* on a receiver declared inside the loop
+					// (a per-key buffer) is fine.
+					if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+						if root := rootIdent(sel.X); root != nil {
+							if obj := objOf(info, root); obj != nil && obj.Pos() > rng.Pos() {
+								return true
+							}
+						}
+					}
+				}
+				pass.Report(call.Pos(),
+					"output written while ranging over a map: iteration order is nondeterministic; collect into a slice, sort, then emit")
+				return true
+			}
+			return true
+		})
+
+		// An accumulator is fine if something after the loop sorts it.
+		for _, a := range accs {
+			if sortedAfter(info, fd, rng, a.obj) {
+				continue
+			}
+			pass.Report(a.id.Pos(),
+				"slice %s is appended to while ranging over a map and never sorted afterwards; plan/EXPLAIN output must be deterministic — sort it (e.g. sort.Strings/sort.Slice) or collect sorted keys first",
+				a.obj.Name())
+		}
+		return true
+	})
+}
+
+// sortedAfter reports whether, after the range statement, the function
+// passes obj to a callee whose name mentions sorting.
+func sortedAfter(info *types.Info, fd *ast.FuncDecl, rng *ast.RangeStmt, obj *types.Var) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		if !strings.Contains(strings.ToLower(qualifiedCalleeName(call)), "sort") {
+			return true
+		}
+		refs := false
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && objOf(info, id) == obj {
+					refs = true
+				}
+				return true
+			})
+		}
+		// Method form: v.Sort(), v.SortRows().
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && !refs {
+			if root := rootIdent(sel.X); root != nil && objOf(info, root) == obj {
+				refs = true
+			}
+		}
+		if refs {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

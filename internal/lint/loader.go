@@ -1,0 +1,210 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader typechecks packages from source using only the standard
+// library. Import paths inside the module resolve to directories under
+// ModuleDir; when FixtureDir is set it is consulted first, so golden
+// fixture packages can shadow real repository packages with small
+// stand-ins that keep the same import paths. Everything else (the
+// standard library) is delegated to go/importer's source importer.
+type Loader struct {
+	Fset       *token.FileSet
+	ModulePath string
+	ModuleDir  string
+	FixtureDir string
+
+	std  types.Importer
+	pkgs map[string]*types.Package
+	busy map[string]bool
+}
+
+// NewLoader builds a loader for the module rooted at moduleDir.
+func NewLoader(fset *token.FileSet, modulePath, moduleDir, fixtureDir string) *Loader {
+	return &Loader{
+		Fset:       fset,
+		ModulePath: modulePath,
+		ModuleDir:  moduleDir,
+		FixtureDir: fixtureDir,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       make(map[string]*types.Package),
+		busy:       make(map[string]bool),
+	}
+}
+
+// dirFor maps an import path to a source directory, or "" when the
+// path is not provided by the fixture root or the module (i.e. it is a
+// standard-library path).
+func (l *Loader) dirFor(path string) string {
+	if l.FixtureDir != "" {
+		d := filepath.Join(l.FixtureDir, filepath.FromSlash(path))
+		if hasGoFiles(d) {
+			return d
+		}
+	}
+	if path == l.ModulePath {
+		return l.ModuleDir
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+		return filepath.Join(l.ModuleDir, filepath.FromSlash(rest))
+	}
+	return ""
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// Import implements types.Importer. Module and fixture packages are
+// typechecked from source with function bodies skipped (importers only
+// need the package API); standard-library paths fall through to the
+// source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	dir := l.dirFor(path)
+	if dir == "" {
+		return l.std.Import(path)
+	}
+	if l.busy[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.busy[path] = true
+	defer delete(l.busy, path)
+
+	files, _, _, err := l.ParseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no buildable Go files in %s", dir)
+	}
+	pkg, _, err := l.check(path, files, true)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// ParseDir parses the directory's buildable Go files, split like the
+// go tool splits them: package files, in-package test files, and
+// external (_test package) test files. Build constraints are honored
+// via go/build.
+func (l *Loader) ParseDir(dir string) (files, testFiles, xtestFiles []*ast.File, err error) {
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		if _, noGo := err.(*build.NoGoError); !noGo {
+			return nil, nil, nil, fmt.Errorf("lint: %s: %w", dir, err)
+		}
+		// Test-only directories are still lintable.
+	}
+	parse := func(names []string) ([]*ast.File, error) {
+		sort.Strings(names)
+		var out []*ast.File
+		for _, name := range names {
+			f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, f)
+		}
+		return out, nil
+	}
+	if bp == nil {
+		return nil, nil, nil, nil
+	}
+	if files, err = parse(bp.GoFiles); err != nil {
+		return nil, nil, nil, err
+	}
+	if testFiles, err = parse(bp.TestGoFiles); err != nil {
+		return nil, nil, nil, err
+	}
+	if xtestFiles, err = parse(bp.XTestGoFiles); err != nil {
+		return nil, nil, nil, err
+	}
+	return files, testFiles, xtestFiles, nil
+}
+
+// Check typechecks files as the package at importPath with full type
+// information, for analysis. The result is not cached: target units
+// may include test files and must not shadow the API-only package
+// other imports see.
+func (l *Loader) Check(importPath string, files []*ast.File) (*types.Package, *types.Info, error) {
+	return l.check(importPath, files, false)
+}
+
+func (l *Loader) check(importPath string, files []*ast.File, apiOnly bool) (*types.Package, *types.Info, error) {
+	var errs []error
+	conf := types.Config{
+		Importer:         l,
+		Sizes:            types.SizesFor("gc", build.Default.GOARCH),
+		IgnoreFuncBodies: apiOnly,
+		Error:            func(err error) { errs = append(errs, err) },
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := conf.Check(importPath, l.Fset, files, info)
+	if len(errs) > 0 {
+		return nil, nil, fmt.Errorf("lint: typecheck %s: %v", importPath, errs[0])
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("lint: typecheck %s: %w", importPath, err)
+	}
+	return pkg, info, nil
+}
+
+// FindModuleRoot walks upward from dir to the directory containing
+// go.mod and returns that directory plus the declared module path.
+func FindModuleRoot(dir string) (root, modulePath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		gm := filepath.Join(dir, "go.mod")
+		if data, err := os.ReadFile(gm); err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s has no module directive", gm)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

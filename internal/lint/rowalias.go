@@ -1,0 +1,189 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// RowAlias polices the shared-slice discipline of the parallel engine:
+// a value.Row (or []Row) is aliased, not copied, when it is sent on a
+// channel, appended into another slice (a partition, an output chunk,
+// a hash bucket), or stored into a struct or map. After any
+// of those events the row may be observed concurrently by another
+// partition or retained by an output relation, so writing one of its
+// elements afterwards is a data race or a silent result corruption —
+// the bug class `go test -race` only catches when the schedule
+// cooperates. The analyzer flags, within one function, element writes
+// to a row-typed variable that occur (textually) after the variable
+// escaped.
+//
+// A second rule, scoped to the engine package, flags in-place writes
+// to rows reached through shared storage (rel.Rows[i][j] = v, or a
+// doubly-indexed parameter): operators receive their inputs by
+// reference and must copy-on-write.
+var RowAlias = &Analyzer{
+	Name: "rowalias",
+	Doc:  "flag writes to value.Row elements after the row escaped (channel send, append, store, return)",
+	Run:  runRowAlias,
+}
+
+// escapeKind labels how a row was shared, for the diagnostic.
+type escapeEvent struct {
+	pos  token.Pos
+	kind string
+}
+
+func runRowAlias(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			runRowAliasFunc(pass, fd)
+		}
+	}
+}
+
+// rowIdents yields every identifier of row type in e, resolved to its
+// variable object.
+func rowIdents(info *types.Info, e ast.Expr, fn func(*types.Var, *ast.Ident)) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := objOf(info, id); obj != nil && isRowType(obj.Type()) {
+			fn(obj, id)
+		}
+		return true
+	})
+}
+
+func runRowAliasFunc(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Info
+	escaped := make(map[*types.Var]escapeEvent)
+	mark := func(obj *types.Var, pos token.Pos, kind string) {
+		if prev, ok := escaped[obj]; !ok || pos < prev.pos {
+			escaped[obj] = escapeEvent{pos: pos, kind: kind}
+		}
+	}
+
+	params := make(map[*types.Var]bool)
+	if fd.Type.Params != nil {
+		for _, f := range fd.Type.Params.List {
+			for _, name := range f.Names {
+				if obj, ok := info.Defs[name].(*types.Var); ok {
+					params[obj] = true
+				}
+			}
+		}
+	}
+
+	// Pass 1: collect escape events.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			rowIdents(info, x.Value, func(obj *types.Var, id *ast.Ident) {
+				mark(obj, id.Pos(), "sent on a channel")
+			})
+		// Note: `return r` is deliberately NOT an escape for the
+		// textual-order rule — a conditional early return followed by
+		// a write is the write running only when the return did not,
+		// which is fine. Mutation of rows handed to/from callers is
+		// caught by the shared-storage rule below instead.
+		case *ast.CallExpr:
+			if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "append" && len(x.Args) > 1 {
+				for _, arg := range x.Args[1:] {
+					if aid, ok := arg.(*ast.Ident); ok {
+						if obj := objOf(info, aid); obj != nil && isRowType(obj.Type()) {
+							mark(obj, aid.Pos(), "appended to another slice")
+						}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			// v stored into an element/field of something else:
+			// X[i] = v, s.F = v, m[k] = v.
+			for i, rhs := range x.Rhs {
+				if i >= len(x.Lhs) {
+					break
+				}
+				id, ok := rhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := objOf(info, id)
+				if obj == nil || !isRowType(obj.Type()) {
+					continue
+				}
+				switch lhs := x.Lhs[i].(type) {
+				case *ast.IndexExpr:
+					if root := rootIdent(lhs); root == nil || objOf(info, root) != obj {
+						mark(obj, id.Pos(), "stored into another slice or map")
+					}
+				case *ast.SelectorExpr:
+					_ = lhs
+					mark(obj, id.Pos(), "stored into a struct field")
+				}
+			}
+		case *ast.CompositeLit:
+			rowIdents(info, x, func(obj *types.Var, id *ast.Ident) {
+				mark(obj, id.Pos(), "captured by a composite literal")
+			})
+		}
+		return true
+	})
+
+	inEngine := pkgIs(pass.Pkg, "internal/engine")
+
+	// Pass 2: flag element writes after an escape, plus (in the engine
+	// package) deep writes through shared storage.
+	checkWrite := func(target ast.Expr, pos token.Pos) {
+		idx, ok := target.(*ast.IndexExpr)
+		if !ok {
+			return
+		}
+		// Rule 2: rel.Rows[i][j] = v / param[i][j] = v inside engine.
+		if inner, ok := idx.X.(*ast.IndexExpr); ok && inEngine {
+			if t := info.Types[idx.X].Type; t != nil && namedFrom(t, "internal/value", "Row") {
+				root := rootIdent(inner.X)
+				viaSelector := false
+				ast.Inspect(inner.X, func(n ast.Node) bool {
+					if _, ok := n.(*ast.SelectorExpr); ok {
+						viaSelector = true
+					}
+					return true
+				})
+				if root == nil || viaSelector || params[objOf(info, root)] {
+					pass.Report(pos, "in-place write to a row reached through shared storage; operators must copy rows before mutating (copy-on-write)")
+					return
+				}
+			}
+		}
+		root := rootIdent(idx)
+		if root == nil {
+			return
+		}
+		obj := objOf(info, root)
+		if obj == nil || !isRowType(obj.Type()) {
+			return
+		}
+		if ev, ok := escaped[obj]; ok && ev.pos < pos {
+			pass.Report(pos, "write to element of %s after it was %s at line %d; the row is aliased by the consumer — make a fresh copy instead",
+				obj.Name(), ev.kind, pass.Fset.Position(ev.pos).Line)
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				checkWrite(lhs, lhs.Pos())
+			}
+		case *ast.IncDecStmt:
+			checkWrite(x.X, x.X.Pos())
+		}
+		return true
+	})
+}

@@ -1,0 +1,22 @@
+// Package allow exercises //lint:allow suppression parsing: one
+// finding is suppressed on its own line, one by a preceding comment,
+// and one is left standing.
+package allow
+
+import "uniqopt/internal/tvl"
+
+// Mixed has two reviewed exceptions and one real violation.
+func Mixed(t tvl.Truth) int {
+	n := 0
+	if t == tvl.True { //lint:allow tvlbool -- reviewed: table-driven test needs raw equality
+		n++
+	}
+	//lint:allow tvlbool -- reviewed: exhaustiveness check, Unknown handled by default case
+	if t != tvl.False {
+		n++
+	}
+	if tvl.Unknown == t { // the unsuppressed violation
+		n += 2
+	}
+	return n
+}

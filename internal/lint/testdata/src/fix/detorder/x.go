@@ -1,0 +1,65 @@
+// Package detorder is the golden fixture for the detorder analyzer.
+package detorder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// BadCollect builds a result slice in map order and returns it unsorted.
+func BadCollect(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "slice out is appended to while ranging over a map and never sorted"
+	}
+	return out
+}
+
+// GoodCollect sorts after collecting: deterministic.
+func GoodCollect(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BadPrint emits output in map order.
+func BadPrint(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "output written while ranging over a map"
+	}
+}
+
+// BadWrite streams into a builder that outlives the loop.
+func BadWrite(m map[string]int, sb *strings.Builder) {
+	for k := range m {
+		sb.WriteString(k) // want "output written while ranging over a map"
+	}
+}
+
+// GoodPerKey uses a per-iteration accumulator and a per-key buffer:
+// no cross-key ordering leaks out.
+func GoodPerKey(m map[string][]string) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, vs := range m {
+		var parts []string
+		parts = append(parts, vs...)
+		sort.Strings(parts)
+		var sb strings.Builder
+		sb.WriteString(strings.Join(parts, ","))
+		out[k] = sb.String()
+	}
+	return out
+}
+
+// GoodSliceRange ranges over a slice: order is the slice's own.
+func GoodSliceRange(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}

@@ -1,0 +1,24 @@
+// Package statsatomic is the golden fixture for the statsatomic
+// analyzer, exercising the rules that apply OUTSIDE the engine
+// implementation (this package is a consumer of engine.Stats).
+package statsatomic
+
+import "uniqopt/internal/engine"
+
+// Bad accesses live counters through a *Stats pointer.
+func Bad(st *engine.Stats) int64 {
+	st.RowsScanned++          // want "direct write to engine.Stats counter RowsScanned"
+	st.RowsOutput = 7         // want "direct write to engine.Stats counter RowsOutput"
+	return st.HashProbes + // want "direct read of engine.Stats counter HashProbes"
+		st.CacheHits // want "direct read of engine.Stats counter CacheHits"
+}
+
+// Good reads a Snapshot copy and accumulates through Add.
+func Good(st *engine.Stats) int64 {
+	st.Add(engine.Stats{RowsScanned: 1})
+	snap := st.Snapshot()
+	snap.RowsOutput++ // a value copy cannot race
+	var local engine.Stats
+	local.HashProbes++ // a local value cannot race either
+	return snap.RowsScanned + local.HashProbes + snap.RowsOutput
+}

@@ -1,0 +1,47 @@
+// Package tvlbool is the golden fixture for the tvlbool analyzer.
+package tvlbool
+
+import "uniqopt/internal/tvl"
+
+// Bad collapses 3VL to 2VL in every way the analyzer must catch.
+func Bad(t tvl.Truth) int {
+	n := 0
+	if t == tvl.True { // want "collapses 3VL to 2VL; use tvl.IsTrue"
+		n++
+	}
+	if t != tvl.False { // want "collapses 3VL to 2VL; use !tvl.IsFalse"
+		n++
+	}
+	if tvl.Unknown == t { // want "collapses 3VL to 2VL; use tvl.IsUnknown"
+		n++
+	}
+	for t != tvl.True { // want "use !tvl.IsTrue"
+		t = tvl.True
+	}
+	n += int(uint8(t)) // want "converting tvl.Truth to uint8 discards three-valued semantics"
+	return n
+}
+
+// Good uses the interpretation helpers; nothing here is flagged.
+func Good(t, u tvl.Truth) int {
+	n := 0
+	if tvl.IsTrue(t) {
+		n++
+	}
+	if tvl.FalseInterpreted(t) {
+		n++
+	}
+	if tvl.IsUnknown(u) {
+		n++
+	}
+	if t == u { // comparing two computed truth values is value equality, not a collapse
+		n++
+	}
+	switch t {
+	case tvl.True:
+		n++
+	case tvl.False, tvl.Unknown:
+		n--
+	}
+	return n
+}

@@ -1,0 +1,38 @@
+// Package tvl is a golden-fixture stand-in for the real
+// uniqopt/internal/tvl: same import path (the fixture source root
+// shadows the repository), same exported surface the analyzers care
+// about, none of the implementation.
+package tvl
+
+// Truth is a three-valued logic truth value.
+type Truth uint8
+
+// The three truth values.
+const (
+	Unknown Truth = iota
+	False
+	True
+)
+
+// IsTrue reports whether t is definitely True.
+func IsTrue(t Truth) bool { return t == True }
+
+// IsFalse reports whether t is definitely False.
+func IsFalse(t Truth) bool { return t == False }
+
+// IsUnknown reports whether t is Unknown.
+func IsUnknown(t Truth) bool { return t == Unknown }
+
+// TrueInterpreted promotes Unknown to true.
+func TrueInterpreted(t Truth) bool { return t != False }
+
+// FalseInterpreted demotes Unknown to false.
+func FalseInterpreted(t Truth) bool { return t == True }
+
+// Of converts a Go bool to a Truth.
+func Of(b bool) Truth {
+	if b {
+		return True
+	}
+	return False
+}

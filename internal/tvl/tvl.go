@@ -131,3 +131,15 @@ func FalseInterpreted(t Truth) bool { return t == True }
 
 // IsUnknown reports whether t is Unknown.
 func IsUnknown(t Truth) bool { return t == Unknown }
+
+// IsTrue reports whether t is definitely True. It is the explicit
+// 3VL-aware spelling of the WHERE-clause test (identical to
+// FalseInterpreted); callers outside this package must use it instead
+// of comparing t against the True constant, so that the Unknown case
+// is a conscious decision rather than an accident of 2VL habits.
+func IsTrue(t Truth) bool { return t == True }
+
+// IsFalse reports whether t is definitely False — note ¬IsTrue(t) and
+// IsFalse(t) differ exactly on Unknown, which is the whole point of
+// 3VL. Use it instead of comparing t against the False constant.
+func IsFalse(t Truth) bool { return t == False }

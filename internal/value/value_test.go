@@ -98,22 +98,22 @@ func TestCompare(t *testing.T) {
 func TestThreeValuedComparisons(t *testing.T) {
 	// Any NULL operand ⇒ Unknown, the core SQL rule.
 	for _, f := range []func(a, b Value) tvl.Truth{Eq, Ne, Lt, Le, Gt, Ge} {
-		if f(Null, Int(1)) != tvl.Unknown || f(Int(1), Null) != tvl.Unknown ||
-			f(Null, Null) != tvl.Unknown {
+		if !tvl.IsUnknown(f(Null, Int(1))) || !tvl.IsUnknown(f(Int(1), Null)) ||
+			!tvl.IsUnknown(f(Null, Null)) {
 			t.Fatal("comparison with NULL must be Unknown")
 		}
 	}
-	if Eq(Int(3), Int(3)) != tvl.True || Eq(Int(3), Int(4)) != tvl.False {
+	if !tvl.IsTrue(Eq(Int(3), Int(3))) || !tvl.IsFalse(Eq(Int(3), Int(4))) {
 		t.Error("Eq wrong")
 	}
-	if Ne(Int(3), Int(4)) != tvl.True || Ne(Int(3), Int(3)) != tvl.False {
+	if !tvl.IsTrue(Ne(Int(3), Int(4))) || !tvl.IsFalse(Ne(Int(3), Int(3))) {
 		t.Error("Ne wrong")
 	}
-	if Lt(Int(3), Int(4)) != tvl.True || Le(Int(4), Int(4)) != tvl.True ||
-		Gt(Int(5), Int(4)) != tvl.True || Ge(Int(4), Int(4)) != tvl.True {
+	if !tvl.IsTrue(Lt(Int(3), Int(4))) || !tvl.IsTrue(Le(Int(4), Int(4))) ||
+		!tvl.IsTrue(Gt(Int(5), Int(4))) || !tvl.IsTrue(Ge(Int(4), Int(4))) {
 		t.Error("ordered comparison wrong")
 	}
-	if Lt(Int(4), Int(3)) != tvl.False || Gt(Int(3), Int(4)) != tvl.False {
+	if !tvl.IsFalse(Lt(Int(4), Int(3))) || !tvl.IsFalse(Gt(Int(3), Int(4))) {
 		t.Error("ordered comparison wrong (false cases)")
 	}
 }
@@ -244,7 +244,7 @@ func TestOrderCompareProperty(t *testing.T) {
 func TestEqVsNullEqProperty(t *testing.T) {
 	f := func(x, y int8) bool {
 		a, b := Int(int64(x%3)), Int(int64(y%3))
-		return (Eq(a, b) == tvl.True) == NullEq(a, b)
+		return tvl.IsTrue(Eq(a, b)) == NullEq(a, b)
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
