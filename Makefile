@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet lint build test race bench-smoke bench-tables ci clean
+.PHONY: all vet lint build test test-fault race bench-smoke bench-tables ci clean
 
 all: ci
 
@@ -9,7 +9,8 @@ vet:
 
 # uniqlint enforces the repo's semantic invariants (3VL comparisons,
 # Stats atomics, row aliasing, catalog version bumps, deterministic
-# map iteration). Exits nonzero on any unsuppressed finding.
+# map iteration, context threading in engine/plan). Exits nonzero on
+# any unsuppressed finding.
 lint:
 	$(GO) run ./cmd/uniqlint ./...
 
@@ -18,6 +19,12 @@ build:
 
 test:
 	$(GO) test ./...
+
+# Lifecycle fault matrix: the fault tag arms the deterministic
+# injection registry (internal/fault) and exercises every engine
+# point in every failure mode.
+test-fault:
+	$(GO) test -tags fault ./...
 
 race:
 	$(GO) test -race ./...
@@ -31,7 +38,7 @@ bench-smoke:
 bench-tables:
 	$(GO) run ./cmd/benchrunner -exp all -scale 0.25 > bench_output_tables.txt
 
-ci: vet lint build test race bench-smoke
+ci: vet lint build test test-fault race bench-smoke
 
 clean:
 	rm -f BENCH_parallel.json

@@ -5,6 +5,7 @@
 package uniqopt
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -212,19 +213,30 @@ func BenchmarkParser(b *testing.B) {
 
 func BenchmarkDistinct(b *testing.B) {
 	db := benchDB(b, 2000, 10, 0.3)
+	ctx := context.Background()
 	var st engine.Stats
-	rel := engine.Scan(&st, db.MustTable("PARTS"), "P")
-	proj := engine.Project(&st, rel, []string{"P.SNO"})
+	rel, err := engine.Scan(ctx, &st, db.MustTable("PARTS"), "P")
+	if err != nil {
+		b.Fatal(err)
+	}
+	proj, err := engine.Project(ctx, &st, rel, []string{"P.SNO"})
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.Run("sort", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			var s engine.Stats
-			engine.DistinctSort(&s, proj)
+			if _, err := engine.DistinctSort(ctx, &s, proj); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 	b.Run("hash", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			var s engine.Stats
-			engine.DistinctHash(&s, proj)
+			if _, err := engine.DistinctHash(ctx, &s, proj); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }

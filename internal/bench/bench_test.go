@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -271,7 +272,7 @@ func BenchmarkHashJoinSerial100k(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		st := &engine.Stats{}
-		engine.HashJoin(st, l, r, []string{"L.K"}, []string{"R.K"})
+		engine.HashJoin(context.Background(), st, l, r, []string{"L.K"}, []string{"R.K"})
 	}
 }
 
@@ -280,7 +281,7 @@ func BenchmarkHashJoinParallel100k(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		st := &engine.Stats{}
-		engine.ParallelHashJoin(st, l, r, []string{"L.K"}, []string{"R.K"}, 4)
+		engine.ParallelHashJoin(context.Background(), st, l, r, []string{"L.K"}, []string{"R.K"}, 4)
 	}
 }
 
@@ -289,7 +290,7 @@ func BenchmarkDistinctHashSerial100k(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		st := &engine.Stats{}
-		engine.DistinctHash(st, l)
+		engine.DistinctHash(context.Background(), st, l)
 	}
 }
 
@@ -298,7 +299,7 @@ func BenchmarkDistinctHashParallel100k(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		st := &engine.Stats{}
-		engine.ParallelDistinctHash(st, l, 4)
+		engine.ParallelDistinctHash(context.Background(), st, l, 4)
 	}
 }
 

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -59,6 +60,7 @@ func EP(sc Scale) *Table {
 	}
 
 	const workers = 4
+	ctx := context.Background()
 	prevW := engine.SetWorkers(workers)
 	prevT := engine.SetParallelThreshold(1)
 	defer func() {
@@ -74,11 +76,11 @@ func EP(sc Scale) *Table {
 		var serialJ, parJ *engine.Relation
 		ds := minTime(func() {
 			st := &engine.Stats{}
-			serialJ = engine.HashJoin(st, l, r, []string{"L.K"}, []string{"R.K"})
+			serialJ = mustRel(engine.HashJoin(ctx, st, l, r, []string{"L.K"}, []string{"R.K"}))
 		})
 		dp := minTime(func() {
 			st := &engine.Stats{}
-			parJ = engine.ParallelHashJoin(st, l, r, []string{"L.K"}, []string{"R.K"}, workers)
+			parJ = mustRel(engine.ParallelHashJoin(ctx, st, l, r, []string{"L.K"}, []string{"R.K"}, workers))
 		})
 		t.AddRow("HashJoin", n(int64(rows)), us(ds.Nanoseconds()), us(dp.Nanoseconds()),
 			f(float64(ds)/float64(dp)), yes(identical(serialJ, parJ)))
@@ -86,11 +88,11 @@ func EP(sc Scale) *Table {
 		var serialD, parD *engine.Relation
 		ds = minTime(func() {
 			st := &engine.Stats{}
-			serialD = engine.DistinctHash(st, l)
+			serialD = mustRel(engine.DistinctHash(ctx, st, l))
 		})
 		dp = minTime(func() {
 			st := &engine.Stats{}
-			parD = engine.ParallelDistinctHash(st, l, workers)
+			parD = mustRel(engine.ParallelDistinctHash(ctx, st, l, workers))
 		})
 		t.AddRow("DistinctHash", n(int64(rows)), us(ds.Nanoseconds()), us(dp.Nanoseconds()),
 			f(float64(ds)/float64(dp)), yes(identical(serialD, parD)))
@@ -145,6 +147,15 @@ func EP(sc Scale) *Table {
 			hits, misses, len(sels), rounds),
 		"identical = byte-identical relations (columns, rows, and row order).")
 	return t
+}
+
+// mustRel unwraps an operator result inside the harness, where inputs
+// are synthetic and a failure means the benchmark itself is broken.
+func mustRel(rel *engine.Relation, err error) *engine.Relation {
+	if err != nil {
+		panic(fmt.Sprintf("bench: operator failed: %v", err))
+	}
+	return rel
 }
 
 func identical(a, b *engine.Relation) bool {

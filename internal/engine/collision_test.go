@@ -41,13 +41,13 @@ func TestCollisionFallbackDistinct(t *testing.T) {
 	withDegenerateHash(t)
 	rel := craftedRows()
 	st := &Stats{}
-	want := DistinctSort(st, rel) // sort-based: no hashing involved
+	want := okRel(DistinctSort(ctx0, st, rel)) // sort-based: no hashing involved
 
-	got := DistinctHash(st, rel)
+	got := okRel(DistinctHash(ctx0, st, rel))
 	if !MultisetEqual(want, got) {
 		t.Fatalf("DistinctHash under full collisions:\n got %s\n want %s", got, want)
 	}
-	gotPar := ParallelDistinctHash(st, rel, 3)
+	gotPar := okRel(ParallelDistinctHash(ctx0, st, rel, 3))
 	if !MultisetEqual(want, gotPar) {
 		t.Fatalf("ParallelDistinctHash under full collisions:\n got %s\n want %s", gotPar, want)
 	}
@@ -63,18 +63,18 @@ func TestCollisionFallbackJoins(t *testing.T) {
 
 	// Reference: merge join (sort-based, hash-free).
 	st := &Stats{}
-	want := MergeJoin(st, l, rr, []string{"L.K"}, []string{"R.K"})
+	want := okRel(MergeJoin(ctx0, st, l, rr, []string{"L.K"}, []string{"R.K"}))
 
 	forceSerial(t)
-	got := HashJoin(st, l, rr, []string{"L.K"}, []string{"R.K"})
+	got := okRel(HashJoin(ctx0, st, l, rr, []string{"L.K"}, []string{"R.K"}))
 	if !MultisetEqual(want, got) {
 		t.Fatal("HashJoin under full collisions differs from MergeJoin")
 	}
-	gotPar := ParallelHashJoin(st, l, rr, []string{"L.K"}, []string{"R.K"}, 4)
+	gotPar := okRel(ParallelHashJoin(ctx0, st, l, rr, []string{"L.K"}, []string{"R.K"}, 4))
 	identicalRelations(t, got, gotPar, "parallel join under collisions")
 
-	semi := SemiJoinHash(st, l, rr, []string{"L.K"}, []string{"R.K"})
-	semiPar := ParallelSemiJoinHash(st, l, rr, []string{"L.K"}, []string{"R.K"}, 4)
+	semi := okRel(SemiJoinHash(ctx0, st, l, rr, []string{"L.K"}, []string{"R.K"}))
+	semiPar := okRel(ParallelSemiJoinHash(ctx0, st, l, rr, []string{"L.K"}, []string{"R.K"}, 4))
 	identicalRelations(t, semi, semiPar, "parallel semijoin under collisions")
 	// Every semi-join survivor must have a matching key in the join.
 	if len(semi.Rows) == 0 {
@@ -95,15 +95,15 @@ func TestCollisionFallbackSetOps(t *testing.T) {
 	}
 	st := &Stats{}
 	for _, all := range []bool{false, true} {
-		gotI := Intersect(st, a, b, all)
-		gotE := Except(st, a, b, all)
-		wantI := IntersectSort(st, a, b, all)
-		wantE := ExceptSort(st, a, b, all)
+		gotI := okRel(Intersect(ctx0, st, a, b, all))
+		gotE := okRel(Except(ctx0, st, a, b, all))
+		wantI := okRel(IntersectSort(ctx0, st, a, b, all))
+		wantE := okRel(ExceptSort(ctx0, st, a, b, all))
 		if !MultisetEqual(gotI, wantI) {
-			t.Errorf("Intersect(all=%v) under collisions:\n got %s\n want %s", all, gotI, wantI)
+			t.Errorf("okRel(Intersect(ctx0, all=%v)) under collisions:\n got %s\n want %s", all, gotI, wantI)
 		}
 		if !MultisetEqual(gotE, wantE) {
-			t.Errorf("Except(all=%v) under collisions:\n got %s\n want %s", all, gotE, wantE)
+			t.Errorf("okRel(Except(ctx0, all=%v)) under collisions:\n got %s\n want %s", all, gotE, wantE)
 		}
 	}
 }
@@ -129,7 +129,11 @@ func TestCollisionBuckets(t *testing.T) {
 	withDegenerateHash(t)
 	st := &Stats{}
 	rel := craftedRows()
-	counts := setOpCounts(st, rel)
+	g := newGuard(ctx0, st)
+	counts, err := setOpCounts(&g, st, rel)
+	if err != nil {
+		t.Fatalf("setOpCounts: %v", err)
+	}
 	if len(counts) != 1 {
 		t.Fatalf("degenerate hash produced %d buckets, want 1", len(counts))
 	}

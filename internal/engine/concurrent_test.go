@@ -121,6 +121,8 @@ func TestConcurrentExecutor(t *testing.T) {
 	scaled.JoinPairs *= scale
 	scaled.SubqueryRuns *= scale
 	scaled.IndexSeeks *= scale
+	scaled.RowsMaterialized *= scale
+	scaled.BytesReserved *= scale
 	if got != scaled {
 		t.Errorf("merged stats drifted:\n got  %s\n want %s", got.String(), scaled.String())
 	}

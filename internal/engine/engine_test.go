@@ -95,15 +95,15 @@ func run(t *testing.T, db *storage.DB, src string, hosts map[string]value.Value)
 func TestScanAndProduct(t *testing.T) {
 	db := testDB(t)
 	var st Stats
-	s := Scan(&st, db.MustTable("SUPPLIER"), "S")
-	p := Scan(&st, db.MustTable("PARTS"), "P")
+	s := okRel(Scan(ctx0, &st, db.MustTable("SUPPLIER"), "S"))
+	p := okRel(Scan(ctx0, &st, db.MustTable("PARTS"), "P"))
 	if s.Len() != 3 || p.Len() != 4 {
 		t.Fatalf("scan sizes: %d, %d", s.Len(), p.Len())
 	}
 	if st.RowsScanned != 7 {
 		t.Errorf("RowsScanned = %d", st.RowsScanned)
 	}
-	prod := Product(&st, s, p)
+	prod := okRel(Product(ctx0, &st, s, p))
 	if prod.Len() != 12 || len(prod.Cols) != 10 {
 		t.Errorf("product = %d rows × %d cols", prod.Len(), len(prod.Cols))
 	}
@@ -257,16 +257,16 @@ func TestSetOpNullEquivalence(t *testing.T) {
 func TestJoinOperatorsAgree(t *testing.T) {
 	db := testDB(t)
 	var st Stats
-	s := Scan(&st, db.MustTable("SUPPLIER"), "S")
-	p := Scan(&st, db.MustTable("PARTS"), "P")
+	s := okRel(Scan(ctx0, &st, db.MustTable("SUPPLIER"), "S"))
+	p := okRel(Scan(ctx0, &st, db.MustTable("PARTS"), "P"))
 	pred, _ := parser.ParseExpr("S.SNO = P.SNO")
 	env := &eval.Env{Cols: map[string]value.Value{}, Hosts: map[string]value.Value{}}
-	nl, err := NestedLoopJoin(&st, s, p, pred, env)
+	nl, err := NestedLoopJoin(ctx0, &st, s, p, pred, env)
 	if err != nil {
 		t.Fatal(err)
 	}
-	hj := HashJoin(&st, s, p, []string{"S.SNO"}, []string{"P.SNO"})
-	mj := MergeJoin(&st, s, p, []string{"S.SNO"}, []string{"P.SNO"})
+	hj := okRel(HashJoin(ctx0, &st, s, p, []string{"S.SNO"}, []string{"P.SNO"}))
+	mj := okRel(MergeJoin(ctx0, &st, s, p, []string{"S.SNO"}, []string{"P.SNO"}))
 	if !MultisetEqual(nl, hj) {
 		t.Errorf("hash join differs from nested loop:\n%v\nvs\n%v", nl, hj)
 	}
@@ -282,11 +282,11 @@ func TestJoinNullKeysNeverMatch(t *testing.T) {
 	var st Stats
 	l := &Relation{Cols: []string{"L.K"}, Rows: []value.Row{{value.Null}, {value.Int(1)}}}
 	r := &Relation{Cols: []string{"R.K"}, Rows: []value.Row{{value.Null}, {value.Int(1)}}}
-	hj := HashJoin(&st, l, r, []string{"L.K"}, []string{"R.K"})
+	hj := okRel(HashJoin(ctx0, &st, l, r, []string{"L.K"}, []string{"R.K"}))
 	if hj.Len() != 1 {
 		t.Errorf("hash join with NULLs = %d rows, want 1", hj.Len())
 	}
-	mj := MergeJoin(&st, l, r, []string{"L.K"}, []string{"R.K"})
+	mj := okRel(MergeJoin(ctx0, &st, l, r, []string{"L.K"}, []string{"R.K"}))
 	if mj.Len() != 1 {
 		t.Errorf("merge join with NULLs = %d rows, want 1: %v", mj.Len(), mj)
 	}
@@ -303,8 +303,8 @@ func TestDistinctOperatorsAgree(t *testing.T) {
 		{value.Int(1), value.Int(2)}, // dup
 	}
 	rel.Rows = rows
-	ds := DistinctSort(&st, rel)
-	dh := DistinctHash(&st, rel)
+	ds := okRel(DistinctSort(ctx0, &st, rel))
+	dh := okRel(DistinctHash(ctx0, &st, rel))
 	if ds.Len() != 3 || dh.Len() != 3 {
 		t.Errorf("distinct sizes: sort=%d hash=%d, want 3", ds.Len(), dh.Len())
 	}
@@ -319,21 +319,21 @@ func TestDistinctOperatorsAgree(t *testing.T) {
 func TestSemiJoinsAgree(t *testing.T) {
 	db := testDB(t)
 	var st Stats
-	s := Scan(&st, db.MustTable("SUPPLIER"), "S")
-	p := Scan(&st, db.MustTable("PARTS"), "P")
+	s := okRel(Scan(ctx0, &st, db.MustTable("SUPPLIER"), "S"))
+	p := okRel(Scan(ctx0, &st, db.MustTable("PARTS"), "P"))
 	pred, _ := parser.ParseExpr("S.SNO = P.SNO AND P.COLOR = 'RED'")
 	env := &eval.Env{Cols: map[string]value.Value{}, Hosts: map[string]value.Value{}}
-	nl, err := SemiJoinExists(&st, s, p, pred, env)
+	nl, err := SemiJoinExists(ctx0, &st, s, p, pred, env)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Hash semi-join needs the filter applied to the inner first.
 	redPred, _ := parser.ParseExpr("P.COLOR = 'RED'")
-	redParts, err := Filter(&st, p, redPred, env)
+	redParts, err := Filter(ctx0, &st, p, redPred, env)
 	if err != nil {
 		t.Fatal(err)
 	}
-	hs := SemiJoinHash(&st, s, redParts, []string{"S.SNO"}, []string{"P.SNO"})
+	hs := okRel(SemiJoinHash(ctx0, &st, s, redParts, []string{"S.SNO"}, []string{"P.SNO"}))
 	if !MultisetEqual(nl, hs) {
 		t.Errorf("semi-joins disagree:\n%v\nvs\n%v", nl, hs)
 	}
@@ -345,8 +345,8 @@ func TestSemiJoinsAgree(t *testing.T) {
 func TestProjectPreservesMultiplicity(t *testing.T) {
 	db := testDB(t)
 	var st Stats
-	p := Scan(&st, db.MustTable("PARTS"), "P")
-	proj := Project(&st, p, []string{"P.SNO"})
+	p := okRel(Scan(ctx0, &st, db.MustTable("PARTS"), "P"))
+	proj := okRel(Project(ctx0, &st, p, []string{"P.SNO"}))
 	if proj.Len() != 4 {
 		t.Errorf("projection lost rows: %d", proj.Len())
 	}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -21,6 +22,13 @@ import (
 // Query is safe for concurrent use from multiple goroutines over a
 // quiescent database: each call collects work counters into a private
 // Stats instance and merges it into Stats atomically on completion.
+//
+// QueryContext is the lifecycle-aware entry point: the context's
+// cancellation and deadline are polled cooperatively inside every
+// operator, a governor attached with WithGovernor bounds the query's
+// materialized rows and bytes, and a panic anywhere below this
+// boundary is contained into an *InternalError instead of crashing the
+// process.
 type Executor struct {
 	DB    *storage.DB
 	Hosts map[string]value.Value
@@ -36,24 +44,39 @@ func NewExecutor(db *storage.DB, hosts map[string]value.Value) *Executor {
 	return &Executor{DB: db, Hosts: hosts, Stats: &Stats{}}
 }
 
-// Query evaluates a query specification or query expression.
+// Query evaluates a query specification or query expression without a
+// deadline or budget.
 func (ex *Executor) Query(q ast.Query) (*Relation, error) {
+	return ex.QueryContext(context.Background(), q)
+}
+
+// QueryContext evaluates a query under ctx's cancellation, deadline,
+// and attached resource governor. Panics below this boundary surface
+// as *InternalError; on any error the returned relation is nil — no
+// partial results escape.
+func (ex *Executor) QueryContext(ctx context.Context, q ast.Query) (rel *Relation, err error) {
+	defer func() {
+		if err != nil {
+			rel = nil
+		}
+	}()
+	defer Contain("engine.Query", &err)
 	st := &Stats{}
 	defer func() { ex.Stats.Add(*st) }()
 	switch x := q.(type) {
 	case *ast.Select:
-		rel, err := ex.execSelect(st, x, nil, nil)
+		rel, err := ex.execSelect(ctx, st, x, nil, nil)
 		if err != nil {
 			return nil, err
 		}
 		st.RowsOutput += int64(len(rel.Rows))
 		return rel, nil
 	case *ast.SetOp:
-		l, err := ex.execSelect(st, x.Left, nil, nil)
+		l, err := ex.execSelect(ctx, st, x.Left, nil, nil)
 		if err != nil {
 			return nil, err
 		}
-		r, err := ex.execSelect(st, x.Right, nil, nil)
+		r, err := ex.execSelect(ctx, st, x.Right, nil, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -63,9 +86,12 @@ func (ex *Executor) Query(q ast.Query) (*Relation, error) {
 		}
 		var rel *Relation
 		if x.Op == ast.Intersect {
-			rel = Intersect(st, l, r, x.All)
+			rel, err = Intersect(ctx, st, l, r, x.All)
 		} else {
-			rel = Except(st, l, r, x.All)
+			rel, err = Except(ctx, st, l, r, x.All)
+		}
+		if err != nil {
+			return nil, err
 		}
 		st.RowsOutput += int64(len(rel.Rows))
 		return rel, nil
@@ -77,7 +103,7 @@ func (ex *Executor) Query(q ast.Query) (*Relation, error) {
 // execSelect evaluates one query specification. outer and outerCols
 // carry the enclosing block's scope and current row bindings for
 // correlated subqueries; st receives this call's work counters.
-func (ex *Executor) execSelect(st *Stats, s *ast.Select, outer *catalog.Scope, outerCols map[string]value.Value) (*Relation, error) {
+func (ex *Executor) execSelect(ctx context.Context, st *Stats, s *ast.Select, outer *catalog.Scope, outerCols map[string]value.Value) (*Relation, error) {
 	scope, err := catalog.NewScope(ex.DB.Catalog, s.From, outer)
 	if err != nil {
 		return nil, err
@@ -89,11 +115,17 @@ func (ex *Executor) execSelect(st *Stats, s *ast.Select, outer *catalog.Scope, o
 		if !ok {
 			return nil, fmt.Errorf("engine: unknown table %s", tr.Table)
 		}
-		scan := Scan(st, tbl, strings.ToUpper(tr.Name()))
+		scan, err := Scan(ctx, st, tbl, strings.ToUpper(tr.Name()))
+		if err != nil {
+			return nil, err
+		}
 		if rel == nil {
 			rel = scan
 		} else {
-			rel = Product(st, rel, scan)
+			rel, err = Product(ctx, st, rel, scan)
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
 	// Selection, with EXISTS evaluated by recursive execution.
@@ -101,13 +133,13 @@ func (ex *Executor) execSelect(st *Stats, s *ast.Select, outer *catalog.Scope, o
 		Cols:   map[string]value.Value{},
 		Hosts:  ex.Hosts,
 		Scope:  scope,
-		Exists: ex.existsFunc(st),
-		In:     ex.inFunc(st),
+		Exists: ex.existsFunc(ctx, st),
+		In:     ex.inFunc(ctx, st),
 	}
 	for k, v := range outerCols {
 		envProto.Cols[k] = v
 	}
-	rel, err = ex.filterWithScope(st, rel, s.Where, envProto)
+	rel, err = ex.filterWithScope(ctx, st, rel, s.Where, envProto)
 	if err != nil {
 		return nil, err
 	}
@@ -120,9 +152,15 @@ func (ex *Executor) execSelect(st *Stats, s *ast.Select, outer *catalog.Scope, o
 	for i, r := range refs {
 		cols[i] = r.Qualifier + "." + r.Column
 	}
-	rel = Project(st, rel, cols)
+	rel, err = Project(ctx, st, rel, cols)
+	if err != nil {
+		return nil, err
+	}
 	if s.Quant.IsDistinct() {
-		rel = DistinctSort(st, rel)
+		rel, err = DistinctSort(ctx, st, rel)
+		if err != nil {
+			return nil, err
+		}
 	}
 	return rel, nil
 }
@@ -130,13 +168,14 @@ func (ex *Executor) execSelect(st *Stats, s *ast.Select, outer *catalog.Scope, o
 // filterWithScope is Filter but preserving the prototype's Scope. The
 // row loop stays serial here: the environment's Exists/In callbacks
 // recurse into this executor with the same st.
-func (ex *Executor) filterWithScope(st *Stats, rel *Relation, pred ast.Expr, envProto *eval.Env) (*Relation, error) {
+func (ex *Executor) filterWithScope(ctx context.Context, st *Stats, rel *Relation, pred ast.Expr, envProto *eval.Env) (*Relation, error) {
 	if pred == nil {
 		return rel, nil
 	}
 	if w, ok := shouldParallel(len(rel.Rows)); ok && !ast.HasExists(pred) {
-		return ParallelFilter(st, rel, pred, envProto, w)
+		return ParallelFilter(ctx, st, rel, pred, envProto, w)
 	}
+	g := newGuard(ctx, st)
 	env := &eval.Env{
 		Cols:   make(map[string]value.Value, len(rel.Cols)+len(envProto.Cols)),
 		Hosts:  envProto.Hosts,
@@ -149,6 +188,9 @@ func (ex *Executor) filterWithScope(st *Stats, rel *Relation, pred ast.Expr, env
 	}
 	out := &Relation{Cols: rel.Cols}
 	for _, row := range rel.Rows {
+		if err := g.step(); err != nil {
+			return nil, err
+		}
 		bindRow(env, rel.Cols, row)
 		ok, err := eval.Qualifies(pred, env)
 		if err != nil {
@@ -156,22 +198,26 @@ func (ex *Executor) filterWithScope(st *Stats, rel *Relation, pred ast.Expr, env
 		}
 		if ok {
 			out.Rows = append(out.Rows, row)
+			if err := g.keep(row); err != nil {
+				return nil, err
+			}
 		}
 	}
-	return out, nil
+	return out, g.finish()
 }
 
 // existsFunc returns the EXISTS callback: it snapshots the current
 // outer bindings and recursively executes the subquery; EXISTS is true
-// iff the result is non-empty.
-func (ex *Executor) existsFunc(st *Stats) eval.ExistsFunc {
+// iff the result is non-empty. The callback inherits the query's ctx,
+// so cancellation reaches nested subquery execution.
+func (ex *Executor) existsFunc(ctx context.Context, st *Stats) eval.ExistsFunc {
 	return func(sub *ast.Select, env *eval.Env) (tvl.Truth, error) {
 		st.SubqueryRuns++
 		snapshot := make(map[string]value.Value, len(env.Cols))
 		for k, v := range env.Cols {
 			snapshot[k] = v
 		}
-		rel, err := ex.execSelect(st, sub, env.Scope, snapshot)
+		rel, err := ex.execSelect(ctx, st, sub, env.Scope, snapshot)
 		if err != nil {
 			return tvl.Unknown, err
 		}
@@ -182,14 +228,14 @@ func (ex *Executor) existsFunc(st *Stats) eval.ExistsFunc {
 // inFunc returns the IN callback: it snapshots the current outer
 // bindings, recursively executes the subquery, and returns the values
 // of its single output column.
-func (ex *Executor) inFunc(st *Stats) eval.InFunc {
+func (ex *Executor) inFunc(ctx context.Context, st *Stats) eval.InFunc {
 	return func(sub *ast.Select, env *eval.Env) ([]value.Value, error) {
 		st.SubqueryRuns++
 		snapshot := make(map[string]value.Value, len(env.Cols))
 		for k, v := range env.Cols {
 			snapshot[k] = v
 		}
-		rel, err := ex.execSelect(st, sub, env.Scope, snapshot)
+		rel, err := ex.execSelect(ctx, st, sub, env.Scope, snapshot)
 		if err != nil {
 			return nil, err
 		}
@@ -209,10 +255,22 @@ func (ex *Executor) inFunc(st *Stats) eval.InFunc {
 // Unlike Query it accumulates into ex.Stats directly and is therefore
 // single-goroutine, like the planner that owns it.
 func (ex *Executor) ExistsProbe(sub *ast.Select, env *eval.Env) (tvl.Truth, error) {
-	return ex.existsFunc(ex.Stats)(sub, env)
+	return ex.existsFunc(context.Background(), ex.Stats)(sub, env)
+}
+
+// ExistsProbeCtx is ExistsProbe bound to a query context, so a
+// planner-issued subquery observes the outer query's cancellation,
+// deadline, and budget.
+func (ex *Executor) ExistsProbeCtx(ctx context.Context) eval.ExistsFunc {
+	return ex.existsFunc(ctx, ex.Stats)
 }
 
 // InProbe is the exported form of the executor's IN callback.
 func (ex *Executor) InProbe(sub *ast.Select, env *eval.Env) ([]value.Value, error) {
-	return ex.inFunc(ex.Stats)(sub, env)
+	return ex.inFunc(context.Background(), ex.Stats)(sub, env)
+}
+
+// InProbeCtx is InProbe bound to a query context.
+func (ex *Executor) InProbeCtx(ctx context.Context) eval.InFunc {
+	return ex.inFunc(ctx, ex.Stats)
 }

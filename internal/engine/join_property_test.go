@@ -39,12 +39,12 @@ func TestJoinImplementationsAgreeProperty(t *testing.T) {
 		l := randKeyedRelation(r, "L", r.Intn(25))
 		rr := randKeyedRelation(r, "R", r.Intn(25))
 		var st Stats
-		nl, err := NestedLoopJoin(&st, l, rr, pred, env)
+		nl, err := NestedLoopJoin(ctx0, &st, l, rr, pred, env)
 		if err != nil {
 			t.Fatal(err)
 		}
-		hj := HashJoin(&st, l, rr, []string{"L.K"}, []string{"R.K"})
-		mj := MergeJoin(&st, l, rr, []string{"L.K"}, []string{"R.K"})
+		hj := okRel(HashJoin(ctx0, &st, l, rr, []string{"L.K"}, []string{"R.K"}))
+		mj := okRel(MergeJoin(ctx0, &st, l, rr, []string{"L.K"}, []string{"R.K"}))
 		if !MultisetEqual(nl, hj) {
 			t.Fatalf("trial %d: hash join diverges\nNL:\n%v\nHJ:\n%v\nL=%v\nR=%v",
 				trial, nl, hj, l, rr)
@@ -69,11 +69,11 @@ func TestSemiJoinImplementationsAgreeProperty(t *testing.T) {
 		l := randKeyedRelation(r, "L", r.Intn(25))
 		rr := randKeyedRelation(r, "R", r.Intn(25))
 		var st Stats
-		nl, err := SemiJoinExists(&st, l, rr, pred, env)
+		nl, err := SemiJoinExists(ctx0, &st, l, rr, pred, env)
 		if err != nil {
 			t.Fatal(err)
 		}
-		hs := SemiJoinHash(&st, l, rr, []string{"L.K"}, []string{"R.K"})
+		hs := okRel(SemiJoinHash(ctx0, &st, l, rr, []string{"L.K"}, []string{"R.K"}))
 		if !MultisetEqual(nl, hs) {
 			t.Fatalf("trial %d: semi-joins diverge\nNL:\n%v\nHS:\n%v", trial, nl, hs)
 		}
@@ -96,7 +96,7 @@ func TestJoinCardinalityOracle(t *testing.T) {
 			}
 		}
 		var st Stats
-		hj := HashJoin(&st, l, rr, []string{"L.K"}, []string{"R.K"})
+		hj := okRel(HashJoin(ctx0, &st, l, rr, []string{"L.K"}, []string{"R.K"}))
 		if hj.Len() != want {
 			t.Fatalf("trial %d: join rows = %d, oracle = %d", trial, hj.Len(), want)
 		}
@@ -112,16 +112,16 @@ func TestIndexScanAgainstFilter(t *testing.T) {
 		t.Fatal(err)
 	}
 	var st Stats
-	full := Scan(&st, tbl, "P")
+	full := okRel(Scan(ctx0, &st, tbl, "P"))
 	env := &eval.Env{Cols: map[string]value.Value{}, Hosts: map[string]value.Value{}}
 
 	for pno := int64(0); pno <= 10; pno++ {
 		pred, _ := parser.ParseExpr(fmt.Sprintf("P.PNO = %d", pno))
-		want, err := Filter(&st, full, pred, env)
+		want, err := Filter(ctx0, &st, full, pred, env)
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := IndexScanEq(&st, tbl, "P", ix, value.Row{value.Int(pno)})
+		got, err := IndexScanEq(ctx0, &st, tbl, "P", ix, value.Row{value.Int(pno)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -132,11 +132,11 @@ func TestIndexScanAgainstFilter(t *testing.T) {
 	// Range.
 	lo, hi := value.Int(1), value.Int(2)
 	pred, _ := parser.ParseExpr("P.PNO BETWEEN 1 AND 2")
-	want, err := Filter(&st, full, pred, env)
+	want, err := Filter(ctx0, &st, full, pred, env)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := IndexScanRange(&st, tbl, "P", ix, &lo, &hi)
+	got := okRel(IndexScanRange(ctx0, &st, tbl, "P", ix, &lo, &hi))
 	if !MultisetEqual(want, got) {
 		t.Fatal("index range scan diverges from filter")
 	}

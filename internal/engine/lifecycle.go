@@ -1,0 +1,284 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync/atomic"
+
+	"uniqopt/internal/fault"
+	"uniqopt/internal/value"
+)
+
+// This file is the engine's query-lifecycle layer: cooperative
+// cancellation, per-query resource budgets, and panic containment.
+//
+// Cancellation is cooperative. Every operator creates a guard over the
+// caller's context and polls it on the first row and every cancelEvery
+// rows thereafter, so a cancelled or timed-out query stops mid-loop and
+// returns ctx.Err(). Parallel workers poll with per-worker guards and
+// report through per-chunk error slots; parallelFor always joins its
+// workers, so no goroutine outlives a failed query.
+//
+// Budgets are enforced by a Governor carried in the context
+// (WithGovernor / GovernorFrom). Operators charge materialized rows and
+// an estimate of their bytes at every materialization point — hash
+// table builds, sort buffers, output appends — and receive a typed
+// *BudgetError (errors.Is ErrBudgetExceeded) instead of growing
+// without bound. Charges are also mirrored into Stats.RowsMaterialized
+// and Stats.BytesReserved whether or not a governor is present.
+//
+// Panics are contained at the executor and planner boundaries with
+// Contain, which converts them into *InternalError values carrying the
+// operator name and stack. Worker-pool panics are recovered on the
+// worker goroutine, carried across the barrier, and re-panicked on the
+// caller's goroutine (see parallelFor), so they reach the same
+// boundary instead of killing the process.
+
+// cancelEvery is the cooperative-cancellation poll interval in rows:
+// guards check ctx.Done() on their first step and every cancelEvery
+// steps after that.
+const cancelEvery = 1024
+
+// chargeBatch bounds how many rows a guard accumulates before flushing
+// a charge to the (atomic) governor, keeping hot loops off the shared
+// counters.
+const chargeBatch = 256
+
+// Fault-injection point names registered by this package. Builds
+// without the fault tag compile every fault.Point call to a nil-return
+// no-op.
+const (
+	FaultScan       = "engine.scan"
+	FaultFilter     = "engine.filter"
+	FaultHashBuild  = "engine.hashjoin.build"
+	FaultHashProbe  = "engine.hashjoin.probe"
+	FaultSemiBuild  = "engine.semijoin.build"
+	FaultDistinct   = "engine.distinct"
+	FaultSort       = "engine.sort"
+	FaultSetOp      = "engine.setop"
+	FaultPoolWorker = "engine.pool.worker"
+)
+
+func init() {
+	fault.Register(FaultScan, FaultFilter, FaultHashBuild, FaultHashProbe,
+		FaultSemiBuild, FaultDistinct, FaultSort, FaultSetOp, FaultPoolWorker)
+}
+
+// ErrBudgetExceeded is the sentinel matched (via errors.Is) by every
+// *BudgetError a resource governor returns.
+var ErrBudgetExceeded = errors.New("engine: query resource budget exceeded")
+
+// BudgetError reports which per-query budget was exhausted and by how
+// much. It matches ErrBudgetExceeded under errors.Is.
+type BudgetError struct {
+	Resource string // "rows" or "memory"
+	Limit    int64
+	Used     int64
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("engine: query %s budget exceeded (used %d of %d)",
+		e.Resource, e.Used, e.Limit)
+}
+
+// Is reports whether target is the ErrBudgetExceeded sentinel.
+func (e *BudgetError) Is(target error) bool { return target == ErrBudgetExceeded }
+
+// InternalError is a contained panic: one bad query degrades to this
+// error instead of crashing the process. Op names the boundary that
+// recovered the panic and Stack is the panicking goroutine's stack.
+type InternalError struct {
+	Op    string
+	Value any
+	Stack []byte
+}
+
+func (e *InternalError) Error() string {
+	return fmt.Sprintf("engine: internal error in %s: %v", e.Op, e.Value)
+}
+
+// Unwrap exposes a panic value that was itself an error, so callers
+// can errors.Is/As through the containment boundary.
+func (e *InternalError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// Governor enforces a per-query resource budget. A zero or negative
+// limit disables that dimension. Charging is atomic: the parallel
+// operators' workers share one governor.
+type Governor struct {
+	maxRows  int64
+	maxBytes int64
+	rows     atomic.Int64
+	bytes    atomic.Int64
+}
+
+// NewGovernor creates a governor for the given limits, or nil when
+// both are unlimited (a nil *Governor is a valid "no budget" governor).
+func NewGovernor(maxRows, maxBytes int64) *Governor {
+	if maxRows <= 0 && maxBytes <= 0 {
+		return nil
+	}
+	return &Governor{maxRows: maxRows, maxBytes: maxBytes}
+}
+
+// Charge accounts rows materialized rows and bytes estimated bytes
+// against the budget, returning a *BudgetError on the first charge
+// that crosses a limit.
+func (g *Governor) Charge(rows, bytes int64) error {
+	if g == nil {
+		return nil
+	}
+	r := g.rows.Add(rows)
+	if g.maxRows > 0 && r > g.maxRows {
+		return &BudgetError{Resource: "rows", Limit: g.maxRows, Used: r}
+	}
+	b := g.bytes.Add(bytes)
+	if g.maxBytes > 0 && b > g.maxBytes {
+		return &BudgetError{Resource: "memory", Limit: g.maxBytes, Used: b}
+	}
+	return nil
+}
+
+// Usage reports the rows and estimated bytes charged so far.
+func (g *Governor) Usage() (rows, bytes int64) {
+	if g == nil {
+		return 0, 0
+	}
+	return g.rows.Load(), g.bytes.Load()
+}
+
+type governorKey struct{}
+
+// WithGovernor attaches a resource governor to ctx; every operator
+// executing under the returned context charges its materializations to
+// g.
+func WithGovernor(ctx context.Context, g *Governor) context.Context {
+	return context.WithValue(ctx, governorKey{}, g)
+}
+
+// GovernorFrom extracts the governor attached by WithGovernor, or nil.
+func GovernorFrom(ctx context.Context) *Governor {
+	g, _ := ctx.Value(governorKey{}).(*Governor)
+	return g
+}
+
+// rowBytes estimates the in-memory footprint of a row: slice header
+// plus the value structs plus string payloads.
+func rowBytes(row value.Row) int64 {
+	n := int64(24 + 40*len(row))
+	for _, v := range row {
+		if v.Kind() == value.KindString {
+			n += int64(len(v.AsString()))
+		}
+	}
+	return n
+}
+
+// guard couples cooperative cancellation polling with batched budget
+// charging for one operator invocation (or one parallel worker). It is
+// single-goroutine state over a shared atomic Governor.
+type guard struct {
+	ctx   context.Context
+	gov   *Governor
+	st    *Stats
+	iter  int
+	rows  int64
+	bytes int64
+}
+
+func newGuard(ctx context.Context, st *Stats) guard {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return guard{ctx: ctx, gov: GovernorFrom(ctx), st: st}
+}
+
+// step is called once per processed row. It polls cancellation on the
+// first call and every cancelEvery calls thereafter, so even
+// sub-interval relations observe an expired context at least once.
+func (g *guard) step() error {
+	if g.iter%cancelEvery == 0 {
+		if err := g.ctx.Err(); err != nil {
+			return err
+		}
+	}
+	g.iter++
+	return nil
+}
+
+// keep charges one materialized row, flushing to the governor every
+// chargeBatch rows.
+func (g *guard) keep(row value.Row) error {
+	g.rows++
+	g.bytes += rowBytes(row)
+	if g.rows >= chargeBatch {
+		return g.flush()
+	}
+	return nil
+}
+
+// keepN charges n materialized rows with an aggregate byte estimate,
+// for operators that account a whole buffer at once (sorts, scans).
+func (g *guard) keepN(rows []value.Row) error {
+	for _, r := range rows {
+		g.bytes += rowBytes(r)
+	}
+	g.rows += int64(len(rows))
+	return g.flush()
+}
+
+// flush pushes pending charges into the Stats counters and the
+// governor; the final flush doubles as the operator's last budget
+// check.
+func (g *guard) flush() error {
+	if g.rows == 0 && g.bytes == 0 {
+		return nil
+	}
+	g.st.RowsMaterialized += g.rows
+	g.st.BytesReserved += g.bytes
+	err := g.gov.Charge(g.rows, g.bytes)
+	g.rows, g.bytes = 0, 0
+	return err
+}
+
+// finish flushes pending charges and makes a final cancellation poll;
+// operators call it right before returning their output relation.
+func (g *guard) finish() error {
+	if err := g.flush(); err != nil {
+		return err
+	}
+	return g.ctx.Err()
+}
+
+// workerPanic carries a panic recovered on a pool-worker goroutine
+// across the barrier so it can be re-panicked on the caller's
+// goroutine with its original stack intact.
+type workerPanic struct {
+	val   any
+	stack []byte
+}
+
+// Contain converts a panic into an *InternalError assigned through
+// errp. It must be installed with `defer Contain(op, &err)` at a query
+// entry boundary (executor, planner); panics repanicked by parallelFor
+// arrive as *workerPanic and keep the worker's stack.
+func Contain(op string, errp *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	switch p := r.(type) {
+	case *workerPanic:
+		*errp = &InternalError{Op: op, Value: p.val, Stack: p.stack}
+	case *InternalError:
+		*errp = p // already contained at an inner boundary
+	default:
+		*errp = &InternalError{Op: op, Value: r, Stack: debug.Stack()}
+	}
+}

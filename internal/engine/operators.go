@@ -1,26 +1,44 @@
 package engine
 
 import (
+	"context"
+
 	"uniqopt/internal/eval"
+	"uniqopt/internal/fault"
 	"uniqopt/internal/sql/ast"
 	"uniqopt/internal/storage"
-	"uniqopt/internal/tvl"
 	"uniqopt/internal/value"
 )
 
+// Every operator takes the query's context and threads it into a
+// lifecycle guard (lifecycle.go): cooperative cancellation polls per
+// row, batched budget charges at materialization points, and a typed
+// error return instead of an internal panic. Serial and parallel paths
+// enforce the same lifecycle.
+
 // Scan materializes a base table as a relation whose columns are
 // qualified with the correlation name corr.
-func Scan(st *Stats, tbl *storage.Table, corr string) *Relation {
+func Scan(ctx context.Context, st *Stats, tbl *storage.Table, corr string) (*Relation, error) {
+	if err := fault.Point(FaultScan); err != nil {
+		return nil, err
+	}
+	g := newGuard(ctx, st)
 	cols := make([]string, len(tbl.Schema.Columns))
 	for i, c := range tbl.Schema.Columns {
 		cols[i] = corr + "." + c.Name
 	}
 	out := &Relation{Cols: cols, Rows: make([]value.Row, tbl.Len())}
 	for i := 0; i < tbl.Len(); i++ {
+		if err := g.step(); err != nil {
+			return nil, err
+		}
 		out.Rows[i] = tbl.Row(i)
+		if err := g.keep(out.Rows[i]); err != nil {
+			return nil, err
+		}
 	}
 	st.RowsScanned += int64(tbl.Len())
-	return out
+	return out, g.finish()
 }
 
 // bindRow loads a relation row into an environment's column map.
@@ -34,15 +52,19 @@ func bindRow(env *eval.Env, cols []string, row value.Row) {
 // false-interpreted WHERE semantics. envProto supplies host variables,
 // outer-block column bindings, and the EXISTS evaluator; its Cols map
 // is extended with rel's columns per row.
-func Filter(st *Stats, rel *Relation, pred ast.Expr, envProto *eval.Env) (*Relation, error) {
+func Filter(ctx context.Context, st *Stats, rel *Relation, pred ast.Expr, envProto *eval.Env) (*Relation, error) {
 	if pred == nil {
 		return rel, nil
+	}
+	if err := fault.Point(FaultFilter); err != nil {
+		return nil, err
 	}
 	if w, ok := shouldParallel(len(rel.Rows)); ok && !ast.HasExists(pred) {
 		// Subquery-bearing predicates stay serial: their evaluation
 		// callbacks recurse into shared executor state.
-		return ParallelFilter(st, rel, pred, envProto, w)
+		return ParallelFilter(ctx, st, rel, pred, envProto, w)
 	}
+	g := newGuard(ctx, st)
 	env := &eval.Env{
 		Cols:   make(map[string]value.Value, len(rel.Cols)+len(envProto.Cols)),
 		Hosts:  envProto.Hosts,
@@ -53,6 +75,9 @@ func Filter(st *Stats, rel *Relation, pred ast.Expr, envProto *eval.Env) (*Relat
 	}
 	out := &Relation{Cols: rel.Cols}
 	for _, row := range rel.Rows {
+		if err := g.step(); err != nil {
+			return nil, err
+		}
 		bindRow(env, rel.Cols, row)
 		ok, err := eval.Qualifies(pred, env)
 		if err != nil {
@@ -60,30 +85,46 @@ func Filter(st *Stats, rel *Relation, pred ast.Expr, envProto *eval.Env) (*Relat
 		}
 		if ok {
 			out.Rows = append(out.Rows, row)
+			if err := g.keep(row); err != nil {
+				return nil, err
+			}
 		}
 	}
-	return out, nil
+	return out, g.finish()
 }
 
 // Product computes the extended Cartesian product l × r.
-func Product(st *Stats, l, r *Relation) *Relation {
+func Product(ctx context.Context, st *Stats, l, r *Relation) (*Relation, error) {
+	g := newGuard(ctx, st)
 	out := &Relation{Cols: append(append([]string{}, l.Cols...), r.Cols...)}
-	out.Rows = make([]value.Row, 0, len(l.Rows)*len(r.Rows))
+	// Cap the pre-allocation: sizing for the full cross product would
+	// commit its entire footprint before cancellation or the budget
+	// gets a chance to stop the query.
+	if n := len(l.Rows) * len(r.Rows); n > 0 && n <= 1<<16 {
+		out.Rows = make([]value.Row, 0, n)
+	}
 	for _, lr := range l.Rows {
 		for _, rr := range r.Rows {
+			if err := g.step(); err != nil {
+				return nil, err
+			}
 			st.JoinPairs++
 			row := make(value.Row, 0, len(lr)+len(rr))
 			row = append(row, lr...)
 			row = append(row, rr...)
 			out.Rows = append(out.Rows, row)
+			if err := g.keep(row); err != nil {
+				return nil, err
+			}
 		}
 	}
-	return out
+	return out, g.finish()
 }
 
 // NestedLoopJoin joins l and r with an arbitrary predicate, examining
 // every pair.
-func NestedLoopJoin(st *Stats, l, r *Relation, pred ast.Expr, envProto *eval.Env) (*Relation, error) {
+func NestedLoopJoin(ctx context.Context, st *Stats, l, r *Relation, pred ast.Expr, envProto *eval.Env) (*Relation, error) {
+	g := newGuard(ctx, st)
 	out := &Relation{Cols: append(append([]string{}, l.Cols...), r.Cols...)}
 	env := &eval.Env{
 		Cols:   make(map[string]value.Value, len(out.Cols)+len(envProto.Cols)),
@@ -96,6 +137,9 @@ func NestedLoopJoin(st *Stats, l, r *Relation, pred ast.Expr, envProto *eval.Env
 	for _, lr := range l.Rows {
 		bindRow(env, l.Cols, lr)
 		for _, rr := range r.Rows {
+			if err := g.step(); err != nil {
+				return nil, err
+			}
 			st.JoinPairs++
 			bindRow(env, r.Cols, rr)
 			ok, err := eval.Qualifies(pred, env)
@@ -107,21 +151,34 @@ func NestedLoopJoin(st *Stats, l, r *Relation, pred ast.Expr, envProto *eval.Env
 				row = append(row, lr...)
 				row = append(row, rr...)
 				out.Rows = append(out.Rows, row)
+				if err := g.keep(row); err != nil {
+					return nil, err
+				}
 			}
 		}
 	}
-	return out, nil
+	return out, g.finish()
 }
 
 // HashJoin equi-joins l and r on lKeys = rKeys (by column name).
 // WHERE-clause equality semantics apply: rows with NULL join keys
 // never match.
-func HashJoin(st *Stats, l, r *Relation, lKeys, rKeys []string) *Relation {
-	if w, ok := shouldParallel(len(l.Rows) + len(r.Rows)); ok {
-		return ParallelHashJoin(st, l, r, lKeys, rKeys, w)
+func HashJoin(ctx context.Context, st *Stats, l, r *Relation, lKeys, rKeys []string) (*Relation, error) {
+	if err := fault.Point(FaultHashBuild); err != nil {
+		return nil, err
 	}
-	li := l.mustCols(lKeys)
-	ri := r.mustCols(rKeys)
+	if w, ok := shouldParallel(len(l.Rows) + len(r.Rows)); ok {
+		return ParallelHashJoin(ctx, st, l, r, lKeys, rKeys, w)
+	}
+	li, err := l.colIndexes(lKeys)
+	if err != nil {
+		return nil, err
+	}
+	ri, err := r.colIndexes(rKeys)
+	if err != nil {
+		return nil, err
+	}
+	g := newGuard(ctx, st)
 	out := &Relation{Cols: append(append([]string{}, l.Cols...), r.Cols...)}
 
 	// Build on the smaller input.
@@ -136,6 +193,9 @@ func HashJoin(st *Stats, l, r *Relation, lKeys, rKeys []string) *Relation {
 	ht := make(map[uint64][]value.Row, len(build.Rows))
 	key := make(value.Row, len(bi))
 	for _, row := range build.Rows {
+		if err := g.step(); err != nil {
+			return nil, err
+		}
 		if hasNullAt(row, bi) {
 			continue
 		}
@@ -145,9 +205,18 @@ func HashJoin(st *Stats, l, r *Relation, lKeys, rKeys []string) *Relation {
 		h := hashRow(key)
 		ht[h] = append(ht[h], row)
 		st.HashInserts++
+		if err := g.keep(row); err != nil {
+			return nil, err
+		}
+	}
+	if err := fault.Point(FaultHashProbe); err != nil {
+		return nil, err
 	}
 	pkey := make(value.Row, len(pi))
 	for _, prow := range probe.Rows {
+		if err := g.step(); err != nil {
+			return nil, err
+		}
 		if hasNullAt(prow, pi) {
 			continue
 		}
@@ -170,9 +239,12 @@ func HashJoin(st *Stats, l, r *Relation, lKeys, rKeys []string) *Relation {
 			row = append(row, lrow...)
 			row = append(row, rrow...)
 			out.Rows = append(out.Rows, row)
+			if err := g.keep(row); err != nil {
+				return nil, err
+			}
 		}
 	}
-	return out
+	return out, g.finish()
 }
 
 func hasNullAt(row value.Row, idx []int) bool {
@@ -196,16 +268,36 @@ func equalAt(a value.Row, ai []int, b value.Row, bi []int, st *Stats) bool {
 
 // MergeJoin equi-joins two relations by sorting both on their join
 // keys and merging. NULL keys never match (WHERE semantics).
-func MergeJoin(st *Stats, l, r *Relation, lKeys, rKeys []string) *Relation {
-	li := l.mustCols(lKeys)
-	ri := r.mustCols(rKeys)
+func MergeJoin(ctx context.Context, st *Stats, l, r *Relation, lKeys, rKeys []string) (*Relation, error) {
+	if err := fault.Point(FaultSort); err != nil {
+		return nil, err
+	}
+	li, err := l.colIndexes(lKeys)
+	if err != nil {
+		return nil, err
+	}
+	ri, err := r.colIndexes(rKeys)
+	if err != nil {
+		return nil, err
+	}
+	g := newGuard(ctx, st)
 	ls := append([]value.Row(nil), l.Rows...)
 	rs := append([]value.Row(nil), r.Rows...)
+	// The sort buffers are materializations: charge them up front.
+	if err := g.keepN(ls); err != nil {
+		return nil, err
+	}
+	if err := g.keepN(rs); err != nil {
+		return nil, err
+	}
 	SortRowsOn(st, ls, li)
 	SortRowsOn(st, rs, ri)
 	out := &Relation{Cols: append(append([]string{}, l.Cols...), r.Cols...)}
 	i, j := 0, 0
 	for i < len(ls) && j < len(rs) {
+		if err := g.step(); err != nil {
+			return nil, err
+		}
 		c := compareAt(ls[i], li, rs[j], ri, st)
 		switch {
 		case c < 0:
@@ -234,12 +326,15 @@ func MergeJoin(st *Stats, l, r *Relation, lKeys, rKeys []string) *Relation {
 					row = append(row, ls[x]...)
 					row = append(row, rs[y]...)
 					out.Rows = append(out.Rows, row)
+					if err := g.keep(row); err != nil {
+						return nil, err
+					}
 				}
 			}
 			i, j = i2, j2
 		}
 	}
-	return out
+	return out, g.finish()
 }
 
 func compareAt(a value.Row, ai []int, b value.Row, bi []int, st *Stats) int {
@@ -269,28 +364,45 @@ func SortRowsOn(st *Stats, rows []value.Row, keyIdx []int) {
 }
 
 // Project projects rel onto the named columns, retaining duplicates.
-func Project(st *Stats, rel *Relation, cols []string) *Relation {
+func Project(ctx context.Context, st *Stats, rel *Relation, cols []string) (*Relation, error) {
 	if w, ok := shouldParallel(len(rel.Rows)); ok {
-		return ParallelProject(st, rel, cols, w)
+		return ParallelProject(ctx, st, rel, cols, w)
 	}
-	idx := rel.mustCols(cols)
+	idx, err := rel.colIndexes(cols)
+	if err != nil {
+		return nil, err
+	}
+	g := newGuard(ctx, st)
 	out := &Relation{Cols: append([]string(nil), cols...)}
 	out.Rows = make([]value.Row, len(rel.Rows))
 	for ri, row := range rel.Rows {
+		if err := g.step(); err != nil {
+			return nil, err
+		}
 		nr := make(value.Row, len(idx))
 		for i, c := range idx {
 			nr[i] = row[c]
 		}
 		out.Rows[ri] = nr
+		if err := g.keep(nr); err != nil {
+			return nil, err
+		}
 	}
-	return out
+	return out, g.finish()
 }
 
 // DistinctSort removes duplicate rows (≐ semantics: NULL ≐ NULL) by
 // sorting the whole relation and collapsing runs — the expensive
 // operation the paper's optimization avoids.
-func DistinctSort(st *Stats, rel *Relation) *Relation {
+func DistinctSort(ctx context.Context, st *Stats, rel *Relation) (*Relation, error) {
+	if err := fault.Point(FaultDistinct); err != nil {
+		return nil, err
+	}
+	g := newGuard(ctx, st)
 	rows := append([]value.Row(nil), rel.Rows...)
+	if err := g.keepN(rows); err != nil {
+		return nil, err
+	}
 	st.SortRuns++
 	st.RowsSorted += int64(len(rows))
 	sortRowsBy(rows, func(a, b value.Row) int {
@@ -299,6 +411,9 @@ func DistinctSort(st *Stats, rel *Relation) *Relation {
 	})
 	out := &Relation{Cols: rel.Cols}
 	for i, row := range rows {
+		if err := g.step(); err != nil {
+			return nil, err
+		}
 		if i > 0 {
 			st.Comparisons++
 			if value.NullEqRows(rows[i-1], row) {
@@ -307,17 +422,24 @@ func DistinctSort(st *Stats, rel *Relation) *Relation {
 		}
 		out.Rows = append(out.Rows, row)
 	}
-	return out
+	return out, g.finish()
 }
 
 // DistinctHash removes duplicate rows (≐ semantics) with a hash table.
-func DistinctHash(st *Stats, rel *Relation) *Relation {
-	if w, ok := shouldParallel(len(rel.Rows)); ok {
-		return ParallelDistinctHash(st, rel, w)
+func DistinctHash(ctx context.Context, st *Stats, rel *Relation) (*Relation, error) {
+	if err := fault.Point(FaultDistinct); err != nil {
+		return nil, err
 	}
+	if w, ok := shouldParallel(len(rel.Rows)); ok {
+		return ParallelDistinctHash(ctx, st, rel, w)
+	}
+	g := newGuard(ctx, st)
 	seen := make(map[uint64][]value.Row, len(rel.Rows))
 	out := &Relation{Cols: rel.Cols}
 	for _, row := range rel.Rows {
+		if err := g.step(); err != nil {
+			return nil, err
+		}
 		h := hashRow(row)
 		st.HashProbes++
 		dup := false
@@ -334,14 +456,18 @@ func DistinctHash(st *Stats, rel *Relation) *Relation {
 		seen[h] = append(seen[h], row)
 		st.HashInserts++
 		out.Rows = append(out.Rows, row)
+		if err := g.keep(row); err != nil {
+			return nil, err
+		}
 	}
-	return out
+	return out, g.finish()
 }
 
 // SemiJoinExists filters l to rows for which the EXISTS-style probe
 // into r succeeds: some row of r satisfies pred in the combined
 // environment. This is the naive nested-loops subquery strategy.
-func SemiJoinExists(st *Stats, l, r *Relation, pred ast.Expr, envProto *eval.Env) (*Relation, error) {
+func SemiJoinExists(ctx context.Context, st *Stats, l, r *Relation, pred ast.Expr, envProto *eval.Env) (*Relation, error) {
+	g := newGuard(ctx, st)
 	out := &Relation{Cols: l.Cols}
 	env := &eval.Env{
 		Cols:   make(map[string]value.Value, len(l.Cols)+len(r.Cols)+len(envProto.Cols)),
@@ -356,6 +482,9 @@ func SemiJoinExists(st *Stats, l, r *Relation, pred ast.Expr, envProto *eval.Env
 		st.SubqueryRuns++
 		matched := false
 		for _, rr := range r.Rows {
+			if err := g.step(); err != nil {
+				return nil, err
+			}
 			st.JoinPairs++
 			bindRow(env, r.Cols, rr)
 			ok, err := eval.Qualifies(pred, env)
@@ -369,23 +498,39 @@ func SemiJoinExists(st *Stats, l, r *Relation, pred ast.Expr, envProto *eval.Env
 		}
 		if matched {
 			out.Rows = append(out.Rows, lr)
+			if err := g.keep(lr); err != nil {
+				return nil, err
+			}
 		}
 	}
-	return out, nil
+	return out, g.finish()
 }
 
 // SemiJoinHash filters l to rows whose key appears in r (equi-probe
 // semantics; NULL keys never match). The hash table on r is built
 // once — the rewritten strategy Theorem 2 enables.
-func SemiJoinHash(st *Stats, l, r *Relation, lKeys, rKeys []string) *Relation {
-	if w, ok := shouldParallel(len(l.Rows) + len(r.Rows)); ok {
-		return ParallelSemiJoinHash(st, l, r, lKeys, rKeys, w)
+func SemiJoinHash(ctx context.Context, st *Stats, l, r *Relation, lKeys, rKeys []string) (*Relation, error) {
+	if err := fault.Point(FaultSemiBuild); err != nil {
+		return nil, err
 	}
-	li := l.mustCols(lKeys)
-	ri := r.mustCols(rKeys)
+	if w, ok := shouldParallel(len(l.Rows) + len(r.Rows)); ok {
+		return ParallelSemiJoinHash(ctx, st, l, r, lKeys, rKeys, w)
+	}
+	li, err := l.colIndexes(lKeys)
+	if err != nil {
+		return nil, err
+	}
+	ri, err := r.colIndexes(rKeys)
+	if err != nil {
+		return nil, err
+	}
+	g := newGuard(ctx, st)
 	ht := make(map[uint64][]value.Row, len(r.Rows))
 	key := make(value.Row, len(ri))
 	for _, row := range r.Rows {
+		if err := g.step(); err != nil {
+			return nil, err
+		}
 		if hasNullAt(row, ri) {
 			continue
 		}
@@ -395,10 +540,16 @@ func SemiJoinHash(st *Stats, l, r *Relation, lKeys, rKeys []string) *Relation {
 		h := hashRow(key)
 		ht[h] = append(ht[h], row)
 		st.HashInserts++
+		if err := g.keep(row); err != nil {
+			return nil, err
+		}
 	}
 	out := &Relation{Cols: l.Cols}
 	pkey := make(value.Row, len(li))
 	for _, lr := range l.Rows {
+		if err := g.step(); err != nil {
+			return nil, err
+		}
 		if hasNullAt(lr, li) {
 			continue
 		}
@@ -409,17 +560,24 @@ func SemiJoinHash(st *Stats, l, r *Relation, lKeys, rKeys []string) *Relation {
 		for _, rr := range ht[hashRow(pkey)] {
 			if equalAt(lr, li, rr, ri, st) {
 				out.Rows = append(out.Rows, lr)
+				if err := g.keep(lr); err != nil {
+					return nil, err
+				}
 				break
 			}
 		}
 	}
-	return out
+	return out, g.finish()
 }
 
-// setOpCounts builds a ≐-keyed multiset counter for a relation.
-func setOpCounts(st *Stats, rel *Relation) map[uint64][]countedRow {
+// setOpCounts builds a ≐-keyed multiset counter for a relation,
+// charging the hash-table materialization to g.
+func setOpCounts(g *guard, st *Stats, rel *Relation) (map[uint64][]countedRow, error) {
 	counts := make(map[uint64][]countedRow, len(rel.Rows))
 	for _, row := range rel.Rows {
+		if err := g.step(); err != nil {
+			return nil, err
+		}
 		h := hashRow(row)
 		st.HashInserts++
 		bucket := counts[h]
@@ -434,20 +592,33 @@ func setOpCounts(st *Stats, rel *Relation) map[uint64][]countedRow {
 		}
 		if !found {
 			bucket = append(bucket, countedRow{row: row, n: 1})
+			if err := g.keep(row); err != nil {
+				return nil, err
+			}
 		}
 		counts[h] = bucket
 	}
-	return counts
+	return counts, nil
 }
 
 // Intersect computes l ∩ r. With all=false duplicates are eliminated
 // (INTERSECT); with all=true each row appears min(j,k) times
 // (INTERSECT ALL). Tuple equivalence is ≐: NULL columns match NULL.
-func Intersect(st *Stats, l, r *Relation, all bool) *Relation {
-	rc := setOpCounts(st, r)
+func Intersect(ctx context.Context, st *Stats, l, r *Relation, all bool) (*Relation, error) {
+	if err := fault.Point(FaultSetOp); err != nil {
+		return nil, err
+	}
+	g := newGuard(ctx, st)
+	rc, err := setOpCounts(&g, st, r)
+	if err != nil {
+		return nil, err
+	}
 	out := &Relation{Cols: l.Cols}
 	emitted := make(map[uint64][]countedRow)
 	for _, row := range l.Rows {
+		if err := g.step(); err != nil {
+			return nil, err
+		}
 		h := hashRow(row)
 		st.HashProbes++
 		bucket := rc[h]
@@ -468,6 +639,9 @@ func Intersect(st *Stats, l, r *Relation, all bool) *Relation {
 			// Emit up to min(j, k): consume one match per emission.
 			bucket[bi].n--
 			out.Rows = append(out.Rows, row)
+			if err := g.keep(row); err != nil {
+				return nil, err
+			}
 			continue
 		}
 		// DISTINCT: emit once per distinct row.
@@ -483,19 +657,32 @@ func Intersect(st *Stats, l, r *Relation, all bool) *Relation {
 		if !dup {
 			emitted[h] = append(eb, countedRow{row: row, n: 1})
 			out.Rows = append(out.Rows, row)
+			if err := g.keep(row); err != nil {
+				return nil, err
+			}
 		}
 	}
-	return out
+	return out, g.finish()
 }
 
 // Except computes l − r. With all=false the result is the distinct
 // rows of l not occurring in r (EXCEPT); with all=true each row
 // appears max(j−k, 0) times (EXCEPT ALL).
-func Except(st *Stats, l, r *Relation, all bool) *Relation {
-	rc := setOpCounts(st, r)
+func Except(ctx context.Context, st *Stats, l, r *Relation, all bool) (*Relation, error) {
+	if err := fault.Point(FaultSetOp); err != nil {
+		return nil, err
+	}
+	g := newGuard(ctx, st)
+	rc, err := setOpCounts(&g, st, r)
+	if err != nil {
+		return nil, err
+	}
 	out := &Relation{Cols: l.Cols}
 	emitted := make(map[uint64][]countedRow)
 	for _, row := range l.Rows {
+		if err := g.step(); err != nil {
+			return nil, err
+		}
 		h := hashRow(row)
 		st.HashProbes++
 		bucket := rc[h]
@@ -513,6 +700,9 @@ func Except(st *Stats, l, r *Relation, all bool) *Relation {
 				continue
 			}
 			out.Rows = append(out.Rows, row)
+			if err := g.keep(row); err != nil {
+				return nil, err
+			}
 			continue
 		}
 		// DISTINCT: emit rows of l absent from r, once each.
@@ -531,57 +721,50 @@ func Except(st *Stats, l, r *Relation, all bool) *Relation {
 		if !dup {
 			emitted[h] = append(eb, countedRow{row: row, n: 1})
 			out.Rows = append(out.Rows, row)
+			if err := g.keep(row); err != nil {
+				return nil, err
+			}
 		}
 	}
-	return out
-}
-
-// existsTruth evaluates EXISTS over a materialized inner relation:
-// true iff some row qualifies. EXISTS is two-valued.
-func existsTruth(st *Stats, inner *Relation, pred ast.Expr, env *eval.Env) (tvl.Truth, error) {
-	for _, row := range inner.Rows {
-		st.JoinPairs++
-		bindRow(env, inner.Cols, row)
-		ok, err := eval.Qualifies(pred, env)
-		if err != nil {
-			return tvl.Unknown, err
-		}
-		if ok {
-			return tvl.True, nil
-		}
-	}
-	return tvl.False, nil
+	return out, g.finish()
 }
 
 // IndexScanEq materializes the rows of tbl whose index prefix equals
 // key, qualified by corr. The lookup replaces a full scan: only the
 // matching rows are counted as scanned.
-func IndexScanEq(st *Stats, tbl *storage.Table, corr string, ix *storage.OrderedIndex, key value.Row) (*Relation, error) {
+func IndexScanEq(ctx context.Context, st *Stats, tbl *storage.Table, corr string, ix *storage.OrderedIndex, key value.Row) (*Relation, error) {
 	ords, err := ix.Lookup(key)
 	if err != nil {
 		return nil, err
 	}
 	st.IndexSeeks++
-	return materialize(st, tbl, corr, ords), nil
+	return materialize(ctx, st, tbl, corr, ords)
 }
 
 // IndexScanRange materializes the rows of tbl whose first index
 // column lies in [lo, hi] (nil bound = open end).
-func IndexScanRange(st *Stats, tbl *storage.Table, corr string, ix *storage.OrderedIndex, lo, hi *value.Value) *Relation {
+func IndexScanRange(ctx context.Context, st *Stats, tbl *storage.Table, corr string, ix *storage.OrderedIndex, lo, hi *value.Value) (*Relation, error) {
 	ords := ix.Range(lo, hi)
 	st.IndexSeeks++
-	return materialize(st, tbl, corr, ords)
+	return materialize(ctx, st, tbl, corr, ords)
 }
 
-func materialize(st *Stats, tbl *storage.Table, corr string, ords []int) *Relation {
+func materialize(ctx context.Context, st *Stats, tbl *storage.Table, corr string, ords []int) (*Relation, error) {
+	g := newGuard(ctx, st)
 	cols := make([]string, len(tbl.Schema.Columns))
 	for i, c := range tbl.Schema.Columns {
 		cols[i] = corr + "." + c.Name
 	}
 	out := &Relation{Cols: cols, Rows: make([]value.Row, len(ords))}
 	for i, ri := range ords {
+		if err := g.step(); err != nil {
+			return nil, err
+		}
 		out.Rows[i] = tbl.Row(ri)
+		if err := g.keep(out.Rows[i]); err != nil {
+			return nil, err
+		}
 	}
 	st.RowsScanned += int64(len(ords))
-	return out
+	return out, g.finish()
 }

@@ -1,9 +1,11 @@
 package engine
 
 import (
+	"context"
 	"sort"
 
 	"uniqopt/internal/eval"
+	"uniqopt/internal/fault"
 	"uniqopt/internal/sql/ast"
 	"uniqopt/internal/value"
 )
@@ -16,6 +18,12 @@ import (
 // relation byte-identical to its serial counterpart: same rows, same
 // order. Work counters are collected in per-worker Stats instances and
 // merged through Stats.Add after the barrier.
+//
+// Lifecycle: every worker polls the query context and charges the
+// shared governor through its own guard, reporting through a per-chunk
+// error slot; parallelFor always joins its workers before the first
+// error is returned, so a cancelled or over-budget query leaves no
+// goroutine behind.
 
 // hashRow is the row-hash function used by every hash-based operator.
 // It is a variable so tests can substitute a degenerate hash and force
@@ -23,21 +31,39 @@ import (
 // (row-by-row ≐ comparison on hash match) in all operators.
 var hashRow = value.HashRow
 
+// firstErr returns the lowest-chunk error, keeping failure
+// deterministic regardless of worker interleaving.
+func firstErr(errs []error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
 // rowHashes computes the hash of every row in parallel. The returned
 // null slice flags rows with a NULL in any key column (idx non-nil);
 // such rows never participate in hash matching under WHERE semantics.
-func rowHashes(rows []value.Row, idx []int, workers int) (hashes []uint64, nulls []bool) {
+func rowHashes(ctx context.Context, rows []value.Row, idx []int, workers int) (hashes []uint64, nulls []bool, err error) {
 	hashes = make([]uint64, len(rows))
 	if idx != nil {
 		nulls = make([]bool, len(rows))
 	}
 	key := idx == nil
-	parallelFor(len(rows), workers, func(_, lo, hi int) {
+	errs := make([]error, workers)
+	parallelFor(len(rows), workers, func(c, lo, hi int) {
 		var kbuf value.Row
 		if !key {
 			kbuf = make(value.Row, len(idx))
 		}
+		var st Stats
+		g := newGuard(ctx, &st)
 		for i := lo; i < hi; i++ {
+			if err := g.step(); err != nil {
+				errs[c] = err
+				return
+			}
 			row := rows[i]
 			if key {
 				hashes[i] = hashRow(row)
@@ -53,19 +79,33 @@ func rowHashes(rows []value.Row, idx []int, workers int) (hashes []uint64, nulls
 			hashes[i] = hashRow(kbuf)
 		}
 	})
-	return hashes, nulls
+	if err := firstErr(errs); err != nil {
+		return nil, nil, err
+	}
+	return hashes, nulls, nil
 }
 
 // buildPartitioned builds P hash-disjoint tables over rows: partition
 // h%P owns every row whose key hash is h. Each partition is built by
 // one worker scanning the precomputed hashes, so bucket contents stay
 // in input order — exactly what a serial single-table build produces.
-func buildPartitioned(st *Stats, rows []value.Row, hashes []uint64, nulls []bool, parts int) []map[uint64][]value.Row {
+// Inserted rows are charged to the query governor.
+func buildPartitioned(ctx context.Context, st *Stats, rows []value.Row, hashes []uint64, nulls []bool, parts int) ([]map[uint64][]value.Row, error) {
 	tables := make([]map[uint64][]value.Row, parts)
 	locals := make([]Stats, parts)
+	errs := make([]error, parts)
 	parallelFor(parts, parts, func(p, _, _ int) {
+		if err := fault.Point(FaultPoolWorker); err != nil {
+			errs[p] = err
+			return
+		}
+		g := newGuard(ctx, &locals[p])
 		ht := make(map[uint64][]value.Row, len(rows)/parts+1)
 		for i, row := range rows {
+			if err := g.step(); err != nil {
+				errs[p] = err
+				return
+			}
 			if nulls != nil && nulls[i] {
 				continue
 			}
@@ -75,21 +115,35 @@ func buildPartitioned(st *Stats, rows []value.Row, hashes []uint64, nulls []bool
 			}
 			ht[h] = append(ht[h], row)
 			locals[p].HashInserts++
+			if err := g.keep(row); err != nil {
+				errs[p] = err
+				return
+			}
 		}
+		errs[p] = g.finish()
 		tables[p] = ht
 	})
 	for i := range locals {
 		st.Add(locals[i])
 	}
-	return tables
+	if err := firstErr(errs); err != nil {
+		return nil, err
+	}
+	return tables, nil
 }
 
 // ParallelHashJoin is the partitioned-parallel form of HashJoin: the
 // smaller input is built into hash-disjoint partition tables, the
 // larger is probed in contiguous chunks. Identical output to HashJoin.
-func ParallelHashJoin(st *Stats, l, r *Relation, lKeys, rKeys []string, workers int) *Relation {
-	li := l.mustCols(lKeys)
-	ri := r.mustCols(rKeys)
+func ParallelHashJoin(ctx context.Context, st *Stats, l, r *Relation, lKeys, rKeys []string, workers int) (*Relation, error) {
+	li, err := l.colIndexes(lKeys)
+	if err != nil {
+		return nil, err
+	}
+	ri, err := r.colIndexes(rKeys)
+	if err != nil {
+		return nil, err
+	}
 	out := &Relation{Cols: append(append([]string{}, l.Cols...), r.Cols...)}
 
 	build, probe := r, l
@@ -103,16 +157,38 @@ func ParallelHashJoin(st *Stats, l, r *Relation, lKeys, rKeys []string, workers 
 	st.ParallelRuns++
 	st.ParallelRows += int64(len(l.Rows) + len(r.Rows))
 
-	bh, bn := rowHashes(build.Rows, bi, workers)
-	tables := buildPartitioned(st, build.Rows, bh, bn, workers)
-	ph, pn := rowHashes(probe.Rows, pi, workers)
+	bh, bn, err := rowHashes(ctx, build.Rows, bi, workers)
+	if err != nil {
+		return nil, err
+	}
+	tables, err := buildPartitioned(ctx, st, build.Rows, bh, bn, workers)
+	if err != nil {
+		return nil, err
+	}
+	if err := fault.Point(FaultHashProbe); err != nil {
+		return nil, err
+	}
+	ph, pn, err := rowHashes(ctx, probe.Rows, pi, workers)
+	if err != nil {
+		return nil, err
+	}
 
 	chunkOut := make([][]value.Row, workers)
 	locals := make([]Stats, workers)
+	errs := make([]error, workers)
 	chunks := parallelFor(len(probe.Rows), workers, func(c, lo, hi int) {
+		if err := fault.Point(FaultPoolWorker); err != nil {
+			errs[c] = err
+			return
+		}
 		my := &locals[c]
+		g := newGuard(ctx, my)
 		var rows []value.Row
 		for i := lo; i < hi; i++ {
+			if err := g.step(); err != nil {
+				errs[c] = err
+				return
+			}
 			if pn[i] {
 				continue
 			}
@@ -134,15 +210,25 @@ func ParallelHashJoin(st *Stats, l, r *Relation, lKeys, rKeys []string, workers 
 				row = append(row, lrow...)
 				row = append(row, rrow...)
 				rows = append(rows, row)
+				if err := g.keep(row); err != nil {
+					errs[c] = err
+					return
+				}
 			}
 		}
+		errs[c] = g.finish()
 		chunkOut[c] = rows
 	})
 	for c := 0; c < chunks; c++ {
 		st.Add(locals[c])
+	}
+	if err := firstErr(errs); err != nil {
+		return nil, err
+	}
+	for c := 0; c < chunks; c++ {
 		out.Rows = append(out.Rows, chunkOut[c]...)
 	}
-	return out
+	return out, nil
 }
 
 // ParallelDistinctHash removes duplicates (≐ semantics) with
@@ -150,18 +236,31 @@ func ParallelHashJoin(st *Stats, l, r *Relation, lKeys, rKeys []string, workers 
 // partition, so each partition dedups independently; survivors are
 // re-ordered by original row index, reproducing DistinctHash's
 // first-occurrence order exactly.
-func ParallelDistinctHash(st *Stats, rel *Relation, workers int) *Relation {
+func ParallelDistinctHash(ctx context.Context, st *Stats, rel *Relation, workers int) (*Relation, error) {
 	st.ParallelRuns++
 	st.ParallelRows += int64(len(rel.Rows))
-	hashes, _ := rowHashes(rel.Rows, nil, workers)
+	hashes, _, err := rowHashes(ctx, rel.Rows, nil, workers)
+	if err != nil {
+		return nil, err
+	}
 
 	kept := make([][]int, workers)
 	locals := make([]Stats, workers)
+	errs := make([]error, workers)
 	parallelFor(workers, workers, func(p, _, _ int) {
+		if err := fault.Point(FaultPoolWorker); err != nil {
+			errs[p] = err
+			return
+		}
 		my := &locals[p]
+		g := newGuard(ctx, my)
 		seen := make(map[uint64][]value.Row, len(rel.Rows)/workers+1)
 		var keep []int
 		for i, row := range rel.Rows {
+			if err := g.step(); err != nil {
+				errs[p] = err
+				return
+			}
 			h := hashes[i]
 			if h%uint64(workers) != uint64(p) {
 				continue
@@ -181,12 +280,22 @@ func ParallelDistinctHash(st *Stats, rel *Relation, workers int) *Relation {
 			seen[h] = append(seen[h], row)
 			my.HashInserts++
 			keep = append(keep, i)
+			if err := g.keep(row); err != nil {
+				errs[p] = err
+				return
+			}
 		}
+		errs[p] = g.finish()
 		kept[p] = keep
 	})
 	var order []int
 	for p := 0; p < workers; p++ {
 		st.Add(locals[p])
+	}
+	if err := firstErr(errs); err != nil {
+		return nil, err
+	}
+	for p := 0; p < workers; p++ {
 		order = append(order, kept[p]...)
 	}
 	sort.Ints(order)
@@ -194,28 +303,53 @@ func ParallelDistinctHash(st *Stats, rel *Relation, workers int) *Relation {
 	for i, ri := range order {
 		out.Rows[i] = rel.Rows[ri]
 	}
-	return out
+	return out, nil
 }
 
 // ParallelSemiJoinHash is the partitioned-parallel form of
 // SemiJoinHash: partitioned build on r, chunked probe of l. Identical
 // output to SemiJoinHash (l's row order is preserved).
-func ParallelSemiJoinHash(st *Stats, l, r *Relation, lKeys, rKeys []string, workers int) *Relation {
-	li := l.mustCols(lKeys)
-	ri := r.mustCols(rKeys)
+func ParallelSemiJoinHash(ctx context.Context, st *Stats, l, r *Relation, lKeys, rKeys []string, workers int) (*Relation, error) {
+	li, err := l.colIndexes(lKeys)
+	if err != nil {
+		return nil, err
+	}
+	ri, err := r.colIndexes(rKeys)
+	if err != nil {
+		return nil, err
+	}
 	st.ParallelRuns++
 	st.ParallelRows += int64(len(l.Rows) + len(r.Rows))
 
-	rh, rn := rowHashes(r.Rows, ri, workers)
-	tables := buildPartitioned(st, r.Rows, rh, rn, workers)
-	lh, ln := rowHashes(l.Rows, li, workers)
+	rh, rn, err := rowHashes(ctx, r.Rows, ri, workers)
+	if err != nil {
+		return nil, err
+	}
+	tables, err := buildPartitioned(ctx, st, r.Rows, rh, rn, workers)
+	if err != nil {
+		return nil, err
+	}
+	lh, ln, err := rowHashes(ctx, l.Rows, li, workers)
+	if err != nil {
+		return nil, err
+	}
 
 	chunkOut := make([][]value.Row, workers)
 	locals := make([]Stats, workers)
+	errs := make([]error, workers)
 	chunks := parallelFor(len(l.Rows), workers, func(c, lo, hi int) {
+		if err := fault.Point(FaultPoolWorker); err != nil {
+			errs[c] = err
+			return
+		}
 		my := &locals[c]
+		g := newGuard(ctx, my)
 		var rows []value.Row
 		for i := lo; i < hi; i++ {
+			if err := g.step(); err != nil {
+				errs[c] = err
+				return
+			}
 			if ln[i] {
 				continue
 			}
@@ -225,39 +359,74 @@ func ParallelSemiJoinHash(st *Stats, l, r *Relation, lKeys, rKeys []string, work
 			for _, rr := range tables[h%uint64(workers)][h] {
 				if equalAt(lr, li, rr, ri, my) {
 					rows = append(rows, lr)
+					if err := g.keep(lr); err != nil {
+						errs[c] = err
+						return
+					}
 					break
 				}
 			}
 		}
+		errs[c] = g.finish()
 		chunkOut[c] = rows
 	})
 	out := &Relation{Cols: l.Cols}
 	for c := 0; c < chunks; c++ {
 		st.Add(locals[c])
+	}
+	if err := firstErr(errs); err != nil {
+		return nil, err
+	}
+	for c := 0; c < chunks; c++ {
 		out.Rows = append(out.Rows, chunkOut[c]...)
 	}
-	return out
+	return out, nil
 }
 
 // ParallelProject projects rel onto cols with chunked row rewriting.
 // Identical output to Project.
-func ParallelProject(st *Stats, rel *Relation, cols []string, workers int) *Relation {
-	idx := rel.mustCols(cols)
+func ParallelProject(ctx context.Context, st *Stats, rel *Relation, cols []string, workers int) (*Relation, error) {
+	idx, err := rel.colIndexes(cols)
+	if err != nil {
+		return nil, err
+	}
 	st.ParallelRuns++
 	st.ParallelRows += int64(len(rel.Rows))
 	out := &Relation{Cols: append([]string(nil), cols...)}
 	out.Rows = make([]value.Row, len(rel.Rows))
-	parallelFor(len(rel.Rows), workers, func(_, lo, hi int) {
+	locals := make([]Stats, workers)
+	errs := make([]error, workers)
+	chunks := parallelFor(len(rel.Rows), workers, func(c, lo, hi int) {
+		if err := fault.Point(FaultPoolWorker); err != nil {
+			errs[c] = err
+			return
+		}
+		g := newGuard(ctx, &locals[c])
 		for ri := lo; ri < hi; ri++ {
+			if err := g.step(); err != nil {
+				errs[c] = err
+				return
+			}
 			row := rel.Rows[ri]
 			nr := make(value.Row, len(idx))
 			for i, c := range idx {
 				nr[i] = row[c]
 			}
 			out.Rows[ri] = nr
+			if err := g.keep(nr); err != nil {
+				errs[c] = err
+				return
+			}
 		}
+		errs[c] = g.finish()
 	})
-	return out
+	for c := 0; c < chunks; c++ {
+		st.Add(locals[c])
+	}
+	if err := firstErr(errs); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // ParallelFilter evaluates pred over contiguous chunks of rel, each
@@ -265,15 +434,21 @@ func ParallelProject(st *Stats, rel *Relation, cols []string, workers int) *Rela
 // must ensure pred is parallel-safe: no EXISTS / IN-subquery leaves
 // (their evaluation callbacks recurse into shared executor state).
 // Identical output to Filter.
-func ParallelFilter(st *Stats, rel *Relation, pred ast.Expr, envProto *eval.Env, workers int) (*Relation, error) {
+func ParallelFilter(ctx context.Context, st *Stats, rel *Relation, pred ast.Expr, envProto *eval.Env, workers int) (*Relation, error) {
 	if pred == nil {
 		return rel, nil
 	}
 	st.ParallelRuns++
 	st.ParallelRows += int64(len(rel.Rows))
 	chunkOut := make([][]value.Row, workers)
+	locals := make([]Stats, workers)
 	errs := make([]error, workers)
 	chunks := parallelFor(len(rel.Rows), workers, func(c, lo, hi int) {
+		if err := fault.Point(FaultPoolWorker); err != nil {
+			errs[c] = err
+			return
+		}
+		g := newGuard(ctx, &locals[c])
 		env := &eval.Env{
 			Cols:   make(map[string]value.Value, len(rel.Cols)+len(envProto.Cols)),
 			Hosts:  envProto.Hosts,
@@ -286,6 +461,10 @@ func ParallelFilter(st *Stats, rel *Relation, pred ast.Expr, envProto *eval.Env,
 		}
 		var rows []value.Row
 		for i := lo; i < hi; i++ {
+			if err := g.step(); err != nil {
+				errs[c] = err
+				return
+			}
 			row := rel.Rows[i]
 			bindRow(env, rel.Cols, row)
 			ok, err := eval.Qualifies(pred, env)
@@ -295,15 +474,23 @@ func ParallelFilter(st *Stats, rel *Relation, pred ast.Expr, envProto *eval.Env,
 			}
 			if ok {
 				rows = append(rows, row)
+				if err := g.keep(row); err != nil {
+					errs[c] = err
+					return
+				}
 			}
 		}
+		errs[c] = g.finish()
 		chunkOut[c] = rows
 	})
+	for c := 0; c < chunks; c++ {
+		st.Add(locals[c])
+	}
+	if err := firstErr(errs); err != nil {
+		return nil, err
+	}
 	out := &Relation{Cols: rel.Cols}
 	for c := 0; c < chunks; c++ {
-		if errs[c] != nil {
-			return nil, errs[c]
-		}
 		out.Rows = append(out.Rows, chunkOut[c]...)
 	}
 	return out, nil

@@ -90,20 +90,20 @@ func TestParallelHashJoinIdentical(t *testing.T) {
 
 	forceSerial(t)
 	st0 := &Stats{}
-	want := HashJoin(st0, l, rr, []string{"L.K"}, []string{"R.K"})
+	want := okRel(HashJoin(ctx0, st0, l, rr, []string{"L.K"}, []string{"R.K"}))
 
 	for _, workers := range []int{2, 3, 4, 8} {
 		st1 := &Stats{}
-		got := ParallelHashJoin(st1, l, rr, []string{"L.K"}, []string{"R.K"}, workers)
+		got := okRel(ParallelHashJoin(ctx0, st1, l, rr, []string{"L.K"}, []string{"R.K"}, workers))
 		identicalRelations(t, want, got, fmt.Sprintf("HashJoin w=%d", workers))
 		sameWork(t, *st0, st1.Snapshot(), fmt.Sprintf("HashJoin w=%d", workers))
 	}
 
 	// Swap sides so the build/probe choice flips.
 	st2 := &Stats{}
-	want2 := HashJoin(st2, rr, l, []string{"R.K"}, []string{"L.K"})
+	want2 := okRel(HashJoin(ctx0, st2, rr, l, []string{"R.K"}, []string{"L.K"}))
 	st3 := &Stats{}
-	got2 := ParallelHashJoin(st3, rr, l, []string{"R.K"}, []string{"L.K"}, 4)
+	got2 := okRel(ParallelHashJoin(ctx0, st3, rr, l, []string{"R.K"}, []string{"L.K"}, 4))
 	identicalRelations(t, want2, got2, "HashJoin swapped")
 }
 
@@ -113,18 +113,18 @@ func TestParallelDistinctHashIdentical(t *testing.T) {
 
 	forceSerial(t)
 	st0 := &Stats{}
-	want := DistinctHash(st0, rel)
+	want := okRel(DistinctHash(ctx0, st0, rel))
 
 	for _, workers := range []int{2, 4, 7} {
 		st1 := &Stats{}
-		got := ParallelDistinctHash(st1, rel, workers)
+		got := okRel(ParallelDistinctHash(ctx0, st1, rel, workers))
 		identicalRelations(t, want, got, fmt.Sprintf("DistinctHash w=%d", workers))
 		sameWork(t, *st0, st1.Snapshot(), fmt.Sprintf("DistinctHash w=%d", workers))
 	}
 
 	// And against the sort-based reference, as multisets.
 	st2 := &Stats{}
-	sorted := DistinctSort(st2, rel)
+	sorted := okRel(DistinctSort(ctx0, st2, rel))
 	if !MultisetEqual(want, sorted) {
 		t.Fatal("DistinctHash and DistinctSort disagree")
 	}
@@ -137,10 +137,10 @@ func TestParallelSemiJoinHashIdentical(t *testing.T) {
 
 	forceSerial(t)
 	st0 := &Stats{}
-	want := SemiJoinHash(st0, l, rr, []string{"L.K"}, []string{"R.K"})
+	want := okRel(SemiJoinHash(ctx0, st0, l, rr, []string{"L.K"}, []string{"R.K"}))
 
 	st1 := &Stats{}
-	got := ParallelSemiJoinHash(st1, l, rr, []string{"L.K"}, []string{"R.K"}, 4)
+	got := okRel(ParallelSemiJoinHash(ctx0, st1, l, rr, []string{"L.K"}, []string{"R.K"}, 4))
 	identicalRelations(t, want, got, "SemiJoinHash")
 	sameWork(t, *st0, st1.Snapshot(), "SemiJoinHash")
 }
@@ -151,20 +151,20 @@ func TestParallelProjectAndFilterIdentical(t *testing.T) {
 
 	forceSerial(t)
 	st0 := &Stats{}
-	wantP := Project(st0, rel, []string{"T.B", "T.K"})
+	wantP := okRel(Project(ctx0, st0, rel, []string{"T.B", "T.K"}))
 	env := &eval.Env{Cols: map[string]value.Value{}}
 	pred := &ast.Compare{Op: ast.GtOp,
 		L: &ast.ColumnRef{Qualifier: "T", Column: "A"}, R: &ast.IntLit{V: 4}}
-	wantF, err := Filter(st0, rel, pred, env)
+	wantF, err := Filter(ctx0, st0, rel, pred, env)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	st1 := &Stats{}
-	gotP := ParallelProject(st1, rel, []string{"T.B", "T.K"}, 4)
+	gotP := okRel(ParallelProject(ctx0, st1, rel, []string{"T.B", "T.K"}, 4))
 	identicalRelations(t, wantP, gotP, "Project")
 
-	gotF, err := ParallelFilter(st1, rel, pred, env, 4)
+	gotF, err := ParallelFilter(ctx0, st1, rel, pred, env, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,13 +180,13 @@ func TestAutoDispatch(t *testing.T) {
 
 	forceSerial(t)
 	stS := &Stats{}
-	wantJ := HashJoin(stS, l, rr, []string{"L.K"}, []string{"R.K"})
-	wantD := DistinctHash(stS, wantJ)
+	wantJ := okRel(HashJoin(ctx0, stS, l, rr, []string{"L.K"}, []string{"R.K"}))
+	wantD := okRel(DistinctHash(ctx0, stS, wantJ))
 
 	forceParallel(t, 4)
 	stP := &Stats{}
-	gotJ := HashJoin(stP, l, rr, []string{"L.K"}, []string{"R.K"})
-	gotD := DistinctHash(stP, gotJ)
+	gotJ := okRel(HashJoin(ctx0, stP, l, rr, []string{"L.K"}, []string{"R.K"}))
+	gotD := okRel(DistinctHash(ctx0, stP, gotJ))
 	identicalRelations(t, wantJ, gotJ, "auto HashJoin")
 	identicalRelations(t, wantD, gotD, "auto DistinctHash")
 	if got := stP.Snapshot(); got.ParallelRuns == 0 {
@@ -196,7 +196,7 @@ func TestAutoDispatch(t *testing.T) {
 	// Below the threshold the serial path runs (no parallel counters).
 	SetParallelThreshold(1 << 30)
 	stQ := &Stats{}
-	HashJoin(stQ, l, rr, []string{"L.K"}, []string{"R.K"})
+	okRel(HashJoin(ctx0, stQ, l, rr, []string{"L.K"}, []string{"R.K"}))
 	if got := stQ.Snapshot(); got.ParallelRuns != 0 {
 		t.Error("parallel path taken below threshold")
 	}

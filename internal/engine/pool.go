@@ -3,6 +3,7 @@ package engine
 import (
 	"os"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -79,6 +80,14 @@ func SetParallelThreshold(n int) int {
 // until all complete. It returns the number of chunks used. body must
 // confine its writes to chunk-indexed state; merging happens after the
 // barrier.
+//
+// Panic containment: a panic inside a worker goroutine would otherwise
+// kill the whole process (no recover can cross a goroutine boundary).
+// Each worker therefore recovers its own panic into a *workerPanic
+// carrying the worker's stack; after the barrier — every worker has
+// finished, so no goroutine leaks — the first panic (by chunk index,
+// for determinism) is re-panicked on the caller's goroutine, where the
+// executor/planner boundary converts it to an *InternalError.
 func parallelFor(n, workers int, body func(chunk, lo, hi int)) int {
 	if workers > n {
 		workers = n
@@ -89,6 +98,7 @@ func parallelFor(n, workers int, body func(chunk, lo, hi int)) int {
 		}
 		return 1
 	}
+	panics := make([]*workerPanic, workers)
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for c := 0; c < workers; c++ {
@@ -96,10 +106,20 @@ func parallelFor(n, workers int, body func(chunk, lo, hi int)) int {
 		hi := (c + 1) * n / workers
 		go func(chunk, lo, hi int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[chunk] = &workerPanic{val: r, stack: debug.Stack()}
+				}
+			}()
 			body(chunk, lo, hi)
 		}(c, lo, hi)
 	}
 	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
 	return workers
 }
 

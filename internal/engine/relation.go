@@ -164,15 +164,17 @@ func sortRowsBy(rows []value.Row, cmp func(a, b value.Row) int) {
 	ms(0, len(rows))
 }
 
-// mustCols panics unless every name resolves in r; returns ordinals.
-func (r *Relation) mustCols(names []string) []int {
+// colIndexes resolves every name to its ordinal, or reports the first
+// unresolved column as an error. Operators propagate this through the
+// lifecycle containment path instead of panicking.
+func (r *Relation) colIndexes(names []string) ([]int, error) {
 	out := make([]int, len(names))
 	for i, n := range names {
 		ci := r.ColumnIndex(n)
 		if ci < 0 {
-			panic(fmt.Sprintf("engine: relation has no column %s (cols: %v)", n, r.Cols))
+			return nil, fmt.Errorf("engine: relation has no column %s (cols: %v)", n, r.Cols)
 		}
 		out[i] = ci
 	}
-	return out
+	return out, nil
 }

@@ -1,17 +1,35 @@
 package engine
 
-import "uniqopt/internal/value"
+import (
+	"context"
+
+	"uniqopt/internal/fault"
+	"uniqopt/internal/value"
+)
 
 // IntersectSort implements INTERSECT [ALL] the way the paper says
 // typical optimizers do (§5.3): evaluate each operand, sort each
 // result, and merge. Tuple equivalence is ≐ (NULL ≐ NULL). This is
 // the baseline strategy whose two sorts the Theorem 3 rewrite avoids.
-func IntersectSort(st *Stats, l, r *Relation, all bool) *Relation {
-	ls := sortedCopy(st, l)
-	rs := sortedCopy(st, r)
+func IntersectSort(ctx context.Context, st *Stats, l, r *Relation, all bool) (*Relation, error) {
+	if err := fault.Point(FaultSort); err != nil {
+		return nil, err
+	}
+	g := newGuard(ctx, st)
+	ls, err := sortedCopy(&g, st, l)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := sortedCopy(&g, st, r)
+	if err != nil {
+		return nil, err
+	}
 	out := &Relation{Cols: l.Cols}
 	i, j := 0, 0
 	for i < len(ls) && j < len(rs) {
+		if err := g.step(); err != nil {
+			return nil, err
+		}
 		st.Comparisons++
 		c := value.OrderCompareRows(ls[i], rs[j])
 		switch {
@@ -32,22 +50,38 @@ func IntersectSort(st *Stats, l, r *Relation, all bool) *Relation {
 			}
 			for k := 0; k < n; k++ {
 				out.Rows = append(out.Rows, ls[i])
+				if err := g.keep(ls[i]); err != nil {
+					return nil, err
+				}
 			}
 			i, j = i2, j2
 		}
 	}
-	return out
+	return out, g.finish()
 }
 
 // ExceptSort implements EXCEPT [ALL] by sorting and merging, with the
 // same ≐ semantics: EXCEPT emits each left-distinct row absent from
 // the right once; EXCEPT ALL emits max(j−k, 0) occurrences.
-func ExceptSort(st *Stats, l, r *Relation, all bool) *Relation {
-	ls := sortedCopy(st, l)
-	rs := sortedCopy(st, r)
+func ExceptSort(ctx context.Context, st *Stats, l, r *Relation, all bool) (*Relation, error) {
+	if err := fault.Point(FaultSort); err != nil {
+		return nil, err
+	}
+	g := newGuard(ctx, st)
+	ls, err := sortedCopy(&g, st, l)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := sortedCopy(&g, st, r)
+	if err != nil {
+		return nil, err
+	}
 	out := &Relation{Cols: l.Cols}
 	i, j := 0, 0
 	for i < len(ls) {
+		if err := g.step(); err != nil {
+			return nil, err
+		}
 		i2 := runEnd(st, ls, i)
 		// Advance the right side to the first run not below ls[i].
 		for j < len(rs) {
@@ -69,25 +103,35 @@ func ExceptSort(st *Stats, l, r *Relation, all bool) *Relation {
 		if all {
 			for k := 0; k < (i2-i)-matched; k++ {
 				out.Rows = append(out.Rows, ls[i])
+				if err := g.keep(ls[i]); err != nil {
+					return nil, err
+				}
 			}
 		} else if matched == 0 {
 			out.Rows = append(out.Rows, ls[i])
+			if err := g.keep(ls[i]); err != nil {
+				return nil, err
+			}
 		}
 		i = i2
 	}
-	return out
+	return out, g.finish()
 }
 
-// sortedCopy sorts a copy of the relation's rows, fully instrumented.
-func sortedCopy(st *Stats, rel *Relation) []value.Row {
+// sortedCopy sorts a copy of the relation's rows, fully instrumented,
+// charging the sort buffer to the lifecycle guard.
+func sortedCopy(g *guard, st *Stats, rel *Relation) ([]value.Row, error) {
 	rows := append([]value.Row(nil), rel.Rows...)
+	if err := g.keepN(rows); err != nil {
+		return nil, err
+	}
 	st.SortRuns++
 	st.RowsSorted += int64(len(rows))
 	sortRowsBy(rows, func(a, b value.Row) int {
 		st.Comparisons++
 		return value.OrderCompareRows(a, b)
 	})
-	return rows
+	return rows, nil
 }
 
 // runEnd returns the end index of the run of ≐-equal rows starting at i.

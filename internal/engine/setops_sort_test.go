@@ -36,14 +36,14 @@ func TestSortSetOpsAgreeWithHash(t *testing.T) {
 		rr := randRelation(r, r.Intn(20))
 		for _, all := range []bool{false, true} {
 			var s1, s2 Stats
-			hi := Intersect(&s1, l, rr, all)
-			si := IntersectSort(&s2, l, rr, all)
+			hi := okRel(Intersect(ctx0, &s1, l, rr, all))
+			si := okRel(IntersectSort(ctx0, &s2, l, rr, all))
 			if !MultisetEqual(hi, si) {
 				t.Fatalf("intersect(all=%v) mismatch:\nhash: %v\nsort: %v\nl=%v\nr=%v",
 					all, hi, si, l, rr)
 			}
-			he := Except(&s1, l, rr, all)
-			se := ExceptSort(&s2, l, rr, all)
+			he := okRel(Except(ctx0, &s1, l, rr, all))
+			se := okRel(ExceptSort(ctx0, &s2, l, rr, all))
 			if !MultisetEqual(he, se) {
 				t.Fatalf("except(all=%v) mismatch:\nhash: %v\nsort: %v\nl=%v\nr=%v",
 					all, he, se, l, rr)
@@ -62,22 +62,22 @@ func TestSortSetOpsSemantics(t *testing.T) {
 	}}
 	var st Stats
 	// INTERSECT ALL: min counts — 1×2, NULL×1.
-	ia := IntersectSort(&st, l, r, true)
+	ia := okRel(IntersectSort(ctx0, &st, l, r, true))
 	if ia.Len() != 3 {
 		t.Errorf("INTERSECT ALL = %d rows, want 3: %v", ia.Len(), ia)
 	}
 	// INTERSECT: distinct — {1, NULL}.
-	id := IntersectSort(&st, l, r, false)
+	id := okRel(IntersectSort(ctx0, &st, l, r, false))
 	if id.Len() != 2 {
 		t.Errorf("INTERSECT = %d rows, want 2: %v", id.Len(), id)
 	}
 	// EXCEPT ALL: max(j−k,0) — 1×1, 2×1, NULL×1.
-	ea := ExceptSort(&st, l, r, true)
+	ea := okRel(ExceptSort(ctx0, &st, l, r, true))
 	if ea.Len() != 3 {
 		t.Errorf("EXCEPT ALL = %d rows, want 3: %v", ea.Len(), ea)
 	}
 	// EXCEPT: distinct rows of l absent from r — {2}.
-	ed := ExceptSort(&st, l, r, false)
+	ed := okRel(ExceptSort(ctx0, &st, l, r, false))
 	if ed.Len() != 1 || ed.Rows[0][0].AsInt() != 2 {
 		t.Errorf("EXCEPT = %v", ed)
 	}

@@ -38,6 +38,12 @@ type Stats struct {
 	ParallelRows int64 // rows processed by parallel operator invocations
 	CacheHits    int64 // analyzer verdict/normalization cache hits
 	CacheMisses  int64 // analyzer verdict/normalization cache misses
+
+	// Lifecycle-governor accounting (see lifecycle.go). These are
+	// charged at every materialization point whether or not a budget
+	// is set, so they double as memory-pressure observability.
+	RowsMaterialized int64 // rows charged at materialization points
+	BytesReserved    int64 // estimated bytes charged at materialization points
 }
 
 // fields returns pointers to every counter, pairing s with o, so
@@ -58,6 +64,8 @@ func (s *Stats) fields(o *Stats) [][2]*int64 {
 		{&s.ParallelRows, &o.ParallelRows},
 		{&s.CacheHits, &o.CacheHits},
 		{&s.CacheMisses, &o.CacheMisses},
+		{&s.RowsMaterialized, &o.RowsMaterialized},
+		{&s.BytesReserved, &o.BytesReserved},
 	}
 }
 
@@ -103,6 +111,9 @@ func (s *Stats) String() string {
 		c.HashProbes, c.HashInserts, c.JoinPairs, c.SubqueryRuns, c.IndexSeeks)
 	if c.ParallelRuns > 0 {
 		out += fmt.Sprintf(" parruns=%d parrows=%d workers=%d", c.ParallelRuns, c.ParallelRows, Workers())
+	}
+	if c.RowsMaterialized > 0 {
+		out += fmt.Sprintf(" matrows=%d matbytes=%d", c.RowsMaterialized, c.BytesReserved)
 	}
 	if c.CacheHits+c.CacheMisses > 0 {
 		out += fmt.Sprintf(" cachehits=%d cachemisses=%d hitrate=%.0f%%",

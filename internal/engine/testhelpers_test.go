@@ -1,0 +1,22 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+)
+
+// ctx0 is the background context used by tests that exercise operator
+// semantics rather than lifecycle behavior.
+var ctx0 = context.Background()
+
+// okRel unwraps an operator's (rel, err) pair, panicking on error
+// (which the testing framework reports as a test failure with a
+// stack). It takes the pair as its only arguments so call sites can
+// wrap an operator call directly: okRel(HashJoin(ctx0, ...)).
+// Lifecycle-focused tests that expect errors call operators directly.
+func okRel(rel *Relation, err error) *Relation {
+	if err != nil {
+		panic(fmt.Sprintf("engine test: operator failed: %v", err))
+	}
+	return rel
+}

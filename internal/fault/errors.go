@@ -1,0 +1,22 @@
+// Package fault provides deterministic, build-tag-gated fault
+// injection points for the engine's lifecycle tests. Production builds
+// (no `fault` tag) compile Register and Point to no-ops that the
+// compiler inlines away; test builds (`go test -tags fault ./...`)
+// activate a registry where each named point can be armed to return an
+// error, panic, or delay on a precisely chosen hit — deterministic by
+// construction (hit counting, no clocks or RNG), so a failing matrix
+// case replays exactly.
+//
+// To add a fault point: call fault.Register(name) from the owning
+// package's init (names are dot-paths like "engine.hashjoin.build"),
+// then place `if err := fault.Point(name); err != nil { ... }` where
+// the fault should surface. The lifecycle matrix test iterates
+// Registered() and exercises every point in every mode.
+package fault
+
+import "errors"
+
+// ErrInjected is the error returned by an armed ModeError point. It is
+// defined outside the build-tag split so production code can match it
+// in tests regardless of tags.
+var ErrInjected = errors.New("fault: injected error")

@@ -1,0 +1,163 @@
+//go:build fault
+
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Mode selects what an armed point does when it fires.
+type Mode int
+
+const (
+	// ModeError makes the point return ErrInjected (or Spec.Err).
+	ModeError Mode = iota
+	// ModePanic makes the point panic with a descriptive value.
+	ModePanic
+	// ModeDelay makes the point sleep for Spec.Delay, then continue.
+	ModeDelay
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeError:
+		return "error"
+	case ModePanic:
+		return "panic"
+	case ModeDelay:
+		return "delay"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Spec arms one point. The point fires on hit number Skip+1 and every
+// hit after that, at most Limit times (0 = unlimited). Hit counting is
+// the determinism mechanism: a given workload reaches each point in a
+// fixed order, so Skip selects an exact firing site.
+type Spec struct {
+	Mode  Mode
+	Skip  int
+	Limit int
+	Delay time.Duration // ModeDelay only
+	Err   error         // ModeError override; nil = ErrInjected
+}
+
+type state struct {
+	spec  *Spec
+	hits  int64
+	fires int64
+}
+
+var (
+	mu     sync.Mutex
+	points = map[string]*state{}
+)
+
+// Enabled reports whether fault injection is compiled in.
+func Enabled() bool { return true }
+
+// Register declares injection points. Registration is idempotent and
+// preserves hit counters.
+func Register(names ...string) {
+	mu.Lock()
+	defer mu.Unlock()
+	for _, n := range names {
+		if points[n] == nil {
+			points[n] = &state{}
+		}
+	}
+}
+
+// Registered returns every registered point name, sorted.
+func Registered() []string {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make([]string, 0, len(points))
+	for n := range points {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Arm installs spec on a registered point, replacing any prior spec
+// and zeroing its counters.
+func Arm(name string, spec Spec) error {
+	mu.Lock()
+	defer mu.Unlock()
+	st, ok := points[name]
+	if !ok {
+		return fmt.Errorf("fault: unknown point %q", name)
+	}
+	st.spec = &spec
+	st.hits, st.fires = 0, 0
+	return nil
+}
+
+// Disarm removes the spec from a point, leaving it registered.
+func Disarm(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if st, ok := points[name]; ok {
+		st.spec = nil
+	}
+}
+
+// Reset disarms every point and zeroes all counters.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	for _, st := range points {
+		st.spec = nil
+		st.hits, st.fires = 0, 0
+	}
+}
+
+// Hits reports how often a point was reached and how often it fired.
+func Hits(name string) (hits, fires int64) {
+	mu.Lock()
+	defer mu.Unlock()
+	if st, ok := points[name]; ok {
+		return st.hits, st.fires
+	}
+	return 0, 0
+}
+
+// Point is the injection site. Unarmed (or skipped / over-limit) hits
+// return nil. An armed hit fires according to the spec's mode; firing
+// decisions happen under the lock, the delay itself outside it.
+func Point(name string) error {
+	mu.Lock()
+	st, ok := points[name]
+	if !ok {
+		st = &state{}
+		points[name] = st
+	}
+	st.hits++
+	spec := st.spec
+	fire := spec != nil && st.hits > int64(spec.Skip) &&
+		(spec.Limit <= 0 || st.fires < int64(spec.Limit))
+	if fire {
+		st.fires++
+	}
+	mu.Unlock()
+	if !fire {
+		return nil
+	}
+	switch spec.Mode {
+	case ModePanic:
+		panic(fmt.Sprintf("fault: injected panic at %s", name))
+	case ModeDelay:
+		time.Sleep(spec.Delay)
+		return nil
+	default:
+		if spec.Err != nil {
+			return spec.Err
+		}
+		return fmt.Errorf("%w at %s", ErrInjected, name)
+	}
+}

@@ -1,0 +1,23 @@
+//go:build !fault
+
+package fault
+
+import "testing"
+
+// Without the fault tag the package must be inert: no registry, no
+// overhead, every point a guaranteed nil.
+func TestDisabledBuildIsInert(t *testing.T) {
+	if Enabled() {
+		t.Fatal("Enabled() = true without the fault build tag")
+	}
+	Register("engine.test.point") // must be a no-op, not a panic
+	if got := Registered(); got != nil {
+		t.Fatalf("Registered() = %v, want nil", got)
+	}
+	if err := Point("engine.test.point"); err != nil {
+		t.Fatalf("Point() = %v, want nil", err)
+	}
+	if err := Point("never.registered"); err != nil {
+		t.Fatalf("Point(unregistered) = %v, want nil", err)
+	}
+}

@@ -1,0 +1,16 @@
+//go:build !fault
+
+package fault
+
+// Enabled reports whether fault injection is compiled in.
+func Enabled() bool { return false }
+
+// Register is a no-op without the fault build tag.
+func Register(...string) {}
+
+// Registered reports no points without the fault build tag.
+func Registered() []string { return nil }
+
+// Point always succeeds without the fault build tag; the call inlines
+// to nothing on hot paths.
+func Point(string) error { return nil }

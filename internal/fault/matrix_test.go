@@ -1,0 +1,282 @@
+//go:build fault
+
+// The lifecycle fault matrix: every registered injection point is
+// exercised in every failure mode — injected error, injected budget
+// exhaustion, injected panic, and injected delay under a deadline —
+// and each must produce a clean shutdown: a typed error, no partial
+// results, no leaked goroutines, no verdict-cache poisoning, and
+// correct byte-identical results once the fault is cleared.
+package fault_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"uniqopt"
+	"uniqopt/internal/engine"
+	"uniqopt/internal/fault"
+	"uniqopt/internal/value"
+)
+
+const (
+	qDistinct  = `SELECT DISTINCT S.CITY FROM S WHERE S.CITY = 'city-1'`
+	qJoin      = `SELECT S.SNO, P.PNO FROM S, P WHERE S.SNO = P.SNO`
+	qIntersect = `SELECT S.SNO FROM S INTERSECT SELECT P.SNO FROM P`
+)
+
+var matrixQueries = []string{qDistinct, qJoin, qIntersect}
+
+func matrixDB(t testing.TB) *uniqopt.DB {
+	t.Helper()
+	db := uniqopt.Open()
+	for _, ddl := range []string{
+		`CREATE TABLE S (SNO INTEGER NOT NULL, CITY VARCHAR, PRIMARY KEY (SNO))`,
+		`CREATE TABLE P (PNO INTEGER NOT NULL, SNO INTEGER, PRIMARY KEY (PNO))`,
+	} {
+		if err := db.Exec(ddl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		if err := db.Insert("S", i, fmt.Sprintf("city-%d", i%7)); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Insert("P", i, i%250); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+// synth builds a relation for the direct engine-operator legs.
+func synth(prefix string, rows int) *engine.Relation {
+	rel := &engine.Relation{Cols: []string{prefix + ".K", prefix + ".V"}}
+	rel.Rows = make([]value.Row, rows)
+	for i := range rel.Rows {
+		rel.Rows[i] = value.Row{value.Int(int64(i % 50)), value.Int(int64(i))}
+	}
+	return rel
+}
+
+// runAll drives every fault point: three planner queries (scan,
+// filter, hash join, distinct, sort) plus direct engine operators for
+// the set-operation, semi-join, and pool-worker points. It returns the
+// first error, after verifying no failing step leaked a partial
+// result.
+func runAll(ctx context.Context, db *uniqopt.DB) error {
+	for _, q := range matrixQueries {
+		rows, err := db.QueryContext(ctx, q)
+		if err != nil {
+			if rows != nil {
+				return fmt.Errorf("query %q: partial result escaped alongside %w", q, err)
+			}
+			return err
+		}
+	}
+	l, r := synth("L", 1_000), synth("R", 1_000)
+	type step struct {
+		name string
+		run  func() (*engine.Relation, error)
+	}
+	st := &engine.Stats{}
+	steps := []step{
+		{"Intersect", func() (*engine.Relation, error) { return engine.Intersect(ctx, st, l, r, false) }},
+		{"IntersectSort", func() (*engine.Relation, error) { return engine.IntersectSort(ctx, st, l, r, false) }},
+		{"SemiJoinHash", func() (*engine.Relation, error) {
+			return engine.SemiJoinHash(ctx, st, l, r, []string{"L.K"}, []string{"R.K"})
+		}},
+		{"ParallelHashJoin", func() (*engine.Relation, error) {
+			return engine.ParallelHashJoin(ctx, st, l, r, []string{"L.K"}, []string{"R.K"}, 4)
+		}},
+	}
+	for _, s := range steps {
+		rel, err := runContained(s.name, s.run)
+		if err != nil {
+			if rel != nil {
+				return fmt.Errorf("%s: partial result escaped alongside %w", s.name, err)
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// runContained wraps a direct operator call in the same panic
+// containment a query boundary provides, so ModePanic injections in
+// the direct legs degrade to errors like they do behind the planner.
+func runContained(op string, f func() (*engine.Relation, error)) (rel *engine.Relation, err error) {
+	defer func() {
+		if err != nil {
+			rel = nil
+		}
+	}()
+	defer engine.Contain(op, &err)
+	return f()
+}
+
+func settle(base int) int {
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base || time.Now().After(deadline) {
+			return n
+		}
+		runtime.Gosched()
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestFaultMatrix(t *testing.T) {
+	if !fault.Enabled() {
+		t.Fatal("matrix requires -tags fault")
+	}
+	db := matrixDB(t)
+
+	// Force the parallel operator path so pool workers participate.
+	prevW := engine.SetWorkers(4)
+	prevT := engine.SetParallelThreshold(1)
+	defer func() {
+		engine.SetWorkers(prevW)
+		engine.SetParallelThreshold(prevT)
+	}()
+
+	fault.Reset()
+	// Baselines: analysis verdict and clean-run results.
+	verdict, err := db.Analyze(qDistinct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := map[string][][]any{}
+	for _, q := range matrixQueries {
+		rows, err := db.Query(q)
+		if err != nil {
+			t.Fatalf("baseline %q: %v", q, err)
+		}
+		baseline[q] = rows.Data
+	}
+	if err := runAll(context.Background(), db); err != nil {
+		t.Fatalf("clean runAll: %v", err)
+	}
+
+	// Only the engine's points: unit tests in this package register
+	// scratch points in the same process-wide registry.
+	var points []string
+	for _, p := range fault.Registered() {
+		if strings.HasPrefix(p, "engine.") {
+			points = append(points, p)
+		}
+	}
+	if len(points) == 0 {
+		t.Fatal("no engine fault points registered — engine init missing?")
+	}
+
+	type mode struct {
+		name  string
+		spec  fault.Spec
+		ctx   func() (context.Context, context.CancelFunc)
+		check func(t *testing.T, point string, err error)
+	}
+	budget := &engine.BudgetError{Resource: "rows", Limit: 1, Used: 2}
+	modes := []mode{
+		{
+			name: "error",
+			spec: fault.Spec{Mode: fault.ModeError},
+			ctx:  func() (context.Context, context.CancelFunc) { return context.Background(), func() {} },
+			check: func(t *testing.T, point string, err error) {
+				if !errors.Is(err, fault.ErrInjected) {
+					t.Errorf("point %s error mode: %v, want ErrInjected", point, err)
+				}
+			},
+		},
+		{
+			name: "budget",
+			spec: fault.Spec{Mode: fault.ModeError, Err: budget},
+			ctx:  func() (context.Context, context.CancelFunc) { return context.Background(), func() {} },
+			check: func(t *testing.T, point string, err error) {
+				if !errors.Is(err, engine.ErrBudgetExceeded) {
+					t.Errorf("point %s budget mode: %v, want ErrBudgetExceeded", point, err)
+				}
+			},
+		},
+		{
+			name: "panic",
+			spec: fault.Spec{Mode: fault.ModePanic},
+			ctx:  func() (context.Context, context.CancelFunc) { return context.Background(), func() {} },
+			check: func(t *testing.T, point string, err error) {
+				var ie *engine.InternalError
+				if !errors.As(err, &ie) {
+					t.Errorf("point %s panic mode: %v (%T), want *engine.InternalError", point, err, err)
+				}
+			},
+		},
+		{
+			name: "delay",
+			// The deadline is generous enough for the matrix's clean
+			// work (well under 500ms) but expires during the injected
+			// sleep, so the post-delay poll must observe it.
+			spec: fault.Spec{Mode: fault.ModeDelay, Delay: 1 * time.Second, Limit: 1},
+			ctx: func() (context.Context, context.CancelFunc) {
+				return context.WithTimeout(context.Background(), 500*time.Millisecond)
+			},
+			check: func(t *testing.T, point string, err error) {
+				if !errors.Is(err, context.DeadlineExceeded) {
+					t.Errorf("point %s delay mode: %v, want context.DeadlineExceeded", point, err)
+				}
+			},
+		},
+	}
+
+	for _, point := range points {
+		point := point
+		t.Run(point, func(t *testing.T) {
+			for _, m := range modes {
+				base := runtime.NumGoroutine()
+				if err := fault.Arm(point, m.spec); err != nil {
+					t.Fatal(err)
+				}
+				ctx, cancel := m.ctx()
+				err := runAll(ctx, db)
+				cancel()
+				if err == nil {
+					t.Fatalf("mode %s: no step failed with %s armed", m.name, point)
+				}
+				m.check(t, point, err)
+				if _, fires := fault.Hits(point); fires == 0 {
+					t.Errorf("mode %s: point %s never fired — matrix lost coverage", m.name, point)
+				}
+				if n := settle(base); n > base {
+					t.Errorf("mode %s: goroutines leaked (%d before, %d after)", m.name, base, n)
+				}
+				fault.Disarm(point)
+			}
+
+			// Fault cleared: verdict cache unpoisoned, results intact.
+			fault.Reset()
+			after, err := db.Analyze(qDistinct)
+			if err != nil {
+				t.Fatalf("post-fault Analyze: %v", err)
+			}
+			if after.Unique != verdict.Unique || after.DistinctRedundant != verdict.DistinctRedundant {
+				t.Fatalf("verdict cache poisoned: %+v, want %+v", after, verdict)
+			}
+			for _, q := range matrixQueries {
+				rows, err := db.Query(q)
+				if err != nil {
+					t.Fatalf("post-fault %q: %v", q, err)
+				}
+				if !reflect.DeepEqual(rows.Data, baseline[q]) {
+					t.Fatalf("post-fault %q: results differ from baseline", q)
+				}
+			}
+			if err := runAll(context.Background(), db); err != nil {
+				t.Fatalf("post-fault runAll: %v", err)
+			}
+		})
+	}
+}

@@ -95,3 +95,19 @@ func TestByName(t *testing.T) {
 		t.Fatalf("ByName unknown = %v", unknown)
 	}
 }
+
+func TestCtxFlowFixture(t *testing.T) {
+	fs := checkFixture(t, "ctxfix/internal/engine", CtxFlow)
+	if len(fs) != 5 {
+		t.Errorf("ctxflow findings = %d, want 5", len(fs))
+	}
+}
+
+func TestCtxFlowSkipsOtherPackages(t *testing.T) {
+	// The analyzer is scoped to internal/engine and internal/plan;
+	// other packages may hold contexts however they like.
+	fs, _ := loadFixture(t, "fix/tvlbool", CtxFlow)
+	if len(fs) != 0 {
+		t.Errorf("ctxflow ran outside engine/plan: %v", fs)
+	}
+}

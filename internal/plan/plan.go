@@ -19,6 +19,7 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -52,6 +53,13 @@ type Options struct {
 	// normalizations across Run calls (and across planners sharing the
 	// cache). Hit/miss deltas are reported in Result.Stats.
 	Cache *core.VerdictCache
+	// MaxRows bounds the rows any single query may materialize across
+	// its operators (0 = unlimited); exceeding it fails the query with
+	// an error matching engine.ErrBudgetExceeded.
+	MaxRows int64
+	// MemBudget bounds the estimated bytes a query may materialize
+	// (hash tables, sort buffers, outputs; 0 = unlimited).
+	MemBudget int64
 }
 
 // Result is the outcome of planning and executing one query.
@@ -80,15 +88,39 @@ func NewPlanner(db *storage.DB, opts Options) *Planner {
 
 // Run plans and executes q with the given host-variable bindings.
 func (p *Planner) Run(q ast.Query, hosts map[string]value.Value) (*Result, error) {
+	return p.RunContext(context.Background(), q, hosts)
+}
+
+// RunContext plans and executes q under ctx. Cancellation and
+// deadlines are honored cooperatively inside every engine operator;
+// Options.MaxRows / Options.MemBudget (or a governor already attached
+// to ctx) bound the query's materializations; and any panic below this
+// boundary is contained into an *engine.InternalError. On error the
+// result is nil — partial rows are never exposed.
+func (p *Planner) RunContext(ctx context.Context, q ast.Query, hosts map[string]value.Value) (res *Result, err error) {
+	defer func() {
+		if err != nil {
+			res = nil
+		}
+	}()
+	defer engine.Contain("plan.Run", &err)
 	if hosts == nil {
 		hosts = map[string]value.Value{}
 	}
-	res := &Result{}
+	if engine.GovernorFrom(ctx) == nil {
+		if g := engine.NewGovernor(p.Opts.MaxRows, p.Opts.MemBudget); g != nil {
+			ctx = engine.WithGovernor(ctx, g)
+		}
+	}
+	// result is captured by the deferred cache accounting below; the
+	// named res is nil on error paths by the time defers run.
+	result := &Result{}
+	res = result
 	if c := p.An.Cache; c != nil {
 		h0, m0 := c.Counters()
 		defer func() {
 			h1, m1 := c.Counters()
-			res.Stats.AddCache(h1-h0, m1-m0)
+			result.Stats.AddCache(h1-h0, m1-m0)
 		}()
 	}
 	if p.Opts.ApplyRewrites {
@@ -123,17 +155,17 @@ func (p *Planner) Run(q ast.Query, hosts map[string]value.Value) (*Result, error
 	}
 	switch x := q.(type) {
 	case *ast.Select:
-		rel, err := p.execSelect(x, hosts, res)
+		rel, err := p.execSelect(ctx, x, hosts, res)
 		if err != nil {
 			return nil, err
 		}
 		res.Rel = rel
 	case *ast.SetOp:
-		l, err := p.execSelect(x.Left, hosts, res)
+		l, err := p.execSelect(ctx, x.Left, hosts, res)
 		if err != nil {
 			return nil, err
 		}
-		r, err := p.execSelect(x.Right, hosts, res)
+		r, err := p.execSelect(ctx, x.Right, hosts, res)
 		if err != nil {
 			return nil, err
 		}
@@ -144,11 +176,14 @@ func (p *Planner) Run(q ast.Query, hosts map[string]value.Value) (*Result, error
 		// optimizers do (§5.3): sort each operand and merge. The
 		// Theorem 3 / Corollary 2 rewrites exist to avoid these sorts.
 		if x.Op == ast.Intersect {
-			res.Rel = engine.IntersectSort(&res.Stats, l, r, x.All)
+			res.Rel, err = engine.IntersectSort(ctx, &res.Stats, l, r, x.All)
 			res.Plan = append(res.Plan, fmt.Sprintf("IntersectSortMerge(all=%v)", x.All))
 		} else {
-			res.Rel = engine.ExceptSort(&res.Stats, l, r, x.All)
+			res.Rel, err = engine.ExceptSort(ctx, &res.Stats, l, r, x.All)
 			res.Plan = append(res.Plan, fmt.Sprintf("ExceptSortMerge(all=%v)", x.All))
+		}
+		if err != nil {
+			return nil, err
 		}
 	default:
 		return nil, fmt.Errorf("plan: unknown query node %T", q)
@@ -216,7 +251,7 @@ func (p *Planner) rewriteFixpoint(q ast.Query, res *Result) (ast.Query, error) {
 // left-deep join tree preferring hash joins on equality predicates,
 // residual filtering (including EXISTS via nested-loop evaluation),
 // projection, and duplicate elimination.
-func (p *Planner) execSelect(s *ast.Select, hosts map[string]value.Value, res *Result) (*engine.Relation, error) {
+func (p *Planner) execSelect(ctx context.Context, s *ast.Select, hosts map[string]value.Value, res *Result) (*engine.Relation, error) {
 	scope, err := catalog.NewScope(p.DB.Catalog, s.From, nil)
 	if err != nil {
 		return nil, err
@@ -239,8 +274,8 @@ func (p *Planner) execSelect(s *ast.Select, hosts map[string]value.Value, res *R
 	envProto := &eval.Env{
 		Cols:   map[string]value.Value{},
 		Hosts:  hosts,
-		Exists: p.naiveExists(hosts, res),
-		In:     p.naiveIn(hosts, res),
+		Exists: p.naiveExists(ctx, hosts, res),
+		In:     p.naiveIn(ctx, hosts, res),
 	}
 	used := make([]bool, len(conjuncts))
 	var tables []pendingTable
@@ -263,12 +298,15 @@ func (p *Planner) execSelect(s *ast.Select, hosts map[string]value.Value, res *R
 		}
 		// Prefer an ordered-index access path for a pushed point or
 		// range predicate on an indexed leading column.
-		rel, consumed, desc, err := p.accessPath(tbl, corr, push, hosts, res)
+		rel, consumed, desc, err := p.accessPath(ctx, tbl, corr, push, hosts, res)
 		if err != nil {
 			return nil, err
 		}
 		if rel == nil {
-			rel = engine.Scan(&res.Stats, tbl, corr)
+			rel, err = engine.Scan(ctx, &res.Stats, tbl, corr)
+			if err != nil {
+				return nil, err
+			}
 			res.Plan = append(res.Plan, fmt.Sprintf("Scan(%s as %s)", tbl.Schema.Name, corr))
 		} else {
 			res.Plan = append(res.Plan, desc)
@@ -277,7 +315,7 @@ func (p *Planner) execSelect(s *ast.Select, hosts map[string]value.Value, res *R
 			push = append(push[:consumed], push[consumed+1:]...)
 		}
 		if len(push) > 0 {
-			rel, err = engine.Filter(&res.Stats, rel, ast.AndAll(push...), envProto)
+			rel, err = engine.Filter(ctx, &res.Stats, rel, ast.AndAll(push...), envProto)
 			if err != nil {
 				return nil, err
 			}
@@ -316,11 +354,17 @@ func (p *Planner) execSelect(s *ast.Select, hosts map[string]value.Value, res *R
 			}
 		}
 		if len(lk) > 0 {
-			cur = engine.HashJoin(&res.Stats, cur, t.rel, lk, rk)
+			cur, err = engine.HashJoin(ctx, &res.Stats, cur, t.rel, lk, rk)
+			if err != nil {
+				return nil, err
+			}
 			res.Plan = append(res.Plan, fmt.Sprintf("HashJoin(%s = %s)",
 				strings.Join(lk, ","), strings.Join(rk, ",")))
 		} else {
-			cur = engine.Product(&res.Stats, cur, t.rel)
+			cur, err = engine.Product(ctx, &res.Stats, cur, t.rel)
+			if err != nil {
+				return nil, err
+			}
 			res.Plan = append(res.Plan, "Product")
 		}
 		bound[t.corr] = true
@@ -336,9 +380,9 @@ func (p *Planner) execSelect(s *ast.Select, hosts map[string]value.Value, res *R
 	if len(residual) > 0 {
 		pred := ast.AndAll(residual...)
 		env := &eval.Env{Cols: map[string]value.Value{}, Hosts: hosts,
-			Scope: scope, Exists: p.naiveExists(hosts, res),
-			In: p.naiveIn(hosts, res)}
-		cur, err = p.filterScoped(cur, pred, env, res)
+			Scope: scope, Exists: p.naiveExists(ctx, hosts, res),
+			In: p.naiveIn(ctx, hosts, res)}
+		cur, err = p.filterScoped(ctx, cur, pred, env, res)
 		if err != nil {
 			return nil, err
 		}
@@ -354,15 +398,21 @@ func (p *Planner) execSelect(s *ast.Select, hosts map[string]value.Value, res *R
 	for i, r := range refs {
 		cols[i] = r.Qualifier + "." + r.Column
 	}
-	cur = engine.Project(&res.Stats, cur, cols)
+	cur, err = engine.Project(ctx, &res.Stats, cur, cols)
+	if err != nil {
+		return nil, err
+	}
 	res.Plan = append(res.Plan, fmt.Sprintf("Project(%s)", strings.Join(cols, ", ")))
 	if s.Quant.IsDistinct() {
 		if p.Opts.HashDistinct {
-			cur = engine.DistinctHash(&res.Stats, cur)
+			cur, err = engine.DistinctHash(ctx, &res.Stats, cur)
 			res.Plan = append(res.Plan, "DistinctHash")
 		} else {
-			cur = engine.DistinctSort(&res.Stats, cur)
+			cur, err = engine.DistinctSort(ctx, &res.Stats, cur)
 			res.Plan = append(res.Plan, "DistinctSort")
+		}
+		if err != nil {
+			return nil, err
 		}
 	}
 	return cur, nil
@@ -370,7 +420,7 @@ func (p *Planner) execSelect(s *ast.Select, hosts map[string]value.Value, res *R
 
 // filterScoped filters rows with a scoped environment (for correlated
 // EXISTS evaluation).
-func (p *Planner) filterScoped(rel *engine.Relation, pred ast.Expr, envProto *eval.Env, res *Result) (*engine.Relation, error) {
+func (p *Planner) filterScoped(ctx context.Context, rel *engine.Relation, pred ast.Expr, envProto *eval.Env, res *Result) (*engine.Relation, error) {
 	env := &eval.Env{
 		Cols:   make(map[string]value.Value, len(rel.Cols)+len(envProto.Cols)),
 		Hosts:  envProto.Hosts,
@@ -382,7 +432,15 @@ func (p *Planner) filterScoped(rel *engine.Relation, pred ast.Expr, envProto *ev
 		env.Cols[k] = v
 	}
 	out := &engine.Relation{Cols: rel.Cols}
-	for _, row := range rel.Rows {
+	for n, row := range rel.Rows {
+		// Correlated predicates can make each row arbitrarily
+		// expensive, so poll cancellation here too, not just inside
+		// engine operators.
+		if n%1024 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		for i, c := range rel.Cols {
 			env.Cols[c] = row[i]
 		}
@@ -400,17 +458,17 @@ func (p *Planner) filterScoped(rel *engine.Relation, pred ast.Expr, envProto *ev
 // naiveExists evaluates EXISTS subqueries with the reference executor
 // (nested loops): the baseline strategy Kim and Pirahesh et al. set
 // out to avoid. Subquery work is accumulated into res.Stats.
-func (p *Planner) naiveExists(hosts map[string]value.Value, res *Result) eval.ExistsFunc {
+func (p *Planner) naiveExists(ctx context.Context, hosts map[string]value.Value, res *Result) eval.ExistsFunc {
 	ex := engine.NewExecutor(p.DB, hosts)
 	ex.Stats = &res.Stats
-	return ex.ExistsProbe
+	return ex.ExistsProbeCtx(ctx)
 }
 
 // naiveIn evaluates IN-subqueries with the reference executor.
-func (p *Planner) naiveIn(hosts map[string]value.Value, res *Result) eval.InFunc {
+func (p *Planner) naiveIn(ctx context.Context, hosts map[string]value.Value, res *Result) eval.InFunc {
 	ex := engine.NewExecutor(p.DB, hosts)
 	ex.Stats = &res.Stats
-	return ex.InProbe
+	return ex.InProbeCtx(ctx)
 }
 
 // qualifiersOf collects the qualifier names referenced by a fully
@@ -429,7 +487,7 @@ func qualifiersOf(e ast.Expr) map[string]bool {
 // on the leading column of an ordered index. It returns the relation
 // (nil = no index path), the index of the consumed conjunct within
 // push (-1 = none), and a plan-line description.
-func (p *Planner) accessPath(tbl *storage.Table, corr string, push []ast.Expr,
+func (p *Planner) accessPath(ctx context.Context, tbl *storage.Table, corr string, push []ast.Expr,
 	hosts map[string]value.Value, res *Result) (*engine.Relation, int, string, error) {
 	env := &eval.Env{Cols: map[string]value.Value{}, Hosts: hosts}
 	for pi, c := range push {
@@ -454,14 +512,17 @@ func (p *Planner) accessPath(tbl *storage.Table, corr string, push []ast.Expr,
 			}
 			switch op {
 			case ast.EqOp:
-				rel, err := engine.IndexScanEq(&res.Stats, tbl, corr, ix, value.Row{v})
+				rel, err := engine.IndexScanEq(ctx, &res.Stats, tbl, corr, ix, value.Row{v})
 				if err != nil {
 					return nil, -1, "", err
 				}
 				return rel, pi, fmt.Sprintf("IndexScan(%s via %s = %s)", corr, ix.Name, v), nil
 			case ast.GtOp, ast.GeOp:
 				lo := v
-				rel := engine.IndexScanRange(&res.Stats, tbl, corr, ix, &lo, nil)
+				rel, err := engine.IndexScanRange(ctx, &res.Stats, tbl, corr, ix, &lo, nil)
+				if err != nil {
+					return nil, -1, "", err
+				}
 				if op == ast.GtOp {
 					// Half-open: re-filter the boundary rows.
 					return rel, -1, fmt.Sprintf("IndexScan(%s via %s >= %s, residual >)", corr, ix.Name, v), nil
@@ -469,7 +530,10 @@ func (p *Planner) accessPath(tbl *storage.Table, corr string, push []ast.Expr,
 				return rel, pi, fmt.Sprintf("IndexScan(%s via %s >= %s)", corr, ix.Name, v), nil
 			case ast.LtOp, ast.LeOp:
 				hi := v
-				rel := engine.IndexScanRange(&res.Stats, tbl, corr, ix, nil, &hi)
+				rel, err := engine.IndexScanRange(ctx, &res.Stats, tbl, corr, ix, nil, &hi)
+				if err != nil {
+					return nil, -1, "", err
+				}
 				if op == ast.LtOp {
 					return rel, -1, fmt.Sprintf("IndexScan(%s via %s <= %s, residual <)", corr, ix.Name, v), nil
 				}
@@ -495,7 +559,10 @@ func (p *Planner) accessPath(tbl *storage.Table, corr string, push []ast.Expr,
 				empty := engine.NewRelation(qualifiedCols(tbl, corr)...)
 				return empty, pi, fmt.Sprintf("IndexScan(%s.%s, never-true NULL bound)", corr, ix.Name), nil
 			}
-			rel := engine.IndexScanRange(&res.Stats, tbl, corr, ix, &lo, &hi)
+			rel, err := engine.IndexScanRange(ctx, &res.Stats, tbl, corr, ix, &lo, &hi)
+			if err != nil {
+				return nil, -1, "", err
+			}
 			return rel, pi, fmt.Sprintf("IndexScan(%s via %s BETWEEN %s AND %s)", corr, ix.Name, lo, hi), nil
 		}
 	}

@@ -24,6 +24,7 @@
 package uniqopt
 
 import (
+	"context"
 	"fmt"
 
 	"uniqopt/internal/catalog"
@@ -44,6 +45,9 @@ type DB struct {
 	store *storage.DB
 	opts  Options
 	cache *core.VerdictCache
+	// stats accumulates engine work counters across every query this
+	// DB has executed (merged atomically; see EngineCounters).
+	stats engine.Stats
 }
 
 // Options tune the optimizer.
@@ -63,7 +67,28 @@ type Options struct {
 	// cheaper form (§5's cost-model framing). Without it the rewritten
 	// form always runs.
 	CostBased bool
+	// MaxRows caps the rows any single query may materialize across
+	// all of its operators (0 = unlimited). Exceeding it aborts the
+	// query with an error matching ErrBudgetExceeded.
+	MaxRows int64
+	// MemBudget caps the estimated bytes a single query may hold in
+	// hash tables, sort buffers, and outputs (0 = unlimited).
+	MemBudget int64
 }
+
+// ErrBudgetExceeded is the sentinel matched (via errors.Is) by every
+// budget failure, regardless of which resource ran out.
+var ErrBudgetExceeded = engine.ErrBudgetExceeded
+
+// BudgetError is the concrete error returned when a query exceeds its
+// MaxRows or MemBudget; it names the resource and reports the limit
+// and observed usage.
+type BudgetError = engine.BudgetError
+
+// InternalError wraps a panic contained at an executor, planner, or
+// worker boundary, carrying the operator name and the goroutine stack
+// at the point of panic.
+type InternalError = engine.InternalError
 
 // Open creates an empty database.
 func Open() *DB { return OpenWith(Options{}) }
@@ -152,18 +177,34 @@ type RewriteInfo struct {
 // Query parses, optimizes, and executes a SQL query with no host
 // variables.
 func (d *DB) Query(sql string) (*Rows, error) {
-	return d.QueryWith(sql, nil, true)
+	return d.QueryWithContext(context.Background(), sql, nil, true)
+}
+
+// QueryContext is Query under a context: cancellation and deadlines
+// are observed cooperatively inside every engine operator (including
+// the parallel paths), the configured MaxRows/MemBudget are enforced,
+// and a panic anywhere in planning or execution is contained into an
+// *InternalError rather than crashing the caller. On error the
+// returned Rows is nil — partial results never escape.
+func (d *DB) QueryContext(ctx context.Context, sql string) (*Rows, error) {
+	return d.QueryWithContext(ctx, sql, nil, true)
 }
 
 // QueryBaseline executes the query exactly as written (no rewrites) —
 // the comparison point for the optimizer's effect.
 func (d *DB) QueryBaseline(sql string) (*Rows, error) {
-	return d.QueryWith(sql, nil, false)
+	return d.QueryWithContext(context.Background(), sql, nil, false)
 }
 
 // QueryWith executes a query with host-variable bindings (Go values),
 // optionally applying the uniqueness rewrites first.
 func (d *DB) QueryWith(sql string, hosts map[string]any, optimize bool) (*Rows, error) {
+	return d.QueryWithContext(context.Background(), sql, hosts, optimize)
+}
+
+// QueryWithContext is QueryWith under a context; see QueryContext for
+// the lifecycle guarantees.
+func (d *DB) QueryWithContext(ctx context.Context, sql string, hosts map[string]any, optimize bool) (*Rows, error) {
 	q, err := parser.ParseQuery(sql)
 	if err != nil {
 		return nil, err
@@ -185,12 +226,15 @@ func (d *DB) QueryWith(sql string, hosts map[string]any, optimize bool) (*Rows, 
 			BindIsNull:          d.opts.BindIsNull,
 			UseCheckConstraints: d.opts.UseCheckConstraints,
 		},
-		Cache: d.cache,
+		Cache:     d.cache,
+		MaxRows:   d.opts.MaxRows,
+		MemBudget: d.opts.MemBudget,
 	})
-	res, err := p.Run(q, hv)
+	res, err := p.RunContext(ctx, q, hv)
 	if err != nil {
 		return nil, err
 	}
+	d.stats.Add(res.Stats)
 	out := &Rows{Columns: res.Rel.Cols, Stats: res.Stats, Plan: res.Plan}
 	for _, ap := range res.Rewrites {
 		out.Rewrites = append(out.Rewrites, RewriteInfo{
@@ -242,6 +286,24 @@ type Analysis struct {
 // Analyze runs Algorithm 1 (with the configured extensions) on a
 // query and reports the verdict.
 func (d *DB) Analyze(sql string) (*Analysis, error) {
+	return d.AnalyzeContext(context.Background(), sql)
+}
+
+// AnalyzeContext is Analyze under a context. Algorithm 1 itself is
+// fast and in-memory, so the context is checked once up front and the
+// analyzer is wrapped in panic containment — a cancelled ctx returns
+// its error, and an analyzer panic surfaces as *InternalError rather
+// than crashing the caller.
+func (d *DB) AnalyzeContext(ctx context.Context, sql string) (res *Analysis, err error) {
+	defer func() {
+		if err != nil {
+			res = nil
+		}
+	}()
+	defer engine.Contain("uniqopt.Analyze", &err)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	q, err := parser.ParseQuery(sql)
 	if err != nil {
 		return nil, err
@@ -298,6 +360,20 @@ func (d *DB) analyzer() *core.Analyzer {
 // CacheCounters reports the cumulative analyzer-cache hits and misses
 // for this DB.
 func (d *DB) CacheCounters() (hits, misses int64) { return d.cache.Counters() }
+
+// EngineCounters reports the cumulative engine work counters across
+// every query executed on this DB (a consistent atomic snapshot).
+func (d *DB) EngineCounters() engine.Stats { return d.stats.Snapshot() }
+
+// GovernorCounters reports the cumulative resource-governor charges
+// across every query executed on this DB: rows and estimated bytes
+// charged at materialization points (hash-table inserts, sort
+// buffers, operator outputs). They advance whether or not a budget is
+// configured, so they double as a cheap footprint profile.
+func (d *DB) GovernorCounters() (rows, bytes int64) {
+	st := d.stats.Snapshot()
+	return st.RowsMaterialized, st.BytesReserved
+}
 
 // Store exposes the underlying storage for advanced integrations
 // (the IMS/OODB loaders, the benchmark harness).
