@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet lint build test test-fault race bench-smoke bench-tables ci clean
+.PHONY: all vet lint build test test-fault race bench-smoke explain-smoke bench-tables ci clean
 
 all: ci
 
@@ -34,11 +34,18 @@ race:
 bench-smoke:
 	$(GO) run ./cmd/benchrunner -exp ep -scale 0.1 -json BENCH_parallel.json
 
+# Observability smoke: golden EXPLAIN tests plus the explain
+# experiment, emitting the machine-readable artifact
+# BENCH_explain.json alongside the table.
+explain-smoke:
+	$(GO) test -run 'TestExplain' .
+	$(GO) run ./cmd/benchrunner -exp explain -scale 0.3 -json BENCH_explain.json
+
 # Full experiment sweep, regenerating bench_output_tables.txt.
 bench-tables:
 	$(GO) run ./cmd/benchrunner -exp all -scale 0.25 > bench_output_tables.txt
 
-ci: vet lint build test test-fault race bench-smoke
+ci: vet lint build test test-fault race bench-smoke explain-smoke
 
 clean:
-	rm -f BENCH_parallel.json
+	rm -f BENCH_parallel.json BENCH_explain.json

@@ -4,11 +4,13 @@
 //
 // Usage:
 //
-//	benchrunner [-exp e1|e2|...|e9|ep|all] [-scale 1.0] [-hash] [-trials N] [-json FILE]
+//	benchrunner [-exp e1|e2|...|e9|ep|explain|all] [-scale 1.0] [-hash] [-trials N] [-json FILE]
 //
 // -scale shrinks or grows the workload sizes; -hash runs E1's
 // hash-DISTINCT ablation; -trials overrides E8's corpus size; -json
-// additionally writes the tables as a JSON array to FILE.
+// additionally writes the tables as a JSON array to FILE. -exp explain
+// runs the observability experiment: EXPLAIN ANALYZE over the paper's
+// examples plus a metrics-registry summary.
 package main
 
 import (
@@ -22,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: e1..e9, ep, or all")
+	exp := flag.String("exp", "all", "experiment to run: e1..e9, ep, explain, or all")
 	scale := flag.Float64("scale", 1.0, "workload scale factor")
 	hash := flag.Bool("hash", false, "E1 ablation: hash-based DISTINCT instead of sort")
 	trials := flag.Int("trials", 0, "E8 corpus size (0 = default)")
@@ -52,6 +54,8 @@ func main() {
 		tables = []*bench.Table{bench.E9(sc)}
 	case "ep":
 		tables = []*bench.Table{bench.EP(sc)}
+	case "explain":
+		tables = []*bench.Table{bench.EExplain(sc)}
 	case "all":
 		tables = bench.All(sc)
 		if *hash {

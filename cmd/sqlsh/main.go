@@ -2,18 +2,23 @@
 // CREATE TABLE, INSERT-free data loading via \load, queries with the
 // uniqueness optimizer, and side-by-side baseline comparison.
 //
-// Statements end with ';'. Shell commands:
+// Statements end with ';'. EXPLAIN and EXPLAIN ANALYZE prefixes on a
+// query print the typed plan tree (with per-operator metrics for
+// ANALYZE) and the uniqueness analyzer's provenance trace. Shell
+// commands:
 //
 //	\d              list tables
 //	\baseline       toggle baseline (no-rewrite) execution
 //	\stats          toggle per-query statistics output
 //	\load demo      load the paper's demo supplier database
 //	\analyze SQL;   analyze without executing
+//	\help           describe statements and commands
 //	\q              quit
 package main
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -22,6 +27,26 @@ import (
 	"uniqopt"
 	"uniqopt/internal/workload"
 )
+
+// helpText documents the shell's statements and commands (\help).
+const helpText = `statements (end with ';'):
+  CREATE TABLE ...           define a table (keys, CHECKs, FKs)
+  SELECT ... / INTERSECT / EXCEPT
+                             run a query through the uniqueness optimizer
+  EXPLAIN <query>;           show the plan tree and the analyzer's
+                             uniqueness provenance without reading data
+  EXPLAIN ANALYZE <query>;   execute and show the plan tree annotated
+                             with per-operator rows, wall time, and
+                             parallel-path usage
+commands:
+  \d              list tables
+  \baseline       toggle baseline (no-rewrite) execution
+  \stats          toggle per-query statistics output
+  \load demo      load the paper's demo supplier database
+  \analyze SQL;   run Algorithm 1 on a query without executing it
+  \help           this message
+  \q              quit
+`
 
 func main() {
 	if err := repl(os.Stdin, os.Stdout); err != nil {
@@ -105,6 +130,8 @@ func (sh *shell) command(cmd string) (quit bool) {
 			break
 		}
 		sh.loadDemo()
+	case "\\help", "\\h", "\\?":
+		fmt.Fprint(sh.out, helpText)
 	case "\\analyze":
 		rest := strings.TrimSpace(strings.TrimPrefix(cmd, "\\analyze"))
 		rest = strings.TrimSuffix(rest, ";")
@@ -152,7 +179,26 @@ func (sh *shell) loadDemo() {
 }
 
 func (sh *shell) execute(stmt string) {
-	upper := strings.ToUpper(strings.TrimSpace(stmt))
+	stmt = strings.TrimSpace(stmt)
+	upper := strings.ToUpper(stmt)
+	if strings.HasPrefix(upper, "EXPLAIN") {
+		rest := strings.TrimSpace(stmt[len("EXPLAIN"):])
+		analyze := false
+		if up := strings.ToUpper(rest); strings.HasPrefix(up, "ANALYZE ") || strings.HasPrefix(up, "ANALYZE\n") || strings.HasPrefix(up, "ANALYZE\t") {
+			analyze = true
+			rest = strings.TrimSpace(rest[len("ANALYZE"):])
+		}
+		e, err := sh.db.ExplainWith(context.Background(), rest, nil, !sh.baseline, analyze)
+		if err != nil {
+			fmt.Fprintln(sh.out, "error:", err)
+			return
+		}
+		fmt.Fprint(sh.out, e.String())
+		if sh.stats && analyze {
+			fmt.Fprintf(sh.out, "stats: %s\n", e.Stats.String())
+		}
+		return
+	}
 	if strings.HasPrefix(upper, "CREATE") {
 		if err := sh.db.Exec(stmt); err != nil {
 			fmt.Fprintln(sh.out, "error:", err)

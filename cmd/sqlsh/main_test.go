@@ -77,6 +77,47 @@ SELECT S.SNO FROM SUPPLIER S;
 	}
 }
 
+func TestShellExplain(t *testing.T) {
+	out := runShell(t, `
+\load demo
+EXPLAIN SELECT DISTINCT S.SNO, P.PNO FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO;
+\q
+`)
+	if !strings.Contains(out, "HashJoin(") || !strings.Contains(out, "Scan(") {
+		t.Errorf("plan tree missing:\n%s", out)
+	}
+	if !strings.Contains(out, "uniqueness analysis:") ||
+		!strings.Contains(out, "key (S.SNO) ⊆ V") {
+		t.Errorf("provenance trace missing:\n%s", out)
+	}
+	if strings.Contains(out, "time=") {
+		t.Errorf("plain EXPLAIN must not carry timing metrics:\n%s", out)
+	}
+}
+
+func TestShellExplainAnalyze(t *testing.T) {
+	out := runShell(t, `
+\load demo
+\stats
+EXPLAIN ANALYZE SELECT S.SNO FROM SUPPLIER S;
+\q
+`)
+	if !strings.Contains(out, "time=") || !strings.Contains(out, "out=25") {
+		t.Errorf("ANALYZE metrics missing:\n%s", out)
+	}
+	if !strings.Contains(out, "stats: scanned=") {
+		t.Errorf("stats line missing for ANALYZE with \\stats on:\n%s", out)
+	}
+}
+
+func TestShellHelpDocumentsExplain(t *testing.T) {
+	out := runShell(t, "\\help\n\\q\n")
+	if !strings.Contains(out, "EXPLAIN <query>;") ||
+		!strings.Contains(out, "EXPLAIN ANALYZE <query>;") {
+		t.Errorf("\\help must document EXPLAIN [ANALYZE]:\n%s", out)
+	}
+}
+
 func TestShellErrorsAndUnknownCommand(t *testing.T) {
 	out := runShell(t, `
 SELECT FROM;

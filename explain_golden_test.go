@@ -1,0 +1,191 @@
+package uniqopt_test
+
+import (
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"uniqopt"
+	"uniqopt/internal/engine"
+	"uniqopt/internal/plan"
+	"uniqopt/internal/workload"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the EXPLAIN golden files")
+
+// goldenHosts binds every host variable any paper query mentions.
+var goldenHosts = map[string]any{
+	"SUPPLIER-NO":   1,
+	"SUPPLIER-NAME": "Smith",
+	"PART-NO":       1,
+	"PARTNO":        1,
+}
+
+// goldenDB builds a fresh paper workload DB with a fixed config, so
+// every run sees identical data (and therefore identical ANALYZE row
+// counts).
+func goldenDB(t *testing.T) *uniqopt.DB {
+	t.Helper()
+	fresh, err := workload.NewDB(workload.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := uniqopt.Open()
+	for _, ddl := range workload.BenchDDL {
+		if err := db.Exec(ddl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, name := range []string{"SUPPLIER", "PARTS", "AGENTS"} { // parents before FK children
+		src := fresh.MustTable(name)
+		dst := db.Store().MustTable(name)
+		for i := 0; i < src.Len(); i++ {
+			if err := dst.Insert(src.Row(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return db
+}
+
+func paperQueryNames() []string {
+	names := make([]string, 0, len(workload.PaperQueries))
+	for name := range workload.PaperQueries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// explainUnder runs EXPLAIN ANALYZE for one paper query on a fresh DB
+// under the given pool configuration and returns the explanation.
+func explainUnder(t *testing.T, name string, workers, threshold int) *uniqopt.Explanation {
+	t.Helper()
+	prevW := engine.SetWorkers(workers)
+	prevT := engine.SetParallelThreshold(threshold)
+	defer func() {
+		engine.SetWorkers(prevW)
+		engine.SetParallelThreshold(prevT)
+	}()
+	db := goldenDB(t)
+	e, err := db.ExplainWith(context.Background(), workload.PaperQueries[name], goldenHosts, true, true)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return e
+}
+
+// TestExplainGolden compares the scrubbed EXPLAIN ANALYZE rendering of
+// every paper example against its golden file, and requires the serial
+// and parallel renderings to be byte-identical after scrubbing (wall
+// times canonicalized, parallel-width markers dropped).
+func TestExplainGolden(t *testing.T) {
+	for _, name := range paperQueryNames() {
+		t.Run(name, func(t *testing.T) {
+			serial := plan.ScrubVolatile(explainUnder(t, name, 1, 1<<30).String())
+			parallel := plan.ScrubVolatile(explainUnder(t, name, 4, 1).String())
+			if serial != parallel {
+				t.Errorf("serial and parallel EXPLAIN ANALYZE diverge after scrubbing:\n--- serial\n%s\n--- parallel\n%s", serial, parallel)
+			}
+			path := filepath.Join("testdata", "explain", name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(serial), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run `go test -run TestExplainGolden -update ./`): %v", err)
+			}
+			if string(want) != serial {
+				t.Errorf("golden mismatch for %s:\n--- want\n%s\n--- got\n%s", name, want, serial)
+			}
+		})
+	}
+}
+
+// TestExplainAnalyzeCountsMatchStats cross-checks the tree's metrics
+// against the engine counters of the same execution: the root's output
+// cardinality must equal Stats.RowsOutput, and for plans without
+// subqueries or index access the Scan nodes must account for exactly
+// Stats.RowsScanned.
+func TestExplainAnalyzeCountsMatchStats(t *testing.T) {
+	for _, name := range paperQueryNames() {
+		t.Run(name, func(t *testing.T) {
+			e := explainUnder(t, name, 1, 1<<30)
+			if e.Root == nil {
+				t.Fatal("no plan tree")
+			}
+			if e.Root.RowsOut != e.Stats.RowsOutput {
+				t.Errorf("root rows_out=%d but Stats.RowsOutput=%d", e.Root.RowsOut, e.Stats.RowsOutput)
+			}
+			var scanned int64
+			indexed := false
+			for _, n := range e.Root.AllNodes() {
+				if !n.Analyzed {
+					t.Errorf("node %s(%s) not analyzed", n.Op, n.Detail)
+				}
+				switch n.Op {
+				case "Scan":
+					scanned += n.RowsOut
+				case "IndexScan":
+					indexed = true
+				}
+			}
+			if !indexed && e.Stats.SubqueryRuns == 0 && scanned != e.Stats.RowsScanned {
+				t.Errorf("Scan nodes account for %d rows but Stats.RowsScanned=%d", scanned, e.Stats.RowsScanned)
+			}
+			if e.Stats.SubqueryRuns > 0 && scanned > e.Stats.RowsScanned {
+				t.Errorf("Scan nodes (%d rows) exceed Stats.RowsScanned=%d", scanned, e.Stats.RowsScanned)
+			}
+		})
+	}
+}
+
+// TestExplainPlanOnlyShape checks that plan-only EXPLAIN produces the
+// same tree shape as a real execution without reading any data, and
+// that its trace still names the per-table provenance.
+func TestExplainPlanOnlyShape(t *testing.T) {
+	shape := func(e *uniqopt.Explanation) string {
+		var sb strings.Builder
+		for _, n := range e.Root.AllNodes() {
+			sb.WriteString(n.Op + "(" + n.Detail + ")\n")
+		}
+		return sb.String()
+	}
+	for _, name := range paperQueryNames() {
+		t.Run(name, func(t *testing.T) {
+			db := goldenDB(t)
+			sql := workload.PaperQueries[name]
+			planOnly, err := db.ExplainWith(context.Background(), sql, goldenHosts, true, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if planOnly.Analyzed {
+				t.Error("plan-only explanation marked Analyzed")
+			}
+			if planOnly.Stats.RowsScanned != 0 {
+				t.Errorf("plan-only EXPLAIN read %d base rows", planOnly.Stats.RowsScanned)
+			}
+			analyzed, err := db.ExplainWith(context.Background(), sql, goldenHosts, true, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if shape(planOnly) != shape(analyzed) {
+				t.Errorf("plan-only and analyzed tree shapes diverge:\n--- plan-only\n%s\n--- analyzed\n%s",
+					shape(planOnly), shape(analyzed))
+			}
+			if len(planOnly.Trace) == 0 {
+				t.Error("plan-only explanation carries no provenance trace")
+			}
+		})
+	}
+}

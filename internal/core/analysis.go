@@ -80,6 +80,11 @@ type Verdict struct {
 	// attribute sets that functionally determine the whole projection),
 	// computed from the derived FD set; nil when none were found.
 	DerivedKeys [][]string
+	// Trace records how the verdict was reached — binding provenance,
+	// the closure, and the per-table key-coverage decisions — in
+	// deterministic order, for EXPLAIN output. Nil only for verdicts
+	// predating trace support (never for freshly computed ones).
+	Trace *Trace
 }
 
 // String renders the verdict for diagnostics.
@@ -122,6 +127,9 @@ func (a *Analyzer) AnalyzeSelect(s *ast.Select, outer *catalog.Scope) (*Verdict,
 		src = s.SQL()
 		key = a.keyFor('S', src)
 		if v, ok := a.Cache.getVerdict(key, src); ok {
+			if v.Trace != nil {
+				v.Trace.CacheHit = true
+			}
 			return v, nil
 		}
 	}
@@ -156,6 +164,9 @@ func (a *Analyzer) AtMostOneMatch(sub *ast.Select, outer *catalog.Scope) (*Verdi
 		src = sub.SQL() + "\x00" + scopeSignature(outer)
 		key = a.keyFor('M', src)
 		if v, ok := a.Cache.getVerdict(key, src); ok {
+			if v.Trace != nil {
+				v.Trace.CacheHit = true
+			}
 			return v, nil
 		}
 	}
@@ -172,15 +183,45 @@ func (a *Analyzer) AtMostOneMatch(sub *ast.Select, outer *catalog.Scope) (*Verdi
 
 // analyze is the shared Algorithm-1 core: compute V from the
 // projection plus predicate equalities, then test per-table key
-// coverage.
+// coverage. Alongside the verdict it records a deterministic Trace of
+// every decision for EXPLAIN output.
 func (a *Analyzer) analyze(s *ast.Select, scope *catalog.Scope, proj []string) (*Verdict, error) {
 	v := &Verdict{KeysUsed: make(map[string][]string)}
 
 	eq := a.extractEqualities(s.Where, scope)
 	v.Dropped = eq.Dropped
-	if a.Opts.UseCheckConstraints {
-		a.importCheckEqualities(scope, &eq)
+	tr := &Trace{
+		Projection:     append([]string(nil), proj...),
+		KeyFDs:         a.Opts.UseKeyFDs,
+		DroppedClauses: eq.Dropped,
+		ConstCols:      sortedExprKeys(eq.ConstCols),
+		NullCols:       sortedBoolKeys(eq.NullCols),
 	}
+	v.Trace = tr
+	if a.Opts.UseCheckConstraints {
+		before := len(eq.ConstCols)
+		a.importCheckEqualities(scope, &eq)
+		if len(eq.ConstCols) > before {
+			// The delta between the pre- and post-import constant sets
+			// is exactly the CHECK-derived bindings.
+			whereConsts := make(map[string]bool, len(tr.ConstCols))
+			for _, c := range tr.ConstCols {
+				whereConsts[c] = true
+			}
+			for _, c := range sortedExprKeys(eq.ConstCols) {
+				if !whereConsts[c] {
+					tr.CheckCols = append(tr.CheckCols, c)
+				}
+			}
+		}
+	}
+	tr.EquivPairs = append([][2]string(nil), eq.Pairs...)
+	sort.Slice(tr.EquivPairs, func(i, j int) bool {
+		if tr.EquivPairs[i][0] != tr.EquivPairs[j][0] {
+			return tr.EquivPairs[i][0] < tr.EquivPairs[j][0]
+		}
+		return tr.EquivPairs[i][1] < tr.EquivPairs[j][1]
+	})
 
 	// Dependency set: Type 1 constants, Type 2 equivalences, and —
 	// with UseKeyFDs — the key dependencies of each FROM table.
@@ -211,27 +252,44 @@ func (a *Analyzer) analyze(s *ast.Select, scope *catalog.Scope, proj []string) (
 	// (Algorithm 1, lines 13–16 generalized).
 	bound := deps.Closure(proj)
 	v.Bound = norm.SortedColumns(bound)
+	tr.Closure = v.Bound
 
 	// Line 17: every FROM table must have some candidate key ⊆ V.
+	// Algorithm 1 can stop at the first uncovered table; the trace
+	// evaluates every table so EXPLAIN can show the full picture.
 	for _, st := range scope.Tables {
 		corr := strings.ToUpper(st.Ref.Name())
-		if len(st.Schema.Keys) == 0 {
-			v.MissingTable = corr + " (no candidate key)"
-			return v, nil
-		}
-		covered := false
+		tt := TableTrace{Corr: corr, Table: st.Schema.Name}
 		for _, k := range st.Schema.Keys {
-			key := qualifyKey(corr, st.Schema, k)
+			tt.CandidateKeys = append(tt.CandidateKeys, qualifyKey(corr, st.Schema, k))
+		}
+		if len(st.Schema.Keys) == 0 {
+			tt.Blocked = true
+			tt.Reason = "no candidate key declared"
+			if v.MissingTable == "" {
+				v.MissingTable = corr + " (no candidate key)"
+			}
+			tr.Tables = append(tr.Tables, tt)
+			continue
+		}
+		for _, key := range tt.CandidateKeys {
 			if allBound(key, bound) {
+				tt.SatisfiedBy = key
 				v.KeysUsed[corr] = key
-				covered = true
 				break
 			}
 		}
-		if !covered {
-			v.MissingTable = corr
-			return v, nil
+		if tt.SatisfiedBy == nil {
+			tt.Blocked = true
+			tt.Reason = "no candidate key covered by V"
+			if v.MissingTable == "" {
+				v.MissingTable = corr
+			}
 		}
+		tr.Tables = append(tr.Tables, tt)
+	}
+	if v.MissingTable != "" {
+		return v, nil
 	}
 	v.Unique = true
 
@@ -256,7 +314,12 @@ func (a *Analyzer) AnalyzeQuery(q ast.Query) (*Verdict, error) {
 		return a.AnalyzeSelect(x, nil)
 	case *ast.SetOp:
 		if !x.All {
-			return &Verdict{Unique: true, KeysUsed: map[string][]string{}}, nil
+			op := "INTERSECT"
+			if x.Op == ast.Except {
+				op = "EXCEPT"
+			}
+			return &Verdict{Unique: true, KeysUsed: map[string][]string{},
+				Trace: &Trace{Note: op + " (DISTINCT) is duplicate-free by definition (Theorem 3 setting)"}}, nil
 		}
 		l, err := a.AnalyzeSelect(x.Left, nil)
 		if err != nil {
@@ -265,7 +328,8 @@ func (a *Analyzer) AnalyzeQuery(q ast.Query) (*Verdict, error) {
 		if x.Op == ast.Except {
 			// EXCEPT ALL output counts are ≤ the left operand's.
 			return &Verdict{Unique: l.Unique, Bound: l.Bound,
-				KeysUsed: l.KeysUsed, MissingTable: l.MissingTable}, nil
+				KeysUsed: l.KeysUsed, MissingTable: l.MissingTable,
+				Trace: l.Trace}, nil
 		}
 		if l.Unique {
 			return l, nil
@@ -276,7 +340,8 @@ func (a *Analyzer) AnalyzeQuery(q ast.Query) (*Verdict, error) {
 		}
 		// INTERSECT ALL counts are min(j,k): unique if either side is.
 		return &Verdict{Unique: r.Unique, Bound: r.Bound,
-			KeysUsed: r.KeysUsed, MissingTable: r.MissingTable}, nil
+			KeysUsed: r.KeysUsed, MissingTable: r.MissingTable,
+			Trace: r.Trace}, nil
 	default:
 		return nil, fmt.Errorf("core: unknown query node %T", q)
 	}
@@ -390,6 +455,26 @@ func allBound(cols []string, set map[string]bool) bool {
 		}
 	}
 	return true
+}
+
+// sortedExprKeys returns the keys of a column→expression map, sorted.
+func sortedExprKeys(m map[string]ast.Expr) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sortedBoolKeys returns the keys of a column set, sorted.
+func sortedBoolKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 func dedupe(in []string) []string {

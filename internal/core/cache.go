@@ -152,6 +152,7 @@ func (v *Verdict) clone() *Verdict {
 		KeysUsed:     make(map[string][]string, len(v.KeysUsed)),
 		MissingTable: v.MissingTable,
 		Dropped:      v.Dropped,
+		Trace:        v.Trace.clone(),
 	}
 	for k, cols := range v.KeysUsed {
 		out.KeysUsed[k] = append([]string(nil), cols...)

@@ -108,7 +108,7 @@ func TestConcurrentExecutor(t *testing.T) {
 	// The shared Stats must hold exactly goroutines×rounds times the
 	// serial work — merged atomically, nothing lost or doubled.
 	got := shared.Stats.Snapshot()
-	got.ParallelRuns, got.ParallelRows = 0, 0
+	got.ParallelRuns, got.ParallelRows, got.WorkersUsed = 0, 0, 0
 	scale := int64(goroutines * rounds)
 	scaled := wantStats
 	scaled.RowsScanned *= scale

@@ -155,6 +155,7 @@ func ParallelHashJoin(ctx context.Context, st *Stats, l, r *Relation, lKeys, rKe
 		swapped = true
 	}
 	st.ParallelRuns++
+	st.NoteWorkers(workers)
 	st.ParallelRows += int64(len(l.Rows) + len(r.Rows))
 
 	bh, bn, err := rowHashes(ctx, build.Rows, bi, workers)
@@ -238,6 +239,7 @@ func ParallelHashJoin(ctx context.Context, st *Stats, l, r *Relation, lKeys, rKe
 // first-occurrence order exactly.
 func ParallelDistinctHash(ctx context.Context, st *Stats, rel *Relation, workers int) (*Relation, error) {
 	st.ParallelRuns++
+	st.NoteWorkers(workers)
 	st.ParallelRows += int64(len(rel.Rows))
 	hashes, _, err := rowHashes(ctx, rel.Rows, nil, workers)
 	if err != nil {
@@ -319,6 +321,7 @@ func ParallelSemiJoinHash(ctx context.Context, st *Stats, l, r *Relation, lKeys,
 		return nil, err
 	}
 	st.ParallelRuns++
+	st.NoteWorkers(workers)
 	st.ParallelRows += int64(len(l.Rows) + len(r.Rows))
 
 	rh, rn, err := rowHashes(ctx, r.Rows, ri, workers)
@@ -391,6 +394,7 @@ func ParallelProject(ctx context.Context, st *Stats, rel *Relation, cols []strin
 		return nil, err
 	}
 	st.ParallelRuns++
+	st.NoteWorkers(workers)
 	st.ParallelRows += int64(len(rel.Rows))
 	out := &Relation{Cols: append([]string(nil), cols...)}
 	out.Rows = make([]value.Row, len(rel.Rows))
@@ -439,6 +443,7 @@ func ParallelFilter(ctx context.Context, st *Stats, rel *Relation, pred ast.Expr
 		return rel, nil
 	}
 	st.ParallelRuns++
+	st.NoteWorkers(workers)
 	st.ParallelRows += int64(len(rel.Rows))
 	chunkOut := make([][]value.Row, workers)
 	locals := make([]Stats, workers)

@@ -76,7 +76,7 @@ func identicalRelations(t *testing.T, want, got *Relation, what string) {
 // operator work as the serial run (the parallel-path counters aside).
 func sameWork(t *testing.T, serial, par Stats, what string) {
 	t.Helper()
-	par.ParallelRuns, par.ParallelRows = 0, 0
+	par.ParallelRuns, par.ParallelRows, par.WorkersUsed = 0, 0, 0
 	if serial != par {
 		t.Errorf("%s: parallel work differs from serial:\n serial: %s\n par:    %s",
 			what, serial.String(), par.String())

@@ -44,40 +44,79 @@ type Stats struct {
 	// is set, so they double as memory-pressure observability.
 	RowsMaterialized int64 // rows charged at materialization points
 	BytesReserved    int64 // estimated bytes charged at materialization points
+
+	// WorkersUsed is the effective worker count of the widest parallel
+	// dispatch in this execution (0 = fully serial). It is a gauge, not
+	// a counter: merging takes the maximum, so a DB-wide accumulation
+	// reports the widest fan-out any query achieved. Rendering reads
+	// this instead of the current global Workers(), which may have been
+	// reconfigured between the run and the render.
+	WorkersUsed int64
 }
 
-// fields returns pointers to every counter, pairing s with o, so
-// accumulation code cannot silently miss a newly added field.
-func (s *Stats) fields(o *Stats) [][2]*int64 {
-	return [][2]*int64{
-		{&s.RowsScanned, &o.RowsScanned},
-		{&s.RowsOutput, &o.RowsOutput},
-		{&s.Comparisons, &o.Comparisons},
-		{&s.SortRuns, &o.SortRuns},
-		{&s.RowsSorted, &o.RowsSorted},
-		{&s.HashProbes, &o.HashProbes},
-		{&s.HashInserts, &o.HashInserts},
-		{&s.JoinPairs, &o.JoinPairs},
-		{&s.SubqueryRuns, &o.SubqueryRuns},
-		{&s.IndexSeeks, &o.IndexSeeks},
-		{&s.ParallelRuns, &o.ParallelRuns},
-		{&s.ParallelRows, &o.ParallelRows},
-		{&s.CacheHits, &o.CacheHits},
-		{&s.CacheMisses, &o.CacheMisses},
-		{&s.RowsMaterialized, &o.RowsMaterialized},
-		{&s.BytesReserved, &o.BytesReserved},
+// statField pairs one counter of two Stats values with its merge mode.
+type statField struct {
+	dst, src *int64
+	max      bool // gauge merged by maximum (e.g. WorkersUsed), not sum
+}
+
+// fields returns an entry for every struct field, pairing s with o, so
+// accumulation code cannot silently miss a newly added field (a
+// reflect-based test asserts the enumeration is complete).
+func (s *Stats) fields(o *Stats) []statField {
+	return []statField{
+		{dst: &s.RowsScanned, src: &o.RowsScanned},
+		{dst: &s.RowsOutput, src: &o.RowsOutput},
+		{dst: &s.Comparisons, src: &o.Comparisons},
+		{dst: &s.SortRuns, src: &o.SortRuns},
+		{dst: &s.RowsSorted, src: &o.RowsSorted},
+		{dst: &s.HashProbes, src: &o.HashProbes},
+		{dst: &s.HashInserts, src: &o.HashInserts},
+		{dst: &s.JoinPairs, src: &o.JoinPairs},
+		{dst: &s.SubqueryRuns, src: &o.SubqueryRuns},
+		{dst: &s.IndexSeeks, src: &o.IndexSeeks},
+		{dst: &s.ParallelRuns, src: &o.ParallelRuns},
+		{dst: &s.ParallelRows, src: &o.ParallelRows},
+		{dst: &s.CacheHits, src: &o.CacheHits},
+		{dst: &s.CacheMisses, src: &o.CacheMisses},
+		{dst: &s.RowsMaterialized, src: &o.RowsMaterialized},
+		{dst: &s.BytesReserved, src: &o.BytesReserved},
+		{dst: &s.WorkersUsed, src: &o.WorkersUsed, max: true},
 	}
 }
 
-// Add accumulates o into s. The addition is atomic per counter on s,
-// so workers may merge into a shared Stats concurrently; o must not be
-// mutated concurrently with the call.
-func (s *Stats) Add(o Stats) {
-	for _, f := range s.fields(&o) {
-		if v := *f[1]; v != 0 {
-			atomic.AddInt64(f[0], v)
+// atomicMax raises *p to v unless it is already at least v.
+func atomicMax(p *int64, v int64) {
+	for {
+		cur := atomic.LoadInt64(p)
+		if v <= cur || atomic.CompareAndSwapInt64(p, cur, v) {
+			return
 		}
 	}
+}
+
+// Add accumulates o into s. The merge is atomic per counter on s, so
+// workers may merge into a shared Stats concurrently; o must not be
+// mutated concurrently with the call. Counters are summed; gauges
+// (WorkersUsed) take the maximum.
+func (s *Stats) Add(o Stats) {
+	for _, f := range s.fields(&o) {
+		v := *f.src
+		if v == 0 {
+			continue
+		}
+		if f.max {
+			atomicMax(f.dst, v)
+		} else {
+			atomic.AddInt64(f.dst, v)
+		}
+	}
+}
+
+// NoteWorkers records that a parallel operator dispatched onto n
+// workers, keeping the execution's widest fan-out.
+func (s *Stats) NoteWorkers(n int) {
+	atomicMax(&s.WorkersUsed, int64(n))
 }
 
 // AddCache atomically bumps the analyzer-cache counters.
@@ -95,7 +134,7 @@ func (s *Stats) AddCache(hits, misses int64) {
 func (s *Stats) Snapshot() Stats {
 	var out Stats
 	for _, f := range out.fields(s) {
-		*f[0] = atomic.LoadInt64(f[1])
+		*f.dst = atomic.LoadInt64(f.src)
 	}
 	return out
 }
@@ -110,7 +149,9 @@ func (s *Stats) String() string {
 		c.RowsScanned, c.RowsOutput, c.Comparisons, c.SortRuns, c.RowsSorted,
 		c.HashProbes, c.HashInserts, c.JoinPairs, c.SubqueryRuns, c.IndexSeeks)
 	if c.ParallelRuns > 0 {
-		out += fmt.Sprintf(" parruns=%d parrows=%d workers=%d", c.ParallelRuns, c.ParallelRows, Workers())
+		// WorkersUsed, not Workers(): the pool may have been resized
+		// between the execution and this render.
+		out += fmt.Sprintf(" parruns=%d parrows=%d workers=%d", c.ParallelRuns, c.ParallelRows, c.WorkersUsed)
 	}
 	if c.RowsMaterialized > 0 {
 		out += fmt.Sprintf(" matrows=%d matbytes=%d", c.RowsMaterialized, c.BytesReserved)

@@ -69,8 +69,8 @@ func TestCatVerSkipsOtherPackages(t *testing.T) {
 
 func TestDetOrderFixture(t *testing.T) {
 	fs := checkFixture(t, "fix/detorder", DetOrder)
-	if len(fs) != 3 {
-		t.Errorf("detorder findings = %d, want 3", len(fs))
+	if len(fs) != 5 {
+		t.Errorf("detorder findings = %d, want 5", len(fs))
 	}
 }
 

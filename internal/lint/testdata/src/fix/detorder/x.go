@@ -63,3 +63,55 @@ func GoodSliceRange(xs []string) []string {
 	}
 	return out
 }
+
+// BadKeysRender models a verdict KeysUsed rendering gone wrong: lines
+// built directly in map order feed EXPLAIN output.
+func BadKeysRender(keysUsed map[string][]string) []string {
+	var lines []string
+	for corr, cols := range keysUsed {
+		lines = append(lines, corr+": ("+strings.Join(cols, ", ")+")") // want "slice lines is appended to while ranging over a map and never sorted"
+	}
+	return lines
+}
+
+// GoodKeysRender is the sanctioned pattern behind KeysUsedLines:
+// collect the keys, sort them, then range the sorted slice.
+func GoodKeysRender(keysUsed map[string][]string) []string {
+	corrs := make([]string, 0, len(keysUsed))
+	for corr := range keysUsed {
+		corrs = append(corrs, corr)
+	}
+	sort.Strings(corrs)
+	var lines []string
+	for _, corr := range corrs {
+		lines = append(lines, corr+": ("+strings.Join(keysUsed[corr], ", ")+")")
+	}
+	return lines
+}
+
+// GoodSnapshotSorted models a metrics-registry snapshot: structs
+// collected in map order are sorted before rendering.
+func GoodSnapshotSorted(shapes map[string]int) []string {
+	type shape struct {
+		name  string
+		count int
+	}
+	var out []shape
+	for name, count := range shapes {
+		out = append(out, shape{name, count})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	lines := make([]string, len(out))
+	for i, s := range out {
+		lines[i] = fmt.Sprintf("%s=%d", s.name, s.count)
+	}
+	return lines
+}
+
+// BadSnapshotStream streams a snapshot straight from the map into a
+// shared builder — nondeterministic EXPLAIN/metrics output.
+func BadSnapshotStream(shapes map[string]int, sb *strings.Builder) {
+	for name, count := range shapes {
+		fmt.Fprintf(sb, "%s=%d\n", name, count) // want "output written while ranging over a map"
+	}
+}

@@ -1,0 +1,161 @@
+package plan
+
+import (
+	"encoding/json"
+	"fmt"
+	"regexp"
+	"strings"
+	"time"
+
+	"uniqopt/internal/engine"
+)
+
+// Node is one operator of a typed physical plan tree — the structured
+// counterpart of the legacy Result.Plan string list. EXPLAIN renders
+// the bare tree; EXPLAIN ANALYZE additionally carries per-operator
+// wall time, rows in/out, and parallel-path usage recorded during a
+// real execution.
+type Node struct {
+	// Op is the operator name (Scan, IndexScan, Filter, HashJoin,
+	// Product, Project, DistinctSort, DistinctHash,
+	// IntersectSortMerge, ExceptSortMerge).
+	Op string `json:"op"`
+	// Detail is the operator's argument rendering, e.g. the scanned
+	// table or the join predicate.
+	Detail string `json:"detail,omitempty"`
+	// Children are the operator's inputs (left input first).
+	Children []*Node `json:"children,omitempty"`
+	// Notes carry plan-level annotations attached to the root (e.g.
+	// the cost-based rewrite decision).
+	Notes []string `json:"notes,omitempty"`
+
+	// Analyzed reports that the metrics below were recorded from a
+	// real execution (false for plan-only EXPLAIN).
+	Analyzed bool `json:"analyzed"`
+	// RowsIn / RowsOut are the operator's input and output
+	// cardinalities.
+	RowsIn  int64 `json:"rows_in"`
+	RowsOut int64 `json:"rows_out"`
+	// TimeNanos is the operator's wall time, including the time of any
+	// subquery probes it evaluated (but not its children's time).
+	TimeNanos int64 `json:"time_ns"`
+	// Parallel marks an operator that took the partitioned parallel
+	// path; Workers is the effective dispatch width.
+	Parallel bool  `json:"parallel,omitempty"`
+	Workers  int64 `json:"workers,omitempty"`
+}
+
+// Format renders the tree as indented text, one operator per line,
+// children two spaces deeper. With analyze=true the per-operator
+// metrics are appended in a bracketed suffix.
+func (n *Node) Format(analyze bool) string {
+	var sb strings.Builder
+	n.format(&sb, 0, analyze)
+	return sb.String()
+}
+
+func (n *Node) format(sb *strings.Builder, depth int, analyze bool) {
+	if n == nil {
+		return
+	}
+	sb.WriteString(strings.Repeat("  ", depth))
+	sb.WriteString(n.Op)
+	if n.Detail != "" {
+		fmt.Fprintf(sb, "(%s)", n.Detail)
+	}
+	if analyze && n.Analyzed {
+		fmt.Fprintf(sb, " [in=%d out=%d time=%s", n.RowsIn, n.RowsOut, fmtDuration(n.TimeNanos))
+		if n.Parallel {
+			fmt.Fprintf(sb, " par=%d", n.Workers)
+		}
+		sb.WriteByte(']')
+	}
+	sb.WriteByte('\n')
+	for _, note := range n.Notes {
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString("-- ")
+		sb.WriteString(note)
+		sb.WriteByte('\n')
+	}
+	for _, c := range n.Children {
+		c.format(sb, depth+1, analyze)
+	}
+}
+
+// MarshalJSONTree renders the tree as indented JSON.
+func (n *Node) MarshalJSONTree() ([]byte, error) {
+	return json.MarshalIndent(n, "", "  ")
+}
+
+// fmtDuration renders nanoseconds compactly and stably (fixed unit
+// choice per magnitude, one decimal).
+func fmtDuration(ns int64) string {
+	d := time.Duration(ns)
+	switch {
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", ns)
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.1fms", float64(ns)/1e6)
+	default:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	}
+}
+
+// volatileRe matches the fields of an ANALYZE rendering that vary
+// between otherwise-identical executions: wall times and the parallel
+// dispatch width (which depends on the machine's pool size).
+var volatileRe = regexp.MustCompile(`( time=[0-9.]+(?:ns|µs|ms|s))|( par=[0-9]+)`)
+
+// ScrubVolatile canonicalizes an ANALYZE rendering for comparison and
+// golden files: wall times become time=? and parallel-width markers
+// are dropped. Serial and parallel executions of the same query must
+// render byte-identically after scrubbing.
+func ScrubVolatile(s string) string {
+	return volatileRe.ReplaceAllStringFunc(s, func(m string) string {
+		if strings.Contains(m, "time=") {
+			return " time=?"
+		}
+		return ""
+	})
+}
+
+// AllNodes returns the tree's nodes in pre-order (root first).
+func (n *Node) AllNodes() []*Node {
+	if n == nil {
+		return nil
+	}
+	out := []*Node{n}
+	for _, c := range n.Children {
+		out = append(out, c.AllNodes()...)
+	}
+	return out
+}
+
+// timedOp runs one operator body, recording its wall time, row counts,
+// and parallel-path usage (as deltas of the result's Stats) into a new
+// Node with the given children. analyzed=false (plan-only mode) skips
+// the recording but still shapes the tree.
+func timedOp(res *Result, analyzed bool, op, detail string, rowsIn int64, children []*Node, body func() (*engine.Relation, error)) (*engine.Relation, *Node, error) {
+	n := &Node{Op: op, Detail: detail, Children: children}
+	if !analyzed {
+		rel, err := body()
+		return rel, n, err
+	}
+	before := res.Stats.Snapshot()
+	t0 := time.Now()
+	rel, err := body()
+	n.TimeNanos = time.Since(t0).Nanoseconds()
+	n.Analyzed = true
+	n.RowsIn = rowsIn
+	if rel != nil {
+		n.RowsOut = int64(rel.Len())
+	}
+	after := res.Stats.Snapshot()
+	if after.ParallelRuns > before.ParallelRuns {
+		n.Parallel = true
+		n.Workers = after.WorkersUsed
+	}
+	return rel, n, err
+}

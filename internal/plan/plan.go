@@ -60,6 +60,12 @@ type Options struct {
 	// MemBudget bounds the estimated bytes a query may materialize
 	// (hash tables, sort buffers, outputs; 0 = unlimited).
 	MemBudget int64
+	// ExplainOnly plans the query without touching base-table data:
+	// every table access yields an empty relation of the right shape,
+	// so the plan tree (Result.Root) has exactly the structure a real
+	// execution would, at near-zero cost. Result.Rel is an empty
+	// relation and per-operator metrics stay unpopulated.
+	ExplainOnly bool
 }
 
 // Result is the outcome of planning and executing one query.
@@ -67,7 +73,14 @@ type Result struct {
 	Rel      *engine.Relation
 	Stats    engine.Stats
 	Rewrites []core.Applied
-	Plan     []string // textual plan, one operator per line
+	Plan     []string // textual plan, one operator per line (legacy rendering)
+	// Root is the typed plan tree. Per-operator metrics (rows, wall
+	// time, parallel-path usage) are recorded unless ExplainOnly.
+	Root *Node
+
+	// costNote carries the cost-based rewrite decision until the root
+	// node exists to attach it to.
+	costNote string
 }
 
 // Planner plans and executes queries against a stored database.
@@ -142,30 +155,32 @@ func (p *Planner) RunContext(ctx context.Context, q ast.Query, hosts map[string]
 			if origCost < newCost {
 				// The cost model prefers the query as written: discard
 				// the rewrites and execute the original.
-				res.Plan = append(res.Plan, fmt.Sprintf(
+				res.costNote = fmt.Sprintf(
 					"CostChoice(original %.0f < rewritten %.0f: rewrites discarded)",
-					origCost, newCost))
+					origCost, newCost)
 				res.Rewrites = nil
 				q = original
 			} else {
-				res.Plan = append(res.Plan, fmt.Sprintf(
-					"CostChoice(rewritten %.0f <= original %.0f)", newCost, origCost))
+				res.costNote = fmt.Sprintf(
+					"CostChoice(rewritten %.0f <= original %.0f)", newCost, origCost)
 			}
+			res.Plan = append(res.Plan, res.costNote)
 		}
 	}
 	switch x := q.(type) {
 	case *ast.Select:
-		rel, err := p.execSelect(ctx, x, hosts, res)
+		rel, root, err := p.execSelect(ctx, x, hosts, res)
 		if err != nil {
 			return nil, err
 		}
 		res.Rel = rel
+		res.Root = root
 	case *ast.SetOp:
-		l, err := p.execSelect(ctx, x.Left, hosts, res)
+		l, ln, err := p.execSelect(ctx, x.Left, hosts, res)
 		if err != nil {
 			return nil, err
 		}
-		r, err := p.execSelect(ctx, x.Right, hosts, res)
+		r, rn, err := p.execSelect(ctx, x.Right, hosts, res)
 		if err != nil {
 			return nil, err
 		}
@@ -175,18 +190,29 @@ func (p *Planner) RunContext(ctx context.Context, q ast.Query, hosts map[string]
 		// Set operations execute the way the paper says typical
 		// optimizers do (§5.3): sort each operand and merge. The
 		// Theorem 3 / Corollary 2 rewrites exist to avoid these sorts.
-		if x.Op == ast.Intersect {
-			res.Rel, err = engine.IntersectSort(ctx, &res.Stats, l, r, x.All)
-			res.Plan = append(res.Plan, fmt.Sprintf("IntersectSortMerge(all=%v)", x.All))
-		} else {
-			res.Rel, err = engine.ExceptSort(ctx, &res.Stats, l, r, x.All)
-			res.Plan = append(res.Plan, fmt.Sprintf("ExceptSortMerge(all=%v)", x.All))
+		op := "IntersectSortMerge"
+		if x.Op != ast.Intersect {
+			op = "ExceptSortMerge"
 		}
+		rel, node, err := timedOp(res, !p.Opts.ExplainOnly, op,
+			fmt.Sprintf("all=%v", x.All), int64(l.Len()+r.Len()), []*Node{ln, rn},
+			func() (*engine.Relation, error) {
+				if x.Op == ast.Intersect {
+					return engine.IntersectSort(ctx, &res.Stats, l, r, x.All)
+				}
+				return engine.ExceptSort(ctx, &res.Stats, l, r, x.All)
+			})
+		res.Plan = append(res.Plan, fmt.Sprintf("%s(all=%v)", op, x.All))
 		if err != nil {
 			return nil, err
 		}
+		res.Rel = rel
+		res.Root = node
 	default:
 		return nil, fmt.Errorf("plan: unknown query node %T", q)
+	}
+	if res.costNote != "" && res.Root != nil {
+		res.Root.Notes = append(res.Root.Notes, res.costNote)
 	}
 	res.Stats.RowsOutput = int64(res.Rel.Len())
 	return res, nil
@@ -250,18 +276,21 @@ func (p *Planner) rewriteFixpoint(q ast.Query, res *Result) (ast.Query, error) {
 // execSelect plans one query specification: per-table pushdown, a
 // left-deep join tree preferring hash joins on equality predicates,
 // residual filtering (including EXISTS via nested-loop evaluation),
-// projection, and duplicate elimination.
-func (p *Planner) execSelect(ctx context.Context, s *ast.Select, hosts map[string]value.Value, res *Result) (*engine.Relation, error) {
+// projection, and duplicate elimination. It returns the result
+// relation together with the typed plan subtree it executed (the
+// legacy Result.Plan lines are appended as before).
+func (p *Planner) execSelect(ctx context.Context, s *ast.Select, hosts map[string]value.Value, res *Result) (*engine.Relation, *Node, error) {
+	analyzed := !p.Opts.ExplainOnly
 	scope, err := catalog.NewScope(p.DB.Catalog, s.From, nil)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	// Qualify and split the predicate.
 	var conjuncts []ast.Expr
 	for _, c := range ast.Conjuncts(s.Where) {
 		q, err := p.An.QualifyExpr(c, scope)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		conjuncts = append(conjuncts, q)
 	}
@@ -269,6 +298,7 @@ func (p *Planner) execSelect(ctx context.Context, s *ast.Select, hosts map[strin
 	type pendingTable struct {
 		corr string
 		rel  *engine.Relation
+		node *Node
 	}
 	// Scan each table and push down its single-table conjuncts.
 	envProto := &eval.Env{
@@ -283,7 +313,7 @@ func (p *Planner) execSelect(ctx context.Context, s *ast.Select, hosts map[strin
 		corr := strings.ToUpper(tr.Name())
 		tbl, ok := p.DB.Table(tr.Table)
 		if !ok {
-			return nil, fmt.Errorf("plan: unknown table %s", tr.Table)
+			return nil, nil, fmt.Errorf("plan: unknown table %s", tr.Table)
 		}
 		var push []ast.Expr
 		for i, c := range conjuncts {
@@ -298,34 +328,55 @@ func (p *Planner) execSelect(ctx context.Context, s *ast.Select, hosts map[strin
 		}
 		// Prefer an ordered-index access path for a pushed point or
 		// range predicate on an indexed leading column.
-		rel, consumed, desc, err := p.accessPath(ctx, tbl, corr, push, hosts, res)
-		if err != nil {
-			return nil, err
-		}
-		if rel == nil {
-			rel, err = engine.Scan(ctx, &res.Stats, tbl, corr)
+		var rel *engine.Relation
+		var node *Node
+		if ap := p.chooseAccessPath(tbl, corr, push, hosts); ap != nil {
+			rel, node, err = timedOp(res, analyzed, ap.op, ap.detail, int64(tbl.Len()), nil,
+				func() (*engine.Relation, error) {
+					if p.Opts.ExplainOnly {
+						return engine.NewRelation(qualifiedCols(tbl, corr)...), nil
+					}
+					return ap.exec(ctx, &res.Stats)
+				})
 			if err != nil {
-				return nil, err
+				return nil, nil, err
+			}
+			res.Plan = append(res.Plan, fmt.Sprintf("%s(%s)", ap.op, ap.detail))
+			if ap.consumed >= 0 {
+				push = append(push[:ap.consumed], push[ap.consumed+1:]...)
+			}
+		} else {
+			rel, node, err = timedOp(res, analyzed, "Scan",
+				fmt.Sprintf("%s as %s", tbl.Schema.Name, corr), int64(tbl.Len()), nil,
+				func() (*engine.Relation, error) {
+					if p.Opts.ExplainOnly {
+						return engine.NewRelation(qualifiedCols(tbl, corr)...), nil
+					}
+					return engine.Scan(ctx, &res.Stats, tbl, corr)
+				})
+			if err != nil {
+				return nil, nil, err
 			}
 			res.Plan = append(res.Plan, fmt.Sprintf("Scan(%s as %s)", tbl.Schema.Name, corr))
-		} else {
-			res.Plan = append(res.Plan, desc)
-		}
-		if consumed >= 0 {
-			push = append(push[:consumed], push[consumed+1:]...)
 		}
 		if len(push) > 0 {
-			rel, err = engine.Filter(ctx, &res.Stats, rel, ast.AndAll(push...), envProto)
+			pred := ast.AndAll(push...)
+			in := rel
+			rel, node, err = timedOp(res, analyzed, "Filter", pred.SQL(), int64(in.Len()), []*Node{node},
+				func() (*engine.Relation, error) {
+					return engine.Filter(ctx, &res.Stats, in, pred, envProto)
+				})
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
-			res.Plan = append(res.Plan, fmt.Sprintf("  Filter(%s)", ast.AndAll(push...).SQL()))
+			res.Plan = append(res.Plan, fmt.Sprintf("  Filter(%s)", pred.SQL()))
 		}
-		tables = append(tables, pendingTable{corr: corr, rel: rel})
+		tables = append(tables, pendingTable{corr: corr, rel: rel, node: node})
 	}
 
 	// Left-deep join tree.
 	cur := tables[0].rel
+	curNode := tables[0].node
 	bound := map[string]bool{tables[0].corr: true}
 	for _, t := range tables[1:] {
 		var lk, rk []string
@@ -353,17 +404,26 @@ func (p *Planner) execSelect(ctx context.Context, s *ast.Select, hosts map[strin
 				used[i] = true
 			}
 		}
+		l, lnode := cur, curNode
 		if len(lk) > 0 {
-			cur, err = engine.HashJoin(ctx, &res.Stats, cur, t.rel, lk, rk)
+			detail := fmt.Sprintf("%s = %s", strings.Join(lk, ","), strings.Join(rk, ","))
+			cur, curNode, err = timedOp(res, analyzed, "HashJoin", detail,
+				int64(l.Len()+t.rel.Len()), []*Node{lnode, t.node},
+				func() (*engine.Relation, error) {
+					return engine.HashJoin(ctx, &res.Stats, l, t.rel, lk, rk)
+				})
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
-			res.Plan = append(res.Plan, fmt.Sprintf("HashJoin(%s = %s)",
-				strings.Join(lk, ","), strings.Join(rk, ",")))
+			res.Plan = append(res.Plan, fmt.Sprintf("HashJoin(%s)", detail))
 		} else {
-			cur, err = engine.Product(ctx, &res.Stats, cur, t.rel)
+			cur, curNode, err = timedOp(res, analyzed, "Product", "",
+				int64(l.Len()+t.rel.Len()), []*Node{lnode, t.node},
+				func() (*engine.Relation, error) {
+					return engine.Product(ctx, &res.Stats, l, t.rel)
+				})
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			res.Plan = append(res.Plan, "Product")
 		}
@@ -382,9 +442,13 @@ func (p *Planner) execSelect(ctx context.Context, s *ast.Select, hosts map[strin
 		env := &eval.Env{Cols: map[string]value.Value{}, Hosts: hosts,
 			Scope: scope, Exists: p.naiveExists(ctx, hosts, res),
 			In: p.naiveIn(ctx, hosts, res)}
-		cur, err = p.filterScoped(ctx, cur, pred, env, res)
+		in := cur
+		cur, curNode, err = timedOp(res, analyzed, "Filter", pred.SQL(), int64(in.Len()), []*Node{curNode},
+			func() (*engine.Relation, error) {
+				return p.filterScoped(ctx, in, pred, env, res)
+			})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		res.Plan = append(res.Plan, fmt.Sprintf("Filter(%s)", pred.SQL()))
 	}
@@ -392,30 +456,42 @@ func (p *Planner) execSelect(ctx context.Context, s *ast.Select, hosts map[strin
 	// Projection and duplicate elimination.
 	refs, err := scope.ExpandItems(s.Items)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	cols := make([]string, len(refs))
 	for i, r := range refs {
 		cols[i] = r.Qualifier + "." + r.Column
 	}
-	cur, err = engine.Project(ctx, &res.Stats, cur, cols)
-	if err != nil {
-		return nil, err
-	}
-	res.Plan = append(res.Plan, fmt.Sprintf("Project(%s)", strings.Join(cols, ", ")))
-	if s.Quant.IsDistinct() {
-		if p.Opts.HashDistinct {
-			cur, err = engine.DistinctHash(ctx, &res.Stats, cur)
-			res.Plan = append(res.Plan, "DistinctHash")
-		} else {
-			cur, err = engine.DistinctSort(ctx, &res.Stats, cur)
-			res.Plan = append(res.Plan, "DistinctSort")
-		}
+	{
+		in := cur
+		cur, curNode, err = timedOp(res, analyzed, "Project", strings.Join(cols, ", "), int64(in.Len()), []*Node{curNode},
+			func() (*engine.Relation, error) {
+				return engine.Project(ctx, &res.Stats, in, cols)
+			})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
+		res.Plan = append(res.Plan, fmt.Sprintf("Project(%s)", strings.Join(cols, ", ")))
 	}
-	return cur, nil
+	if s.Quant.IsDistinct() {
+		op := "DistinctSort"
+		if p.Opts.HashDistinct {
+			op = "DistinctHash"
+		}
+		in := cur
+		cur, curNode, err = timedOp(res, analyzed, op, "", int64(in.Len()), []*Node{curNode},
+			func() (*engine.Relation, error) {
+				if p.Opts.HashDistinct {
+					return engine.DistinctHash(ctx, &res.Stats, in)
+				}
+				return engine.DistinctSort(ctx, &res.Stats, in)
+			})
+		if err != nil {
+			return nil, nil, err
+		}
+		res.Plan = append(res.Plan, op)
+	}
+	return cur, curNode, nil
 }
 
 // filterScoped filters rows with a scoped environment (for correlated
@@ -482,14 +558,28 @@ func qualifiersOf(e ast.Expr) map[string]bool {
 	return out
 }
 
-// accessPath inspects the pushed-down conjuncts for tbl and returns an
-// index-based relation when one of them is a point or range predicate
-// on the leading column of an ordered index. It returns the relation
-// (nil = no index path), the index of the consumed conjunct within
-// push (-1 = none), and a plan-line description.
-func (p *Planner) accessPath(ctx context.Context, tbl *storage.Table, corr string, push []ast.Expr,
-	hosts map[string]value.Value, res *Result) (*engine.Relation, int, string, error) {
+// accessDecision is a chosen index access path: the plan rendering
+// (op + detail), the index of the consumed conjunct within the pushed
+// list (-1 = none), and the deferred execution body. Splitting the
+// decision from the execution lets ExplainOnly render the exact access
+// path a real run would take without reading any table data.
+type accessDecision struct {
+	op       string
+	detail   string
+	consumed int
+	exec     func(ctx context.Context, st *engine.Stats) (*engine.Relation, error)
+}
+
+// chooseAccessPath inspects the pushed-down conjuncts for tbl and
+// returns an index-based access decision when one of them is a point
+// or range predicate on the leading column of an ordered index (nil =
+// no index path; fall back to a full scan).
+func (p *Planner) chooseAccessPath(tbl *storage.Table, corr string, push []ast.Expr,
+	hosts map[string]value.Value) *accessDecision {
 	env := &eval.Env{Cols: map[string]value.Value{}, Hosts: hosts}
+	emptyExec := func(context.Context, *engine.Stats) (*engine.Relation, error) {
+		return engine.NewRelation(qualifiedCols(tbl, corr)...), nil
+	}
 	for pi, c := range push {
 		cmp, ok := c.(*ast.Compare)
 		if ok {
@@ -507,37 +597,45 @@ func (p *Planner) accessPath(ctx context.Context, tbl *storage.Table, corr strin
 			}
 			if v.IsNull() {
 				// Comparison with NULL is never true: empty result.
-				empty := engine.NewRelation(qualifiedCols(tbl, corr)...)
-				return empty, pi, fmt.Sprintf("IndexScan(%s.%s, never-true NULL bound)", corr, ix.Name), nil
+				return &accessDecision{op: "IndexScan",
+					detail:   fmt.Sprintf("%s.%s, never-true NULL bound", corr, ix.Name),
+					consumed: pi, exec: emptyExec}
 			}
 			switch op {
 			case ast.EqOp:
-				rel, err := engine.IndexScanEq(ctx, &res.Stats, tbl, corr, ix, value.Row{v})
-				if err != nil {
-					return nil, -1, "", err
-				}
-				return rel, pi, fmt.Sprintf("IndexScan(%s via %s = %s)", corr, ix.Name, v), nil
+				return &accessDecision{op: "IndexScan",
+					detail:   fmt.Sprintf("%s via %s = %s", corr, ix.Name, v),
+					consumed: pi,
+					exec: func(ctx context.Context, st *engine.Stats) (*engine.Relation, error) {
+						return engine.IndexScanEq(ctx, st, tbl, corr, ix, value.Row{v})
+					}}
 			case ast.GtOp, ast.GeOp:
 				lo := v
-				rel, err := engine.IndexScanRange(ctx, &res.Stats, tbl, corr, ix, &lo, nil)
-				if err != nil {
-					return nil, -1, "", err
-				}
+				d := &accessDecision{op: "IndexScan",
+					detail:   fmt.Sprintf("%s via %s >= %s", corr, ix.Name, v),
+					consumed: pi,
+					exec: func(ctx context.Context, st *engine.Stats) (*engine.Relation, error) {
+						return engine.IndexScanRange(ctx, st, tbl, corr, ix, &lo, nil)
+					}}
 				if op == ast.GtOp {
 					// Half-open: re-filter the boundary rows.
-					return rel, -1, fmt.Sprintf("IndexScan(%s via %s >= %s, residual >)", corr, ix.Name, v), nil
+					d.detail += ", residual >"
+					d.consumed = -1
 				}
-				return rel, pi, fmt.Sprintf("IndexScan(%s via %s >= %s)", corr, ix.Name, v), nil
+				return d
 			case ast.LtOp, ast.LeOp:
 				hi := v
-				rel, err := engine.IndexScanRange(ctx, &res.Stats, tbl, corr, ix, nil, &hi)
-				if err != nil {
-					return nil, -1, "", err
-				}
+				d := &accessDecision{op: "IndexScan",
+					detail:   fmt.Sprintf("%s via %s <= %s", corr, ix.Name, v),
+					consumed: pi,
+					exec: func(ctx context.Context, st *engine.Stats) (*engine.Relation, error) {
+						return engine.IndexScanRange(ctx, st, tbl, corr, ix, nil, &hi)
+					}}
 				if op == ast.LtOp {
-					return rel, -1, fmt.Sprintf("IndexScan(%s via %s <= %s, residual <)", corr, ix.Name, v), nil
+					d.detail += ", residual <"
+					d.consumed = -1
 				}
-				return rel, pi, fmt.Sprintf("IndexScan(%s via %s <= %s)", corr, ix.Name, v), nil
+				return d
 			}
 			continue
 		}
@@ -556,17 +654,19 @@ func (p *Planner) accessPath(ctx context.Context, tbl *storage.Table, corr strin
 				continue
 			}
 			if lo.IsNull() || hi.IsNull() {
-				empty := engine.NewRelation(qualifiedCols(tbl, corr)...)
-				return empty, pi, fmt.Sprintf("IndexScan(%s.%s, never-true NULL bound)", corr, ix.Name), nil
+				return &accessDecision{op: "IndexScan",
+					detail:   fmt.Sprintf("%s.%s, never-true NULL bound", corr, ix.Name),
+					consumed: pi, exec: emptyExec}
 			}
-			rel, err := engine.IndexScanRange(ctx, &res.Stats, tbl, corr, ix, &lo, &hi)
-			if err != nil {
-				return nil, -1, "", err
-			}
-			return rel, pi, fmt.Sprintf("IndexScan(%s via %s BETWEEN %s AND %s)", corr, ix.Name, lo, hi), nil
+			return &accessDecision{op: "IndexScan",
+				detail:   fmt.Sprintf("%s via %s BETWEEN %s AND %s", corr, ix.Name, lo, hi),
+				consumed: pi,
+				exec: func(ctx context.Context, st *engine.Stats) (*engine.Relation, error) {
+					return engine.IndexScanRange(ctx, st, tbl, corr, ix, &lo, &hi)
+				}}
 		}
 	}
-	return nil, -1, "", nil
+	return nil
 }
 
 // normalizeComparison orients a comparison as (column op constant),

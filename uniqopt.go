@@ -25,11 +25,16 @@ package uniqopt
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
+	"strings"
+	"time"
 
 	"uniqopt/internal/catalog"
 	"uniqopt/internal/core"
 	"uniqopt/internal/engine"
+	"uniqopt/internal/metrics"
 	"uniqopt/internal/plan"
 	"uniqopt/internal/sql/ast"
 	"uniqopt/internal/sql/parser"
@@ -48,6 +53,9 @@ type DB struct {
 	// stats accumulates engine work counters across every query this
 	// DB has executed (merged atomically; see EngineCounters).
 	stats engine.Stats
+	// metrics accumulates per-shape latency histograms, cache hit
+	// rates, governor rejections, and pool utilization (see Metrics).
+	metrics *metrics.Registry
 }
 
 // Options tune the optimizer.
@@ -96,9 +104,10 @@ func Open() *DB { return OpenWith(Options{}) }
 // OpenWith creates an empty database with the given optimizer options.
 func OpenWith(opts Options) *DB {
 	return &DB{
-		store: storage.NewDB(catalog.New()),
-		opts:  opts,
-		cache: core.NewVerdictCache(0),
+		store:   storage.NewDB(catalog.New()),
+		opts:    opts,
+		cache:   core.NewVerdictCache(0),
+		metrics: metrics.New(),
 	}
 }
 
@@ -217,20 +226,10 @@ func (d *DB) QueryWithContext(ctx context.Context, sql string, hosts map[string]
 		}
 		hv[k] = cv
 	}
-	p := plan.NewPlanner(d.store, plan.Options{
-		ApplyRewrites: optimize,
-		CostBased:     d.opts.CostBased,
-		HashDistinct:  d.opts.HashDistinct,
-		Core: core.Options{
-			UseKeyFDs:           d.opts.UseKeyFDs,
-			BindIsNull:          d.opts.BindIsNull,
-			UseCheckConstraints: d.opts.UseCheckConstraints,
-		},
-		Cache:     d.cache,
-		MaxRows:   d.opts.MaxRows,
-		MemBudget: d.opts.MemBudget,
-	})
+	p := d.planner(optimize, false)
+	t0 := time.Now()
 	res, err := p.RunContext(ctx, q, hv)
+	d.observeQuery(sql, time.Since(t0), res, err)
 	if err != nil {
 		return nil, err
 	}
@@ -254,6 +253,41 @@ func (d *DB) QueryWithContext(ctx context.Context, sql string, hosts map[string]
 	return out, nil
 }
 
+// planner builds a planner over this DB's store with its configured
+// options; explainOnly plans without reading base-table data.
+func (d *DB) planner(optimize, explainOnly bool) *plan.Planner {
+	return plan.NewPlanner(d.store, plan.Options{
+		ApplyRewrites: optimize,
+		CostBased:     d.opts.CostBased,
+		HashDistinct:  d.opts.HashDistinct,
+		Core: core.Options{
+			UseKeyFDs:           d.opts.UseKeyFDs,
+			BindIsNull:          d.opts.BindIsNull,
+			UseCheckConstraints: d.opts.UseCheckConstraints,
+		},
+		Cache:       d.cache,
+		MaxRows:     d.opts.MaxRows,
+		MemBudget:   d.opts.MemBudget,
+		ExplainOnly: explainOnly,
+	})
+}
+
+// observeQuery records one execution into the metrics registry: shape
+// latency, analyzer-cache deltas, pool fan-out, and (on a budget
+// error) a governor rejection.
+func (d *DB) observeQuery(shape string, elapsed time.Duration, res *plan.Result, err error) {
+	d.metrics.ObserveQuery(shape, elapsed.Nanoseconds())
+	if err != nil {
+		if errors.Is(err, ErrBudgetExceeded) {
+			d.metrics.ObserveRejection()
+		}
+		return
+	}
+	st := res.Stats.Snapshot()
+	d.metrics.ObserveCacheDelta(st.CacheHits, st.CacheMisses)
+	d.metrics.ObservePool(st.WorkersUsed, int64(engine.Workers()))
+}
+
 func toGo(v value.Value) any {
 	switch v.Kind() {
 	case value.KindInt:
@@ -265,6 +299,131 @@ func toGo(v value.Value) any {
 	default:
 		return nil
 	}
+}
+
+// Explanation is the result of EXPLAIN / EXPLAIN ANALYZE: the typed
+// physical plan tree, the optimizer's rewrite decisions, and the
+// uniqueness analyzer's provenance trace (how Algorithm 1 reached its
+// verdict — which equalities bound which columns, and per FROM table
+// the candidate key that satisfied the coverage test or the table
+// that blocked it).
+type Explanation struct {
+	// Root is the typed plan tree; for ANALYZE its nodes carry rows
+	// in/out, per-operator wall time, and parallel-path usage.
+	Root *plan.Node
+	// Analyzed reports whether the plan was really executed (EXPLAIN
+	// ANALYZE) or only planned against empty inputs (EXPLAIN).
+	Analyzed bool
+	// Rewrites lists the transformations the optimizer applied.
+	Rewrites []RewriteInfo
+	// Trace is the analyzer's provenance, one fact per line,
+	// deterministically ordered.
+	Trace []string
+	// KeysUsed renders the verdict's per-table deciding keys, sorted.
+	KeysUsed []string
+	// Stats are the engine work counters (zero unless Analyzed).
+	Stats engine.Stats
+	// Plan is the legacy one-line-per-operator rendering.
+	Plan []string
+}
+
+// Explain plans the query — applying the uniqueness rewrites — without
+// reading any table data, and reports the plan tree plus the
+// analyzer's provenance trace.
+func (d *DB) Explain(sql string) (*Explanation, error) {
+	return d.ExplainWith(context.Background(), sql, nil, true, false)
+}
+
+// ExplainAnalyze executes the query for real and reports the plan
+// tree annotated with per-operator row counts, wall times, and
+// parallel-path usage, plus the analyzer's provenance trace.
+func (d *DB) ExplainAnalyze(sql string) (*Explanation, error) {
+	return d.ExplainWith(context.Background(), sql, nil, true, true)
+}
+
+// ExplainWith is the general form: host-variable bindings, optional
+// rewriting, and a choice between plan-only (analyze=false) and real
+// execution (analyze=true). Explain runs are not recorded in the
+// metrics registry, so profiling a workload is not skewed by
+// inspecting it.
+func (d *DB) ExplainWith(ctx context.Context, sql string, hosts map[string]any, optimize, analyze bool) (*Explanation, error) {
+	q, err := parser.ParseQuery(sql)
+	if err != nil {
+		return nil, err
+	}
+	hv := map[string]value.Value{}
+	for k, v := range hosts {
+		cv, err := Convert(v)
+		if err != nil {
+			return nil, fmt.Errorf("uniqopt: host :%s: %w", k, err)
+		}
+		hv[k] = cv
+	}
+	res, err := d.planner(optimize, !analyze).RunContext(ctx, q, hv)
+	if err != nil {
+		return nil, err
+	}
+	out := &Explanation{
+		Root:     res.Root,
+		Analyzed: analyze,
+		Plan:     res.Plan,
+	}
+	if analyze {
+		out.Stats = res.Stats.Snapshot()
+	}
+	for _, ap := range res.Rewrites {
+		out.Rewrites = append(out.Rewrites, RewriteInfo{
+			Rule:        string(ap.Rule),
+			Description: ap.Description,
+			Before:      ap.Before,
+			After:       ap.After,
+		})
+	}
+	// The provenance trace explains the verdict on the query as
+	// written — the decision that licensed (or blocked) the rewrites.
+	if v, aerr := d.analyzer().AnalyzeQuery(q); aerr == nil && v != nil {
+		out.Trace = v.Trace.Lines()
+		out.KeysUsed = v.KeysUsedLines()
+	}
+	return out, nil
+}
+
+// String renders the explanation as text: the plan tree (with metrics
+// when Analyzed), then the rewrites and the analyzer trace.
+func (e *Explanation) String() string {
+	var sb strings.Builder
+	sb.WriteString(e.Root.Format(e.Analyzed))
+	if len(e.Rewrites) > 0 {
+		sb.WriteString("rewrites:\n")
+		for _, r := range e.Rewrites {
+			fmt.Fprintf(&sb, "  %s: %s\n", r.Rule, r.Description)
+		}
+	}
+	if len(e.Trace) > 0 {
+		sb.WriteString("uniqueness analysis:\n")
+		for _, l := range e.Trace {
+			sb.WriteString("  " + l + "\n")
+		}
+	}
+	if len(e.KeysUsed) > 0 {
+		sb.WriteString("keys used:\n")
+		for _, l := range e.KeysUsed {
+			sb.WriteString("  " + l + "\n")
+		}
+	}
+	return sb.String()
+}
+
+// JSON renders the explanation as indented JSON (plan tree, rewrites,
+// trace).
+func (e *Explanation) JSON() ([]byte, error) {
+	return json.MarshalIndent(struct {
+		Root     *plan.Node    `json:"plan"`
+		Analyzed bool          `json:"analyzed"`
+		Rewrites []RewriteInfo `json:"rewrites,omitempty"`
+		Trace    []string      `json:"trace,omitempty"`
+		KeysUsed []string      `json:"keys_used,omitempty"`
+	}{e.Root, e.Analyzed, e.Rewrites, e.Trace, e.KeysUsed}, "", "  ")
 }
 
 // Analysis is the user-facing uniqueness report for a query.
@@ -374,6 +533,19 @@ func (d *DB) GovernorCounters() (rows, bytes int64) {
 	st := d.stats.Snapshot()
 	return st.RowsMaterialized, st.BytesReserved
 }
+
+// Metrics reports a deterministic snapshot of this DB's observability
+// registry: per-query-shape latency histograms, analyzer-cache hit
+// rate, governor rejections, and worker-pool utilization.
+func (d *DB) Metrics() metrics.Snapshot { return d.metrics.Snapshot() }
+
+// MetricsJSON renders the metrics snapshot as indented JSON.
+func (d *DB) MetricsJSON() ([]byte, error) { return d.metrics.JSON() }
+
+// PublishMetrics registers this DB's metrics registry on the
+// process-wide expvar endpoint under name (panics, like
+// expvar.Publish, if the name is already taken).
+func (d *DB) PublishMetrics(name string) { d.metrics.Publish(name) }
 
 // Store exposes the underlying storage for advanced integrations
 // (the IMS/OODB loaders, the benchmark harness).
