@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet lint build test test-fault race bench-smoke explain-smoke bench-tables ci clean
+.PHONY: all vet lint build test test-fault race bench-smoke explain-smoke stream-smoke bench-tables ci clean
 
 all: ci
 
@@ -41,11 +41,18 @@ explain-smoke:
 	$(GO) test -run 'TestExplain' .
 	$(GO) run ./cmd/benchrunner -exp explain -scale 0.3 -json BENCH_explain.json
 
+# Streaming smoke: every golden paper example under streaming vs
+# materializing execution at batch sizes 1, 3, and the default
+# (serial and parallel pools), plus the streaming budget and DISTINCT
+# short-circuit regressions.
+stream-smoke:
+	$(GO) test -run 'TestStreaming' .
+
 # Full experiment sweep, regenerating bench_output_tables.txt.
 bench-tables:
 	$(GO) run ./cmd/benchrunner -exp all -scale 0.25 > bench_output_tables.txt
 
-ci: vet lint build test test-fault race bench-smoke explain-smoke
+ci: vet lint build test test-fault race stream-smoke bench-smoke explain-smoke
 
 clean:
 	rm -f BENCH_parallel.json BENCH_explain.json

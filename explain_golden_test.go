@@ -29,12 +29,18 @@ var goldenHosts = map[string]any{
 // every run sees identical data (and therefore identical ANALYZE row
 // counts).
 func goldenDB(t *testing.T) *uniqopt.DB {
+	return goldenDBWith(t, uniqopt.Options{})
+}
+
+// goldenDBWith is goldenDB under explicit optimizer options (used for
+// the streaming execution legs).
+func goldenDBWith(t *testing.T, opts uniqopt.Options) *uniqopt.DB {
 	t.Helper()
 	fresh, err := workload.NewDB(workload.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	db := uniqopt.Open()
+	db := uniqopt.OpenWith(opts)
 	for _, ddl := range workload.BenchDDL {
 		if err := db.Exec(ddl); err != nil {
 			t.Fatal(err)
@@ -64,6 +70,15 @@ func paperQueryNames() []string {
 // explainUnder runs EXPLAIN ANALYZE for one paper query on a fresh DB
 // under the given pool configuration and returns the explanation.
 func explainUnder(t *testing.T, name string, workers, threshold int) *uniqopt.Explanation {
+	return explainOpts(t, name, workers, threshold, uniqopt.Options{})
+}
+
+// explainStreamUnder is explainUnder with streaming execution.
+func explainStreamUnder(t *testing.T, name string, workers, threshold int) *uniqopt.Explanation {
+	return explainOpts(t, name, workers, threshold, uniqopt.Options{Streaming: true})
+}
+
+func explainOpts(t *testing.T, name string, workers, threshold int, opts uniqopt.Options) *uniqopt.Explanation {
 	t.Helper()
 	prevW := engine.SetWorkers(workers)
 	prevT := engine.SetParallelThreshold(threshold)
@@ -71,7 +86,7 @@ func explainUnder(t *testing.T, name string, workers, threshold int) *uniqopt.Ex
 		engine.SetWorkers(prevW)
 		engine.SetParallelThreshold(prevT)
 	}()
-	db := goldenDB(t)
+	db := goldenDBWith(t, opts)
 	e, err := db.ExplainWith(context.Background(), workload.PaperQueries[name], goldenHosts, true, true)
 	if err != nil {
 		t.Fatalf("%s: %v", name, err)
@@ -80,9 +95,10 @@ func explainUnder(t *testing.T, name string, workers, threshold int) *uniqopt.Ex
 }
 
 // TestExplainGolden compares the scrubbed EXPLAIN ANALYZE rendering of
-// every paper example against its golden file, and requires the serial
-// and parallel renderings to be byte-identical after scrubbing (wall
-// times canonicalized, parallel-width markers dropped).
+// every paper example against its golden file, and requires the
+// serial, parallel, and streaming (serial and parallel) renderings to
+// be byte-identical after scrubbing (wall times canonicalized,
+// parallel-width markers and batch counts dropped).
 func TestExplainGolden(t *testing.T) {
 	for _, name := range paperQueryNames() {
 		t.Run(name, func(t *testing.T) {
@@ -90,6 +106,14 @@ func TestExplainGolden(t *testing.T) {
 			parallel := plan.ScrubVolatile(explainUnder(t, name, 4, 1).String())
 			if serial != parallel {
 				t.Errorf("serial and parallel EXPLAIN ANALYZE diverge after scrubbing:\n--- serial\n%s\n--- parallel\n%s", serial, parallel)
+			}
+			streamSerial := plan.ScrubVolatile(explainStreamUnder(t, name, 1, 1<<30).String())
+			if serial != streamSerial {
+				t.Errorf("materializing and streaming EXPLAIN ANALYZE diverge after scrubbing:\n--- materializing\n%s\n--- streaming\n%s", serial, streamSerial)
+			}
+			streamParallel := plan.ScrubVolatile(explainStreamUnder(t, name, 4, 1).String())
+			if serial != streamParallel {
+				t.Errorf("materializing and streaming-parallel EXPLAIN ANALYZE diverge after scrubbing:\n--- materializing\n%s\n--- streaming-parallel\n%s", serial, streamParallel)
 			}
 			path := filepath.Join("testdata", "explain", name+".golden")
 			if *updateGolden {
@@ -145,6 +169,54 @@ func TestExplainAnalyzeCountsMatchStats(t *testing.T) {
 			}
 			if e.Stats.SubqueryRuns > 0 && scanned > e.Stats.RowsScanned {
 				t.Errorf("Scan nodes (%d rows) exceed Stats.RowsScanned=%d", scanned, e.Stats.RowsScanned)
+			}
+		})
+	}
+}
+
+// TestExplainAnalyzeStreamBatches cross-checks the streaming tree's
+// per-operator batch counters against the engine's Stats.Batches for
+// the same execution: every node that emitted rows must have emitted
+// at least one batch, the per-node counts must not exceed the engine
+// total (internal iterators — buffered replays — may add to the
+// engine total but never to a node), and the root must agree with
+// Stats.RowsOutput. Materializing runs must report no batches at all.
+func TestExplainAnalyzeStreamBatches(t *testing.T) {
+	for _, name := range paperQueryNames() {
+		t.Run(name, func(t *testing.T) {
+			e := explainStreamUnder(t, name, 1, 1<<30)
+			if e.Root == nil {
+				t.Fatal("no plan tree")
+			}
+			if e.Root.RowsOut != e.Stats.RowsOutput {
+				t.Errorf("root rows_out=%d but Stats.RowsOutput=%d", e.Root.RowsOut, e.Stats.RowsOutput)
+			}
+			if e.Stats.Batches == 0 {
+				t.Error("streaming execution recorded no batches in Stats")
+			}
+			var total int64
+			for _, n := range e.Root.AllNodes() {
+				if !n.Analyzed {
+					t.Errorf("node %s(%s) not analyzed", n.Op, n.Detail)
+				}
+				if n.RowsOut > 0 && n.Batches == 0 {
+					t.Errorf("node %s(%s) emitted %d rows in zero batches", n.Op, n.Detail, n.RowsOut)
+				}
+				total += n.Batches
+			}
+			if total > e.Stats.Batches {
+				t.Errorf("plan nodes account for %d batches but Stats.Batches=%d", total, e.Stats.Batches)
+			}
+			// Materializing execution of the same query must stay
+			// batch-free: the counters belong to streaming alone.
+			m := explainUnder(t, name, 1, 1<<30)
+			if m.Stats.Batches != 0 {
+				t.Errorf("materializing execution recorded Stats.Batches=%d", m.Stats.Batches)
+			}
+			for _, n := range m.Root.AllNodes() {
+				if n.Batches != 0 {
+					t.Errorf("materializing node %s(%s) recorded %d batches", n.Op, n.Detail, n.Batches)
+				}
 			}
 		})
 	}

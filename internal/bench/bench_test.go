@@ -244,11 +244,20 @@ func TestEPShape(t *testing.T) {
 	if len(tab.Rows) != 8 {
 		t.Fatalf("rows = %d, want 8:\n%s", len(tab.Rows), tab.Format())
 	}
-	// Every operator row must report byte-identical serial/parallel
-	// results.
+	// Every operator row must report byte-identical results across the
+	// serial, parallel, and streaming strategies.
 	for i := 0; i < 6; i++ {
-		if got := cell(t, tab, i, 5); got != "yes" {
-			t.Errorf("row %d (%s): parallel result not identical", i, cell(t, tab, i, 0))
+		if got := cell(t, tab, i, 9); got != "yes" {
+			t.Errorf("row %d (%s): strategy results not identical", i, cell(t, tab, i, 0))
+		}
+	}
+	// On the largest inputs, streaming must show a lower peak than
+	// materializing (rows 4 and 5 are the biggest join and distinct).
+	for _, i := range []int{4, 5} {
+		mat, stream := cellInt(t, tab, i, 7), cellInt(t, tab, i, 8)
+		if stream >= mat {
+			t.Errorf("row %d (%s): streaming peak %d KB >= materializing peak %d KB",
+				i, cell(t, tab, i, 0), stream, mat)
 		}
 	}
 	// Warm analyzer verdicts must be at least 10× faster than cold
@@ -258,7 +267,7 @@ func TestEPShape(t *testing.T) {
 	if raceEnabled {
 		min = 3.0
 	}
-	if sp := cellFloat(t, tab, 7, 4); sp < min {
+	if sp := cellFloat(t, tab, 7, 5); sp < min {
 		t.Errorf("warm-cache analyzer speedup = %.2f, want >= %.0f", sp, min)
 	}
 }

@@ -1,0 +1,387 @@
+package engine
+
+import (
+	"context"
+	"sync/atomic"
+
+	"uniqopt/internal/fault"
+	"uniqopt/internal/value"
+)
+
+// This file defines the streaming execution core: pull-based iterators
+// that move batches (vectors of rows) through a pipeline instead of
+// materializing every operator's full output.
+//
+// The Iterator contract:
+//
+//   - Next returns the next batch, or (nil, nil) at end of stream.
+//     After end of stream or an error, further Next calls return
+//     (nil, nil) or the same class of error; they must not panic.
+//   - An emitted batch and its rows are immutable after handoff. The
+//     producer must not reuse the batch slice or the row storage for a
+//     later batch, so consumers may retain rows (hash tables, output
+//     buffers) without copying. Producers therefore allocate fresh
+//     batch slices per Next call (the uniqlint iterlife/rowalias
+//     analyzers enforce this).
+//   - Close releases held resources (governor charges, children). It
+//     is idempotent, and must be called exactly when the consumer is
+//     done, whether or not the stream was drained.
+//   - Next takes the caller's context and must poll it: cancellation
+//     is cooperative, batch by batch (and every cancelEvery rows
+//     inside blocking phases).
+//
+// Budget accounting is per batch: a streaming operator charges each
+// emitted batch to the governor and releases that charge on the next
+// Next call (the batch has been consumed downstream by then), so a
+// budget bounds the pipeline's live footprint. Blocking state — join
+// build tables, distinct tables, buffered replays — is charged as it
+// accrues and released at Close. Transient in-flight batches are
+// charged to the governor only; Stats.RowsMaterialized/BytesReserved
+// keep their original meaning (rows retained at materialization
+// points).
+
+// Batch is a vector of rows flowing through a streaming pipeline.
+type Batch []value.Row
+
+// Iterator is the pull-based streaming operator interface. See the
+// package comment above for the full contract.
+type Iterator interface {
+	// Cols names the columns of every emitted row.
+	Cols() []string
+	// Next returns the next batch, or (nil, nil) at end of stream.
+	Next(ctx context.Context) (Batch, error)
+	// Close releases held resources; it is idempotent.
+	Close() error
+}
+
+// SizeHinter is an optional Iterator refinement: iterators that can
+// bound how many rows they will emit expose the bound so downstream
+// hash operators can presize their tables and skip incremental
+// rehashing. The hint is advisory — an upper bound, never a promise —
+// and 0 means unknown.
+type SizeHinter interface {
+	SizeHint() int
+}
+
+// sizeHint reports the iterator's row-count upper bound, or 0 if unknown.
+func sizeHint(it Iterator) int {
+	if h, ok := it.(SizeHinter); ok {
+		return h.SizeHint()
+	}
+	return 0
+}
+
+// DefaultBatchSize is the default target rows per batch: large enough
+// to amortize per-batch overhead, small enough to keep a pipeline's
+// live footprint a tiny fraction of its throughput.
+const DefaultBatchSize = 1024
+
+var batchSizeVal atomic.Int64
+
+func init() { batchSizeVal.Store(DefaultBatchSize) }
+
+// BatchSize reports the current target batch size.
+func BatchSize() int { return int(batchSizeVal.Load()) }
+
+// SetBatchSize sets the target batch size (values < 1 reset to the
+// default) and returns the previous value, for test scoping.
+func SetBatchSize(n int) int {
+	prev := int(batchSizeVal.Load())
+	if n < 1 {
+		n = DefaultBatchSize
+	}
+	batchSizeVal.Store(int64(n))
+	return prev
+}
+
+// streamGuard is the streaming counterpart of guard: cooperative
+// cancellation plus per-batch governor accounting for one iterator.
+// In-flight charges (the last emitted batch) are released on the next
+// emit; held charges (blocking state) are released at close.
+type streamGuard struct {
+	ctx   context.Context
+	gov   *Governor
+	st    *Stats
+	bound bool
+	iter  int
+	// in-flight: charge for the last emitted batch.
+	inRows, inBytes int64
+	// held: charges for blocking state, released at close.
+	heldRows, heldBytes int64
+	// pending held charges not yet flushed to governor/stats.
+	pendRows, pendBytes int64
+}
+
+// begin starts one Next call: it binds the governor on first use,
+// fires the per-batch fault-injection point, and polls cancellation.
+// The fault point fires before the poll so an injected delay is
+// observed by the poll as an expired deadline.
+func (sg *streamGuard) begin(ctx context.Context, st *Stats) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if !sg.bound {
+		sg.gov = GovernorFrom(ctx)
+		sg.st = st
+		sg.bound = true
+	}
+	sg.ctx = ctx
+	if err := fault.Point(FaultStreamNext); err != nil {
+		return err
+	}
+	return ctx.Err()
+}
+
+// step polls cancellation every cancelEvery rows of a blocking phase.
+func (sg *streamGuard) step() error {
+	if sg.iter%cancelEvery == 0 {
+		if err := sg.ctx.Err(); err != nil {
+			return err
+		}
+	}
+	sg.iter++
+	return nil
+}
+
+// emit hands off one batch: the previous batch's in-flight charge is
+// released and the new batch's is taken. The charge goes to the
+// governor only — the rows are transient, not materialized state.
+func (sg *streamGuard) emit(b Batch) (Batch, error) {
+	sg.releaseInflight()
+	sg.st.Batches++
+	if sg.gov != nil && len(b) > 0 {
+		var bytes int64
+		for _, r := range b {
+			bytes += rowBytes(r)
+		}
+		sg.inRows, sg.inBytes = int64(len(b)), bytes
+		if err := sg.gov.Charge(sg.inRows, sg.inBytes); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// emitHeld hands off a batch whose rows are already charged as held
+// state (e.g. streaming distinct emits rows retained by its hash
+// table), so no in-flight charge is added.
+func (sg *streamGuard) emitHeld(b Batch) (Batch, error) {
+	sg.releaseInflight()
+	sg.st.Batches++
+	return b, nil
+}
+
+// holdRow charges one row of blocking state, flushing every
+// chargeBatch rows.
+func (sg *streamGuard) holdRow(row value.Row) error {
+	sg.pendRows++
+	sg.pendBytes += rowBytes(row)
+	if sg.pendRows >= chargeBatch {
+		return sg.flushHeld()
+	}
+	return nil
+}
+
+// holdBatch charges a whole batch of blocking state at once.
+func (sg *streamGuard) holdBatch(b Batch) error {
+	for _, r := range b {
+		sg.pendBytes += rowBytes(r)
+	}
+	sg.pendRows += int64(len(b))
+	return sg.flushHeld()
+}
+
+// flushHeld pushes pending held charges to the Stats counters and the
+// governor. Held rows are materialized state, so they are mirrored
+// into RowsMaterialized/BytesReserved exactly like guard charges.
+func (sg *streamGuard) flushHeld() error {
+	if sg.pendRows == 0 && sg.pendBytes == 0 {
+		return nil
+	}
+	sg.st.RowsMaterialized += sg.pendRows
+	sg.st.BytesReserved += sg.pendBytes
+	sg.heldRows += sg.pendRows
+	sg.heldBytes += sg.pendBytes
+	err := sg.gov.Charge(sg.pendRows, sg.pendBytes)
+	sg.pendRows, sg.pendBytes = 0, 0
+	return err
+}
+
+func (sg *streamGuard) releaseInflight() {
+	if sg.inRows != 0 || sg.inBytes != 0 {
+		sg.gov.Release(sg.inRows, sg.inBytes)
+		sg.inRows, sg.inBytes = 0, 0
+	}
+}
+
+// close releases every outstanding charge. Safe to call before begin
+// and more than once.
+func (sg *streamGuard) close() {
+	sg.releaseInflight()
+	if sg.gov != nil {
+		sg.gov.Release(sg.heldRows, sg.heldBytes)
+	}
+	sg.heldRows, sg.heldBytes = 0, 0
+	sg.pendRows, sg.pendBytes = 0, 0
+}
+
+// relationIter streams an already-materialized relation in batches.
+// Emitted batches alias the relation's rows (which are immutable by
+// the engine's copy-on-write convention).
+type relationIter struct {
+	rel *Relation
+	st  *Stats
+	sg  streamGuard
+	pos int
+}
+
+// NewRelationIter returns an iterator over rel's rows.
+func NewRelationIter(st *Stats, rel *Relation) Iterator {
+	return &relationIter{rel: rel, st: st}
+}
+
+func (it *relationIter) Cols() []string { return it.rel.Cols }
+func (it *relationIter) SizeHint() int  { return len(it.rel.Rows) }
+
+func (it *relationIter) Next(ctx context.Context) (Batch, error) {
+	if err := it.sg.begin(ctx, it.st); err != nil {
+		return nil, err
+	}
+	if it.pos >= len(it.rel.Rows) {
+		return nil, nil
+	}
+	end := it.pos + BatchSize()
+	if end > len(it.rel.Rows) {
+		end = len(it.rel.Rows)
+	}
+	b := Batch(it.rel.Rows[it.pos:end:end])
+	it.pos = end
+	return it.sg.emit(b)
+}
+
+func (it *relationIter) Close() error {
+	it.sg.close()
+	return nil
+}
+
+// emptyIter emits nothing; it backs access paths proven empty at plan
+// time (e.g. an index equality probe against a NULL bound).
+type emptyIter struct{ cols []string }
+
+// NewEmptyIter returns an iterator with the given columns and no rows.
+func NewEmptyIter(cols []string) Iterator { return &emptyIter{cols: cols} }
+
+func (it *emptyIter) Cols() []string                         { return it.cols }
+func (it *emptyIter) Next(ctx context.Context) (Batch, error) { return nil, ctx.Err() }
+func (it *emptyIter) Close() error                           { return nil }
+
+// Drain materializes an iterator into a Relation, charging the output
+// rows exactly like a materializing operator would, and closes it.
+func Drain(ctx context.Context, st *Stats, it Iterator) (*Relation, error) {
+	defer it.Close()
+	out := NewRelation(it.Cols()...)
+	g := newGuard(ctx, st)
+	for {
+		b, err := it.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		if err := g.keepN(b); err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, b...)
+	}
+	if err := g.finish(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DrainDiscard consumes an iterator to end of stream without retaining
+// rows, returning the row count, and closes it. This is the shape of a
+// client that streams results out: the pipeline's live footprint stays
+// bounded no matter how many rows pass through.
+func DrainDiscard(ctx context.Context, it Iterator) (int64, error) {
+	defer it.Close()
+	var n int64
+	for {
+		b, err := it.Next(ctx)
+		if err != nil {
+			return n, err
+		}
+		if b == nil {
+			return n, nil
+		}
+		n += int64(len(b))
+	}
+}
+
+// BufferedIterator wraps a child iterator, caching every batch it
+// pulls so the stream can be re-iterated with Rewind. Cached rows are
+// held state: charged as they accrue, released at Close. Operators
+// that genuinely need re-iteration (e.g. the streaming product's inner
+// input) use this instead of forcing their child to be re-runnable.
+type BufferedIterator struct {
+	child  Iterator
+	st     *Stats
+	sg     streamGuard
+	cache  []Batch
+	pos    int // replay position in cache
+	done   bool
+	closed bool
+}
+
+// NewBufferedIterator wraps child in a replayable buffer.
+func NewBufferedIterator(st *Stats, child Iterator) *BufferedIterator {
+	return &BufferedIterator{child: child, st: st}
+}
+
+func (b *BufferedIterator) Cols() []string { return b.child.Cols() }
+
+// SizeHint passes through the child's bound: buffering is row-for-row.
+func (b *BufferedIterator) SizeHint() int { return sizeHint(b.child) }
+
+func (b *BufferedIterator) Next(ctx context.Context) (Batch, error) {
+	if err := b.sg.begin(ctx, b.st); err != nil {
+		return nil, err
+	}
+	if b.pos < len(b.cache) {
+		out := b.cache[b.pos]
+		b.pos++
+		return b.sg.emitHeld(out)
+	}
+	if b.done {
+		return nil, nil
+	}
+	nb, err := b.child.Next(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if nb == nil {
+		b.done = true
+		return nil, nil
+	}
+	if err := b.sg.holdBatch(nb); err != nil {
+		return nil, err
+	}
+	b.cache = append(b.cache, nb)
+	b.pos = len(b.cache)
+	return b.sg.emitHeld(nb)
+}
+
+// Rewind restarts iteration from the first batch. Batches not yet
+// pulled from the child remain available after the replay catches up.
+func (b *BufferedIterator) Rewind() { b.pos = 0 }
+
+func (b *BufferedIterator) Close() error {
+	if b.closed {
+		return nil
+	}
+	b.closed = true
+	b.sg.close()
+	b.cache = nil
+	return b.child.Close()
+}

@@ -59,11 +59,16 @@ const (
 	FaultSort       = "engine.sort"
 	FaultSetOp      = "engine.setop"
 	FaultPoolWorker = "engine.pool.worker"
+	// FaultStreamNext is the per-batch injection point: every streaming
+	// operator polls it at the top of Next, so faults can strike between
+	// any two batches of a pipeline, not just at operator entry.
+	FaultStreamNext = "engine.stream.next"
 )
 
 func init() {
 	fault.Register(FaultScan, FaultFilter, FaultHashBuild, FaultHashProbe,
-		FaultSemiBuild, FaultDistinct, FaultSort, FaultSetOp, FaultPoolWorker)
+		FaultSemiBuild, FaultDistinct, FaultSort, FaultSetOp, FaultPoolWorker,
+		FaultStreamNext)
 }
 
 // ErrBudgetExceeded is the sentinel matched (via errors.Is) by every
@@ -112,10 +117,12 @@ func (e *InternalError) Unwrap() error {
 // limit disables that dimension. Charging is atomic: the parallel
 // operators' workers share one governor.
 type Governor struct {
-	maxRows  int64
-	maxBytes int64
-	rows     atomic.Int64
-	bytes    atomic.Int64
+	maxRows   int64
+	maxBytes  int64
+	rows      atomic.Int64
+	bytes     atomic.Int64
+	peakRows  atomic.Int64
+	peakBytes atomic.Int64
 }
 
 // NewGovernor creates a governor for the given limits, or nil when
@@ -135,22 +142,57 @@ func (g *Governor) Charge(rows, bytes int64) error {
 		return nil
 	}
 	r := g.rows.Add(rows)
+	raisePeak(&g.peakRows, r)
 	if g.maxRows > 0 && r > g.maxRows {
 		return &BudgetError{Resource: "rows", Limit: g.maxRows, Used: r}
 	}
 	b := g.bytes.Add(bytes)
+	raisePeak(&g.peakBytes, b)
 	if g.maxBytes > 0 && b > g.maxBytes {
 		return &BudgetError{Resource: "memory", Limit: g.maxBytes, Used: b}
 	}
 	return nil
 }
 
-// Usage reports the rows and estimated bytes charged so far.
+// raisePeak lifts *p to v unless it is already at least v.
+func raisePeak(p *atomic.Int64, v int64) {
+	for {
+		cur := p.Load()
+		if v <= cur || p.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Release returns rows and bytes to the budget. Streaming operators
+// release a batch's in-flight charge once the batch has been consumed
+// downstream, so a pipeline's live footprint — not its cumulative
+// throughput — is what a budget bounds.
+func (g *Governor) Release(rows, bytes int64) {
+	if g == nil {
+		return
+	}
+	g.rows.Add(-rows)
+	g.bytes.Add(-bytes)
+}
+
+// Usage reports the rows and estimated bytes currently charged.
 func (g *Governor) Usage() (rows, bytes int64) {
 	if g == nil {
 		return 0, 0
 	}
 	return g.rows.Load(), g.bytes.Load()
+}
+
+// Peak reports the high-water marks of the charged rows and bytes over
+// the governor's lifetime. Because streaming operators release
+// in-flight charges, Peak is the query's true peak live footprint,
+// directly comparable between materializing and streaming execution.
+func (g *Governor) Peak() (rows, bytes int64) {
+	if g == nil {
+		return 0, 0
+	}
+	return g.peakRows.Load(), g.peakBytes.Load()
 }
 
 type governorKey struct{}

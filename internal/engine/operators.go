@@ -181,29 +181,23 @@ func HashJoin(ctx context.Context, st *Stats, l, r *Relation, lKeys, rKeys []str
 	g := newGuard(ctx, st)
 	out := &Relation{Cols: append(append([]string{}, l.Cols...), r.Cols...)}
 
-	// Build on the smaller input.
-	build, probe := r, l
-	bi, pi := ri, li
-	swapped := false
-	if len(l.Rows) < len(r.Rows) {
-		build, probe = l, r
-		bi, pi = li, ri
-		swapped = true
-	}
-	ht := make(map[uint64][]value.Row, len(build.Rows))
-	key := make(value.Row, len(bi))
-	for _, row := range build.Rows {
+	// Build on the right input, probe the left. The build side is fixed
+	// (not chosen by size) so that serial, parallel, and streaming
+	// execution emit identical row orders: a streaming join cannot know
+	// its inputs' sizes up front, so every path builds right.
+	ht := newRowTable(len(r.Rows))
+	key := make(value.Row, len(ri))
+	for _, row := range r.Rows {
 		if err := g.step(); err != nil {
 			return nil, err
 		}
-		if hasNullAt(row, bi) {
+		if hasNullAt(row, ri) {
 			continue
 		}
-		for i, c := range bi {
+		for i, c := range ri {
 			key[i] = row[c]
 		}
-		h := hashRow(key)
-		ht[h] = append(ht[h], row)
+		ht.insert(hashRow(key), row)
 		st.HashInserts++
 		if err := g.keep(row); err != nil {
 			return nil, err
@@ -212,32 +206,28 @@ func HashJoin(ctx context.Context, st *Stats, l, r *Relation, lKeys, rKeys []str
 	if err := fault.Point(FaultHashProbe); err != nil {
 		return nil, err
 	}
-	pkey := make(value.Row, len(pi))
-	for _, prow := range probe.Rows {
+	pkey := make(value.Row, len(li))
+	arena := rowArena{width: len(l.Cols) + len(r.Cols)}
+	for _, prow := range l.Rows {
 		if err := g.step(); err != nil {
 			return nil, err
 		}
-		if hasNullAt(prow, pi) {
+		if hasNullAt(prow, li) {
 			continue
 		}
-		for i, c := range pi {
+		for i, c := range li {
 			pkey[i] = prow[c]
 		}
 		st.HashProbes++
-		for _, brow := range ht[hashRow(pkey)] {
+		for e := ht.find(hashRow(pkey)); e != rtNone; e = ht.entries[e].next {
+			brow := ht.entries[e].row
 			st.JoinPairs++
-			if !equalAt(prow, pi, brow, bi, st) {
+			if !equalAt(prow, li, brow, ri, st) {
 				continue
 			}
-			var lrow, rrow value.Row
-			if swapped {
-				lrow, rrow = brow, prow
-			} else {
-				lrow, rrow = prow, brow
-			}
-			row := make(value.Row, 0, len(lrow)+len(rrow))
-			row = append(row, lrow...)
-			row = append(row, rrow...)
+			row := arena.next()
+			n := copy(row, prow)
+			copy(row[n:], brow)
 			out.Rows = append(out.Rows, row)
 			if err := g.keep(row); err != nil {
 				return nil, err
@@ -434,7 +424,7 @@ func DistinctHash(ctx context.Context, st *Stats, rel *Relation) (*Relation, err
 		return ParallelDistinctHash(ctx, st, rel, w)
 	}
 	g := newGuard(ctx, st)
-	seen := make(map[uint64][]value.Row, len(rel.Rows))
+	seen := newRowTable(len(rel.Rows))
 	out := &Relation{Cols: rel.Cols}
 	for _, row := range rel.Rows {
 		if err := g.step(); err != nil {
@@ -443,9 +433,9 @@ func DistinctHash(ctx context.Context, st *Stats, rel *Relation) (*Relation, err
 		h := hashRow(row)
 		st.HashProbes++
 		dup := false
-		for _, prev := range seen[h] {
+		for e := seen.find(h); e != rtNone; e = seen.entries[e].next {
 			st.Comparisons++
-			if value.NullEqRows(prev, row) {
+			if value.NullEqRows(seen.entries[e].row, row) {
 				dup = true
 				break
 			}
@@ -453,7 +443,7 @@ func DistinctHash(ctx context.Context, st *Stats, rel *Relation) (*Relation, err
 		if dup {
 			continue
 		}
-		seen[h] = append(seen[h], row)
+		seen.insert(h, row)
 		st.HashInserts++
 		out.Rows = append(out.Rows, row)
 		if err := g.keep(row); err != nil {

@@ -2,7 +2,6 @@ package engine
 
 import (
 	"context"
-	"sort"
 
 	"uniqopt/internal/eval"
 	"uniqopt/internal/fault"
@@ -133,8 +132,10 @@ func buildPartitioned(ctx context.Context, st *Stats, rows []value.Row, hashes [
 }
 
 // ParallelHashJoin is the partitioned-parallel form of HashJoin: the
-// smaller input is built into hash-disjoint partition tables, the
-// larger is probed in contiguous chunks. Identical output to HashJoin.
+// right input is built into hash-disjoint partition tables, the left
+// is probed in contiguous chunks. The build side is fixed (build
+// right, like HashJoin) so every execution path emits identical row
+// orders. Identical output to HashJoin.
 func ParallelHashJoin(ctx context.Context, st *Stats, l, r *Relation, lKeys, rKeys []string, workers int) (*Relation, error) {
 	li, err := l.colIndexes(lKeys)
 	if err != nil {
@@ -146,30 +147,22 @@ func ParallelHashJoin(ctx context.Context, st *Stats, l, r *Relation, lKeys, rKe
 	}
 	out := &Relation{Cols: append(append([]string{}, l.Cols...), r.Cols...)}
 
-	build, probe := r, l
-	bi, pi := ri, li
-	swapped := false
-	if len(l.Rows) < len(r.Rows) {
-		build, probe = l, r
-		bi, pi = li, ri
-		swapped = true
-	}
 	st.ParallelRuns++
 	st.NoteWorkers(workers)
 	st.ParallelRows += int64(len(l.Rows) + len(r.Rows))
 
-	bh, bn, err := rowHashes(ctx, build.Rows, bi, workers)
+	bh, bn, err := rowHashes(ctx, r.Rows, ri, workers)
 	if err != nil {
 		return nil, err
 	}
-	tables, err := buildPartitioned(ctx, st, build.Rows, bh, bn, workers)
+	tables, err := buildPartitioned(ctx, st, r.Rows, bh, bn, workers)
 	if err != nil {
 		return nil, err
 	}
 	if err := fault.Point(FaultHashProbe); err != nil {
 		return nil, err
 	}
-	ph, pn, err := rowHashes(ctx, probe.Rows, pi, workers)
+	ph, pn, err := rowHashes(ctx, l.Rows, li, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -177,13 +170,14 @@ func ParallelHashJoin(ctx context.Context, st *Stats, l, r *Relation, lKeys, rKe
 	chunkOut := make([][]value.Row, workers)
 	locals := make([]Stats, workers)
 	errs := make([]error, workers)
-	chunks := parallelFor(len(probe.Rows), workers, func(c, lo, hi int) {
+	chunks := parallelFor(len(l.Rows), workers, func(c, lo, hi int) {
 		if err := fault.Point(FaultPoolWorker); err != nil {
 			errs[c] = err
 			return
 		}
 		my := &locals[c]
 		g := newGuard(ctx, my)
+		arena := rowArena{width: len(l.Cols) + len(r.Cols)}
 		var rows []value.Row
 		for i := lo; i < hi; i++ {
 			if err := g.step(); err != nil {
@@ -193,23 +187,17 @@ func ParallelHashJoin(ctx context.Context, st *Stats, l, r *Relation, lKeys, rKe
 			if pn[i] {
 				continue
 			}
-			prow := probe.Rows[i]
+			prow := l.Rows[i]
 			h := ph[i]
 			my.HashProbes++
 			for _, brow := range tables[h%uint64(workers)][h] {
 				my.JoinPairs++
-				if !equalAt(prow, pi, brow, bi, my) {
+				if !equalAt(prow, li, brow, ri, my) {
 					continue
 				}
-				var lrow, rrow value.Row
-				if swapped {
-					lrow, rrow = brow, prow
-				} else {
-					lrow, rrow = prow, brow
-				}
-				row := make(value.Row, 0, len(lrow)+len(rrow))
-				row = append(row, lrow...)
-				row = append(row, rrow...)
+				row := arena.next()
+				n := copy(row, prow)
+				copy(row[n:], brow)
 				rows = append(rows, row)
 				if err := g.keep(row); err != nil {
 					errs[c] = err
@@ -234,9 +222,12 @@ func ParallelHashJoin(ctx context.Context, st *Stats, l, r *Relation, lKeys, rKe
 
 // ParallelDistinctHash removes duplicates (≐ semantics) with
 // per-partition hash tables: rows with equal hashes land in the same
-// partition, so each partition dedups independently; survivors are
-// re-ordered by original row index, reproducing DistinctHash's
-// first-occurrence order exactly.
+// partition, so each partition dedups independently. Survivors are
+// marked in a shared keep-bit slice — partitions own hash-disjoint row
+// indices, so no two workers touch the same element — and a single
+// in-order sweep emits them, reproducing DistinctHash's
+// first-occurrence order without the index merge-and-sort pass that
+// made the previous implementation regress below serial.
 func ParallelDistinctHash(ctx context.Context, st *Stats, rel *Relation, workers int) (*Relation, error) {
 	st.ParallelRuns++
 	st.NoteWorkers(workers)
@@ -246,7 +237,7 @@ func ParallelDistinctHash(ctx context.Context, st *Stats, rel *Relation, workers
 		return nil, err
 	}
 
-	kept := make([][]int, workers)
+	keep := make([]bool, len(rel.Rows))
 	locals := make([]Stats, workers)
 	errs := make([]error, workers)
 	parallelFor(workers, workers, func(p, _, _ int) {
@@ -256,8 +247,7 @@ func ParallelDistinctHash(ctx context.Context, st *Stats, rel *Relation, workers
 		}
 		my := &locals[p]
 		g := newGuard(ctx, my)
-		seen := make(map[uint64][]value.Row, len(rel.Rows)/workers+1)
-		var keep []int
+		seen := newRowTable(len(rel.Rows)/workers + 1)
 		for i, row := range rel.Rows {
 			if err := g.step(); err != nil {
 				errs[p] = err
@@ -269,9 +259,9 @@ func ParallelDistinctHash(ctx context.Context, st *Stats, rel *Relation, workers
 			}
 			my.HashProbes++
 			dup := false
-			for _, prev := range seen[h] {
+			for e := seen.find(h); e != rtNone; e = seen.entries[e].next {
 				my.Comparisons++
-				if value.NullEqRows(prev, row) {
+				if value.NullEqRows(seen.entries[e].row, row) {
 					dup = true
 					break
 				}
@@ -279,31 +269,33 @@ func ParallelDistinctHash(ctx context.Context, st *Stats, rel *Relation, workers
 			if dup {
 				continue
 			}
-			seen[h] = append(seen[h], row)
+			seen.insert(h, row)
 			my.HashInserts++
-			keep = append(keep, i)
+			keep[i] = true
 			if err := g.keep(row); err != nil {
 				errs[p] = err
 				return
 			}
 		}
 		errs[p] = g.finish()
-		kept[p] = keep
 	})
-	var order []int
 	for p := 0; p < workers; p++ {
 		st.Add(locals[p])
 	}
 	if err := firstErr(errs); err != nil {
 		return nil, err
 	}
-	for p := 0; p < workers; p++ {
-		order = append(order, kept[p]...)
+	n := 0
+	for _, k := range keep {
+		if k {
+			n++
+		}
 	}
-	sort.Ints(order)
-	out := &Relation{Cols: rel.Cols, Rows: make([]value.Row, len(order))}
-	for i, ri := range order {
-		out.Rows[i] = rel.Rows[ri]
+	out := &Relation{Cols: rel.Cols, Rows: make([]value.Row, 0, n)}
+	for i, k := range keep {
+		if k {
+			out.Rows = append(out.Rows, rel.Rows[i])
+		}
 	}
 	return out, nil
 }

@@ -23,14 +23,21 @@ func NewRelation(cols ...string) *Relation {
 // exact canonical matches and bare-name suffix matches are accepted so
 // callers can address columns the way queries do.
 func (r *Relation) ColumnIndex(name string) int {
-	for i, c := range r.Cols {
+	return columnIndexIn(r.Cols, name)
+}
+
+// columnIndexIn is ColumnIndex over a bare column-name list, shared
+// with the streaming iterators (which carry column names without a
+// materialized Relation).
+func columnIndexIn(cols []string, name string) int {
+	for i, c := range cols {
 		if c == name {
 			return i
 		}
 	}
 	// Fall back to unqualified match if unambiguous.
 	found := -1
-	for i, c := range r.Cols {
+	for i, c := range cols {
 		if idx := strings.IndexByte(c, '.'); idx >= 0 && c[idx+1:] == name {
 			if found >= 0 {
 				return -1 // ambiguous
@@ -168,11 +175,17 @@ func sortRowsBy(rows []value.Row, cmp func(a, b value.Row) int) {
 // unresolved column as an error. Operators propagate this through the
 // lifecycle containment path instead of panicking.
 func (r *Relation) colIndexes(names []string) ([]int, error) {
+	return colIndexesIn(r.Cols, names)
+}
+
+// colIndexesIn resolves names against a column list, for callers that
+// have no Relation (streaming iterators resolve against child Cols()).
+func colIndexesIn(cols []string, names []string) ([]int, error) {
 	out := make([]int, len(names))
 	for i, n := range names {
-		ci := r.ColumnIndex(n)
+		ci := columnIndexIn(cols, n)
 		if ci < 0 {
-			return nil, fmt.Errorf("engine: relation has no column %s (cols: %v)", n, r.Cols)
+			return nil, fmt.Errorf("engine: relation has no column %s (cols: %v)", n, cols)
 		}
 		out[i] = ci
 	}

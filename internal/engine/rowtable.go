@@ -1,0 +1,137 @@
+package engine
+
+import "uniqopt/internal/value"
+
+// rowTable is an insertion-ordered hash multimap from row hashes to
+// rows, used by the hash operators in place of
+// map[uint64][]value.Row. It is open-addressed on the hash (one probe
+// sequence per distinct hash value) and chains same-hash rows through
+// an intrusive linked list in insertion order, so iteration over a
+// hash's chain visits rows exactly as append would have — a property
+// the byte-identical serial/parallel/streaming guarantee relies on
+// when hashes collide.
+//
+// rowTable never shrinks and has no delete; it is built once per
+// operator invocation and discarded. Callers own all Stats counting
+// (HashProbes, HashInserts, Comparisons) and all equality checking:
+// the table only partitions rows by hash.
+type rowTable struct {
+	// slots[s] holds the first and last entry of the chain whose hash
+	// landed in slot s, each offset by +1 so the zero value means
+	// "empty" and fresh slot arrays need no sentinel fill pass. tail
+	// makes chain append O(1) without walking.
+	slots   []rtSlot
+	entries []rtEntry
+	mask    uint64
+}
+
+type rtSlot struct {
+	head, tail int32 // entry index + 1; 0 = empty
+}
+
+type rtEntry struct {
+	hash uint64
+	next int32 // next entry with the same hash, -1 at chain end
+	row  value.Row
+}
+
+const rtNone = int32(-1)
+
+// newRowTable sizes the slot array for hint distinct hashes (growing
+// later if the hint was low). The floor is generous (a few KB) so
+// streaming operators that cannot know their input size up front do
+// not rehash through a dozen doublings on large streams.
+func newRowTable(hint int) *rowTable {
+	n := 1024
+	for n < hint*4/3 && n < 1<<30 {
+		n <<= 1
+	}
+	t := &rowTable{mask: uint64(n - 1), slots: make([]rtSlot, n)}
+	if hint > 0 {
+		t.entries = make([]rtEntry, 0, hint)
+	}
+	return t
+}
+
+// find returns the index of the first entry whose hash is h, or rtNone.
+// Walk the chain via entries[i].next for the remaining same-hash rows.
+func (t *rowTable) find(h uint64) int32 {
+	i := h & t.mask
+	for {
+		s := t.slots[i]
+		if s.head == 0 {
+			return rtNone
+		}
+		if e := s.head - 1; t.entries[e].hash == h {
+			return e
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// insert appends row to hash h's chain (creating the chain if h is
+// new) and returns the new entry's index.
+func (t *rowTable) insert(h uint64, row value.Row) int32 {
+	if len(t.entries)*4 > len(t.slots)*3 {
+		t.grow()
+	}
+	idx := int32(len(t.entries))
+	if len(t.entries) == cap(t.entries) {
+		// Grow the entry log 4x by hand: entries carry row pointers,
+		// so each relocation pays GC write barriers — fewer, larger
+		// moves beat append's default doubling on unsized tables.
+		nc := cap(t.entries) * 4
+		if nc < 1024 {
+			nc = 1024
+		}
+		ne := make([]rtEntry, len(t.entries), nc)
+		copy(ne, t.entries)
+		t.entries = ne
+	}
+	t.entries = append(t.entries, rtEntry{hash: h, next: rtNone, row: row})
+	i := h & t.mask
+	for {
+		s := &t.slots[i]
+		if s.head == 0 {
+			s.head, s.tail = idx+1, idx+1
+			return idx
+		}
+		if t.entries[s.head-1].hash == h {
+			t.entries[s.tail-1].next = idx
+			s.tail = idx + 1
+			return idx
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// grow quadruples the slot array and relinks every entry. Entries are
+// relinked in index order, which preserves each chain's insertion
+// order; the 4x factor keeps total rehash work near one pass over the
+// final table even when the initial size guess was far too low.
+func (t *rowTable) grow() {
+	n := len(t.slots) * 4
+	t.mask = uint64(n - 1)
+	t.slots = make([]rtSlot, n)
+	for idx := range t.entries {
+		e := &t.entries[idx]
+		e.next = rtNone
+		i := e.hash & t.mask
+		for {
+			s := &t.slots[i]
+			if s.head == 0 {
+				s.head, s.tail = int32(idx)+1, int32(idx)+1
+				break
+			}
+			if t.entries[s.head-1].hash == e.hash {
+				t.entries[s.tail-1].next = int32(idx)
+				s.tail = int32(idx) + 1
+				break
+			}
+			i = (i + 1) & t.mask
+		}
+	}
+}
+
+// len reports the number of inserted rows.
+func (t *rowTable) len() int { return len(t.entries) }

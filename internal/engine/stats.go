@@ -45,6 +45,10 @@ type Stats struct {
 	RowsMaterialized int64 // rows charged at materialization points
 	BytesReserved    int64 // estimated bytes charged at materialization points
 
+	// Batches counts the batches emitted by streaming operators
+	// (iterator.go); 0 for a fully materializing execution.
+	Batches int64
+
 	// WorkersUsed is the effective worker count of the widest parallel
 	// dispatch in this execution (0 = fully serial). It is a gauge, not
 	// a counter: merging takes the maximum, so a DB-wide accumulation
@@ -81,6 +85,7 @@ func (s *Stats) fields(o *Stats) []statField {
 		{dst: &s.CacheMisses, src: &o.CacheMisses},
 		{dst: &s.RowsMaterialized, src: &o.RowsMaterialized},
 		{dst: &s.BytesReserved, src: &o.BytesReserved},
+		{dst: &s.Batches, src: &o.Batches},
 		{dst: &s.WorkersUsed, src: &o.WorkersUsed, max: true},
 	}
 }
@@ -155,6 +160,9 @@ func (s *Stats) String() string {
 	}
 	if c.RowsMaterialized > 0 {
 		out += fmt.Sprintf(" matrows=%d matbytes=%d", c.RowsMaterialized, c.BytesReserved)
+	}
+	if c.Batches > 0 {
+		out += fmt.Sprintf(" batches=%d", c.Batches)
 	}
 	if c.CacheHits+c.CacheMisses > 0 {
 		out += fmt.Sprintf(" cachehits=%d cachemisses=%d hitrate=%.0f%%",

@@ -1,0 +1,504 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"uniqopt/internal/eval"
+	"uniqopt/internal/sql/ast"
+	"uniqopt/internal/value"
+)
+
+// withBatchSize scopes a batch-size override to one test, so
+// batch-boundary behavior can be exercised at deliberately tiny sizes.
+func withBatchSize(t *testing.T, n int) {
+	t.Helper()
+	prev := SetBatchSize(n)
+	t.Cleanup(func() { SetBatchSize(prev) })
+}
+
+// streamBatchSizes are the sizes every equivalence test runs under:
+// degenerate (1), tiny primes that straddle batch boundaries, and the
+// default.
+var streamBatchSizes = []int{1, 3, 5, DefaultBatchSize}
+
+func mustDrain(t *testing.T, st *Stats, it Iterator) *Relation {
+	t.Helper()
+	rel, err := Drain(context.Background(), st, it)
+	if err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	return rel
+}
+
+func gtPred() (ast.Expr, *eval.Env) {
+	return &ast.Compare{Op: ast.GtOp,
+		L: &ast.ColumnRef{Qualifier: "T", Column: "A"}, R: &ast.IntLit{V: 4},
+	}, &eval.Env{Cols: map[string]value.Value{}}
+}
+
+// TestStreamScanEquivalence: relation streaming reproduces the
+// materialized rows at every batch size, and batch sizing is honored.
+func TestStreamScanEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	rel := randomRelation(r, "T", 997)
+	for _, bs := range streamBatchSizes {
+		withBatchSize(t, bs)
+		st := &Stats{}
+		got := mustDrain(t, st, NewRelationIter(st, rel))
+		identicalRelations(t, rel, got, "relation stream")
+		wantBatches := (len(rel.Rows) + bs - 1) / bs
+		if snap := st.Snapshot(); snap.Batches != int64(wantBatches) {
+			t.Fatalf("bs=%d: batches=%d want %d", bs, snap.Batches, wantBatches)
+		}
+	}
+}
+
+// TestStreamOperatorEquivalence: streaming filter, project, distinct,
+// hash join, and product are byte-identical to their serial
+// materializing counterparts at every batch size.
+func TestStreamOperatorEquivalence(t *testing.T) {
+	forceSerial(t)
+	r := rand.New(rand.NewSource(72))
+	l := randomRelation(r, "T", 611)
+	rr := randomRelation(r, "R", 173)
+	ctx := context.Background()
+	pred, env := gtPred()
+
+	st0 := &Stats{}
+	wantFilter, err := Filter(ctx, st0, l, pred, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantProject, err := Project(ctx, st0, l, []string{"T.B", "T.K"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDistinct, err := DistinctHash(ctx, st0, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJoin, err := HashJoin(ctx, st0, l, rr, []string{"T.K"}, []string{"R.K"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallL := &Relation{Cols: l.Cols, Rows: l.Rows[:37]}
+	smallR := &Relation{Cols: rr.Cols, Rows: rr.Rows[:11]}
+	wantProduct, err := Product(ctx, st0, smallL, smallR)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, bs := range streamBatchSizes {
+		withBatchSize(t, bs)
+
+		st := &Stats{}
+		gotFilter := mustDrain(t, st, NewFilterIter(st, NewRelationIter(st, l), pred, env))
+		identicalRelations(t, wantFilter, gotFilter, "stream filter")
+
+		st = &Stats{}
+		pit, err := NewProjectIter(st, NewRelationIter(st, l), []string{"T.B", "T.K"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotProject := mustDrain(t, st, pit)
+		identicalRelations(t, wantProject, gotProject, "stream project")
+
+		st = &Stats{}
+		gotDistinct := mustDrain(t, st, NewDistinctHashIter(st, NewRelationIter(st, l)))
+		identicalRelations(t, wantDistinct, gotDistinct, "stream distinct")
+
+		st = &Stats{}
+		jit, err := NewHashJoinIter(st, NewRelationIter(st, l), NewRelationIter(st, rr),
+			[]string{"T.K"}, []string{"R.K"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotJoin := mustDrain(t, st, jit)
+		identicalRelations(t, wantJoin, gotJoin, "stream hash join")
+
+		st = &Stats{}
+		gotProduct := mustDrain(t, st,
+			NewProductIter(st, NewRelationIter(st, smallL), NewRelationIter(st, smallR)))
+		identicalRelations(t, wantProduct, gotProduct, "stream product")
+
+		st = &Stats{}
+		gotSorted := mustDrain(t, st, NewDistinctSortIter(st, NewRelationIter(st, l)))
+		st0b := &Stats{}
+		wantSorted, err := DistinctSort(ctx, st0b, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		identicalRelations(t, wantSorted, gotSorted, "stream distinct sort")
+	}
+}
+
+// TestStreamParallelEquivalence: the pipelined exchange (filter,
+// project) and partition-parallel streaming distinct produce output
+// byte-identical to serial streaming under a wide worker pool and a
+// threshold that forces the parallel paths.
+func TestStreamParallelEquivalence(t *testing.T) {
+	pw := SetWorkers(4)
+	t.Cleanup(func() { SetWorkers(pw) })
+	pt := SetParallelThreshold(1)
+	t.Cleanup(func() { SetParallelThreshold(pt) })
+
+	r := rand.New(rand.NewSource(73))
+	l := randomRelation(r, "T", 1201)
+	pred, env := gtPred()
+
+	ctx := context.Background()
+	st0 := &Stats{}
+	wantFilter, err := Filter(ctx, st0, l, pred, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantProject, err := Project(ctx, st0, l, []string{"T.B", "T.K"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDistinct, err := DistinctHash(ctx, st0, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, bs := range []int{1, 3, 64, DefaultBatchSize} {
+		withBatchSize(t, bs)
+
+		st := &Stats{}
+		gotFilter := mustDrain(t, st, NewFilterIter(st, NewRelationIter(st, l), pred, env))
+		identicalRelations(t, wantFilter, gotFilter, "exchange filter")
+		if bs >= 64 && st.Snapshot().ParallelRuns == 0 {
+			t.Fatalf("bs=%d: exchange filter did not take the parallel path", bs)
+		}
+
+		st = &Stats{}
+		pit, err := NewProjectIter(st, NewRelationIter(st, l), []string{"T.B", "T.K"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotProject := mustDrain(t, st, pit)
+		identicalRelations(t, wantProject, gotProject, "exchange project")
+
+		st = &Stats{}
+		gotDistinct := mustDrain(t, st, NewDistinctHashIter(st, NewRelationIter(st, l)))
+		identicalRelations(t, wantDistinct, gotDistinct, "parallel stream distinct")
+	}
+}
+
+// TestSymmetricHashJoin: the stream-to-stream join is multiset-equal
+// to HashJoin (its arrival order differs from probe order by design)
+// at every batch size, with deterministic output for a fixed input.
+func TestSymmetricHashJoin(t *testing.T) {
+	forceSerial(t)
+	r := rand.New(rand.NewSource(74))
+	l := randomRelation(r, "T", 401)
+	rr := randomRelation(r, "R", 389)
+	ctx := context.Background()
+	st0 := &Stats{}
+	want, err := HashJoin(ctx, st0, l, rr, []string{"T.K"}, []string{"R.K"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first *Relation
+	for _, bs := range streamBatchSizes {
+		withBatchSize(t, bs)
+		st := &Stats{}
+		jit, err := NewSymmetricHashJoinIter(st, NewRelationIter(st, l), NewRelationIter(st, rr),
+			[]string{"T.K"}, []string{"R.K"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := mustDrain(t, st, jit)
+		if !MultisetEqual(want, got) {
+			t.Fatalf("bs=%d: symmetric join not multiset-equal to HashJoin (%d vs %d rows)",
+				bs, got.Len(), want.Len())
+		}
+		if snap := st.Snapshot(); snap.JoinPairs == 0 || snap.HashInserts == 0 {
+			t.Fatalf("bs=%d: symmetric join counters not recorded: %s", bs, &snap)
+		}
+	}
+	// Determinism: same input, same batch size, same output order.
+	withBatchSize(t, 7)
+	for i := 0; i < 2; i++ {
+		st := &Stats{}
+		jit, err := NewSymmetricHashJoinIter(st, NewRelationIter(st, l), NewRelationIter(st, rr),
+			[]string{"T.K"}, []string{"R.K"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := mustDrain(t, st, jit)
+		if first == nil {
+			first = got
+		} else {
+			identicalRelations(t, first, got, "symmetric join determinism")
+		}
+	}
+}
+
+// TestStreamCollisionFallback: with every hash degenerate, streaming
+// distinct and both streaming joins still compare rows and produce
+// correct output — extending the serial/parallel collision coverage to
+// the streaming path.
+func TestStreamCollisionFallback(t *testing.T) {
+	forceSerial(t)
+	withDegenerateHash(t)
+	withBatchSize(t, 2)
+	ctx := context.Background()
+	rel := craftedRows()
+
+	st0 := &Stats{}
+	wantD, err := DistinctSort(ctx, st0, rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &Stats{}
+	gotD := mustDrain(t, st, NewDistinctHashIter(st, NewRelationIter(st, rel)))
+	if !MultisetEqual(wantD, gotD) {
+		t.Fatalf("collision distinct: %d rows, want %d", gotD.Len(), wantD.Len())
+	}
+
+	l := craftedRows()
+	rr := &Relation{Cols: []string{"R.K", "R.W"}, Rows: []value.Row{
+		{value.Int(1), value.String_("x")},
+		{value.Int(3), value.String_("y")},
+		{value.Null, value.String_("z")},
+		{value.Int(1), value.String_("w")},
+	}}
+	st0 = &Stats{}
+	want, err := HashJoin(ctx, st0, l, rr, []string{"T.K"}, []string{"R.K"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = &Stats{}
+	jit, err := NewHashJoinIter(st, NewRelationIter(st, l), NewRelationIter(st, rr),
+		[]string{"T.K"}, []string{"R.K"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := mustDrain(t, st, jit)
+	identicalRelations(t, want, got, "collision stream join")
+
+	st = &Stats{}
+	sym, err := NewSymmetricHashJoinIter(st, NewRelationIter(st, l), NewRelationIter(st, rr),
+		[]string{"T.K"}, []string{"R.K"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSym := mustDrain(t, st, sym)
+	if !MultisetEqual(want, gotSym) {
+		t.Fatalf("collision symmetric join: %d rows, want %d", gotSym.Len(), want.Len())
+	}
+}
+
+// TestBufferedIteratorRewind: replay returns the same batches, and
+// rewinding mid-stream replays the cached prefix before continuing.
+func TestBufferedIteratorRewind(t *testing.T) {
+	withBatchSize(t, 4)
+	r := rand.New(rand.NewSource(75))
+	rel := randomRelation(r, "T", 23)
+	ctx := context.Background()
+
+	st := &Stats{}
+	buf := NewBufferedIterator(st, NewRelationIter(st, rel))
+	// Pull two batches, rewind, then drain fully: the result must be
+	// the whole relation (prefix replayed, remainder pulled fresh).
+	for i := 0; i < 2; i++ {
+		if _, err := buf.Next(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf.Rewind()
+	got := mustDrain(t, st, buf)
+	identicalRelations(t, rel, got, "buffered rewind")
+
+	st = &Stats{}
+	buf = NewBufferedIterator(st, NewRelationIter(st, rel))
+	first := mustDrainNoClose(t, buf, ctx)
+	buf.Rewind()
+	second := mustDrainNoClose(t, buf, ctx)
+	if len(first) != len(second) {
+		t.Fatalf("replay row count %d != %d", len(second), len(first))
+	}
+	for i := range first {
+		if value.OrderCompareRows(first[i], second[i]) != 0 {
+			t.Fatalf("replay row %d differs", i)
+		}
+	}
+	if err := buf.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustDrainNoClose(t *testing.T, it Iterator, ctx context.Context) []value.Row {
+	t.Helper()
+	var rows []value.Row
+	for {
+		b, err := it.Next(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			return rows
+		}
+		rows = append(rows, b...)
+	}
+}
+
+// TestStreamGovernorAccounting: streaming releases in-flight charges
+// (usage returns to zero after Close), records a true peak, and that
+// peak is far below the materialized footprint of the same pipeline.
+func TestStreamGovernorAccounting(t *testing.T) {
+	forceSerial(t)
+	withBatchSize(t, 64)
+	r := rand.New(rand.NewSource(76))
+	rel := randomRelation(r, "T", 20000)
+	gov := NewGovernor(0, 1<<40)
+	ctx := WithGovernor(context.Background(), gov)
+	pred, env := gtPred()
+
+	st := &Stats{}
+	n, err := DrainDiscard(ctx, NewFilterIter(st, NewRelationIter(st, rel), pred, env))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("filter emitted nothing")
+	}
+	if rows, bytes := gov.Usage(); rows != 0 || bytes != 0 {
+		t.Fatalf("usage after close: rows=%d bytes=%d, want 0", rows, bytes)
+	}
+	peakRows, peakBytes := gov.Peak()
+	if peakRows == 0 || peakBytes == 0 {
+		t.Fatal("no peak recorded")
+	}
+
+	// The same pipeline materialized: its peak must dwarf streaming's.
+	govM := NewGovernor(0, 1<<40)
+	ctxM := WithGovernor(context.Background(), govM)
+	stM := &Stats{}
+	outM, err := Filter(ctxM, stM, rel, pred, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outM.Len() != int(n) {
+		t.Fatalf("materialized filter rows %d != streamed %d", outM.Len(), n)
+	}
+	_, matPeak := govM.Peak()
+	if peakBytes*4 > matPeak {
+		t.Fatalf("streaming peak %d not well below materialized peak %d", peakBytes, matPeak)
+	}
+}
+
+// TestStreamBudget: a pipeline whose full materialization exceeds the
+// budget streams to completion under it, while a blocking operator
+// (distinct over mostly-unique rows) binds the budget and fails fast.
+func TestStreamBudget(t *testing.T) {
+	forceSerial(t)
+	withBatchSize(t, 128)
+	r := rand.New(rand.NewSource(77))
+	rel := randomRelation(r, "T", 50000)
+	pred, env := gtPred()
+
+	// Budget far below the relation's footprint but far above one batch.
+	budget := int64(1 << 20) // 1 MiB
+	gov := NewGovernor(0, budget)
+	ctx := WithGovernor(context.Background(), gov)
+	st := &Stats{}
+	if _, err := DrainDiscard(ctx, NewFilterIter(st, NewRelationIter(st, rel), pred, env)); err != nil {
+		t.Fatalf("streaming pipeline should fit in budget: %v", err)
+	}
+	if _, peak := gov.Peak(); peak > budget {
+		t.Fatalf("peak %d exceeded budget %d", peak, budget)
+	}
+
+	// The materializing counterpart fails on the same budget.
+	govM := NewGovernor(0, budget)
+	ctxM := WithGovernor(context.Background(), govM)
+	stM := &Stats{}
+	if _, err := Filter(ctxM, stM, rel, pred, env); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("materializing filter: err=%v, want budget exceeded", err)
+	}
+
+	// A blocking streaming operator still binds: distinct must hold
+	// every distinct row, which overflows the budget mid-stream.
+	govB := NewGovernor(0, budget)
+	ctxB := WithGovernor(context.Background(), govB)
+	stB := &Stats{}
+	if _, err := DrainDiscard(ctxB, NewDistinctHashIter(stB, NewRelationIter(stB, rel))); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("blocking distinct: err=%v, want budget exceeded", err)
+	}
+}
+
+// TestStreamCancellation: an expired context stops a streaming
+// pipeline between batches.
+func TestStreamCancellation(t *testing.T) {
+	forceSerial(t)
+	withBatchSize(t, 8)
+	r := rand.New(rand.NewSource(78))
+	rel := randomRelation(r, "T", 1000)
+	ctx, cancel := context.WithCancel(context.Background())
+	st := &Stats{}
+	it := NewDistinctHashIter(st, NewRelationIter(st, rel))
+	if _, err := it.Next(ctx); err != nil {
+		t.Fatalf("first batch: %v", err)
+	}
+	cancel()
+	var err error
+	for i := 0; i < 10 && err == nil; i++ {
+		_, err = it.Next(ctx)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+	if cerr := it.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+}
+
+// TestStreamEmptyInputs: every streaming operator handles empty
+// inputs, and Close before exhaustion is safe.
+func TestStreamEmptyInputs(t *testing.T) {
+	forceSerial(t)
+	withBatchSize(t, 3)
+	empty := &Relation{Cols: []string{"T.K", "T.A", "T.B"}}
+	r := rand.New(rand.NewSource(79))
+	rel := randomRelation(r, "R", 10)
+	pred, env := gtPred()
+
+	st := &Stats{}
+	if got := mustDrain(t, st, NewFilterIter(st, NewRelationIter(st, empty), pred, env)); got.Len() != 0 {
+		t.Fatal("filter of empty not empty")
+	}
+	st = &Stats{}
+	if got := mustDrain(t, st, NewDistinctHashIter(st, NewRelationIter(st, empty))); got.Len() != 0 {
+		t.Fatal("distinct of empty not empty")
+	}
+	st = &Stats{}
+	jit, err := NewHashJoinIter(st, NewRelationIter(st, empty), NewRelationIter(st, rel),
+		[]string{"T.K"}, []string{"R.K"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustDrain(t, st, jit); got.Len() != 0 {
+		t.Fatal("join with empty probe not empty")
+	}
+	st = &Stats{}
+	if got := mustDrain(t, st, NewProductIter(st, NewRelationIter(st, rel), NewRelationIter(st, empty))); got.Len() != 0 {
+		t.Fatal("product with empty right not empty")
+	}
+	// Close before exhaustion releases cleanly.
+	st = &Stats{}
+	it := NewDistinctHashIter(st, NewRelationIter(st, rel))
+	if _, err := it.Next(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

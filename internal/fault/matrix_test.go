@@ -94,6 +94,22 @@ func runAll(ctx context.Context, db *uniqopt.DB) error {
 		{"ParallelHashJoin", func() (*engine.Relation, error) {
 			return engine.ParallelHashJoin(ctx, st, l, r, []string{"L.K"}, []string{"R.K"}, 4)
 		}},
+		// Streaming legs: pull-based pipelines hit the per-batch
+		// engine.stream.next point (and the build/probe/distinct points
+		// from inside a pipeline). Drain closes the pipeline on error,
+		// so a mid-stream fault must not leak charges or goroutines.
+		{"StreamDistinct", func() (*engine.Relation, error) {
+			return engine.Drain(ctx, st, engine.NewDistinctHashIter(st, engine.NewRelationIter(st, l)))
+		}},
+		{"StreamHashJoin", func() (*engine.Relation, error) {
+			it, err := engine.NewHashJoinIter(st,
+				engine.NewRelationIter(st, l), engine.NewRelationIter(st, r),
+				[]string{"L.K"}, []string{"R.K"})
+			if err != nil {
+				return nil, err
+			}
+			return engine.Drain(ctx, st, it)
+		}},
 	}
 	for _, s := range steps {
 		rel, err := runContained(s.name, s.run)

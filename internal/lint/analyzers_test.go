@@ -103,6 +103,34 @@ func TestCtxFlowFixture(t *testing.T) {
 	}
 }
 
+func TestIterLifeFixture(t *testing.T) {
+	// The iterator fixture exercises all three lifecycle rules at
+	// once: iterlife's missing-Close and leaked-local rules, ctxflow
+	// on Next methods, and rowalias batch-buffer reuse.
+	fs := checkFixture(t, "iterfix/internal/engine", IterLife, RowAlias, CtxFlow)
+	var life, ctx, alias int
+	for _, f := range fs {
+		switch f.Analyzer {
+		case "iterlife":
+			life++
+		case "ctxflow":
+			ctx++
+		case "rowalias":
+			alias++
+		}
+	}
+	if life != 3 || ctx != 2 || alias != 1 {
+		t.Errorf("iterator fixture findings: iterlife=%d ctxflow=%d rowalias=%d, want 3, 2, 1", life, ctx, alias)
+	}
+}
+
+func TestIterLifeSkipsOtherPackages(t *testing.T) {
+	fs, _ := loadFixture(t, "fix/tvlbool", IterLife)
+	if len(fs) != 0 {
+		t.Errorf("iterlife ran outside engine/plan: %v", fs)
+	}
+}
+
 func TestCtxFlowSkipsOtherPackages(t *testing.T) {
 	// The analyzer is scoped to internal/engine and internal/plan;
 	// other packages may hold contexts however they like.

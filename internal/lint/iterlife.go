@@ -1,0 +1,216 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// IterLife polices the streaming engine's iterator lifecycle. A
+// pull-based pipeline only releases its resources — governor charges,
+// build tables, buffered batches — when every operator's Close runs,
+// so two shapes are bugs by construction:
+//
+//  1. A type that declares Next(context.Context) (batch, error) but no
+//     Close() error cannot participate in pipeline teardown at all;
+//     whatever it holds leaks on every early exit.
+//
+//  2. A locally constructed iterator that is never closed, returned,
+//     stored, or handed to another call has no owner: the function
+//     exits (normally or via an error) with the iterator's resources
+//     still charged.
+//
+// The analyzer inspects non-test files of internal/engine and
+// internal/plan, the only packages that define or assemble pipelines.
+var IterLife = &Analyzer{
+	Name: "iterlife",
+	Doc:  "flag iterator types without Close and locally constructed iterators that are never closed or handed off",
+	Run:  runIterLife,
+}
+
+func runIterLife(pass *Pass) {
+	if !pkgIs(pass.Pkg, "internal/engine") && !pkgIs(pass.Pkg, "internal/plan") {
+		return
+	}
+	for _, file := range pass.Files {
+		base := pass.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(base, "_test.go") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					checkIterType(pass, ts)
+				}
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					checkIterLeaks(pass, d)
+				}
+			}
+		}
+	}
+}
+
+// hasIterMethod reports whether t (or *t, for concrete types) has a
+// method named name whose signature satisfies check.
+func hasIterMethod(t types.Type, name string, check func(*types.Signature) bool) bool {
+	cands := []types.Type{t}
+	if _, isPtr := t.(*types.Pointer); !isPtr {
+		if _, isIface := t.Underlying().(*types.Interface); !isIface {
+			cands = append(cands, types.NewPointer(t))
+		}
+	}
+	for _, c := range cands {
+		ms := types.NewMethodSet(c)
+		for i := 0; i < ms.Len(); i++ {
+			f, ok := ms.At(i).Obj().(*types.Func)
+			if !ok || f.Name() != name {
+				continue
+			}
+			if sig, ok := f.Type().(*types.Signature); ok && check(sig) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isNextSig matches Next(ctx context.Context) (T, error).
+func isNextSig(sig *types.Signature) bool {
+	if sig.Params().Len() < 1 || !isCtxType(sig.Params().At(0).Type()) {
+		return false
+	}
+	res := sig.Results()
+	return res.Len() >= 1 && isErrorType(res.At(res.Len()-1).Type())
+}
+
+// isCloseSig matches Close() error.
+func isCloseSig(sig *types.Signature) bool {
+	return sig.Params().Len() == 0 && sig.Results().Len() == 1 && isErrorType(sig.Results().At(0).Type())
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// hasNext / hasClose classify a type against the iterator contract.
+func hasNext(t types.Type) bool  { return hasIterMethod(t, "Next", isNextSig) }
+func hasClose(t types.Type) bool { return hasIterMethod(t, "Close", isCloseSig) }
+
+// checkIterType flags rule 1: Next without Close.
+func checkIterType(pass *Pass, ts *ast.TypeSpec) {
+	obj, ok := pass.Info.Defs[ts.Name].(*types.TypeName)
+	if !ok {
+		return
+	}
+	t := obj.Type()
+	if hasNext(t) && !hasClose(t) {
+		pass.Report(ts.Name.Pos(),
+			"type %s declares Next(context.Context) but no Close() error; pipelines cannot release its resources on teardown — every iterator must be closable",
+			ts.Name.Name)
+	}
+}
+
+// checkIterLeaks flags rule 2: a local iterator constructed by a call
+// and then never closed, returned, stored, sent, or passed onward.
+func checkIterLeaks(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Info
+
+	// Collect candidates: `it := NewXxx(...)` (including multi-result
+	// forms like `it, err := NewXxx(...)`) where the variable's static
+	// type satisfies the full iterator contract.
+	type cand struct {
+		id  *ast.Ident
+		obj *types.Var
+	}
+	var cands []cand
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok.String() != ":=" || len(as.Rhs) == 0 {
+			return true
+		}
+		if _, isCall := as.Rhs[0].(*ast.CallExpr); !isCall || len(as.Rhs) != 1 {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj, ok := info.Defs[id].(*types.Var)
+			if !ok {
+				continue
+			}
+			if hasNext(obj.Type()) && hasClose(obj.Type()) {
+				cands = append(cands, cand{id: id, obj: obj})
+			}
+		}
+		return true
+	})
+	if len(cands) == 0 {
+		return
+	}
+
+	closed := make(map[*types.Var]bool)
+	handed := make(map[*types.Var]bool)
+	markPlain := func(e ast.Expr, m map[*types.Var]bool) {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return
+		}
+		if obj := objOf(info, id); obj != nil {
+			m[obj] = true
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			// it.Close() discharges the obligation; passing the
+			// iterator as an argument transfers ownership.
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Close" {
+				markPlain(sel.X, closed)
+			}
+			for _, arg := range x.Args {
+				markPlain(arg, handed)
+			}
+		case *ast.ReturnStmt:
+			for _, r := range x.Results {
+				markPlain(r, handed)
+			}
+		case *ast.SendStmt:
+			markPlain(x.Value, handed)
+		case *ast.CompositeLit:
+			for _, el := range x.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					markPlain(kv.Value, handed)
+					continue
+				}
+				markPlain(el, handed)
+			}
+		case *ast.AssignStmt:
+			// Re-assigning the iterator elsewhere (a field, a slice
+			// slot, another variable) hands it off.
+			if x.Tok.String() == ":=" {
+				return true
+			}
+			for _, rhs := range x.Rhs {
+				markPlain(rhs, handed)
+			}
+		}
+		return true
+	})
+
+	for _, c := range cands {
+		if closed[c.obj] || handed[c.obj] {
+			continue
+		}
+		pass.Report(c.id.Pos(),
+			"iterator %s is constructed here but never closed, returned, or handed off; an early exit leaks its governor charges and buffers — defer %s.Close() or transfer ownership",
+			c.id.Name, c.id.Name)
+	}
+}

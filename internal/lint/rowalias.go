@@ -22,6 +22,12 @@ import (
 // to rows reached through shared storage (rel.Rows[i][j] = v, or a
 // doubly-indexed parameter): operators receive their inputs by
 // reference and must copy-on-write.
+//
+// A third rule polices the streaming batch contract: a Next method
+// that writes elements of a receiver-field row slice it also returns
+// is reusing its output buffer across calls, mutating batches the
+// previous Next already handed to the consumer. Emitted batches are
+// immutable after handoff — Next must allocate fresh batch storage.
 var RowAlias = &Analyzer{
 	Name: "rowalias",
 	Doc:  "flag writes to value.Row elements after the row escaped (channel send, append, store, return)",
@@ -183,6 +189,80 @@ func runRowAliasFunc(pass *Pass, fd *ast.FuncDecl) {
 			}
 		case *ast.IncDecStmt:
 			checkWrite(x.X, x.X.Pos())
+		}
+		return true
+	})
+
+	// Rule 3: Next reusing the receiver batch buffer it returns.
+	if inEngine || pkgIs(pass.Pkg, "internal/plan") {
+		checkNextBufferReuse(pass, fd)
+	}
+}
+
+// checkNextBufferReuse flags a Next method that both writes elements
+// of a receiver-field row slice and returns that same field: the
+// previous call's emitted batch aliases the buffer, so the write
+// corrupts rows the consumer already owns.
+func checkNextBufferReuse(pass *Pass, fd *ast.FuncDecl) {
+	if fd.Name.Name != "Next" {
+		return
+	}
+	recv := receiverObj(pass.Info, fd)
+	if recv == nil {
+		return
+	}
+	info := pass.Info
+	// recvField resolves expr as `recv.F` with F a row-typed slice and
+	// returns F's name, or "".
+	recvField := func(e ast.Expr) string {
+		sel, ok := e.(*ast.SelectorExpr)
+		if !ok {
+			return ""
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || objOf(info, id) != recv {
+			return ""
+		}
+		if t := info.Types[e].Type; t == nil || !isRowType(t) {
+			return ""
+		}
+		if _, isSlice := info.Types[e].Type.Underlying().(*types.Slice); !isSlice {
+			return ""
+		}
+		return sel.Sel.Name
+	}
+
+	returned := make(map[string]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, r := range ret.Results {
+			if f := recvField(r); f != "" {
+				returned[f] = true
+			}
+		}
+		return true
+	})
+	if len(returned) == 0 {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			idx, ok := lhs.(*ast.IndexExpr)
+			if !ok {
+				continue
+			}
+			if f := recvField(idx.X); f != "" && returned[f] {
+				pass.Report(lhs.Pos(),
+					"Next reuses the receiver batch buffer %s it also returns; the previous batch is already owned by the consumer — allocate fresh batch storage per call",
+					f)
+			}
 		}
 		return true
 	})

@@ -43,6 +43,10 @@ type Node struct {
 	// path; Workers is the effective dispatch width.
 	Parallel bool  `json:"parallel,omitempty"`
 	Workers  int64 `json:"workers,omitempty"`
+	// Batches counts the batches the operator emitted under streaming
+	// execution (0 under materializing execution, where operators hand
+	// over their whole output at once).
+	Batches int64 `json:"batches,omitempty"`
 }
 
 // Format renders the tree as indented text, one operator per line,
@@ -67,6 +71,9 @@ func (n *Node) format(sb *strings.Builder, depth int, analyze bool) {
 		fmt.Fprintf(sb, " [in=%d out=%d time=%s", n.RowsIn, n.RowsOut, fmtDuration(n.TimeNanos))
 		if n.Parallel {
 			fmt.Fprintf(sb, " par=%d", n.Workers)
+		}
+		if n.Batches > 0 {
+			fmt.Fprintf(sb, " batches=%d", n.Batches)
 		}
 		sb.WriteByte(']')
 	}
@@ -104,14 +111,16 @@ func fmtDuration(ns int64) string {
 }
 
 // volatileRe matches the fields of an ANALYZE rendering that vary
-// between otherwise-identical executions: wall times and the parallel
-// dispatch width (which depends on the machine's pool size).
-var volatileRe = regexp.MustCompile(`( time=[0-9.]+(?:ns|µs|ms|s))|( par=[0-9]+)`)
+// between otherwise-identical executions: wall times, the parallel
+// dispatch width (which depends on the machine's pool size), and batch
+// counts (which depend on the configured batch size and on whether the
+// run streamed at all).
+var volatileRe = regexp.MustCompile(`( time=[0-9.]+(?:ns|µs|ms|s))|( par=[0-9]+)|( batches=[0-9]+)`)
 
 // ScrubVolatile canonicalizes an ANALYZE rendering for comparison and
-// golden files: wall times become time=? and parallel-width markers
-// are dropped. Serial and parallel executions of the same query must
-// render byte-identically after scrubbing.
+// golden files: wall times become time=? and parallel-width / batch
+// markers are dropped. Serial, parallel, and streaming executions of
+// the same query must render byte-identically after scrubbing.
 func ScrubVolatile(s string) string {
 	return volatileRe.ReplaceAllStringFunc(s, func(m string) string {
 		if strings.Contains(m, "time=") {

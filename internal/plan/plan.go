@@ -66,6 +66,14 @@ type Options struct {
 	// execution would, at near-zero cost. Result.Rel is an empty
 	// relation and per-operator metrics stay unpopulated.
 	ExplainOnly bool
+	// Streaming executes query specifications as pull-based batched
+	// iterator pipelines instead of materializing every operator's
+	// output: only blocking state (hash tables, sort buffers) is ever
+	// resident, so MemBudget bounds the pipeline's live footprint
+	// rather than the sum of intermediate results. Results, plan trees,
+	// and row order are identical to materializing execution.
+	// ExplainOnly takes precedence (nothing executes either way).
+	Streaming bool
 }
 
 // Result is the outcome of planning and executing one query.
@@ -273,47 +281,62 @@ func (p *Planner) rewriteFixpoint(q ast.Query, res *Result) (ast.Query, error) {
 	return q, nil
 }
 
-// execSelect plans one query specification: per-table pushdown, a
-// left-deep join tree preferring hash joins on equality predicates,
-// residual filtering (including EXISTS via nested-loop evaluation),
-// projection, and duplicate elimination. It returns the result
-// relation together with the typed plan subtree it executed (the
-// legacy Result.Plan lines are appended as before).
-func (p *Planner) execSelect(ctx context.Context, s *ast.Select, hosts map[string]value.Value, res *Result) (*engine.Relation, *Node, error) {
-	analyzed := !p.Opts.ExplainOnly
+// selectPlan is the pure planning outcome for one query specification:
+// every decision — per-table pushdown, access paths, the left-deep
+// join order with its keys, the residual predicate, projection, and
+// duplicate elimination — made before any table data is touched. Both
+// the materializing and the streaming executors consume the same
+// selectPlan, which is what guarantees they run the same physical
+// plan (and, with order-deterministic operators, produce
+// byte-identical results).
+type selectPlan struct {
+	scope    *catalog.Scope
+	tables   []accessStep
+	joins    []joinStep // joins[k] combines tables[k+1] into the tree
+	residual ast.Expr   // nil = none
+	cols     []string
+	distinct bool
+}
+
+// accessStep is one base-table access: the chosen access path (nil =
+// full scan) and the pushed single-table filter remaining after the
+// path consumed its conjunct (nil = none).
+type accessStep struct {
+	corr string
+	tbl  *storage.Table
+	ap   *accessDecision
+	push ast.Expr
+}
+
+// joinStep holds the equi-join keys binding the next table into the
+// left-deep tree (empty = Cartesian product).
+type joinStep struct {
+	lk, rk []string
+}
+
+// planSelect makes every planning decision for one query
+// specification without executing anything.
+func (p *Planner) planSelect(s *ast.Select, hosts map[string]value.Value) (*selectPlan, error) {
 	scope, err := catalog.NewScope(p.DB.Catalog, s.From, nil)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	// Qualify and split the predicate.
 	var conjuncts []ast.Expr
 	for _, c := range ast.Conjuncts(s.Where) {
 		q, err := p.An.QualifyExpr(c, scope)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		conjuncts = append(conjuncts, q)
 	}
-
-	type pendingTable struct {
-		corr string
-		rel  *engine.Relation
-		node *Node
-	}
-	// Scan each table and push down its single-table conjuncts.
-	envProto := &eval.Env{
-		Cols:   map[string]value.Value{},
-		Hosts:  hosts,
-		Exists: p.naiveExists(ctx, hosts, res),
-		In:     p.naiveIn(ctx, hosts, res),
-	}
+	sp := &selectPlan{scope: scope, distinct: s.Quant.IsDistinct()}
 	used := make([]bool, len(conjuncts))
-	var tables []pendingTable
 	for _, tr := range s.From {
 		corr := strings.ToUpper(tr.Name())
 		tbl, ok := p.DB.Table(tr.Table)
 		if !ok {
-			return nil, nil, fmt.Errorf("plan: unknown table %s", tr.Table)
+			return nil, fmt.Errorf("plan: unknown table %s", tr.Table)
 		}
 		var push []ast.Expr
 		for i, c := range conjuncts {
@@ -328,57 +351,21 @@ func (p *Planner) execSelect(ctx context.Context, s *ast.Select, hosts map[strin
 		}
 		// Prefer an ordered-index access path for a pushed point or
 		// range predicate on an indexed leading column.
-		var rel *engine.Relation
-		var node *Node
-		if ap := p.chooseAccessPath(tbl, corr, push, hosts); ap != nil {
-			rel, node, err = timedOp(res, analyzed, ap.op, ap.detail, int64(tbl.Len()), nil,
-				func() (*engine.Relation, error) {
-					if p.Opts.ExplainOnly {
-						return engine.NewRelation(qualifiedCols(tbl, corr)...), nil
-					}
-					return ap.exec(ctx, &res.Stats)
-				})
-			if err != nil {
-				return nil, nil, err
-			}
-			res.Plan = append(res.Plan, fmt.Sprintf("%s(%s)", ap.op, ap.detail))
-			if ap.consumed >= 0 {
-				push = append(push[:ap.consumed], push[ap.consumed+1:]...)
-			}
-		} else {
-			rel, node, err = timedOp(res, analyzed, "Scan",
-				fmt.Sprintf("%s as %s", tbl.Schema.Name, corr), int64(tbl.Len()), nil,
-				func() (*engine.Relation, error) {
-					if p.Opts.ExplainOnly {
-						return engine.NewRelation(qualifiedCols(tbl, corr)...), nil
-					}
-					return engine.Scan(ctx, &res.Stats, tbl, corr)
-				})
-			if err != nil {
-				return nil, nil, err
-			}
-			res.Plan = append(res.Plan, fmt.Sprintf("Scan(%s as %s)", tbl.Schema.Name, corr))
+		ap := p.chooseAccessPath(tbl, corr, push, hosts)
+		if ap != nil && ap.consumed >= 0 {
+			push = append(push[:ap.consumed], push[ap.consumed+1:]...)
 		}
+		step := accessStep{corr: corr, tbl: tbl, ap: ap}
 		if len(push) > 0 {
-			pred := ast.AndAll(push...)
-			in := rel
-			rel, node, err = timedOp(res, analyzed, "Filter", pred.SQL(), int64(in.Len()), []*Node{node},
-				func() (*engine.Relation, error) {
-					return engine.Filter(ctx, &res.Stats, in, pred, envProto)
-				})
-			if err != nil {
-				return nil, nil, err
-			}
-			res.Plan = append(res.Plan, fmt.Sprintf("  Filter(%s)", pred.SQL()))
+			step.push = ast.AndAll(push...)
 		}
-		tables = append(tables, pendingTable{corr: corr, rel: rel, node: node})
+		sp.tables = append(sp.tables, step)
 	}
 
-	// Left-deep join tree.
-	cur := tables[0].rel
-	curNode := tables[0].node
-	bound := map[string]bool{tables[0].corr: true}
-	for _, t := range tables[1:] {
+	// Left-deep join tree: bind each further table with whatever
+	// equality conjuncts connect it to the tables already joined.
+	bound := map[string]bool{sp.tables[0].corr: true}
+	for _, t := range sp.tables[1:] {
 		var lk, rk []string
 		for i, c := range conjuncts {
 			if used[i] {
@@ -404,13 +391,116 @@ func (p *Planner) execSelect(ctx context.Context, s *ast.Select, hosts map[strin
 				used[i] = true
 			}
 		}
+		sp.joins = append(sp.joins, joinStep{lk: lk, rk: rk})
+		bound[t.corr] = true
+	}
+
+	// Residual predicates (cross-table non-equalities, EXISTS, ...).
+	var residual []ast.Expr
+	for i, c := range conjuncts {
+		if !used[i] {
+			residual = append(residual, c)
+		}
+	}
+	if len(residual) > 0 {
+		sp.residual = ast.AndAll(residual...)
+	}
+
+	refs, err := scope.ExpandItems(s.Items)
+	if err != nil {
+		return nil, err
+	}
+	sp.cols = make([]string, len(refs))
+	for i, r := range refs {
+		sp.cols[i] = r.Qualifier + "." + r.Column
+	}
+	return sp, nil
+}
+
+// execSelect plans one query specification (planSelect) and executes
+// it — with the materializing operators below, or as a streaming
+// iterator pipeline (stream.go) when Options.Streaming is set. It
+// returns the result relation together with the typed plan subtree it
+// executed (the legacy Result.Plan lines are appended as before).
+func (p *Planner) execSelect(ctx context.Context, s *ast.Select, hosts map[string]value.Value, res *Result) (*engine.Relation, *Node, error) {
+	sp, err := p.planSelect(s, hosts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if p.Opts.Streaming && !p.Opts.ExplainOnly {
+		return p.execSelectStream(ctx, sp, hosts, res)
+	}
+	analyzed := !p.Opts.ExplainOnly
+
+	type pendingTable struct {
+		rel  *engine.Relation
+		node *Node
+	}
+	// Scan each table and apply its pushed-down filter.
+	envProto := &eval.Env{
+		Cols:   map[string]value.Value{},
+		Hosts:  hosts,
+		Exists: p.naiveExists(ctx, hosts, res),
+		In:     p.naiveIn(ctx, hosts, res),
+	}
+	var tables []pendingTable
+	for _, t := range sp.tables {
+		tbl, corr := t.tbl, t.corr
+		var rel *engine.Relation
+		var node *Node
+		if ap := t.ap; ap != nil {
+			rel, node, err = timedOp(res, analyzed, ap.op, ap.detail, int64(tbl.Len()), nil,
+				func() (*engine.Relation, error) {
+					if p.Opts.ExplainOnly {
+						return engine.NewRelation(qualifiedCols(tbl, corr)...), nil
+					}
+					return ap.exec(ctx, &res.Stats)
+				})
+			if err != nil {
+				return nil, nil, err
+			}
+			res.Plan = append(res.Plan, fmt.Sprintf("%s(%s)", ap.op, ap.detail))
+		} else {
+			rel, node, err = timedOp(res, analyzed, "Scan",
+				fmt.Sprintf("%s as %s", tbl.Schema.Name, corr), int64(tbl.Len()), nil,
+				func() (*engine.Relation, error) {
+					if p.Opts.ExplainOnly {
+						return engine.NewRelation(qualifiedCols(tbl, corr)...), nil
+					}
+					return engine.Scan(ctx, &res.Stats, tbl, corr)
+				})
+			if err != nil {
+				return nil, nil, err
+			}
+			res.Plan = append(res.Plan, fmt.Sprintf("Scan(%s as %s)", tbl.Schema.Name, corr))
+		}
+		if t.push != nil {
+			pred := t.push
+			in := rel
+			rel, node, err = timedOp(res, analyzed, "Filter", pred.SQL(), int64(in.Len()), []*Node{node},
+				func() (*engine.Relation, error) {
+					return engine.Filter(ctx, &res.Stats, in, pred, envProto)
+				})
+			if err != nil {
+				return nil, nil, err
+			}
+			res.Plan = append(res.Plan, fmt.Sprintf("  Filter(%s)", pred.SQL()))
+		}
+		tables = append(tables, pendingTable{rel: rel, node: node})
+	}
+
+	// Left-deep join tree.
+	cur := tables[0].rel
+	curNode := tables[0].node
+	for k, t := range tables[1:] {
+		j := sp.joins[k]
 		l, lnode := cur, curNode
-		if len(lk) > 0 {
-			detail := fmt.Sprintf("%s = %s", strings.Join(lk, ","), strings.Join(rk, ","))
+		if len(j.lk) > 0 {
+			detail := fmt.Sprintf("%s = %s", strings.Join(j.lk, ","), strings.Join(j.rk, ","))
 			cur, curNode, err = timedOp(res, analyzed, "HashJoin", detail,
 				int64(l.Len()+t.rel.Len()), []*Node{lnode, t.node},
 				func() (*engine.Relation, error) {
-					return engine.HashJoin(ctx, &res.Stats, l, t.rel, lk, rk)
+					return engine.HashJoin(ctx, &res.Stats, l, t.rel, j.lk, j.rk)
 				})
 			if err != nil {
 				return nil, nil, err
@@ -427,20 +517,12 @@ func (p *Planner) execSelect(ctx context.Context, s *ast.Select, hosts map[strin
 			}
 			res.Plan = append(res.Plan, "Product")
 		}
-		bound[t.corr] = true
 	}
 
-	// Residual predicates (cross-table non-equalities, EXISTS, ...).
-	var residual []ast.Expr
-	for i, c := range conjuncts {
-		if !used[i] {
-			residual = append(residual, c)
-		}
-	}
-	if len(residual) > 0 {
-		pred := ast.AndAll(residual...)
+	if sp.residual != nil {
+		pred := sp.residual
 		env := &eval.Env{Cols: map[string]value.Value{}, Hosts: hosts,
-			Scope: scope, Exists: p.naiveExists(ctx, hosts, res),
+			Scope: sp.scope, Exists: p.naiveExists(ctx, hosts, res),
 			In: p.naiveIn(ctx, hosts, res)}
 		in := cur
 		cur, curNode, err = timedOp(res, analyzed, "Filter", pred.SQL(), int64(in.Len()), []*Node{curNode},
@@ -454,26 +536,18 @@ func (p *Planner) execSelect(ctx context.Context, s *ast.Select, hosts map[strin
 	}
 
 	// Projection and duplicate elimination.
-	refs, err := scope.ExpandItems(s.Items)
-	if err != nil {
-		return nil, nil, err
-	}
-	cols := make([]string, len(refs))
-	for i, r := range refs {
-		cols[i] = r.Qualifier + "." + r.Column
-	}
 	{
 		in := cur
-		cur, curNode, err = timedOp(res, analyzed, "Project", strings.Join(cols, ", "), int64(in.Len()), []*Node{curNode},
+		cur, curNode, err = timedOp(res, analyzed, "Project", strings.Join(sp.cols, ", "), int64(in.Len()), []*Node{curNode},
 			func() (*engine.Relation, error) {
-				return engine.Project(ctx, &res.Stats, in, cols)
+				return engine.Project(ctx, &res.Stats, in, sp.cols)
 			})
 		if err != nil {
 			return nil, nil, err
 		}
-		res.Plan = append(res.Plan, fmt.Sprintf("Project(%s)", strings.Join(cols, ", ")))
+		res.Plan = append(res.Plan, fmt.Sprintf("Project(%s)", strings.Join(sp.cols, ", ")))
 	}
-	if s.Quant.IsDistinct() {
+	if sp.distinct {
 		op := "DistinctSort"
 		if p.Opts.HashDistinct {
 			op = "DistinctHash"
@@ -560,7 +634,9 @@ func qualifiersOf(e ast.Expr) map[string]bool {
 
 // accessDecision is a chosen index access path: the plan rendering
 // (op + detail), the index of the consumed conjunct within the pushed
-// list (-1 = none), and the deferred execution body. Splitting the
+// list (-1 = none), and the deferred execution bodies — exec
+// materializes the rows, stream performs the index probe and returns
+// a batched iterator over the matched ordinals. Splitting the
 // decision from the execution lets ExplainOnly render the exact access
 // path a real run would take without reading any table data.
 type accessDecision struct {
@@ -568,6 +644,7 @@ type accessDecision struct {
 	detail   string
 	consumed int
 	exec     func(ctx context.Context, st *engine.Stats) (*engine.Relation, error)
+	stream   func(st *engine.Stats) (engine.Iterator, error)
 }
 
 // chooseAccessPath inspects the pushed-down conjuncts for tbl and
@@ -579,6 +656,9 @@ func (p *Planner) chooseAccessPath(tbl *storage.Table, corr string, push []ast.E
 	env := &eval.Env{Cols: map[string]value.Value{}, Hosts: hosts}
 	emptyExec := func(context.Context, *engine.Stats) (*engine.Relation, error) {
 		return engine.NewRelation(qualifiedCols(tbl, corr)...), nil
+	}
+	emptyStream := func(*engine.Stats) (engine.Iterator, error) {
+		return engine.NewEmptyIter(qualifiedCols(tbl, corr)), nil
 	}
 	for pi, c := range push {
 		cmp, ok := c.(*ast.Compare)
@@ -599,7 +679,7 @@ func (p *Planner) chooseAccessPath(tbl *storage.Table, corr string, push []ast.E
 				// Comparison with NULL is never true: empty result.
 				return &accessDecision{op: "IndexScan",
 					detail:   fmt.Sprintf("%s.%s, never-true NULL bound", corr, ix.Name),
-					consumed: pi, exec: emptyExec}
+					consumed: pi, exec: emptyExec, stream: emptyStream}
 			}
 			switch op {
 			case ast.EqOp:
@@ -608,6 +688,13 @@ func (p *Planner) chooseAccessPath(tbl *storage.Table, corr string, push []ast.E
 					consumed: pi,
 					exec: func(ctx context.Context, st *engine.Stats) (*engine.Relation, error) {
 						return engine.IndexScanEq(ctx, st, tbl, corr, ix, value.Row{v})
+					},
+					stream: func(st *engine.Stats) (engine.Iterator, error) {
+						ords, err := ix.Lookup(value.Row{v})
+						if err != nil {
+							return nil, err
+						}
+						return engine.NewIndexScanIter(st, tbl, corr, ords), nil
 					}}
 			case ast.GtOp, ast.GeOp:
 				lo := v
@@ -616,6 +703,9 @@ func (p *Planner) chooseAccessPath(tbl *storage.Table, corr string, push []ast.E
 					consumed: pi,
 					exec: func(ctx context.Context, st *engine.Stats) (*engine.Relation, error) {
 						return engine.IndexScanRange(ctx, st, tbl, corr, ix, &lo, nil)
+					},
+					stream: func(st *engine.Stats) (engine.Iterator, error) {
+						return engine.NewIndexScanIter(st, tbl, corr, ix.Range(&lo, nil)), nil
 					}}
 				if op == ast.GtOp {
 					// Half-open: re-filter the boundary rows.
@@ -630,6 +720,9 @@ func (p *Planner) chooseAccessPath(tbl *storage.Table, corr string, push []ast.E
 					consumed: pi,
 					exec: func(ctx context.Context, st *engine.Stats) (*engine.Relation, error) {
 						return engine.IndexScanRange(ctx, st, tbl, corr, ix, nil, &hi)
+					},
+					stream: func(st *engine.Stats) (engine.Iterator, error) {
+						return engine.NewIndexScanIter(st, tbl, corr, ix.Range(nil, &hi)), nil
 					}}
 				if op == ast.LtOp {
 					d.detail += ", residual <"
@@ -656,13 +749,16 @@ func (p *Planner) chooseAccessPath(tbl *storage.Table, corr string, push []ast.E
 			if lo.IsNull() || hi.IsNull() {
 				return &accessDecision{op: "IndexScan",
 					detail:   fmt.Sprintf("%s.%s, never-true NULL bound", corr, ix.Name),
-					consumed: pi, exec: emptyExec}
+					consumed: pi, exec: emptyExec, stream: emptyStream}
 			}
 			return &accessDecision{op: "IndexScan",
 				detail:   fmt.Sprintf("%s via %s BETWEEN %s AND %s", corr, ix.Name, lo, hi),
 				consumed: pi,
 				exec: func(ctx context.Context, st *engine.Stats) (*engine.Relation, error) {
 					return engine.IndexScanRange(ctx, st, tbl, corr, ix, &lo, &hi)
+				},
+				stream: func(st *engine.Stats) (engine.Iterator, error) {
+					return engine.NewIndexScanIter(st, tbl, corr, ix.Range(&lo, &hi)), nil
 				}}
 		}
 	}

@@ -1,0 +1,189 @@
+package plan
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"uniqopt/internal/engine"
+	"uniqopt/internal/eval"
+	"uniqopt/internal/value"
+)
+
+// Streaming execution of a selectPlan: the same physical plan the
+// materializing executor runs, assembled as a pull-based iterator
+// pipeline (engine/stream.go) and drained once at the root. Only
+// blocking state — hash-join build tables, distinct tables, sort
+// buffers, the buffered product inner — is ever resident, so a memory
+// budget bounds the pipeline's live footprint instead of the sum of
+// every operator's output.
+
+// nodeIter instruments one pipeline edge: every batch pulled through
+// it is attributed to its plan Node (rows out, batch count, cumulative
+// wall time of the subtree rooted here). finalizeStream later converts
+// cumulative times to the per-operator self times EXPLAIN ANALYZE
+// reports.
+type nodeIter struct {
+	child engine.Iterator
+	node  *Node
+}
+
+func (it *nodeIter) Cols() []string { return it.child.Cols() }
+
+func (it *nodeIter) Next(ctx context.Context) (engine.Batch, error) {
+	t0 := time.Now()
+	b, err := it.child.Next(ctx)
+	it.node.TimeNanos += time.Since(t0).Nanoseconds()
+	if b != nil {
+		it.node.RowsOut += int64(len(b))
+		it.node.Batches++
+	}
+	return b, err
+}
+
+func (it *nodeIter) Close() error { return it.child.Close() }
+
+// finalizeStream finishes a drained streaming plan tree's metrics:
+// marks every node analyzed, derives RowsIn from the children's
+// emitted rows (leaves keep the table cardinality preset at build
+// time), and converts cumulative subtree times into per-operator self
+// times. Returns the node's cumulative time.
+func finalizeStream(n *Node) int64 {
+	var childCum, childRows int64
+	for _, c := range n.Children {
+		childCum += finalizeStream(c)
+		childRows += c.RowsOut
+	}
+	n.Analyzed = true
+	if len(n.Children) > 0 {
+		n.RowsIn = childRows
+	}
+	cum := n.TimeNanos
+	if self := cum - childCum; self > 0 {
+		n.TimeNanos = self
+	} else {
+		n.TimeNanos = 0
+	}
+	return cum
+}
+
+// execSelectStream executes a selectPlan as one streaming pipeline.
+// Plan lines, tree shape, and result rows are identical to the
+// materializing path; only the execution strategy differs.
+func (p *Planner) execSelectStream(ctx context.Context, sp *selectPlan, hosts map[string]value.Value, res *Result) (*engine.Relation, *Node, error) {
+	st := &res.Stats
+	envProto := &eval.Env{
+		Cols:   map[string]value.Value{},
+		Hosts:  hosts,
+		Exists: p.naiveExists(ctx, hosts, res),
+		In:     p.naiveIn(ctx, hosts, res),
+	}
+	// roots tracks the pipeline fragments not yet owned by a parent
+	// operator, so a mid-assembly error can release everything.
+	var roots []engine.Iterator
+	fail := func(err error) (*engine.Relation, *Node, error) {
+		for _, it := range roots {
+			if it != nil {
+				it.Close()
+			}
+		}
+		return nil, nil, err
+	}
+	wrap := func(it engine.Iterator, op, detail string, rowsIn int64, children []*Node) (engine.Iterator, *Node) {
+		n := &Node{Op: op, Detail: detail, Children: children, RowsIn: rowsIn}
+		return &nodeIter{child: it, node: n}, n
+	}
+
+	type streamTable struct {
+		it   engine.Iterator
+		node *Node
+	}
+	var tables []streamTable
+	for _, t := range sp.tables {
+		var it engine.Iterator
+		var node *Node
+		if ap := t.ap; ap != nil {
+			base, err := ap.stream(st)
+			if err != nil {
+				return fail(err)
+			}
+			it, node = wrap(base, ap.op, ap.detail, int64(t.tbl.Len()), nil)
+			res.Plan = append(res.Plan, fmt.Sprintf("%s(%s)", ap.op, ap.detail))
+		} else {
+			it, node = wrap(engine.NewTableIter(st, t.tbl, t.corr), "Scan",
+				fmt.Sprintf("%s as %s", t.tbl.Schema.Name, t.corr), int64(t.tbl.Len()), nil)
+			res.Plan = append(res.Plan, fmt.Sprintf("Scan(%s as %s)", t.tbl.Schema.Name, t.corr))
+		}
+		roots = append(roots, it)
+		if t.push != nil {
+			it, node = wrap(engine.NewFilterIter(st, it, t.push, envProto),
+				"Filter", t.push.SQL(), 0, []*Node{node})
+			roots[len(roots)-1] = it
+			res.Plan = append(res.Plan, fmt.Sprintf("  Filter(%s)", t.push.SQL()))
+		}
+		tables = append(tables, streamTable{it: it, node: node})
+	}
+
+	// Left-deep join tree over the same join order and keys the
+	// materializing path uses; builds on the right, probes the left.
+	cur, curNode := tables[0].it, tables[0].node
+	for k, t := range tables[1:] {
+		j := sp.joins[k]
+		if len(j.lk) > 0 {
+			detail := fmt.Sprintf("%s = %s", strings.Join(j.lk, ","), strings.Join(j.rk, ","))
+			jit, err := engine.NewHashJoinIter(st, cur, t.it, j.lk, j.rk)
+			if err != nil {
+				return fail(err)
+			}
+			cur, curNode = wrap(jit, "HashJoin", detail, 0, []*Node{curNode, t.node})
+			res.Plan = append(res.Plan, fmt.Sprintf("HashJoin(%s)", detail))
+		} else {
+			cur, curNode = wrap(engine.NewProductIter(st, cur, t.it),
+				"Product", "", 0, []*Node{curNode, t.node})
+			res.Plan = append(res.Plan, "Product")
+		}
+		roots[0], roots[k+1] = cur, nil
+	}
+
+	if sp.residual != nil {
+		env := &eval.Env{Cols: map[string]value.Value{}, Hosts: hosts,
+			Scope: sp.scope, Exists: p.naiveExists(ctx, hosts, res),
+			In: p.naiveIn(ctx, hosts, res)}
+		cur, curNode = wrap(engine.NewFilterIter(st, cur, sp.residual, env),
+			"Filter", sp.residual.SQL(), 0, []*Node{curNode})
+		roots[0] = cur
+		res.Plan = append(res.Plan, fmt.Sprintf("Filter(%s)", sp.residual.SQL()))
+	}
+
+	pit, err := engine.NewProjectIter(st, cur, sp.cols)
+	if err != nil {
+		return fail(err)
+	}
+	cur, curNode = wrap(pit, "Project", strings.Join(sp.cols, ", "), 0, []*Node{curNode})
+	roots[0] = cur
+	res.Plan = append(res.Plan, fmt.Sprintf("Project(%s)", strings.Join(sp.cols, ", ")))
+
+	if sp.distinct {
+		op := "DistinctSort"
+		var dit engine.Iterator
+		if p.Opts.HashDistinct {
+			op = "DistinctHash"
+			dit = engine.NewDistinctHashIter(st, cur)
+		} else {
+			dit = engine.NewDistinctSortIter(st, cur)
+		}
+		cur, curNode = wrap(dit, op, "", 0, []*Node{curNode})
+		roots[0] = cur
+		res.Plan = append(res.Plan, op)
+	}
+
+	// Drain closes the pipeline (success or error), so the roots
+	// cleanup is no longer needed past this point.
+	rel, err := engine.Drain(ctx, st, cur)
+	if err != nil {
+		return nil, nil, err
+	}
+	finalizeStream(curNode)
+	return rel, curNode, nil
+}

@@ -82,6 +82,12 @@ type Options struct {
 	// MemBudget caps the estimated bytes a single query may hold in
 	// hash tables, sort buffers, and outputs (0 = unlimited).
 	MemBudget int64
+	// Streaming executes queries as pull-based batched iterator
+	// pipelines instead of materializing every operator's output.
+	// Results and row order are identical to materializing execution,
+	// but only blocking state (hash tables, sort buffers) stays
+	// resident, so MemBudget bounds the pipeline's live footprint.
+	Streaming bool
 }
 
 // ErrBudgetExceeded is the sentinel matched (via errors.Is) by every
@@ -269,6 +275,7 @@ func (d *DB) planner(optimize, explainOnly bool) *plan.Planner {
 		MaxRows:     d.opts.MaxRows,
 		MemBudget:   d.opts.MemBudget,
 		ExplainOnly: explainOnly,
+		Streaming:   d.opts.Streaming,
 	})
 }
 
