@@ -271,9 +271,17 @@ type emptyIter struct{ cols []string }
 // NewEmptyIter returns an iterator with the given columns and no rows.
 func NewEmptyIter(cols []string) Iterator { return &emptyIter{cols: cols} }
 
-func (it *emptyIter) Cols() []string                         { return it.cols }
-func (it *emptyIter) Next(ctx context.Context) (Batch, error) { return nil, ctx.Err() }
-func (it *emptyIter) Close() error                           { return nil }
+func (it *emptyIter) Cols() []string { return it.cols }
+
+func (it *emptyIter) Next(ctx context.Context) (Batch, error) {
+	// Normalize nil like streamGuard.begin does for every other iterator.
+	if ctx == nil {
+		return nil, nil
+	}
+	return nil, ctx.Err()
+}
+
+func (it *emptyIter) Close() error { return nil }
 
 // Drain materializes an iterator into a Relation, charging the output
 // rows exactly like a materializing operator would, and closes it.

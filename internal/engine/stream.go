@@ -427,13 +427,17 @@ func (it *distinctHashIter) Next(ctx context.Context) (Batch, error) {
 }
 
 func (it *distinctHashIter) dedupSerial(b Batch) (Batch, error) {
-	t := it.tables[0]
+	w := uint64(it.w)
 	out := make(Batch, 0, len(b))
 	for _, row := range b {
 		if err := it.sg.step(); err != nil {
 			return nil, err
 		}
 		h := hashRow(row)
+		// Probe and insert the same hash-disjoint partition the parallel
+		// path uses: one stream may mix serial (small/final) and parallel
+		// (large) batches, and both must see one coherent dedup state.
+		t := it.tables[h%w]
 		it.st.HashProbes++
 		dup := false
 		for e := t.find(h); e != rtNone; e = t.entries[e].next {

@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -185,6 +186,56 @@ func TestStreamParallelEquivalence(t *testing.T) {
 		st = &Stats{}
 		gotDistinct := mustDrain(t, st, NewDistinctHashIter(st, NewRelationIter(st, l)))
 		identicalRelations(t, wantDistinct, gotDistinct, "parallel stream distinct")
+	}
+}
+
+// TestStreamDistinctMixedSerialParallel: one distinct stream mixes the
+// serial and parallel dedup paths when batch sizes straddle the
+// parallel threshold (e.g. a final partial batch below it). Both paths
+// must share one coherent partitioned dedup state: a duplicate whose
+// first occurrence was inserted by a parallel worker into a non-zero
+// partition must still be caught by a later serial batch.
+func TestStreamDistinctMixedSerialParallel(t *testing.T) {
+	pw := SetWorkers(4)
+	t.Cleanup(func() { SetWorkers(pw) })
+	pt := SetParallelThreshold(4)
+	t.Cleanup(func() { SetParallelThreshold(pt) })
+	withBatchSize(t, 4)
+
+	// The first batch of 4 clears the threshold and dedups in parallel;
+	// the final partial batch of 2 falls below it, dedups serially, and
+	// repeats rows the parallel workers already inserted.
+	rel := NewRelation("T.K")
+	for _, k := range []int64{0, 1, 2, 3, 0, 1} {
+		rel.Rows = append(rel.Rows, value.Row{value.Int(k)})
+	}
+	st := &Stats{}
+	got := mustDrain(t, st, NewDistinctHashIter(st, NewRelationIter(st, rel)))
+	want := &Relation{Cols: rel.Cols, Rows: rel.Rows[:4]}
+	identicalRelations(t, want, got, "mixed serial/parallel distinct")
+	if st.Snapshot().ParallelRuns == 0 {
+		t.Fatal("first batch did not take the parallel path")
+	}
+
+	// Equivalence sweep against the serial answer, with batch sizes and
+	// thresholds chosen so streams cut over mid-flight both ways.
+	r := rand.New(rand.NewSource(75))
+	big := randomRelation(r, "T", 1201)
+	SetParallelThreshold(1 << 30)
+	st0 := &Stats{}
+	wantBig, err := DistinctHash(context.Background(), st0, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bs := range []int{3, 5, 7, 64} {
+		for _, th := range []int{2, 4, 8} {
+			SetBatchSize(bs)
+			SetParallelThreshold(th)
+			st := &Stats{}
+			got := mustDrain(t, st, NewDistinctHashIter(st, NewRelationIter(st, big)))
+			identicalRelations(t, wantBig, got,
+				fmt.Sprintf("mixed distinct bs=%d threshold=%d", bs, th))
+		}
 	}
 }
 

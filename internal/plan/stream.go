@@ -31,6 +31,16 @@ type nodeIter struct {
 
 func (it *nodeIter) Cols() []string { return it.child.Cols() }
 
+// SizeHint forwards the child's bound so downstream hash operators
+// (join build tables, distinct tables) still presize when this
+// instrumentation wrapper sits between them.
+func (it *nodeIter) SizeHint() int {
+	if h, ok := it.child.(engine.SizeHinter); ok {
+		return h.SizeHint()
+	}
+	return 0
+}
+
 func (it *nodeIter) Next(ctx context.Context) (engine.Batch, error) {
 	t0 := time.Now()
 	b, err := it.child.Next(ctx)
