@@ -9,12 +9,18 @@
 //
 // Usage:
 //
-//	uniqlint [-analyzers tvlbool,rowalias,...] [packages]
+//	uniqlint [-analyzers tvlbool,rowalias,...] [-json|-gha] [packages]
 //
 // Patterns follow the go tool: "./..." (default), "./internal/engine",
 // "./internal/...". Directories under testdata are skipped by "..."
 // expansion but may be named explicitly, which is how the golden
 // fixture packages are linted on purpose.
+//
+// -json emits a machine-readable report (findings, suppressed ones
+// marked, plus the summary); -gha emits GitHub Actions ::error
+// workflow commands so a CI lint step annotates the offending lines in
+// the pull-request diff. Both still exit nonzero on unsuppressed
+// findings.
 //
 // Findings are suppressed line-by-line with
 //
@@ -37,8 +43,14 @@ func main() {
 		analyzers = flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
 		list      = flag.Bool("list", false, "list analyzers and exit")
 		quiet     = flag.Bool("q", false, "suppress the summary line")
+		jsonOut   = flag.Bool("json", false, "emit findings and summary as JSON")
+		ghaOut    = flag.Bool("gha", false, "emit findings as GitHub Actions ::error annotations")
 	)
 	flag.Parse()
+	if *jsonOut && *ghaOut {
+		fmt.Fprintln(os.Stderr, "uniqlint: -json and -gha are mutually exclusive")
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, a := range lint.All() {
@@ -73,13 +85,26 @@ func main() {
 		os.Exit(2)
 	}
 	lint.RelativizeTo(cwd, findings)
-	for _, f := range findings {
-		if f.Suppressed {
-			continue
+	switch {
+	case *jsonOut:
+		if err := lint.WriteJSON(os.Stdout, findings, sum); err != nil {
+			fmt.Fprintf(os.Stderr, "uniqlint: %v\n", err)
+			os.Exit(2)
 		}
-		fmt.Println(f.String())
+	case *ghaOut:
+		if err := lint.WriteGHA(os.Stdout, findings); err != nil {
+			fmt.Fprintf(os.Stderr, "uniqlint: %v\n", err)
+			os.Exit(2)
+		}
+	default:
+		for _, f := range findings {
+			if f.Suppressed {
+				continue
+			}
+			fmt.Println(f.String())
+		}
 	}
-	if !*quiet {
+	if !*quiet && !*jsonOut {
 		fmt.Fprintf(os.Stderr, "uniqlint: %d package unit(s), %d finding(s), %d suppressed\n",
 			sum.Packages, sum.Findings, sum.Suppressed)
 	}

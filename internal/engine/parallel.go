@@ -109,7 +109,7 @@ func buildPartitioned(ctx context.Context, st *Stats, rows []value.Row, hashes [
 				continue
 			}
 			h := hashes[i]
-			if h%uint64(parts) != uint64(p) {
+			if partitionOf(h, parts) != p {
 				continue
 			}
 			ht[h] = append(ht[h], row)
@@ -190,7 +190,7 @@ func ParallelHashJoin(ctx context.Context, st *Stats, l, r *Relation, lKeys, rKe
 			prow := l.Rows[i]
 			h := ph[i]
 			my.HashProbes++
-			for _, brow := range tables[h%uint64(workers)][h] {
+			for _, brow := range tables[partitionOf(h, workers)][h] {
 				my.JoinPairs++
 				if !equalAt(prow, li, brow, ri, my) {
 					continue
@@ -254,7 +254,7 @@ func ParallelDistinctHash(ctx context.Context, st *Stats, rel *Relation, workers
 				return
 			}
 			h := hashes[i]
-			if h%uint64(workers) != uint64(p) {
+			if partitionOf(h, workers) != p {
 				continue
 			}
 			my.HashProbes++
@@ -351,7 +351,7 @@ func ParallelSemiJoinHash(ctx context.Context, st *Stats, l, r *Relation, lKeys,
 			lr := l.Rows[i]
 			h := lh[i]
 			my.HashProbes++
-			for _, rr := range tables[h%uint64(workers)][h] {
+			for _, rr := range tables[partitionOf(h, workers)][h] {
 				if equalAt(lr, li, rr, ri, my) {
 					rows = append(rows, lr)
 					if err := g.keep(lr); err != nil {

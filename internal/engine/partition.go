@@ -1,0 +1,15 @@
+package engine
+
+// partitionOf routes a row hash to one of parts hash-disjoint
+// partitions. It is the single partition function for every
+// hash-partitioned operator — parallel build/probe tables, streaming
+// distinct, exchange-partitioned state. Serial and parallel code paths
+// that share partitioned state MUST agree on this mapping: the
+// duplicate-row bug fixed in 3784fba came from a serial dedup path
+// probing partition 0 while parallel workers inserted into h%w. The
+// uniqlint partroute analyzer enforces that no other partition
+// arithmetic (uint64 modulo, constant partition indexes) appears in
+// this package.
+func partitionOf(h uint64, parts int) int {
+	return int(h % uint64(parts))
+}

@@ -427,7 +427,6 @@ func (it *distinctHashIter) Next(ctx context.Context) (Batch, error) {
 }
 
 func (it *distinctHashIter) dedupSerial(b Batch) (Batch, error) {
-	w := uint64(it.w)
 	out := make(Batch, 0, len(b))
 	for _, row := range b {
 		if err := it.sg.step(); err != nil {
@@ -437,7 +436,7 @@ func (it *distinctHashIter) dedupSerial(b Batch) (Batch, error) {
 		// Probe and insert the same hash-disjoint partition the parallel
 		// path uses: one stream may mix serial (small/final) and parallel
 		// (large) batches, and both must see one coherent dedup state.
-		t := it.tables[h%w]
+		t := it.tables[partitionOf(h, it.w)]
 		it.st.HashProbes++
 		dup := false
 		for e := t.find(h); e != rtNone; e = t.entries[e].next {
@@ -486,7 +485,7 @@ func (it *distinctHashIter) dedupParallel(b Batch) (Batch, error) {
 		t := it.tables[p]
 		for i, row := range b {
 			h := hashes[i]
-			if h%uint64(w) != uint64(p) {
+			if partitionOf(h, w) != p {
 				continue
 			}
 			my.HashProbes++

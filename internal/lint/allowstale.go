@@ -1,0 +1,22 @@
+package lint
+
+// AllowStale reports //lint:allow directives that suppress nothing.
+// A suppression is a standing claim — "this line trips analyzer X and
+// a human decided that is fine" — and the claim goes stale the moment
+// the code or the analyzer changes so that nothing is suppressed
+// anymore. A stale allow is worse than none: it silently pre-approves
+// the next real finding on that line. The check also flags directives
+// naming analyzers that do not exist (typos never suppressed anything
+// to begin with).
+//
+// Unlike every other analyzer, this one runs in the driver rather
+// than over a typed unit: staleness is only decidable after all
+// analyzers have run and suppressions have been applied, and only
+// when every analyzer a directive names was part of the run (a
+// subset run cannot prove a directive dead). The Run function here is
+// therefore a no-op; the logic lives in driver.go's checkStaleAllows.
+var AllowStale = &Analyzer{
+	Name: "allowstale",
+	Doc:  "flag //lint:allow directives that suppress no findings, and directives naming unknown analyzers",
+	Run:  func(*Pass) {},
+}

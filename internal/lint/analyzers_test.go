@@ -131,6 +131,41 @@ func TestIterLifeSkipsOtherPackages(t *testing.T) {
 	}
 }
 
+func TestGovPairFixture(t *testing.T) {
+	fs := checkFixture(t, "govfix/internal/engine", GovPair)
+	if len(fs) != 6 {
+		t.Errorf("govpair findings = %d, want 6", len(fs))
+	}
+}
+
+func TestIterStateFixture(t *testing.T) {
+	fs := checkFixture(t, "statefix/internal/engine", IterState)
+	if len(fs) != 5 {
+		t.Errorf("iterstate findings = %d, want 5", len(fs))
+	}
+}
+
+func TestBatchLifeFixture(t *testing.T) {
+	fs := checkFixture(t, "batchfix/internal/engine", BatchLife)
+	if len(fs) != 3 {
+		t.Errorf("batchlife findings = %d, want 3", len(fs))
+	}
+}
+
+func TestPartRouteFixture(t *testing.T) {
+	fs := checkFixture(t, "partfix/internal/engine", PartRoute)
+	if len(fs) != 3 {
+		t.Errorf("partroute findings = %d, want 3", len(fs))
+	}
+}
+
+func TestGovPairSkipsOtherPackages(t *testing.T) {
+	fs, _ := loadFixture(t, "fix/tvlbool", GovPair, IterState, BatchLife, PartRoute)
+	if len(fs) != 0 {
+		t.Errorf("dataflow analyzers ran outside engine/plan: %v", fs)
+	}
+}
+
 func TestCtxFlowSkipsOtherPackages(t *testing.T) {
 	// The analyzer is scoped to internal/engine and internal/plan;
 	// other packages may hold contexts however they like.

@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// BatchLife enforces the consumer half of the streaming batch
+// contract. An emitted batch and its rows are immutable after handoff
+// (iterator.go): the producer promises never to reuse the storage, so
+// consumers may retain rows without copying — but only if no consumer
+// ever writes into them. A consumer that mutates a row (or a batch
+// slot) it pulled from a child's Next corrupts data that other
+// consumers — hash tables, output relations, sibling partitions — may
+// already be aliasing. The syntactic rowalias analyzer catches the
+// producer half (buffer reuse); this analyzer taints every value that
+// flows out of a Next call and flags writes through the taint:
+//
+//   - element writes:  row[i] = v  /  b[j] = r   on a tainted value
+//   - copy(row, …) with a tainted destination
+//   - passing a tainted value to an in-package function whose summary
+//     mutates that parameter (interprocedural via unit summaries)
+//
+// Taint propagates through range statements, indexing, and plain
+// aliasing, but deliberately not through append into a fresh slice:
+// the new backing array is consumer-owned. The analyzer inspects
+// non-test files of internal/engine and internal/plan.
+var BatchLife = &Analyzer{
+	Name: "batchlife",
+	Doc:  "flag writes to rows or batches obtained from an iterator's Next; emitted batches are immutable after handoff — copy before mutating",
+	Run:  runBatchLife,
+}
+
+func runBatchLife(pass *Pass) {
+	if !pkgIs(pass.Pkg, "internal/engine") && !pkgIs(pass.Pkg, "internal/plan") {
+		return
+	}
+	df := pass.Dataflow()
+	for _, file := range pass.Files {
+		base := pass.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(base, "_test.go") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				runBatchLifeFunc(pass, df, fd)
+			}
+		}
+	}
+}
+
+// isNextCall reports whether call is x.Next(ctx)-shaped with a
+// row-typed first result — the batch handoff point.
+func isNextCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Next" {
+		return false
+	}
+	t := info.TypeOf(call)
+	if tup, ok := t.(*types.Tuple); ok && tup.Len() > 0 {
+		t = tup.At(0).Type()
+	}
+	return isRowType(t)
+}
+
+func runBatchLifeFunc(pass *Pass, df *Analysis, fd *ast.FuncDecl) {
+	info := pass.Info
+	tainted := make(map[*types.Var]bool)
+
+	// taintFrom reports whether e evaluates to a tainted value: a Next
+	// call, a tainted variable, or an index/slice of one.
+	var taintFrom func(e ast.Expr) bool
+	taintFrom = func(e ast.Expr) bool {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.CallExpr:
+			return isNextCall(info, x)
+		case *ast.Ident:
+			obj := objOf(info, x)
+			return obj != nil && tainted[obj]
+		case *ast.IndexExpr:
+			return taintFrom(x.X)
+		case *ast.SliceExpr:
+			return taintFrom(x.X)
+		}
+		return false
+	}
+
+	// Seed and propagate taint to a fixed point (assignments and range
+	// bindings can chain in either source order).
+	for changed := true; changed; {
+		changed = false
+		mark := func(e ast.Expr) {
+			id, ok := ast.Unparen(e).(*ast.Ident)
+			if !ok || id.Name == "_" {
+				return
+			}
+			obj := objOf(info, id)
+			if obj != nil && isRowType(obj.Type()) && !tainted[obj] {
+				tainted[obj] = true
+				changed = true
+			}
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range x.Rhs {
+					if i >= len(x.Lhs) {
+						break
+					}
+					if taintFrom(rhs) {
+						mark(x.Lhs[i])
+					}
+				}
+			case *ast.RangeStmt:
+				if x.Value != nil && taintFrom(x.X) {
+					mark(x.Value)
+				}
+			}
+			return true
+		})
+	}
+	if len(tainted) == 0 {
+		return
+	}
+
+	report := func(pos ast.Node, what string) {
+		pass.Report(pos.Pos(),
+			"%s of a row/batch obtained from Next; emitted batches are immutable after handoff — copy the row before mutating", what)
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if idx, ok := lhs.(*ast.IndexExpr); ok && taintFrom(idx.X) {
+					report(lhs, "element write")
+				}
+			}
+		case *ast.IncDecStmt:
+			if idx, ok := x.X.(*ast.IndexExpr); ok && taintFrom(idx.X) {
+				report(x, "element write")
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "copy" && len(x.Args) == 2 {
+				if taintFrom(x.Args[0]) {
+					report(x, "copy into")
+				}
+				return true
+			}
+			if sum := df.CallSummary(x); sum != nil {
+				for j, arg := range x.Args {
+					if j >= len(sum.MutatesParam) || !sum.MutatesParam[j] {
+						continue
+					}
+					if taintFrom(arg) {
+						report(arg, "mutation (via callee)")
+					}
+				}
+			}
+		}
+		return true
+	})
+}

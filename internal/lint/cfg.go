@@ -1,0 +1,595 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file is the control-flow half of the dataflow framework: a
+// lightweight intraprocedural CFG over go/ast, and a generic forward
+// may-analysis solver over it. Analyzers that need flow sensitivity
+// (iterstate, govpair, the rebased rowalias escape rule) build a CFG
+// per function body, run Solve with an analyzer-specific transfer
+// function, and then replay each block against its fixed-point
+// in-state to report findings at precise positions.
+//
+// The CFG is statement-granular, not SSA: each basic block holds the
+// AST nodes that execute in it, in order. Composite statements are
+// decomposed — an IfStmt contributes its Cond to the head block and
+// its branches to successor blocks — so a node never appears in more
+// than one block and transfer functions see each executed expression
+// exactly once. The one deliberately composite node is *ast.RangeStmt,
+// placed in the loop-head block so that its per-iteration Key/Value
+// definitions kill facts on every trip around the back edge; InspectNode
+// confines traversal of it to X/Key/Value so the body is not visited
+// twice. Function literals are never descended into: a FuncLit body is
+// a separate function with its own CFG (see Analysis.CFGFor).
+
+// Block is one basic block: straight-line AST nodes plus successor
+// edges.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// CFG is the control-flow graph of one function body. Entry is the
+// first block executed; Exit is the virtual block every normal return
+// (and the fall-off-the-end path) feeds into. Paths that terminate in
+// panic or a runtime-exiting call do not reach Exit — "on all paths"
+// checks therefore mean "on all non-panicking paths". Defers lists
+// every defer statement registered anywhere in the body; their calls
+// conceptually run between the last real block and Exit.
+type CFG struct {
+	Blocks []*Block
+	Entry  *Block
+	Exit   *Block
+	Defers []*ast.DeferStmt
+}
+
+// BuildCFG constructs the CFG of one function body. It handles if/else
+// chains, all for/range forms, switch (with fallthrough), type switch,
+// select, labeled break/continue, goto, and treats panic and
+// runtime-exiting calls (os.Exit, t.Fatal…) as terminating the path.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	c := &CFG{}
+	b := &cfgBuilder{cfg: c,
+		labelTgt:  make(map[string]*Block),
+		labelBrk:  make(map[string]*Block),
+		labelCont: make(map[string]*Block),
+		pending:   make(map[string][]*Block),
+	}
+	c.Entry = b.newBlock()
+	c.Exit = b.newBlock()
+	b.cur = c.Entry
+	if body != nil {
+		b.stmt(body)
+	}
+	b.edge(b.cur, c.Exit)
+	return c
+}
+
+type cfgBuilder struct {
+	cfg *CFG
+	// cur is the block under construction; nil after a terminator
+	// (return, break, panic) until the next join point.
+	cur *Block
+	// break/continue targets, innermost last.
+	brks, conts []*Block
+	// labeled break/continue targets and goto label blocks.
+	labelBrk, labelCont, labelTgt map[string]*Block
+	// gotos seen before their label; patched when the label appears.
+	pending map[string][]*Block
+	// label waiting to be claimed by the next loop/switch/select.
+	pendingLabel string
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// add appends an executed node to the current block, opening a fresh
+// (unreachable) block when control cannot arrive here.
+func (b *cfgBuilder) add(n ast.Node) {
+	if n == nil {
+		return
+	}
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// ensure returns the current block, materializing one for unreachable
+// code so structured statements always have a head to branch from.
+func (b *cfgBuilder) ensure() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	return b.cur
+}
+
+// takeLabel consumes the pending label for the statement that owns it.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) pushLoop(label string, brk, cont *Block) {
+	b.brks = append(b.brks, brk)
+	b.conts = append(b.conts, cont)
+	if label != "" {
+		b.labelBrk[label] = brk
+		b.labelCont[label] = cont
+	}
+}
+
+func (b *cfgBuilder) popLoop() {
+	b.brks = b.brks[:len(b.brks)-1]
+	b.conts = b.conts[:len(b.conts)-1]
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			b.stmt(st)
+		}
+
+	case *ast.LabeledStmt:
+		name := s.Label.Name
+		tgt := b.newBlock()
+		b.edge(b.cur, tgt)
+		b.cur = tgt
+		b.labelTgt[name] = tgt
+		for _, from := range b.pending[name] {
+			b.edge(from, tgt)
+		}
+		delete(b.pending, name)
+		b.pendingLabel = name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.IfStmt:
+		b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Cond)
+		head := b.cur
+		after := b.newBlock()
+		thenB := b.newBlock()
+		b.edge(head, thenB)
+		b.cur = thenB
+		b.stmt(s.Body)
+		b.edge(b.cur, after)
+		if s.Else != nil {
+			elseB := b.newBlock()
+			b.edge(head, elseB)
+			b.cur = elseB
+			b.stmt(s.Else)
+			b.edge(b.cur, after)
+		} else {
+			b.edge(head, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock()
+		b.edge(b.ensure(), head)
+		b.cur = head
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		after := b.newBlock()
+		body := b.newBlock()
+		b.edge(head, body)
+		if s.Cond != nil {
+			// `for {}` has no normal exit; only break reaches after.
+			b.edge(head, after)
+		}
+		cont := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock()
+			cont = post
+		}
+		b.pushLoop(label, after, cont)
+		b.cur = body
+		b.stmt(s.Body)
+		b.popLoop()
+		if post != nil {
+			b.edge(b.cur, post)
+			b.cur = post
+			b.stmt(s.Post)
+		}
+		b.edge(b.cur, head)
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		b.edge(b.ensure(), head)
+		b.cur = head
+		// The RangeStmt itself sits in the loop head: Key/Value are
+		// (re)defined there on every iteration, killing stale facts
+		// carried around the back edge. See InspectNode.
+		b.add(s)
+		after := b.newBlock()
+		body := b.newBlock()
+		b.edge(head, body)
+		b.edge(head, after)
+		b.pushLoop(label, after, head)
+		b.cur = body
+		b.stmt(s.Body)
+		b.popLoop()
+		b.edge(b.cur, head)
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		head := b.ensure()
+		after := b.newBlock()
+		b.pushLoop(label, after, nil)
+		b.caseClauses(head, after, s.Body)
+		b.popLoop()
+		b.cur = after
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		head := b.ensure()
+		after := b.newBlock()
+		b.pushLoop(label, after, nil)
+		b.caseClauses(head, after, s.Body)
+		b.popLoop()
+		b.cur = after
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.ensure()
+		after := b.newBlock()
+		b.pushLoop(label, after, nil)
+		hasDefault := false
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CommClause)
+			if cc.Comm == nil {
+				hasDefault = true
+			}
+			blk := b.newBlock()
+			b.edge(head, blk)
+			b.cur = blk
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+			}
+			for _, st := range cc.Body {
+				b.stmt(st)
+			}
+			b.edge(b.cur, after)
+		}
+		if len(s.Body.List) == 0 || hasDefault {
+			// An empty select blocks forever; a default select may skip
+			// every case. Either way treat head→after as possible only
+			// with a default (or no cases at all, where it is vacuous).
+			b.edge(head, after)
+		}
+		b.popLoop()
+		b.cur = after
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.cfg.Exit)
+		b.cur = nil
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			tgt := b.innermost(b.brks)
+			if s.Label != nil {
+				tgt = b.labelBrk[s.Label.Name]
+			}
+			b.edge(b.cur, tgt)
+			b.cur = nil
+		case token.CONTINUE:
+			tgt := b.innermost(b.conts)
+			if s.Label != nil {
+				tgt = b.labelCont[s.Label.Name]
+			}
+			b.edge(b.cur, tgt)
+			b.cur = nil
+		case token.GOTO:
+			name := s.Label.Name
+			if tgt, ok := b.labelTgt[name]; ok {
+				b.edge(b.cur, tgt)
+			} else if b.cur != nil {
+				b.pending[name] = append(b.pending[name], b.cur)
+			}
+			b.cur = nil
+		case token.FALLTHROUGH:
+			// Handled structurally by caseClauses; reaching here means a
+			// malformed tree — ignore.
+		}
+
+	case *ast.DeferStmt:
+		// The call's operands are evaluated here; the call itself runs
+		// at function exit. Keep the node in the block (operand facts)
+		// and record it for exit-time reasoning.
+		b.add(s)
+		b.cfg.Defers = append(b.cfg.Defers, s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isTerminalCall(s.X) {
+			// panic/os.Exit/t.Fatal: the path dies without reaching
+			// Exit, so "on all paths" obligations are excused here.
+			b.cur = nil
+		}
+
+	default:
+		// Assign, Decl, IncDec, Send, Go, Empty: straight-line.
+		if s != nil {
+			b.add(s)
+		}
+	}
+}
+
+// caseClauses wires the shared case-dispatch shape of switch and type
+// switch: head fans out to one block per clause, fallthrough chains a
+// clause into the next, and a missing default adds head→after.
+func (b *cfgBuilder) caseClauses(head, after *Block, body *ast.BlockStmt) {
+	var blocks []*Block
+	var clauses []*ast.CaseClause
+	hasDefault := false
+	for _, cl := range body.List {
+		cc := cl.(*ast.CaseClause)
+		blk := b.newBlock()
+		b.edge(head, blk)
+		blocks = append(blocks, blk)
+		clauses = append(clauses, cc)
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	for i, cc := range clauses {
+		b.cur = blocks[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		fell := false
+		for _, st := range cc.Body {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fell = true
+				continue
+			}
+			b.stmt(st)
+		}
+		if fell && i+1 < len(blocks) {
+			b.edge(b.cur, blocks[i+1])
+			b.cur = nil
+		} else {
+			b.edge(b.cur, after)
+		}
+	}
+}
+
+func (b *cfgBuilder) innermost(stack []*Block) *Block {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i] != nil {
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// isTerminalCall recognizes calls that never return, syntactically:
+// the panic builtin and the conventional runtime-exiting names
+// (os.Exit, log.Fatal*, testing's Fatal*/Skip*/FailNow, Goexit).
+func isTerminalCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		switch fun.Sel.Name {
+		case "Exit", "Fatal", "Fatalf", "Fatalln", "FailNow",
+			"Skip", "Skipf", "SkipNow", "Goexit", "Panic", "Panicf", "Panicln":
+			return true
+		}
+	}
+	return false
+}
+
+// InspectNode traverses one CFG block node the way the builder intends:
+// a RangeStmt yields only its X/Key/Value (the body lives in successor
+// blocks), and FuncLit bodies are skipped everywhere (each literal is
+// its own function with its own CFG). All other nodes traverse fully.
+func InspectNode(n ast.Node, f func(ast.Node) bool) {
+	walk := func(m ast.Node) {
+		if m == nil {
+			return
+		}
+		ast.Inspect(m, func(x ast.Node) bool {
+			if _, ok := x.(*ast.FuncLit); ok {
+				return false
+			}
+			return f(x)
+		})
+	}
+	if r, ok := n.(*ast.RangeStmt); ok {
+		if !f(r) {
+			return
+		}
+		walk(r.X)
+		walk(r.Key)
+		walk(r.Value)
+		return
+	}
+	walk(n)
+}
+
+// --- forward may-dataflow solver ------------------------------------
+
+// FactKey identifies what a dataflow fact is about: a variable, plus
+// an optional selector path below it (e.g. obj=it path=".sg").
+type FactKey struct {
+	Obj  any // *types.Var in practice; any to keep cfg.go types-free
+	Path string
+}
+
+// Fact is one dataflow fact: where it was generated and an
+// analyzer-defined kind ("escaped", "closed", "foreign", …).
+type Fact struct {
+	Pos  token.Pos
+	Kind string
+}
+
+// State maps fact keys to facts at one program point.
+type State map[FactKey]Fact
+
+// Clone copies the state.
+func (s State) Clone() State {
+	out := make(State, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// KillObj removes every fact rooted at obj (any path).
+func (s State) KillObj(obj any) {
+	for k := range s {
+		if k.Obj == obj {
+			delete(s, k)
+		}
+	}
+}
+
+// Solve runs a forward may-analysis to fixed point and returns the
+// in-state of every block, indexed by Block.Index. transfer mutates
+// the state in place for one executed node; it must be monotone in the
+// usual gen/kill sense (gen may depend on present facts, kill must
+// not resurrect them). The join is key-union; when both predecessors
+// carry a fact for the same key, the earliest-position fact wins,
+// keeping results deterministic.
+func (c *CFG) Solve(transfer func(ast.Node, State)) []State {
+	preds := make([][]int, len(c.Blocks))
+	for _, blk := range c.Blocks {
+		for _, s := range blk.Succs {
+			preds[s.Index] = append(preds[s.Index], blk.Index)
+		}
+	}
+	in := make([]State, len(c.Blocks))
+	out := make([]State, len(c.Blocks))
+	inWork := make([]bool, len(c.Blocks))
+	var work []int
+	for i := range c.Blocks {
+		in[i] = State{}
+		work = append(work, i)
+		inWork[i] = true
+	}
+	for len(work) > 0 {
+		i := work[0]
+		work = work[1:]
+		inWork[i] = false
+		blk := c.Blocks[i]
+		newIn := State{}
+		for _, p := range preds[i] {
+			for k, f := range out[p] {
+				if g, ok := newIn[k]; !ok || f.Pos < g.Pos {
+					newIn[k] = f
+				}
+			}
+		}
+		in[i] = newIn
+		newOut := newIn.Clone()
+		for _, n := range blk.Nodes {
+			transfer(n, newOut)
+		}
+		if !statesEqual(newOut, out[i]) {
+			out[i] = newOut
+			for _, s := range blk.Succs {
+				if !inWork[s.Index] {
+					work = append(work, s.Index)
+					inWork[s.Index] = true
+				}
+			}
+		}
+	}
+	return in
+}
+
+func statesEqual(a, b State) bool {
+	if b == nil || len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if w, ok := b[k]; !ok || v != w {
+			return false
+		}
+	}
+	return true
+}
+
+// ReachesWithout reports whether to is reachable from from without
+// passing through a block for which barrier returns true (neither
+// endpoint is tested as a barrier start: from's own barrier status is
+// checked, to's is not — reaching to at all is what matters).
+func (c *CFG) ReachesWithout(from, to *Block, barrier func(*Block) bool) bool {
+	if from == to {
+		return true
+	}
+	seen := make([]bool, len(c.Blocks))
+	stack := []*Block{from}
+	seen[from.Index] = true
+	if barrier(from) {
+		return false
+	}
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range blk.Succs {
+			if s == to {
+				return true
+			}
+			if !seen[s.Index] && !barrier(s) {
+				seen[s.Index] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}

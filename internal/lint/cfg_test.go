@@ -1,0 +1,302 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody wraps body in a function and returns its parsed block.
+// CFG construction is purely syntactic, so unresolved identifiers are
+// fine.
+func parseBody(t *testing.T, body string) (*token.FileSet, *ast.BlockStmt) {
+	t.Helper()
+	src := "package p\n\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v\nsource:\n%s", err, src)
+	}
+	return fset, f.Decls[0].(*ast.FuncDecl).Body
+}
+
+func reaches(c *CFG, from, to *Block) bool {
+	return c.ReachesWithout(from, to, func(*Block) bool { return false })
+}
+
+// blockCalling finds the block whose nodes contain a call to the named
+// function.
+func blockCalling(t *testing.T, c *CFG, name string) *Block {
+	t.Helper()
+	for _, blk := range c.Blocks {
+		for _, n := range blk.Nodes {
+			found := false
+			InspectNode(n, func(x ast.Node) bool {
+				if call, ok := x.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+						found = true
+					}
+				}
+				return !found
+			})
+			if found {
+				return blk
+			}
+		}
+	}
+	t.Fatalf("no block calls %s", name)
+	return nil
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	_, body := parseBody(t, "x := 1\n_ = x")
+	c := BuildCFG(body)
+	if !reaches(c, c.Entry, c.Exit) {
+		t.Error("straight-line body: entry does not reach exit")
+	}
+}
+
+func TestCFGIfElseJoins(t *testing.T) {
+	_, body := parseBody(t, "if c {\na()\n} else {\nb()\n}\nafter()")
+	c := BuildCFG(body)
+	after := blockCalling(t, c, "after")
+	for _, name := range []string{"a", "b"} {
+		if !reaches(c, blockCalling(t, c, name), after) {
+			t.Errorf("branch %s does not reach the join block", name)
+		}
+	}
+}
+
+func TestCFGInfiniteForHasNoFallthrough(t *testing.T) {
+	_, body := parseBody(t, "for {\nspin()\n}")
+	c := BuildCFG(body)
+	if reaches(c, c.Entry, c.Exit) {
+		t.Error("`for {}` without break must not reach exit")
+	}
+	_, body = parseBody(t, "for {\nbreak\n}")
+	c = BuildCFG(body)
+	if !reaches(c, c.Entry, c.Exit) {
+		t.Error("`for { break }` must reach exit")
+	}
+}
+
+func TestCFGForLoopBackEdge(t *testing.T) {
+	_, body := parseBody(t, "for i := 0; i < n; i++ {\nwork()\n}\nafter()")
+	c := BuildCFG(body)
+	work := blockCalling(t, c, "work")
+	if !reaches(c, work, work) {
+		t.Error("loop body does not reach itself via the back edge")
+	}
+	if !reaches(c, c.Entry, c.Exit) {
+		t.Error("conditional loop must fall through to exit")
+	}
+}
+
+func TestCFGTerminalCallKillsPath(t *testing.T) {
+	_, body := parseBody(t, `panic("boom")`)
+	c := BuildCFG(body)
+	if reaches(c, c.Entry, c.Exit) {
+		t.Error("unconditional panic must not reach exit")
+	}
+	_, body = parseBody(t, "if c {\npanic(\"boom\")\n}\nafter()")
+	c = BuildCFG(body)
+	if !reaches(c, c.Entry, c.Exit) {
+		t.Error("the non-panicking branch must still reach exit")
+	}
+	_, body = parseBody(t, "os.Exit(1)")
+	c = BuildCFG(body)
+	if reaches(c, c.Entry, c.Exit) {
+		t.Error("os.Exit must not reach exit")
+	}
+}
+
+func TestCFGGotoSkipsStatements(t *testing.T) {
+	_, body := parseBody(t, "goto L\nskipped()\nL:\nafter()")
+	c := BuildCFG(body)
+	if !reaches(c, c.Entry, c.Exit) {
+		t.Error("goto over a label must reach exit")
+	}
+	if reaches(c, c.Entry, blockCalling(t, c, "skipped")) {
+		t.Error("statement jumped over by goto must be unreachable")
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	_, body := parseBody(t, "L:\nfor {\nfor {\nbreak L\n}\n}\nafter()")
+	c := BuildCFG(body)
+	if !reaches(c, c.Entry, blockCalling(t, c, "after")) {
+		t.Error("labeled break out of nested loops must reach the after block")
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	_, body := parseBody(t, "switch v {\ncase 1:\na()\nfallthrough\ncase 2:\nb()\ndefault:\nd()\n}\nafter()")
+	c := BuildCFG(body)
+	if !reaches(c, blockCalling(t, c, "a"), blockCalling(t, c, "b")) {
+		t.Error("fallthrough must chain case 1 into case 2")
+	}
+	if !reaches(c, blockCalling(t, c, "d"), blockCalling(t, c, "after")) {
+		t.Error("default clause must reach the join")
+	}
+}
+
+func TestCFGDefersRecorded(t *testing.T) {
+	_, body := parseBody(t, "defer cleanup()\nif c {\ndefer extra()\n}\nwork()")
+	c := BuildCFG(body)
+	if len(c.Defers) != 2 {
+		t.Errorf("Defers = %d, want 2", len(c.Defers))
+	}
+}
+
+// testTransfer is a toy transfer for solver tests: gen() generates a
+// fact under a fixed key, kill() deletes it.
+func testTransfer(n ast.Node, st State) {
+	InspectNode(n, func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			switch id.Name {
+			case "gen":
+				if _, exists := st[FactKey{Obj: "k"}]; !exists {
+					st[FactKey{Obj: "k"}] = Fact{Pos: call.Pos(), Kind: "g"}
+				}
+			case "kill":
+				delete(st, FactKey{Obj: "k"})
+			}
+		}
+		return true
+	})
+}
+
+func TestSolveBranchMayJoin(t *testing.T) {
+	_, body := parseBody(t, "if c {\ngen()\n}\nprobe()")
+	c := BuildCFG(body)
+	in := c.Solve(testTransfer)
+	probe := blockCalling(t, c, "probe")
+	if _, ok := in[probe.Index][FactKey{Obj: "k"}]; !ok {
+		t.Error("may-join lost the fact generated on one branch")
+	}
+}
+
+func TestSolveKillStopsFact(t *testing.T) {
+	_, body := parseBody(t, "gen()\nkill()\nif c {\nprobe()\n}")
+	c := BuildCFG(body)
+	in := c.Solve(testTransfer)
+	probe := blockCalling(t, c, "probe")
+	if _, ok := in[probe.Index][FactKey{Obj: "k"}]; ok {
+		t.Error("killed fact leaked past the kill")
+	}
+}
+
+func TestSolveLoopCarriedFact(t *testing.T) {
+	// probe() runs before gen() textually, but the back edge carries
+	// the previous iteration's fact into the body's in-state.
+	_, body := parseBody(t, "for i := 0; i < n; i++ {\nprobe()\ngen()\n}")
+	c := BuildCFG(body)
+	in := c.Solve(testTransfer)
+	probe := blockCalling(t, c, "probe")
+	if _, ok := in[probe.Index][FactKey{Obj: "k"}]; !ok {
+		t.Error("loop-carried fact did not survive the back edge")
+	}
+}
+
+func TestSolveJoinKeepsEarliestPos(t *testing.T) {
+	_, body := parseBody(t, "if c {\ngen()\n} else {\ngen()\n}\nprobe()")
+	c := BuildCFG(body)
+	in := c.Solve(testTransfer)
+	probe := blockCalling(t, c, "probe")
+	f, ok := in[probe.Index][FactKey{Obj: "k"}]
+	if !ok {
+		t.Fatal("joined fact missing")
+	}
+	a := blockCalling(t, c, "gen")
+	// The earliest gen() in source order must win the join.
+	var earliest token.Pos
+	for _, blk := range c.Blocks {
+		for _, n := range blk.Nodes {
+			InspectNode(n, func(x ast.Node) bool {
+				if call, ok := x.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "gen" {
+						if earliest == token.NoPos || call.Pos() < earliest {
+							earliest = call.Pos()
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	_ = a
+	if f.Pos != earliest {
+		t.Errorf("join kept pos %v, want earliest gen at %v", f.Pos, earliest)
+	}
+}
+
+func TestReachesWithoutBarrier(t *testing.T) {
+	_, body := parseBody(t, "if c {\nbar()\n}\nend()")
+	c := BuildCFG(body)
+	barBlk := blockCalling(t, c, "bar")
+	barrier := func(b *Block) bool { return b == barBlk }
+	if !c.ReachesWithout(c.Entry, c.Exit, barrier) {
+		t.Error("else path around the barrier must still reach exit")
+	}
+	_, body = parseBody(t, "bar()\nend()")
+	c = BuildCFG(body)
+	barBlk = blockCalling(t, c, "bar")
+	if c.ReachesWithout(c.Entry, c.Exit, func(b *Block) bool { return b == barBlk }) {
+		t.Error("straight line through the barrier must be blocked")
+	}
+}
+
+func TestInspectNodeRangeHead(t *testing.T) {
+	_, body := parseBody(t, "for k, v := range xs {\nuse(k, v)\n}")
+	c := BuildCFG(body)
+	// The range node lives in a loop-head block; InspectNode must
+	// surface the RangeStmt itself (for Key/Value kills) and X, but
+	// not the body.
+	var sawRange, sawBody bool
+	for _, blk := range c.Blocks {
+		for _, n := range blk.Nodes {
+			if _, ok := n.(*ast.RangeStmt); !ok {
+				continue
+			}
+			InspectNode(n, func(x ast.Node) bool {
+				switch y := x.(type) {
+				case *ast.RangeStmt:
+					sawRange = true
+				case *ast.CallExpr:
+					if id, ok := y.Fun.(*ast.Ident); ok && id.Name == "use" {
+						sawBody = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	if !sawRange {
+		t.Error("InspectNode never yielded the RangeStmt node itself")
+	}
+	if sawBody {
+		t.Error("InspectNode descended into the range body from the head block")
+	}
+}
+
+func TestInspectNodeSkipsFuncLit(t *testing.T) {
+	_, body := parseBody(t, "f := func() {\ninner()\n}\n_ = f")
+	c := BuildCFG(body)
+	for _, blk := range c.Blocks {
+		for _, n := range blk.Nodes {
+			InspectNode(n, func(x ast.Node) bool {
+				if call, ok := x.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "inner" {
+						t.Error("InspectNode descended into a FuncLit body")
+					}
+				}
+				return true
+			})
+		}
+	}
+}

@@ -144,6 +144,21 @@ func checkCtxFlow(pass *Pass, fd *ast.FuncDecl) {
 		pass.Report(ctxIdent.Pos(),
 			"function %s never uses its context parameter %s; every engine/plan entry point must poll or forward it so cancellation reaches all operators",
 			fd.Name.Name, ctxIdent.Name)
+		return
+	}
+	// Interprocedural refinement: the parameter is mentioned, but if
+	// every mention only forwards it to in-package callees that
+	// provably ignore their own context parameter, cancellation still
+	// dead-ends. The function summary's UsesParam is exactly this
+	// transitive judgment (unknown callees count as using).
+	if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok && fn != nil {
+		if sum := pass.Dataflow().SummaryOf(fn); sum != nil {
+			if i := sum.paramIndex(ctxParam); i >= 0 && !sum.UsesParam[i] {
+				pass.Report(ctxIdent.Pos(),
+					"function %s forwards its context parameter %s only to callees that ignore it; cancellation never reaches any operator below — thread it to a consumer or poll it here",
+					fd.Name.Name, ctxIdent.Name)
+			}
+		}
 	}
 }
 

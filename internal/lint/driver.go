@@ -12,9 +12,9 @@ import (
 
 // Summary is the outcome of one driver run.
 type Summary struct {
-	Packages   int // package units typechecked and analyzed
-	Findings   int // findings that remain after suppression
-	Suppressed int // findings covered by //lint:allow directives
+	Packages   int `json:"packages"`   // package units typechecked and analyzed
+	Findings   int `json:"findings"`   // findings that remain after suppression
+	Suppressed int `json:"suppressed"` // findings covered by //lint:allow directives
 }
 
 // Runner drives the analyzers over a set of package directories.
@@ -198,13 +198,70 @@ func (r *Runner) lintDir(dir string) ([]Finding, int, error) {
 	if err := run(path+"_test", xtestFiles, xtestFiles); err != nil {
 		return nil, 0, err
 	}
-	applySuppressions(loader.Fset, append(append(append([]*ast.File{}, files...), testFiles...), xtestFiles...), out)
+	allFiles := append(append(append([]*ast.File{}, files...), testFiles...), xtestFiles...)
+	allows, used := applySuppressions(loader.Fset, allFiles, out)
+	out = append(out, r.checkStaleAllows(allows, used)...)
 	return out, units, nil
+}
+
+// checkStaleAllows implements the allowstale analyzer (see
+// allowstale.go): after suppressions have been applied, a directive
+// that suppressed nothing is reported — but only when every analyzer
+// it names actually ran, since a subset run cannot prove a directive
+// dead. Directives naming unknown analyzers are always reported: they
+// never suppressed anything.
+func (r *Runner) checkStaleAllows(allows []AllowDirective, used []bool) []Finding {
+	enabled := false
+	selected := make(map[string]bool, len(r.Analyzers))
+	for _, a := range r.Analyzers {
+		selected[a.Name] = true
+		if a.Name == AllowStale.Name {
+			enabled = true
+		}
+	}
+	if !enabled {
+		return nil
+	}
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	var out []Finding
+	report := func(d AllowDirective, format string, args ...any) {
+		out = append(out, Finding{
+			Pos:      token.Position{Filename: d.File, Line: d.Line},
+			Analyzer: AllowStale.Name,
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for i, d := range allows {
+		var unknown []string
+		decidable := true
+		for _, name := range d.Analyzers {
+			if !known[name] {
+				unknown = append(unknown, name)
+			} else if !selected[name] {
+				decidable = false
+			}
+		}
+		if len(unknown) > 0 {
+			report(d, "//lint:allow names unknown analyzer(s) %s; the directive cannot suppress anything — fix the name or remove it",
+				strings.Join(unknown, ", "))
+			continue
+		}
+		if used[i] || !decidable {
+			continue
+		}
+		report(d, "//lint:allow %s suppresses no findings; a stale directive silently pre-approves the next real finding on this line — remove it",
+			strings.Join(d.Analyzers, ","))
+	}
+	return out
 }
 
 // analyze runs every analyzer over one typed unit.
 func (r *Runner) analyze(fset *token.FileSet, pkg *types.Package, info *types.Info, files []*ast.File) []Finding {
 	var out []Finding
+	shared := &unitState{}
 	for _, a := range r.Analyzers {
 		pass := &Pass{
 			Analyzer: a,
@@ -213,6 +270,7 @@ func (r *Runner) analyze(fset *token.FileSet, pkg *types.Package, info *types.In
 			Pkg:      pkg,
 			Info:     info,
 			report:   func(f Finding) { out = append(out, f) },
+			shared:   shared,
 		}
 		a.Run(pass)
 	}
@@ -263,35 +321,42 @@ func parseAllows(fset *token.FileSet, files []*ast.File) []AllowDirective {
 	return out
 }
 
-// applySuppressions marks findings covered by an allow directive.
-func applySuppressions(fset *token.FileSet, files []*ast.File, findings []Finding) {
-	allows := parseAllows(fset, files)
+// applySuppressions marks findings covered by an allow directive and
+// reports, per directive, whether it suppressed at least one finding
+// (used is indexed in parallel with the returned directives).
+func applySuppressions(fset *token.FileSet, files []*ast.File, findings []Finding) (allows []AllowDirective, used []bool) {
+	allows = parseAllows(fset, files)
+	used = make([]bool, len(allows))
 	if len(allows) == 0 {
-		return
+		return allows, used
 	}
-	covered := make(map[string]map[int]map[string]bool) // file → line → analyzer
-	for _, d := range allows {
+	covered := make(map[string]map[int]map[string][]int) // file → line → analyzer → directive indices
+	for di, d := range allows {
 		lines := covered[d.File]
 		if lines == nil {
-			lines = make(map[int]map[string]bool)
+			lines = make(map[int]map[string][]int)
 			covered[d.File] = lines
 		}
 		for _, ln := range []int{d.Line, d.Line + 1} {
 			set := lines[ln]
 			if set == nil {
-				set = make(map[string]bool)
+				set = make(map[string][]int)
 				lines[ln] = set
 			}
 			for _, a := range d.Analyzers {
-				set[a] = true
+				set[a] = append(set[a], di)
 			}
 		}
 	}
 	for i := range findings {
-		if set := covered[findings[i].Pos.Filename][findings[i].Pos.Line]; set[findings[i].Analyzer] {
+		if idxs := covered[findings[i].Pos.Filename][findings[i].Pos.Line][findings[i].Analyzer]; len(idxs) > 0 {
 			findings[i].Suppressed = true
+			for _, di := range idxs {
+				used[di] = true
+			}
 		}
 	}
+	return allows, used
 }
 
 // RelativizeTo rewrites finding filenames relative to dir when

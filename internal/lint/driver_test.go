@@ -29,6 +29,72 @@ func TestRunnerSuppressions(t *testing.T) {
 	}
 }
 
+func TestAllowStale(t *testing.T) {
+	r, err := NewRunner(".", []*Analyzer{TvlBool, AllowStale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, sum, err := r.Run([]string{"./internal/lint/testdata/src/fix/stale"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One live suppression, plus two allowstale findings: the stale
+	// tvlbool directive and the unknown-analyzer directive.
+	if sum.Findings != 2 || sum.Suppressed != 1 {
+		t.Fatalf("summary = %+v, want 2 findings and 1 suppressed; findings: %v", sum, findings)
+	}
+	var stale, unknown int
+	for _, f := range findings {
+		if f.Suppressed {
+			continue
+		}
+		if f.Analyzer != AllowStale.Name {
+			t.Errorf("unexpected analyzer %s: %v", f.Analyzer, f)
+		}
+		switch {
+		case strings.Contains(f.Message, "suppresses no findings"):
+			stale++
+		case strings.Contains(f.Message, "unknown analyzer"):
+			unknown++
+		}
+	}
+	if stale != 1 || unknown != 1 {
+		t.Errorf("stale=%d unknown=%d, want 1 and 1; findings: %v", stale, unknown, findings)
+	}
+}
+
+func TestAllowStaleUndecidableSubset(t *testing.T) {
+	// With tvlbool not part of the run, the stale tvlbool directive is
+	// undecidable and must not be reported; the unknown-analyzer
+	// directive is always reportable.
+	r, err := NewRunner(".", []*Analyzer{AllowStale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sum, err := r.Run([]string{"./internal/lint/testdata/src/fix/stale"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Findings != 1 || sum.Suppressed != 0 {
+		t.Fatalf("summary = %+v, want exactly the unknown-analyzer finding", sum)
+	}
+}
+
+func TestAllowStaleDisabled(t *testing.T) {
+	// Without allowstale in the run, stale directives are not policed.
+	r, err := NewRunner(".", []*Analyzer{TvlBool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sum, err := r.Run([]string{"./internal/lint/testdata/src/fix/stale"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Findings != 0 || sum.Suppressed != 1 {
+		t.Fatalf("summary = %+v, want 0 findings and 1 suppressed", sum)
+	}
+}
+
 func TestExpandPatternsSkipsTestdata(t *testing.T) {
 	r, err := NewRunner(".", nil)
 	if err != nil {

@@ -1,0 +1,264 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// GovPair polices the engine's resource-budget accounting pairing.
+// The Governor (internal/engine/lifecycle.go) bounds a query's live
+// footprint only if every charge is eventually matched by a release:
+// streaming operators charge emitted batches and held state through
+// their guards, and release everything at Close. Four shapes break
+// the pairing:
+//
+//  1. An iterator whose Next (transitively) charges the governor but
+//     whose Close never (transitively) releases it leaks its charges
+//     into every later query under the same budget.
+//  2. A Close method that releases on some paths but can reach return
+//     without releasing (an early return that is not the idempotence
+//     guard) leaks on exactly the path that taking branch covers.
+//  3. A discarded Governor.Charge error defeats the budget: the first
+//     over-limit charge is the only signal the query gets.
+//  4. Ad-hoc Charge/Release calls outside the guard types (types that
+//     own a *Governor field) bypass the batched accounting and the
+//     charge/release bookkeeping those guards centralize.
+//
+// The analyzer is interprocedural through the unit's function
+// summaries: `it.sg.emit(b)` charges because streamGuard.emit's
+// summary (transitively) charges. It inspects non-test files of
+// internal/engine and internal/plan.
+var GovPair = &Analyzer{
+	Name: "govpair",
+	Doc:  "flag governor charge/release pairing violations: charging Next without releasing Close, non-releasing paths through Close, discarded Charge errors, ad-hoc governor calls",
+	Run:  runGovPair,
+}
+
+func runGovPair(pass *Pass) {
+	if !pkgIs(pass.Pkg, "internal/engine") && !pkgIs(pass.Pkg, "internal/plan") {
+		return
+	}
+	df := pass.Dataflow()
+	for _, file := range pass.Files {
+		base := pass.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(base, "_test.go") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					if ts, ok := spec.(*ast.TypeSpec); ok {
+						checkChargingType(pass, df, ts)
+					}
+				}
+			case *ast.FuncDecl:
+				if d.Body == nil {
+					continue
+				}
+				checkChargeErrDiscard(pass, df, d)
+				checkAdHocGovernor(pass, df, d)
+				if d.Name.Name == "Close" && d.Recv != nil {
+					checkCloseReleasesAllPaths(pass, df, d)
+				}
+			}
+		}
+	}
+}
+
+// methodSummary finds the summary of t's (or *t's) method named name.
+func methodSummary(df *Analysis, t types.Type, name string) *FuncSummary {
+	cands := []types.Type{t}
+	if _, isPtr := t.(*types.Pointer); !isPtr {
+		if _, isIface := t.Underlying().(*types.Interface); !isIface {
+			cands = append(cands, types.NewPointer(t))
+		}
+	}
+	for _, c := range cands {
+		ms := types.NewMethodSet(c)
+		for i := 0; i < ms.Len(); i++ {
+			f, ok := ms.At(i).Obj().(*types.Func)
+			if !ok || f.Name() != name {
+				continue
+			}
+			if sum := df.SummaryOf(f); sum != nil {
+				return sum
+			}
+		}
+	}
+	return nil
+}
+
+// checkChargingType flags rule 1: Next charges, Close does not release
+// (or does not exist — that case is iterlife's, so only flag when a
+// Close is present but inert).
+func checkChargingType(pass *Pass, df *Analysis, ts *ast.TypeSpec) {
+	obj, ok := pass.Info.Defs[ts.Name].(*types.TypeName)
+	if !ok {
+		return
+	}
+	t := obj.Type()
+	if !hasNext(t) || !hasClose(t) {
+		return
+	}
+	next := methodSummary(df, t, "Next")
+	if next == nil || !next.ChargesGov {
+		return
+	}
+	cl := methodSummary(df, t, "Close")
+	if cl != nil && cl.ReleasesGov {
+		return
+	}
+	pass.Report(ts.Name.Pos(),
+		"type %s charges the governor in Next but its Close never releases; the charges outlive the query — route accounting through a guard and release it in Close",
+		ts.Name.Name)
+}
+
+// checkCloseReleasesAllPaths flags rule 2: a releasing Close with a
+// non-releasing path to return. The idempotence guard
+// (`if recv.flag { return … }` as a guard whose body is a lone return)
+// is exempt: re-closing has nothing left to release by design.
+func checkCloseReleasesAllPaths(pass *Pass, df *Analysis, fd *ast.FuncDecl) {
+	recv := receiverObj(pass.Info, fd)
+	sum := methodSummaryOfDecl(pass, df, fd)
+	if sum == nil || !sum.ReleasesGov {
+		return
+	}
+	// A deferred releasing call covers every exit.
+	cfg := df.CFGFor(fd.Body)
+	for _, d := range cfg.Defers {
+		if df.ReleasesGovernor(d.Call) {
+			return
+		}
+	}
+	// Idempotence-guard returns: `if <recv-derived bool> { return … }`
+	// with the return as the guard body's only statement.
+	exempt := make(map[*ast.ReturnStmt]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || len(ifs.Body.List) != 1 {
+			return true
+		}
+		ret, ok := ifs.Body.List[0].(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		if recv != nil && usesObj(pass.Info, ifs.Cond, recv) {
+			exempt[ret] = true
+		}
+		return true
+	})
+	barrier := func(b *Block) bool {
+		for _, n := range b.Nodes {
+			found := false
+			InspectNode(n, func(x ast.Node) bool {
+				if call, ok := x.(*ast.CallExpr); ok && df.ReleasesGovernor(call) {
+					found = true
+				}
+				if ret, ok := x.(*ast.ReturnStmt); ok && exempt[ret] {
+					found = true
+				}
+				return !found
+			})
+			if found {
+				return true
+			}
+		}
+		return false
+	}
+	if cfg.ReachesWithout(cfg.Entry, cfg.Exit, barrier) {
+		pass.Report(fd.Name.Pos(),
+			"Close releases governor charges on some paths but can return without releasing; every non-panicking path must release (or defer the release)")
+	}
+}
+
+// methodSummaryOfDecl resolves fd's own summary.
+func methodSummaryOfDecl(pass *Pass, df *Analysis, fd *ast.FuncDecl) *FuncSummary {
+	fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	return df.SummaryOf(fn)
+}
+
+// checkChargeErrDiscard flags rule 3: Governor.Charge with its error
+// discarded (expression statement, or assigned to blank).
+func checkChargeErrDiscard(pass *Pass, df *Analysis, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := x.X.(*ast.CallExpr); ok && df.isGovernorMethod(call, "Charge") {
+				pass.Report(call.Pos(),
+					"Governor.Charge error discarded; the budget only works if the first over-limit charge aborts the operator — check the error")
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range x.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !df.isGovernorMethod(call, "Charge") {
+					continue
+				}
+				if i < len(x.Lhs) {
+					if id, ok := x.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						pass.Report(call.Pos(),
+							"Governor.Charge error discarded; the budget only works if the first over-limit charge aborts the operator — check the error")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkAdHocGovernor flags rule 4: direct Charge/Release outside
+// methods of a type that owns a Governor field (the guard types that
+// centralize batched accounting). Methods of Governor itself are
+// exempt, as is any function whose receiver type embeds a Governor
+// reference at its top level.
+func checkAdHocGovernor(pass *Pass, df *Analysis, fd *ast.FuncDecl) {
+	if ownsGovernorField(pass, fd) {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, m := range []string{"Charge", "Release"} {
+			if df.isGovernorMethod(call, m) {
+				pass.Report(call.Pos(),
+					"direct Governor.%s outside a guard type; governor accounting must flow through guard/streamGuard (types owning a *Governor field) so charges and releases stay paired",
+					m)
+			}
+		}
+		return true
+	})
+}
+
+// ownsGovernorField reports whether fd is a method whose receiver type
+// is Governor itself or a struct with a Governor-referencing field.
+func ownsGovernorField(pass *Pass, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	t := pass.Info.TypeOf(fd.Recv.List[0].Type)
+	if t == nil {
+		return false
+	}
+	if namedFrom(t, "internal/engine", "Governor") {
+		return true
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if namedFrom(st.Field(i).Type(), "internal/engine", "Governor") {
+			return true
+		}
+	}
+	return false
+}

@@ -175,7 +175,17 @@ func checkIterLeaks(pass *Pass, fd *ast.FuncDecl) {
 			if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Close" {
 				markPlain(sel.X, closed)
 			}
-			for _, arg := range x.Args {
+			sum := pass.Dataflow().CallSummary(x)
+			for j, arg := range x.Args {
+				// Interprocedural refinement: if the callee's summary
+				// proves the argument is neither closed nor retained,
+				// the call is a borrow, not a handoff — the close
+				// obligation stays with this function. An unknown
+				// callee (or a variadic tail) keeps the old
+				// conservative "handed off" reading.
+				if sum != nil && j < len(sum.ClosesParam) && !sum.ClosesParam[j] && !sum.RetainsParam[j] {
+					continue
+				}
 				markPlain(arg, handed)
 			}
 		case *ast.ReturnStmt:

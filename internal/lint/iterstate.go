@@ -1,0 +1,207 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// IterState checks the iterator state machine flow-sensitively: once a
+// consumer has called Close on an iterator, that binding is dead —
+// calling Next or Rewind on it afterwards reads an operator that has
+// already released its buffers and governor charges (the contract says
+// such calls must not panic, but a pipeline that *relies* on them is
+// wrong), and a second explicit Close on the same binding is dead code
+// that usually means the author lost track of ownership.
+//
+// The analysis runs on the function's CFG, so early returns, loops,
+// and branch joins are handled: a Close inside `if done { … }`
+// followed by Next on the other branch is fine; reassigning the
+// variable (including per-iteration rebinding at a range/for head)
+// kills the fact; `defer it.Close()` registers teardown for function
+// exit and generates no fact. Interprocedural reach comes from the
+// unit summaries: passing an iterator to an in-package function whose
+// summary closes that parameter marks it closed here too.
+//
+// Tracked references are plain variables and field chains rooted at a
+// plain variable (it, j.build, side.it). The analyzer inspects
+// non-test files of internal/engine and internal/plan.
+var IterState = &Analyzer{
+	Name: "iterstate",
+	Doc:  "flag Next/Rewind after Close and double Close on the same iterator binding, flow-sensitively across branches and loops",
+	Run:  runIterState,
+}
+
+const (
+	iterClosed = "closed"
+)
+
+func runIterState(pass *Pass) {
+	if !pkgIs(pass.Pkg, "internal/engine") && !pkgIs(pass.Pkg, "internal/plan") {
+		return
+	}
+	df := pass.Dataflow()
+	for _, file := range pass.Files {
+		base := pass.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(base, "_test.go") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				runIterStateFunc(pass, df, fd)
+			}
+		}
+		// Function literals are separate functions with their own CFGs
+		// (InspectNode keeps the enclosing CFG from descending into
+		// them, so nothing is analyzed twice).
+		ast.Inspect(file, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				runIterStateBody(pass, df, fl.Body)
+			}
+			return true
+		})
+	}
+}
+
+func runIterStateFunc(pass *Pass, df *Analysis, fd *ast.FuncDecl) {
+	runIterStateBody(pass, df, fd.Body)
+}
+
+// iterRef resolves e to a trackable reference: a plain variable or a
+// field chain over plain selectors (side.it → obj=side, path=".it").
+func iterRef(info *types.Info, e ast.Expr) (obj *types.Var, path string, ok bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v := objOf(info, x); v != nil {
+			return v, "", true
+		}
+	case *ast.SelectorExpr:
+		o, p, k := iterRef(info, x.X)
+		if k {
+			return o, p + "." + x.Sel.Name, true
+		}
+	}
+	return nil, "", false
+}
+
+// isIterCloseTarget reports whether e's static type satisfies the
+// iterator contract (has Next); Close on arbitrary closers (files,
+// channels wrapped in types) is out of scope.
+func isIterCloseTarget(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	return t != nil && hasNext(t)
+}
+
+func runIterStateBody(pass *Pass, df *Analysis, body *ast.BlockStmt) {
+	info := pass.Info
+	cfg := df.CFGFor(body)
+
+	// transfer: gen "closed" facts, kill on rebinding.
+	transfer := func(n ast.Node, st State) {
+		switch n.(type) {
+		case *ast.DeferStmt, *ast.GoStmt:
+			// Deferred closes run at exit; goroutine closes run at an
+			// unknown time. Neither generates a flow fact here.
+			return
+		}
+		InspectNode(n, func(x ast.Node) bool {
+			switch y := x.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range y.Lhs {
+					if obj, path, ok := iterRef(info, lhs); ok {
+						if path == "" {
+							st.KillObj(obj)
+						} else {
+							for k := range st {
+								if k.Obj == obj && strings.HasPrefix(k.Path, path) {
+									delete(st, k)
+								}
+							}
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				// Only reached for the loop-head node: Key/Value are
+				// rebound every iteration.
+				for _, e := range []ast.Expr{y.Key, y.Value} {
+					if e == nil {
+						continue
+					}
+					if obj, _, ok := iterRef(info, e); ok {
+						st.KillObj(obj)
+					}
+				}
+			case *ast.UnaryExpr:
+				if y.Op == token.AND {
+					if obj, _, ok := iterRef(info, y.X); ok {
+						st.KillObj(obj)
+					}
+				}
+			case *ast.CallExpr:
+				if sel, ok := ast.Unparen(y.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Close" {
+					if obj, path, ok := iterRef(info, sel.X); ok && isIterCloseTarget(info, sel.X) {
+						st[FactKey{Obj: obj, Path: path}] = Fact{Pos: y.Pos(), Kind: iterClosed}
+					}
+				}
+				// foo(it) where foo's summary closes the parameter.
+				if sum := df.CallSummary(y); sum != nil {
+					for j, arg := range y.Args {
+						if j >= len(sum.ClosesParam) || !sum.ClosesParam[j] {
+							continue
+						}
+						if obj, path, ok := iterRef(info, arg); ok && isIterCloseTarget(info, arg) {
+							st[FactKey{Obj: obj, Path: path}] = Fact{Pos: y.Pos(), Kind: iterClosed}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	in := cfg.Solve(transfer)
+
+	// Replay each block against its fixed-point in-state, reporting
+	// before applying each node's transfer.
+	fsetPos := func(p token.Pos) int { return pass.Fset.Position(p).Line }
+	for _, blk := range cfg.Blocks {
+		st := in[blk.Index].Clone()
+		for _, n := range blk.Nodes {
+			switch n.(type) {
+			case *ast.DeferStmt, *ast.GoStmt:
+				continue
+			}
+			InspectNode(n, func(x ast.Node) bool {
+				call, ok := x.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				switch sel.Sel.Name {
+				case "Next", "Rewind":
+					if obj, path, ok := iterRef(info, sel.X); ok {
+						if f, hit := st[FactKey{Obj: obj, Path: path}]; hit && f.Kind == iterClosed {
+							pass.Report(call.Pos(),
+								"%s called on %s after it was closed at line %d; a closed iterator has released its buffers and charges — restructure so Close is the last operation",
+								sel.Sel.Name, obj.Name()+path, fsetPos(f.Pos))
+						}
+					}
+				case "Close":
+					if obj, path, ok := iterRef(info, sel.X); ok && isIterCloseTarget(info, sel.X) {
+						if f, hit := st[FactKey{Obj: obj, Path: path}]; hit && f.Kind == iterClosed {
+							pass.Report(call.Pos(),
+								"duplicate Close on the same iterator binding (first closed at line %d); the second call is dead — remove it or re-examine ownership",
+								fsetPos(f.Pos))
+						}
+					}
+				}
+				return true
+			})
+			transfer(n, st)
+		}
+	}
+}

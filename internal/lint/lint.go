@@ -45,6 +45,29 @@ type Pass struct {
 
 	// report receives findings; installed by the driver or test harness.
 	report func(Finding)
+	// shared holds per-unit state (the dataflow Analysis) reused by
+	// every analyzer over the same typed unit; installed by the driver.
+	shared *unitState
+}
+
+// unitState is the lazily built state shared by all analyzers of one
+// typed unit.
+type unitState struct {
+	df *Analysis
+}
+
+// Dataflow returns the unit's shared dataflow analysis — function
+// summaries at fixed point plus cached CFGs — building it on first
+// use. Every analyzer of the same unit receives the same instance, so
+// the summary fixpoint runs once per unit, not once per analyzer.
+func (p *Pass) Dataflow() *Analysis {
+	if p.shared == nil {
+		p.shared = &unitState{}
+	}
+	if p.shared.df == nil {
+		p.shared.df = NewAnalysis(p.Fset, p.Pkg, p.Info, p.Files)
+	}
+	return p.shared.df
 }
 
 // Finding is one reported diagnostic.
@@ -74,7 +97,8 @@ func (p *Pass) Report(pos token.Pos, format string, args ...any) {
 
 // All returns every analyzer the suite ships, in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{TvlBool, RowAlias, StatsAtomic, CatVer, DetOrder, CtxFlow, IterLife}
+	return []*Analyzer{TvlBool, RowAlias, StatsAtomic, CatVer, DetOrder, CtxFlow, IterLife,
+		GovPair, IterState, BatchLife, PartRoute, AllowStale}
 }
 
 // ByName resolves a comma/space separated analyzer list; unknown names

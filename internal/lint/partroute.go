@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// PartRoute enforces single-sourced hash-partition routing in the
+// engine. Parallel operators split hash state into hash-disjoint
+// partitions; serial code paths that share that state (streaming
+// distinct's dedupSerial, mixed serial/parallel execution) must agree
+// with the workers on exactly which partition owns a hash. The
+// duplicate-row bug fixed in commit 3784fba was precisely this class:
+// the serial path probed partition 0 while workers inserted into
+// h % w. The fix centralizes the mapping in partitionOf
+// (internal/engine/partition.go); this analyzer keeps it centralized:
+//
+//  1. No uint64 modulo outside partitionOf. Hashes are uint64, so a
+//     uint64 % is partition arithmetic; int modulo (round-robin worker
+//     selection, poll intervals) is untouched.
+//  2. No constant index into a partition-table slice (a slice of
+//     hash-keyed maps or of rowTables): `tables[0]` is the pre-fix
+//     bug shape — the partition must be computed from the hash.
+//
+// The analyzer inspects non-test files of the engine package only.
+var PartRoute = &Analyzer{
+	Name: "partroute",
+	Doc:  "flag hash-partition arithmetic outside partitionOf: uint64 modulo, or constant indexes into partition-table slices",
+	Run:  runPartRoute,
+}
+
+func runPartRoute(pass *Pass) {
+	if !pkgIs(pass.Pkg, "internal/engine") {
+		return
+	}
+	for _, file := range pass.Files {
+		base := pass.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(base, "_test.go") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Name.Name == "partitionOf" && fd.Recv == nil {
+				continue // the one blessed home of partition arithmetic
+			}
+			checkPartRoute(pass, fd)
+		}
+	}
+}
+
+// isUint64 reports whether t is (an alias or named form of) uint64.
+func isUint64(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint64
+}
+
+// isPartitionTableSlice reports whether t is a slice whose elements
+// are hash-partition state: a map keyed by uint64 (hash buckets) or a
+// rowTable reference.
+func isPartitionTableSlice(info *types.Info, t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	elem := sl.Elem()
+	if namedFrom(elem, "internal/engine", "rowTable") {
+		return true
+	}
+	if m, ok := elem.Underlying().(*types.Map); ok {
+		return isUint64(m.Key())
+	}
+	return false
+}
+
+func checkPartRoute(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Info
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.BinaryExpr:
+			if x.Op != token.REM {
+				return true
+			}
+			lt := info.TypeOf(x.X)
+			rt := info.TypeOf(x.Y)
+			if isUint64(lt) || isUint64(rt) {
+				pass.Report(x.OpPos,
+					"uint64 modulo outside partitionOf; hash-partition routing must flow through partitionOf so every serial and parallel path agrees on the hash→partition mapping")
+			}
+		case *ast.IndexExpr:
+			if !isPartitionTableSlice(info, info.TypeOf(x.X)) {
+				return true
+			}
+			if tv, ok := info.Types[x.Index]; ok && tv.Value != nil {
+				pass.Report(x.Index.Pos(),
+					"constant index into a partition-table slice; the owning partition must be computed with partitionOf from the row hash, never hard-coded")
+			}
+		}
+		return true
+	})
+}

@@ -69,12 +69,17 @@ func rowIdents(info *types.Info, e ast.Expr, fn func(*types.Var, *ast.Ident)) {
 
 func runRowAliasFunc(pass *Pass, fd *ast.FuncDecl) {
 	info := pass.Info
-	escaped := make(map[*types.Var]escapeEvent)
-	mark := func(obj *types.Var, pos token.Pos, kind string) {
-		if prev, ok := escaped[obj]; !ok || pos < prev.pos {
-			escaped[obj] = escapeEvent{pos: pos, kind: kind}
+
+	// Rule 1 (flow-sensitive): escape facts flow along the function's
+	// CFG; function literals are separate functions with their own
+	// CFGs, analyzed independently.
+	rowAliasEscapes(pass, fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			rowAliasEscapes(pass, fl.Body)
 		}
-	}
+		return true
+	})
 
 	params := make(map[*types.Var]bool)
 	if fd.Type.Params != nil {
@@ -87,72 +92,16 @@ func runRowAliasFunc(pass *Pass, fd *ast.FuncDecl) {
 		}
 	}
 
-	// Pass 1: collect escape events.
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		switch x := n.(type) {
-		case *ast.SendStmt:
-			rowIdents(info, x.Value, func(obj *types.Var, id *ast.Ident) {
-				mark(obj, id.Pos(), "sent on a channel")
-			})
-		// Note: `return r` is deliberately NOT an escape for the
-		// textual-order rule — a conditional early return followed by
-		// a write is the write running only when the return did not,
-		// which is fine. Mutation of rows handed to/from callers is
-		// caught by the shared-storage rule below instead.
-		case *ast.CallExpr:
-			if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "append" && len(x.Args) > 1 {
-				for _, arg := range x.Args[1:] {
-					if aid, ok := arg.(*ast.Ident); ok {
-						if obj := objOf(info, aid); obj != nil && isRowType(obj.Type()) {
-							mark(obj, aid.Pos(), "appended to another slice")
-						}
-					}
-				}
-			}
-		case *ast.AssignStmt:
-			// v stored into an element/field of something else:
-			// X[i] = v, s.F = v, m[k] = v.
-			for i, rhs := range x.Rhs {
-				if i >= len(x.Lhs) {
-					break
-				}
-				id, ok := rhs.(*ast.Ident)
-				if !ok {
-					continue
-				}
-				obj := objOf(info, id)
-				if obj == nil || !isRowType(obj.Type()) {
-					continue
-				}
-				switch lhs := x.Lhs[i].(type) {
-				case *ast.IndexExpr:
-					if root := rootIdent(lhs); root == nil || objOf(info, root) != obj {
-						mark(obj, id.Pos(), "stored into another slice or map")
-					}
-				case *ast.SelectorExpr:
-					_ = lhs
-					mark(obj, id.Pos(), "stored into a struct field")
-				}
-			}
-		case *ast.CompositeLit:
-			rowIdents(info, x, func(obj *types.Var, id *ast.Ident) {
-				mark(obj, id.Pos(), "captured by a composite literal")
-			})
-		}
-		return true
-	})
-
 	inEngine := pkgIs(pass.Pkg, "internal/engine")
 
-	// Pass 2: flag element writes after an escape, plus (in the engine
-	// package) deep writes through shared storage.
-	checkWrite := func(target ast.Expr, pos token.Pos) {
+	// Rule 2 (flow-insensitive): deep writes through shared storage in
+	// the engine package.
+	checkShared := func(target ast.Expr, pos token.Pos) {
 		idx, ok := target.(*ast.IndexExpr)
-		if !ok {
+		if !ok || !inEngine {
 			return
 		}
-		// Rule 2: rel.Rows[i][j] = v / param[i][j] = v inside engine.
-		if inner, ok := idx.X.(*ast.IndexExpr); ok && inEngine {
+		if inner, ok := idx.X.(*ast.IndexExpr); ok {
 			if t := info.Types[idx.X].Type; t != nil && namedFrom(t, "internal/value", "Row") {
 				root := rootIdent(inner.X)
 				viaSelector := false
@@ -164,9 +113,126 @@ func runRowAliasFunc(pass *Pass, fd *ast.FuncDecl) {
 				})
 				if root == nil || viaSelector || params[objOf(info, root)] {
 					pass.Report(pos, "in-place write to a row reached through shared storage; operators must copy rows before mutating (copy-on-write)")
-					return
 				}
 			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				checkShared(lhs, lhs.Pos())
+			}
+		case *ast.IncDecStmt:
+			checkShared(x.X, x.X.Pos())
+		}
+		return true
+	})
+
+	// Rule 3: Next reusing the receiver batch buffer it returns.
+	if inEngine || pkgIs(pass.Pkg, "internal/plan") {
+		checkNextBufferReuse(pass, fd)
+	}
+}
+
+// rowAliasEscapes implements rule 1 on the CFG: a fact marks a row
+// variable as escaped (sent, appended, stored, captured); assignment
+// to the variable — including the per-iteration rebinding at a range
+// head — kills the fact, since a fresh binding aliases nothing. An
+// element write while a fact is live is flagged. Compared to the old
+// textual-order rule this catches the loop-carried case (escape in
+// one iteration, write in the next) and stops flagging writes on
+// branches the escape cannot reach.
+//
+// `return r` is deliberately NOT an escape — a conditional early
+// return followed by a write means the write runs only when the
+// return did not. Mutation of rows handed to/from callers is rule 2's
+// job.
+func rowAliasEscapes(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Info
+	cfg := pass.Dataflow().CFGFor(body)
+
+	gen := func(st State, obj *types.Var, pos token.Pos, kind string) {
+		k := FactKey{Obj: obj}
+		if f, ok := st[k]; !ok || pos < f.Pos {
+			st[k] = Fact{Pos: pos, Kind: kind}
+		}
+	}
+	killPlain := func(st State, e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := objOf(info, id); obj != nil && isRowType(obj.Type()) {
+				st.KillObj(obj)
+			}
+		}
+	}
+	transfer := func(n ast.Node, st State) {
+		InspectNode(n, func(x ast.Node) bool {
+			switch y := x.(type) {
+			case *ast.SendStmt:
+				rowIdents(info, y.Value, func(obj *types.Var, id *ast.Ident) {
+					gen(st, obj, id.Pos(), "sent on a channel")
+				})
+			case *ast.CallExpr:
+				if id, ok := y.Fun.(*ast.Ident); ok && id.Name == "append" && len(y.Args) > 1 {
+					for _, arg := range y.Args[1:] {
+						if aid, ok := arg.(*ast.Ident); ok {
+							if obj := objOf(info, aid); obj != nil && isRowType(obj.Type()) {
+								gen(st, obj, aid.Pos(), "appended to another slice")
+							}
+						}
+					}
+				}
+			case *ast.CompositeLit:
+				rowIdents(info, y, func(obj *types.Var, id *ast.Ident) {
+					gen(st, obj, id.Pos(), "captured by a composite literal")
+				})
+			case *ast.AssignStmt:
+				// Escapes: v stored into an element/field of something
+				// else (X[i] = v, s.F = v, m[k] = v).
+				for i, rhs := range y.Rhs {
+					if i >= len(y.Lhs) {
+						break
+					}
+					id, ok := rhs.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj := objOf(info, id)
+					if obj == nil || !isRowType(obj.Type()) {
+						continue
+					}
+					switch lhs := y.Lhs[i].(type) {
+					case *ast.IndexExpr:
+						if root := rootIdent(lhs); root == nil || objOf(info, root) != obj {
+							gen(st, obj, id.Pos(), "stored into another slice or map")
+						}
+					case *ast.SelectorExpr:
+						gen(st, obj, id.Pos(), "stored into a struct field")
+					}
+				}
+				// Kills: a plain rebinding points the name at fresh
+				// storage.
+				for _, lhs := range y.Lhs {
+					killPlain(st, lhs)
+				}
+			case *ast.RangeStmt:
+				// Loop-head node: Key/Value are rebound every iteration.
+				if y.Key != nil {
+					killPlain(st, y.Key)
+				}
+				if y.Value != nil {
+					killPlain(st, y.Value)
+				}
+			}
+			return true
+		})
+	}
+
+	in := cfg.Solve(transfer)
+	check := func(st State, target ast.Expr, pos token.Pos) {
+		idx, ok := target.(*ast.IndexExpr)
+		if !ok {
+			return
 		}
 		root := rootIdent(idx)
 		if root == nil {
@@ -176,26 +242,27 @@ func runRowAliasFunc(pass *Pass, fd *ast.FuncDecl) {
 		if obj == nil || !isRowType(obj.Type()) {
 			return
 		}
-		if ev, ok := escaped[obj]; ok && ev.pos < pos {
+		if ev, ok := st[FactKey{Obj: obj}]; ok {
 			pass.Report(pos, "write to element of %s after it was %s at line %d; the row is aliased by the consumer — make a fresh copy instead",
-				obj.Name(), ev.kind, pass.Fset.Position(ev.pos).Line)
+				obj.Name(), ev.Kind, pass.Fset.Position(ev.Pos).Line)
 		}
 	}
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		switch x := n.(type) {
-		case *ast.AssignStmt:
-			for _, lhs := range x.Lhs {
-				checkWrite(lhs, lhs.Pos())
-			}
-		case *ast.IncDecStmt:
-			checkWrite(x.X, x.X.Pos())
+	for _, blk := range cfg.Blocks {
+		st := in[blk.Index].Clone()
+		for _, n := range blk.Nodes {
+			InspectNode(n, func(x ast.Node) bool {
+				switch y := x.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range y.Lhs {
+						check(st, lhs, lhs.Pos())
+					}
+				case *ast.IncDecStmt:
+					check(st, y.X, y.X.Pos())
+				}
+				return true
+			})
+			transfer(n, st)
 		}
-		return true
-	})
-
-	// Rule 3: Next reusing the receiver batch buffer it returns.
-	if inEngine || pkgIs(pass.Pkg, "internal/plan") {
-		checkNextBufferReuse(pass, fd)
 	}
 }
 

@@ -1,0 +1,439 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the interprocedural half of the dataflow framework:
+// per-function effect summaries, propagated across in-package call
+// sites to a fixed point. A summary answers the questions the
+// semantic analyzers ask about a callee without re-walking its body at
+// every call site: does it use / close / mutate / retain this
+// parameter, does it close its receiver, does it (transitively) charge
+// or release the engine's resource Governor.
+//
+// Summaries exist only for functions whose bodies are in the analyzed
+// unit: imported packages are typechecked API-only (loader.go), so a
+// cross-package or interface call resolves to an unknown summary and
+// analyzers must treat it conservatively. The conservative direction
+// is per-bit: an unknown callee MAY retain its arguments (so passing a
+// value to it discharges ownership obligations) and MAY use them, but
+// is never assumed to close, mutate, charge, or release — absence of
+// a summary never manufactures an effect.
+
+// FuncSummary is the computed effect summary of one function.
+type FuncSummary struct {
+	// Params are the declared parameter objects, in order. Per-param
+	// slices below are indexed in parallel.
+	Params []*types.Var
+	// UsesParam: the parameter's value is read somewhere other than as
+	// a plain argument to an in-package callee that itself never uses
+	// it (that case propagates instead, so a context threaded through
+	// a chain of ignoring helpers still counts as unused).
+	UsesParam []bool
+	// ClosesParam: .Close() is (or may be) called on the parameter,
+	// directly or via a callee that closes it.
+	ClosesParam []bool
+	// MutatesParam: an element or field of the parameter is written
+	// (param[i] = v, param.f = v, copy(param, …)), directly or via a
+	// callee.
+	MutatesParam []bool
+	// RetainsParam: the parameter may outlive the call — returned,
+	// stored, sent, captured, address-taken, appended elsewhere, or
+	// passed to an unknown callee.
+	RetainsParam []bool
+	// ClosesRecv: the method (or a callee bound to its receiver) may
+	// call Close on its receiver.
+	ClosesRecv bool
+	// ChargesGov / ReleasesGov: the function transitively reaches a
+	// Governor.Charge / Governor.Release call.
+	ChargesGov bool
+	// ReleasesGov is true when the function transitively reaches
+	// Governor.Release.
+	ReleasesGov bool
+}
+
+// paramIndex returns the index of obj among the summary's parameters,
+// or -1.
+func (s *FuncSummary) paramIndex(obj *types.Var) int {
+	for i, p := range s.Params {
+		if p == obj {
+			return i
+		}
+	}
+	return -1
+}
+
+// Analysis is the shared per-unit dataflow state: function summaries
+// at fixed point, plus cached CFGs. One Analysis is built lazily per
+// typechecked unit and shared by every analyzer in the run (see
+// Pass.Dataflow).
+type Analysis struct {
+	Fset  *token.FileSet
+	Pkg   *types.Package
+	Info  *types.Info
+	Files []*ast.File
+
+	decls     map[*types.Func]*ast.FuncDecl
+	summaries map[*types.Func]*FuncSummary
+	cfgs      map[*ast.BlockStmt]*CFG
+}
+
+// NewAnalysis computes summaries for every function declared in files
+// and returns the shared holder. CFGs are built on demand.
+func NewAnalysis(fset *token.FileSet, pkg *types.Package, info *types.Info, files []*ast.File) *Analysis {
+	a := &Analysis{
+		Fset: fset, Pkg: pkg, Info: info, Files: files,
+		decls:     make(map[*types.Func]*ast.FuncDecl),
+		summaries: make(map[*types.Func]*FuncSummary),
+		cfgs:      make(map[*ast.BlockStmt]*CFG),
+	}
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+				a.decls[fn] = fd
+			}
+		}
+	}
+	a.computeSummaries()
+	return a
+}
+
+// CFGFor returns the (cached) CFG of body.
+func (a *Analysis) CFGFor(body *ast.BlockStmt) *CFG {
+	if c, ok := a.cfgs[body]; ok {
+		return c
+	}
+	c := BuildCFG(body)
+	a.cfgs[body] = c
+	return c
+}
+
+// DeclOf returns fn's declaration in this unit, or nil.
+func (a *Analysis) DeclOf(fn *types.Func) *ast.FuncDecl { return a.decls[fn] }
+
+// SummaryOf returns fn's summary, or nil when fn's body is not part of
+// this unit (cross-package call, interface method, nil fn).
+func (a *Analysis) SummaryOf(fn *types.Func) *FuncSummary {
+	if fn == nil {
+		return nil
+	}
+	return a.summaries[fn]
+}
+
+// CalleeOf resolves the statically known callee of a call, or nil for
+// dynamic calls (function values, interface methods resolve to the
+// interface's Func object, which has no body here and therefore no
+// summary).
+func (a *Analysis) CalleeOf(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := a.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := a.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// CallSummary is SummaryOf(CalleeOf(call)).
+func (a *Analysis) CallSummary(call *ast.CallExpr) *FuncSummary {
+	return a.SummaryOf(a.CalleeOf(call))
+}
+
+// isGovernorMethod reports whether call invokes the named method on
+// the engine's *Governor type.
+func (a *Analysis) isGovernorMethod(call *ast.CallExpr, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	s, ok := a.Info.Selections[sel]
+	if !ok {
+		return false
+	}
+	return namedFrom(s.Recv(), "internal/engine", "Governor")
+}
+
+// ChargesGovernor / ReleasesGovernor report whether a call site
+// (transitively) charges or releases the governor: a direct
+// Governor.Charge/Release, or a call to an in-package function whose
+// summary has the effect.
+func (a *Analysis) ChargesGovernor(call *ast.CallExpr) bool {
+	if a.isGovernorMethod(call, "Charge") {
+		return true
+	}
+	sum := a.CallSummary(call)
+	return sum != nil && sum.ChargesGov
+}
+
+func (a *Analysis) ReleasesGovernor(call *ast.CallExpr) bool {
+	if a.isGovernorMethod(call, "Release") {
+		return true
+	}
+	sum := a.CallSummary(call)
+	return sum != nil && sum.ReleasesGov
+}
+
+// paramEdge records that caller's parameter i flows into callee's
+// parameter j (plain-identifier argument binding), so callee effects
+// on j propagate to i.
+type paramEdge struct {
+	caller, callee *types.Func
+	i, j           int
+}
+
+// recvEdge records that caller's parameter i is the receiver of a
+// call to callee, so ClosesRecv on callee becomes ClosesParam[i].
+type recvEdge struct {
+	caller, callee *types.Func
+	i              int
+}
+
+// callEdge records any static in-package call, for receiver-free
+// effect bits (governor charge/release).
+type callEdge struct {
+	caller, callee *types.Func
+}
+
+func (a *Analysis) computeSummaries() {
+	var paramEdges []paramEdge
+	var recvEdges []recvEdge
+	var callEdges []callEdge
+	for fn, fd := range a.decls {
+		paramEdges, recvEdges, callEdges = a.directFacts(fn, fd, paramEdges, recvEdges, callEdges)
+	}
+	// Propagate to fixed point. The bit lattice only ever flips false →
+	// true, so iteration terminates.
+	for changed := true; changed; {
+		changed = false
+		or := func(dst *bool, src bool) {
+			if src && !*dst {
+				*dst = true
+				changed = true
+			}
+		}
+		for _, e := range callEdges {
+			cs, ce := a.summaries[e.caller], a.summaries[e.callee]
+			if cs == nil || ce == nil {
+				continue
+			}
+			or(&cs.ChargesGov, ce.ChargesGov)
+			or(&cs.ReleasesGov, ce.ReleasesGov)
+		}
+		for _, e := range paramEdges {
+			cs, ce := a.summaries[e.caller], a.summaries[e.callee]
+			if cs == nil || ce == nil || e.i >= len(cs.Params) || e.j >= len(ce.Params) {
+				continue
+			}
+			or(&cs.UsesParam[e.i], ce.UsesParam[e.j])
+			or(&cs.ClosesParam[e.i], ce.ClosesParam[e.j])
+			or(&cs.MutatesParam[e.i], ce.MutatesParam[e.j])
+			or(&cs.RetainsParam[e.i], ce.RetainsParam[e.j])
+		}
+		for _, e := range recvEdges {
+			cs, ce := a.summaries[e.caller], a.summaries[e.callee]
+			if cs == nil || ce == nil || e.i >= len(cs.Params) {
+				continue
+			}
+			or(&cs.ClosesParam[e.i], ce.ClosesRecv)
+		}
+	}
+}
+
+// directFacts seeds fn's summary from its own body (function literals
+// included: a closure's effects are attributed to the enclosing
+// function, a sound may-approximation) and records the call edges for
+// propagation.
+func (a *Analysis) directFacts(fn *types.Func, fd *ast.FuncDecl,
+	paramEdges []paramEdge, recvEdges []recvEdge, callEdges []callEdge,
+) ([]paramEdge, []recvEdge, []callEdge) {
+	sum := &FuncSummary{}
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				obj, _ := a.Info.Defs[name].(*types.Var)
+				sum.Params = append(sum.Params, obj)
+			}
+		}
+	}
+	n := len(sum.Params)
+	sum.UsesParam = make([]bool, n)
+	sum.ClosesParam = make([]bool, n)
+	sum.MutatesParam = make([]bool, n)
+	sum.RetainsParam = make([]bool, n)
+	a.summaries[fn] = sum
+
+	recv := receiverObj(a.Info, fd)
+	paramOf := func(e ast.Expr) int {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return -1
+		}
+		obj := objOf(a.Info, id)
+		if obj == nil {
+			return -1
+		}
+		return sum.paramIndex(obj)
+	}
+
+	// propagatedUse marks parameter-identifier argument positions whose
+	// "use" is deferred to the callee's summary rather than counted
+	// directly.
+	propagatedUse := make(map[*ast.Ident]bool)
+
+	ast.Inspect(fd.Body, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.CallExpr:
+			if a.isGovernorMethod(x, "Charge") {
+				sum.ChargesGov = true
+			}
+			if a.isGovernorMethod(x, "Release") {
+				sum.ReleasesGov = true
+			}
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Close" {
+				if i := paramOf(sel.X); i >= 0 {
+					sum.ClosesParam[i] = true
+				}
+				if recv != nil {
+					if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && objOf(a.Info, id) == recv {
+						sum.ClosesRecv = true
+					}
+				}
+			}
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+				switch id.Name {
+				case "append":
+					// append(container, param): the container may retain.
+					for _, arg := range x.Args[1:] {
+						if i := paramOf(arg); i >= 0 {
+							sum.RetainsParam[i] = true
+						}
+					}
+					return true
+				case "copy":
+					if len(x.Args) == 2 {
+						if root := rootIdent(x.Args[0]); root != nil {
+							if obj := objOf(a.Info, root); obj != nil {
+								if i := sum.paramIndex(obj); i >= 0 {
+									sum.MutatesParam[i] = true
+								}
+							}
+						}
+					}
+					return true
+				case "len", "cap":
+					return true
+				}
+			}
+			callee := a.CalleeOf(x)
+			known := callee != nil && a.decls[callee] != nil
+			if known {
+				callEdges = append(callEdges, callEdge{caller: fn, callee: callee})
+				for argIdx, arg := range x.Args {
+					if i := paramOf(arg); i >= 0 {
+						paramEdges = append(paramEdges, paramEdge{caller: fn, callee: callee, i: i, j: argIdx})
+						if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+							propagatedUse[id] = true
+						}
+					}
+				}
+				if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+					if i := paramOf(sel.X); i >= 0 {
+						recvEdges = append(recvEdges, recvEdge{caller: fn, callee: callee, i: i})
+						if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+							propagatedUse[id] = true
+						}
+					}
+				}
+			} else {
+				// Unknown callee: arguments may be retained and used.
+				for _, arg := range x.Args {
+					if i := paramOf(arg); i >= 0 {
+						sum.RetainsParam[i] = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				switch l := lhs.(type) {
+				case *ast.IndexExpr, *ast.StarExpr, *ast.SelectorExpr:
+					if root := rootIdent(l); root != nil {
+						if obj := objOf(a.Info, root); obj != nil {
+							if i := sum.paramIndex(obj); i >= 0 {
+								sum.MutatesParam[i] = true
+							}
+						}
+					}
+				}
+			}
+			// Assigning a parameter anywhere creates an alias (or a
+			// store); treat as retained.
+			for _, rhs := range x.Rhs {
+				if i := paramOf(rhs); i >= 0 {
+					sum.RetainsParam[i] = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if root := rootIdent(x.X); root != nil {
+				if _, isIdx := x.X.(*ast.IndexExpr); isIdx {
+					if obj := objOf(a.Info, root); obj != nil {
+						if i := sum.paramIndex(obj); i >= 0 {
+							sum.MutatesParam[i] = true
+						}
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range x.Results {
+				if i := paramOf(r); i >= 0 {
+					sum.RetainsParam[i] = true
+				}
+			}
+		case *ast.SendStmt:
+			if i := paramOf(x.Value); i >= 0 {
+				sum.RetainsParam[i] = true
+			}
+		case *ast.CompositeLit:
+			for _, el := range x.Elts {
+				v := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if i := paramOf(v); i >= 0 {
+					sum.RetainsParam[i] = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if i := paramOf(x.X); i >= 0 {
+					sum.RetainsParam[i] = true
+				}
+			}
+		}
+		return true
+	})
+
+	// Direct uses: every reference not accounted for by a propagation
+	// edge counts.
+	ast.Inspect(fd.Body, func(node ast.Node) bool {
+		id, ok := node.(*ast.Ident)
+		if !ok || propagatedUse[id] {
+			return true
+		}
+		if obj, ok := a.Info.Uses[id].(*types.Var); ok {
+			if i := sum.paramIndex(obj); i >= 0 {
+				sum.UsesParam[i] = true
+			}
+		}
+		return true
+	})
+	return paramEdges, recvEdges, callEdges
+}

@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// typecheckSrc parses and typechecks one import-free source file under
+// the given package path and builds its dataflow Analysis.
+func typecheckSrc(t *testing.T, path, src string) *Analysis {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{}
+	pkg, err := conf.Check(path, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewAnalysis(fset, pkg, info, []*ast.File{f})
+}
+
+func summaryByName(t *testing.T, a *Analysis, name string) *FuncSummary {
+	t.Helper()
+	for fn := range a.decls {
+		if fn.Name() == name {
+			return a.summaries[fn]
+		}
+	}
+	t.Fatalf("no summary for %s", name)
+	return nil
+}
+
+const effectsSrc = `package p
+
+type T struct{ x int }
+type C struct{ n int }
+
+func (c *C) Close() error { return nil }
+func (c *C) shutdown()    { c.Close() }
+
+func set(t *T, v int)     { t.x = v }
+func keep(xs []int) []int { return xs }
+func drop(xs []int)       {}
+func use(v int) int       { return v + 1 }
+
+func chainSet(t *T, v int) { set(t, v) }
+func closeArg(c *C)        { closeArg2(c) }
+func closeArg2(c *C)       { c.Close() }
+func viaRecv(c *C)         { c.shutdown() }
+
+func forward(v int)    { drop2(v) }
+func drop2(v int)      {}
+func forwardUse(v int) { _ = use(v) }
+
+func fill(dst []int, src []int) { copy(dst, src) }
+func grow(dst *[]int, v int)    { *dst = append(*dst, v) }
+func collect(sink []int, v int) []int { return append(sink, v) }
+`
+
+func TestSummaryDirectEffects(t *testing.T) {
+	a := typecheckSrc(t, "p", effectsSrc)
+
+	set := summaryByName(t, a, "set")
+	if !set.MutatesParam[0] {
+		t.Error("set: t.x = v must mutate param 0")
+	}
+	if set.MutatesParam[1] {
+		t.Error("set: v is read, not mutated")
+	}
+
+	keep := summaryByName(t, a, "keep")
+	if !keep.RetainsParam[0] {
+		t.Error("keep: returning the parameter must retain it")
+	}
+
+	drop := summaryByName(t, a, "drop")
+	if drop.UsesParam[0] || drop.RetainsParam[0] || drop.MutatesParam[0] || drop.ClosesParam[0] {
+		t.Errorf("drop: empty body must have a clean summary, got %+v", drop)
+	}
+
+	fill := summaryByName(t, a, "fill")
+	if !fill.MutatesParam[0] {
+		t.Error("fill: copy(dst, src) must mutate the destination")
+	}
+	if fill.MutatesParam[1] {
+		t.Error("fill: copy source is not mutated")
+	}
+
+	collect := summaryByName(t, a, "collect")
+	if !collect.RetainsParam[1] {
+		t.Error("collect: append(sink, v) must retain v")
+	}
+}
+
+func TestSummaryClosePropagation(t *testing.T) {
+	a := typecheckSrc(t, "p", effectsSrc)
+
+	if s := summaryByName(t, a, "closeArg2"); !s.ClosesParam[0] {
+		t.Error("closeArg2: direct c.Close() must close param 0")
+	}
+	if s := summaryByName(t, a, "closeArg"); !s.ClosesParam[0] {
+		t.Error("closeArg: close must propagate through the call chain")
+	}
+	if s := summaryByName(t, a, "shutdown"); !s.ClosesRecv {
+		t.Error("shutdown: Close on the receiver must set ClosesRecv")
+	}
+	if s := summaryByName(t, a, "viaRecv"); !s.ClosesParam[0] {
+		t.Error("viaRecv: calling a ClosesRecv method on the param must close it")
+	}
+}
+
+func TestSummaryUsePropagation(t *testing.T) {
+	a := typecheckSrc(t, "p", effectsSrc)
+
+	if s := summaryByName(t, a, "forward"); s.UsesParam[0] {
+		t.Error("forward: passing v only to an ignoring callee is not a use")
+	}
+	if s := summaryByName(t, a, "forwardUse"); !s.UsesParam[0] {
+		t.Error("forwardUse: the callee reads v, so the caller uses it")
+	}
+}
+
+const govSrc = `package engine
+
+type Governor struct{ used int64 }
+
+func (g *Governor) Charge(n int64) error { g.used += n; return nil }
+func (g *Governor) Release(n int64)      { g.used -= n }
+
+type guard struct{ gov *Governor }
+
+func (s *guard) charge() error { return s.gov.Charge(1) }
+func (s *guard) release()      { s.gov.Release(1) }
+
+type it struct{ g guard }
+
+func (i *it) pull() error { return i.g.charge() }
+func (i *it) stop()       { i.g.release() }
+func (i *it) idle() int   { return 0 }
+`
+
+func TestSummaryGovernorBits(t *testing.T) {
+	// The package path suffix makes the local Governor stand-in count
+	// as the engine's.
+	a := typecheckSrc(t, "govtest/internal/engine", govSrc)
+
+	if s := summaryByName(t, a, "charge"); !s.ChargesGov || s.ReleasesGov {
+		t.Errorf("charge: ChargesGov=%v ReleasesGov=%v, want true/false", s.ChargesGov, s.ReleasesGov)
+	}
+	if s := summaryByName(t, a, "pull"); !s.ChargesGov {
+		t.Error("pull: charging must propagate through guard.charge")
+	}
+	if s := summaryByName(t, a, "stop"); !s.ReleasesGov {
+		t.Error("stop: releasing must propagate through guard.release")
+	}
+	if s := summaryByName(t, a, "idle"); s.ChargesGov || s.ReleasesGov {
+		t.Error("idle: no governor traffic expected")
+	}
+}
+
+func TestSummaryUnknownCallee(t *testing.T) {
+	// println is a builtin (no summary); an unknown callee retains its
+	// arguments but never closes or mutates them.
+	a := typecheckSrc(t, "p", `package p
+func hand(xs []int) { sink(xs) }
+func sink(xs []int) {}
+var f func([]int)
+func dyn(xs []int) { f(xs) }
+`)
+	if s := summaryByName(t, a, "dyn"); !s.RetainsParam[0] {
+		t.Error("dyn: a dynamic callee may retain its argument")
+	}
+	if s := summaryByName(t, a, "dyn"); s.ClosesParam[0] || s.MutatesParam[0] {
+		t.Error("dyn: a dynamic callee must not be assumed to close or mutate")
+	}
+	if s := summaryByName(t, a, "hand"); s.RetainsParam[0] {
+		t.Error("hand: sink provably drops xs, so hand must not retain it")
+	}
+}

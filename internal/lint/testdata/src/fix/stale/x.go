@@ -1,0 +1,21 @@
+// Package stale exercises the allowstale check: one directive
+// suppresses a live finding, one suppresses nothing, and one names an
+// analyzer that does not exist.
+package stale
+
+import "uniqopt/internal/tvl"
+
+// Mixed carries one reviewed exception, one stale directive, and one
+// typo'd directive.
+func Mixed(t tvl.Truth) int {
+	n := 0
+	if t == tvl.True { //lint:allow tvlbool -- reviewed: raw equality needed here
+		n++
+	}
+	//lint:allow tvlbool -- stale: the comparison below was rewritten long ago
+	if n > 0 {
+		n--
+	}
+	//lint:allow nosuchcheck -- the analyzer name is a typo
+	return n
+}

@@ -1,0 +1,173 @@
+// Package engine is the golden fixture for the govpair analyzer: it
+// mirrors the engine's Governor/guard accounting so the four pairing
+// rules — charging Next with an inert Close, non-releasing paths
+// through Close, discarded Charge errors, and ad-hoc governor calls —
+// each have a positive and a negative case.
+package engine
+
+import (
+	"context"
+	"errors"
+)
+
+// Batch stands in for an emitted row batch.
+type Batch []int
+
+// Governor mirrors the engine's budget keeper.
+type Governor struct{ used int64 }
+
+// Charge reserves n bytes against the budget.
+func (g *Governor) Charge(n int64) error {
+	if g.used+n > 1<<20 {
+		return errors.New("over budget")
+	}
+	g.used += n
+	return nil
+}
+
+// Release returns n bytes to the budget.
+func (g *Governor) Release(n int64) { g.used -= n }
+
+// guard owns a *Governor field: the blessed home of accounting.
+type guard struct {
+	gov     *Governor
+	charged int64
+}
+
+func (s *guard) charge(n int64) error {
+	if err := s.gov.Charge(n); err != nil {
+		return err
+	}
+	s.charged += n
+	return nil
+}
+
+func (s *guard) release() {
+	s.gov.Release(s.charged)
+	s.charged = 0
+}
+
+// chargeAnyway discards the budget verdict (rule 3); being a guard
+// method does not excuse ignoring the error.
+func (s *guard) chargeAnyway(n int64) {
+	s.gov.Charge(n) // want "Governor.Charge error discarded"
+}
+
+// chargeBlank discards the verdict through the blank identifier.
+func (s *guard) chargeBlank(n int64) {
+	_ = s.gov.Charge(n) // want "Governor.Charge error discarded"
+}
+
+// leakCharges charges per batch in Next (transitively, through its
+// guard) but its Close never releases: rule 1.
+type leakCharges struct { // want "charges the governor in Next but its Close never releases"
+	g    guard
+	rows Batch
+}
+
+func (it *leakCharges) Next(ctx context.Context) (Batch, error) {
+	if err := it.g.charge(1); err != nil {
+		return nil, err
+	}
+	return it.rows, ctx.Err()
+}
+
+func (it *leakCharges) Close() error { return nil }
+
+// pairedIter releases in Close what Next charged: no finding.
+type pairedIter struct {
+	g    guard
+	rows Batch
+}
+
+func (it *pairedIter) Next(ctx context.Context) (Batch, error) {
+	if err := it.g.charge(1); err != nil {
+		return nil, err
+	}
+	return it.rows, ctx.Err()
+}
+
+func (it *pairedIter) Close() error {
+	it.g.release()
+	return nil
+}
+
+// earlyOut's Close can return before releasing when the early branch
+// is taken (rule 2): the condition does not consult the receiver, so
+// it is not the idempotence guard.
+type earlyOut struct {
+	g guard
+}
+
+func (it *earlyOut) Next(ctx context.Context) (Batch, error) {
+	if err := it.g.charge(1); err != nil {
+		return nil, err
+	}
+	return nil, ctx.Err()
+}
+
+func (it *earlyOut) Close() error { // want "can return without releasing"
+	if tracing() {
+		return nil
+	}
+	it.g.release()
+	return nil
+}
+
+// guardedClose re-closes through the accepted idempotence guard: the
+// early return is conditioned on receiver state, so the path that
+// skips the release is the path with nothing left to release.
+type guardedClose struct {
+	g      guard
+	closed bool
+}
+
+func (it *guardedClose) Next(ctx context.Context) (Batch, error) {
+	if err := it.g.charge(1); err != nil {
+		return nil, err
+	}
+	return nil, ctx.Err()
+}
+
+func (it *guardedClose) Close() error {
+	if it.closed {
+		return nil
+	}
+	it.closed = true
+	it.g.release()
+	return nil
+}
+
+// deferredClose covers every exit with a deferred release: no finding
+// even though the body branches.
+type deferredClose struct {
+	g    guard
+	open bool
+}
+
+func (it *deferredClose) Next(ctx context.Context) (Batch, error) {
+	if err := it.g.charge(1); err != nil {
+		return nil, err
+	}
+	return nil, ctx.Err()
+}
+
+func (it *deferredClose) Close() error {
+	defer it.g.release()
+	if it.open {
+		it.open = false
+		return nil
+	}
+	return nil
+}
+
+// adHocCharge bypasses the guard bookkeeping entirely (rule 4).
+func adHocCharge(g *Governor, n int64) error {
+	if err := g.Charge(n); err != nil { // want "direct Governor.Charge outside a guard type"
+		return err
+	}
+	g.Release(n) // want "direct Governor.Release outside a guard type"
+	return nil
+}
+
+func tracing() bool { return false }

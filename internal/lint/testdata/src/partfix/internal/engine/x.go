@@ -1,0 +1,57 @@
+// Package engine reproduces the partition-routing bug class fixed in
+// commit 3784fba: streaming distinct's serial path probed partition 0
+// while the parallel workers inserted at h % w, so rows deduplicated
+// serially reappeared from the workers' partitions. The partroute
+// analyzer pins all hash→partition mapping to partitionOf; this
+// fixture preserves the pre-fix shapes as regression cases.
+package engine
+
+// rowTable mirrors the engine's hash-bucketed partition state.
+type rowTable map[uint64][]int
+
+// partitionOf is the blessed mapping — the one place partition
+// arithmetic may live.
+func partitionOf(h uint64, parts int) int { return int(h % uint64(parts)) }
+
+type dedup struct {
+	tables []rowTable
+	w      int
+}
+
+// BadSerialProbe is the pre-fix dedupSerial shape: the serial path
+// hard-codes partition 0 while workers spread inserts by hash.
+func (d *dedup) BadSerialProbe(h uint64) bool {
+	t := d.tables[0] // want "constant index into a partition-table slice"
+	_, ok := t[h]
+	return ok
+}
+
+// BadModRoute is the pre-fix worker shape: ad-hoc hash modulo instead
+// of the shared mapping.
+func (d *dedup) BadModRoute(h uint64) rowTable {
+	return d.tables[h%uint64(d.w)] // want "uint64 modulo outside partitionOf"
+}
+
+// BadBucketSlice hard-codes a partition into a slice of hash-keyed
+// maps.
+func BadBucketSlice(parts []map[uint64]bool, h uint64) bool {
+	return parts[1][h] // want "constant index into a partition-table slice"
+}
+
+// GoodRoute routes every access through partitionOf.
+func (d *dedup) GoodRoute(h uint64) rowTable {
+	return d.tables[partitionOf(h, d.w)]
+}
+
+// GoodRoundRobin uses int modulo for worker selection — scheduling,
+// not hash routing, and exempt.
+func GoodRoundRobin(i, workers int) int { return i % workers }
+
+// GoodLoopIndex walks every partition with a variable index.
+func (d *dedup) GoodLoopIndex() int {
+	total := 0
+	for i := range d.tables {
+		total += len(d.tables[i])
+	}
+	return total
+}
