@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet lint build test test-fault race bench-smoke explain-smoke stream-smoke bench-tables ci clean
+.PHONY: all vet lint build test test-fault race bench-smoke explain-smoke stream-smoke server-smoke bench-tables ci clean
 
 all: ci
 
@@ -48,11 +48,21 @@ explain-smoke:
 stream-smoke:
 	$(GO) test -run 'TestStreaming' .
 
+# Server smoke: the wire-protocol suite under the race detector —
+# sessions, prepared statements, admission control, DDL vs query
+# snapshots, shutdown drain, and the goroutine-leak checks for client
+# disconnect and daemon shutdown — then the load generator against an
+# in-process uniqoptd at 1 and 8 sessions, emitting the
+# machine-readable artifact BENCH_server.json alongside the table.
+server-smoke:
+	$(GO) test -race ./internal/server/... ./cmd/uniqoptd ./cmd/sqlsh
+	$(GO) run ./cmd/benchrunner -exp server -scale 0.3 -sessions 1,8 -json BENCH_server.json
+
 # Full experiment sweep, regenerating bench_output_tables.txt.
 bench-tables:
 	$(GO) run ./cmd/benchrunner -exp all -scale 0.25 > bench_output_tables.txt
 
-ci: vet lint build test test-fault race stream-smoke bench-smoke explain-smoke
+ci: vet lint build test test-fault race stream-smoke bench-smoke explain-smoke server-smoke
 
 clean:
-	rm -f BENCH_parallel.json BENCH_explain.json
+	rm -f BENCH_parallel.json BENCH_explain.json BENCH_server.json

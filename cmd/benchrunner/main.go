@@ -4,13 +4,17 @@
 //
 // Usage:
 //
-//	benchrunner [-exp e1|e2|...|e9|ep|explain|all] [-scale 1.0] [-hash] [-trials N] [-json FILE]
+//	benchrunner [-exp e1|e2|...|e9|ep|explain|server|all] [-scale 1.0] [-hash]
+//	            [-trials N] [-sessions 1,8,64] [-json FILE]
 //
 // -scale shrinks or grows the workload sizes; -hash runs E1's
 // hash-DISTINCT ablation; -trials overrides E8's corpus size; -json
 // additionally writes the tables as a JSON array to FILE. -exp explain
 // runs the observability experiment: EXPLAIN ANALYZE over the paper's
-// examples plus a metrics-registry summary.
+// examples plus a metrics-registry summary. -exp server boots an
+// in-process uniqoptd and drives it with concurrent wire-protocol
+// clients at each -sessions level, reporting client-side p50/p99
+// latency and closed-loop throughput (not part of -exp all).
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"uniqopt/internal/bench"
@@ -28,8 +33,15 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale factor")
 	hash := flag.Bool("hash", false, "E1 ablation: hash-based DISTINCT instead of sort")
 	trials := flag.Int("trials", 0, "E8 corpus size (0 = default)")
+	sessionsFlag := flag.String("sessions", "1,8,64", "comma-separated session counts for -exp server")
 	jsonOut := flag.String("json", "", "also write the tables as JSON to this file")
 	flag.Parse()
+
+	sessions, err := parseSessions(*sessionsFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchrunner: -sessions: %v\n", err)
+		os.Exit(2)
+	}
 
 	sc := bench.Scale{Factor: *scale}
 	var tables []*bench.Table
@@ -56,6 +68,8 @@ func main() {
 		tables = []*bench.Table{bench.EP(sc)}
 	case "explain":
 		tables = []*bench.Table{bench.EExplain(sc)}
+	case "server":
+		tables = []*bench.Table{bench.EServer(sc, sessions)}
 	case "all":
 		tables = bench.All(sc)
 		if *hash {
@@ -83,4 +97,24 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// parseSessions turns "1,8,64" into session counts for -exp server.
+func parseSessions(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad session count %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no session counts in %q", s)
+	}
+	return out, nil
 }

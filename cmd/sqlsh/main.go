@@ -2,6 +2,12 @@
 // CREATE TABLE, INSERT-free data loading via \load, queries with the
 // uniqueness optimizer, and side-by-side baseline comparison.
 //
+// With -connect host:port the same REPL runs against a uniqoptd
+// server through the wire-protocol client library instead of an
+// embedded database: statements and EXPLAIN work identically, \d
+// lists the server's tables, and \prepare/\exec drive server-side
+// prepared statements with host-variable bindings.
+//
 // Statements end with ';'. EXPLAIN and EXPLAIN ANALYZE prefixes on a
 // query print the typed plan tree (with per-operator metrics for
 // ANALYZE) and the uniqueness analyzer's provenance trace. Shell
@@ -19,12 +25,15 @@ package main
 import (
 	"bufio"
 	"context"
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"uniqopt"
+	"uniqopt/internal/server/client"
 	"uniqopt/internal/workload"
 )
 
@@ -49,7 +58,19 @@ commands:
 `
 
 func main() {
-	if err := repl(os.Stdin, os.Stdout); err != nil {
+	connect := flag.String("connect", "", "connect to a uniqoptd server at host:port instead of running embedded")
+	flag.Parse()
+	var err error
+	if *connect != "" {
+		var c *client.Client
+		if c, err = client.Dial(*connect); err == nil {
+			defer c.Close()
+			err = remoteRepl(os.Stdin, os.Stdout, c)
+		}
+	} else {
+		err = repl(os.Stdin, os.Stdout)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "sqlsh:", err)
 		os.Exit(1)
 	}
@@ -64,7 +85,16 @@ type shell struct {
 
 func repl(in io.Reader, out io.Writer) error {
 	sh := &shell{db: uniqopt.Open(), out: out}
-	fmt.Fprintln(out, "uniqopt sqlsh — statements end with ';', \\q quits, \\load demo loads the paper schema")
+	return replLoop(in, out,
+		"uniqopt sqlsh — statements end with ';', \\q quits, \\load demo loads the paper schema",
+		sh.command, sh.execute)
+}
+
+// replLoop is the statement-accumulating read loop shared by the
+// embedded and remote shells: '\'-commands run immediately,
+// statements run when the terminating ';' arrives.
+func replLoop(in io.Reader, out io.Writer, banner string, command func(string) bool, execute func(string)) error {
+	fmt.Fprintln(out, banner)
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -87,7 +117,7 @@ func repl(in io.Reader, out io.Writer) error {
 			continue
 		}
 		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
-			if quit := sh.command(trimmed); quit {
+			if quit := command(trimmed); quit {
 				return nil
 			}
 			prompt()
@@ -99,7 +129,7 @@ func repl(in io.Reader, out io.Writer) error {
 			stmt := strings.TrimSpace(buf.String())
 			stmt = strings.TrimSuffix(stmt, ";")
 			buf.Reset()
-			sh.execute(stmt)
+			execute(stmt)
 		}
 		prompt()
 	}
@@ -215,8 +245,17 @@ func (sh *shell) execute(stmt string) {
 	for _, info := range rows.Rewrites {
 		fmt.Fprintf(sh.out, "-- rewrite [%s]: %s\n", info.Rule, info.After)
 	}
-	fmt.Fprintln(sh.out, strings.Join(rows.Columns, " | "))
-	for _, r := range rows.Data {
+	printRows(sh.out, rows.Columns, rows.Data)
+	if sh.stats {
+		fmt.Fprintf(sh.out, "stats: %s\n", rows.Stats.String())
+	}
+}
+
+// printRows renders a result table: pipe-separated header, rows with
+// NULL spelled out, and a row count.
+func printRows(out io.Writer, cols []string, data [][]any) {
+	fmt.Fprintln(out, strings.Join(cols, " | "))
+	for _, r := range data {
 		cells := make([]string, len(r))
 		for i, v := range r {
 			if v == nil {
@@ -225,10 +264,163 @@ func (sh *shell) execute(stmt string) {
 				cells[i] = fmt.Sprint(v)
 			}
 		}
-		fmt.Fprintln(sh.out, strings.Join(cells, " | "))
+		fmt.Fprintln(out, strings.Join(cells, " | "))
 	}
-	fmt.Fprintf(sh.out, "(%d rows)\n", len(rows.Data))
-	if sh.stats {
-		fmt.Fprintf(sh.out, "stats: %s\n", rows.Stats.String())
+	fmt.Fprintf(out, "(%d rows)\n", len(data))
+}
+
+// remoteHelpText documents the remote shell's commands.
+const remoteHelpText = `statements (end with ';'):
+  CREATE TABLE ...           define a table on the server
+  SELECT ... / INTERSECT / EXCEPT
+                             run a query through the server's optimizer
+  EXPLAIN [ANALYZE] <query>; show the server's plan tree and the
+                             analyzer's uniqueness provenance
+commands:
+  \d                    list the server's tables
+  \prepare NAME SQL;    prepare a statement under NAME in this session
+  \exec NAME [K=V ...]  run a prepared statement; values: 123, 'text',
+                        true/false, NULL
+  \help                 this message
+  \q                    quit
+`
+
+// remoteShell drives a uniqoptd session: same REPL, statements
+// travel the wire.
+type remoteShell struct {
+	c   *client.Client
+	out io.Writer
+}
+
+func remoteRepl(in io.Reader, out io.Writer, c *client.Client) error {
+	sh := &remoteShell{c: c, out: out}
+	info := c.Info()
+	banner := fmt.Sprintf("uniqopt sqlsh — connected to %s (session %d, %d tables); statements end with ';', \\q quits",
+		info.Server, info.Session, len(info.Tables))
+	return replLoop(in, out, banner, sh.command, sh.execute)
+}
+
+func (sh *remoteShell) command(cmd string) (quit bool) {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case "\\q", "\\quit":
+		return true
+	case "\\d":
+		info, err := sh.c.Refresh()
+		if err != nil {
+			fmt.Fprintln(sh.out, "error:", err)
+			break
+		}
+		for _, name := range info.Tables {
+			fmt.Fprintln(sh.out, name)
+		}
+	case "\\prepare":
+		rest := strings.TrimSpace(strings.TrimPrefix(cmd, "\\prepare"))
+		rest = strings.TrimSuffix(rest, ";")
+		name, sql, ok := strings.Cut(rest, " ")
+		if !ok || strings.TrimSpace(sql) == "" {
+			fmt.Fprintln(sh.out, "usage: \\prepare NAME SELECT ...;")
+			break
+		}
+		if err := sh.c.Prepare(name, strings.TrimSpace(sql)); err != nil {
+			fmt.Fprintln(sh.out, "error:", err)
+			break
+		}
+		fmt.Fprintf(sh.out, "prepared %s\n", name)
+	case "\\exec":
+		if len(fields) < 2 {
+			fmt.Fprintln(sh.out, "usage: \\exec NAME [K=V ...]")
+			break
+		}
+		name := strings.TrimSuffix(fields[1], ";")
+		args, err := parseExecArgs(fields[2:])
+		if err != nil {
+			fmt.Fprintln(sh.out, "error:", err)
+			break
+		}
+		res, err := sh.c.Exec(name, args)
+		if err != nil {
+			fmt.Fprintln(sh.out, "error:", err)
+			break
+		}
+		sh.printResult(res)
+	case "\\help", "\\h", "\\?":
+		fmt.Fprint(sh.out, remoteHelpText)
+	default:
+		fmt.Fprintf(sh.out, "unknown command %s (remote mode; \\help lists commands)\n", fields[0])
 	}
+	return false
+}
+
+// parseExecArgs turns K=V fields into host-variable bindings: 123 is
+// INTEGER, 'text' (or bare text) is VARCHAR, true/false BOOLEAN, and
+// NULL the null value.
+func parseExecArgs(fields []string) (map[string]any, error) {
+	if len(fields) == 0 {
+		return nil, nil
+	}
+	args := make(map[string]any, len(fields))
+	for _, f := range fields {
+		f = strings.TrimSuffix(f, ";")
+		if f == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			return nil, fmt.Errorf("binding %q is not K=V", f)
+		}
+		switch {
+		case v == "NULL" || v == "null":
+			args[k] = nil
+		case v == "true" || v == "false":
+			args[k] = v == "true"
+		default:
+			if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+				args[k] = n
+			} else {
+				args[k] = strings.Trim(v, "'")
+			}
+		}
+	}
+	return args, nil
+}
+
+func (sh *remoteShell) execute(stmt string) {
+	stmt = strings.TrimSpace(stmt)
+	upper := strings.ToUpper(stmt)
+	if strings.HasPrefix(upper, "EXPLAIN") {
+		rest := strings.TrimSpace(stmt[len("EXPLAIN"):])
+		analyze := false
+		if up := strings.ToUpper(rest); strings.HasPrefix(up, "ANALYZE ") || strings.HasPrefix(up, "ANALYZE\n") || strings.HasPrefix(up, "ANALYZE\t") {
+			analyze = true
+			rest = strings.TrimSpace(rest[len("ANALYZE"):])
+		}
+		text, _, err := sh.c.Explain(rest, analyze)
+		if err != nil {
+			fmt.Fprintln(sh.out, "error:", err)
+			return
+		}
+		fmt.Fprint(sh.out, text)
+		return
+	}
+	res, err := sh.c.Query(stmt)
+	if err != nil {
+		fmt.Fprintln(sh.out, "error:", err)
+		return
+	}
+	if strings.HasPrefix(upper, "CREATE") {
+		fmt.Fprintf(sh.out, "ok (catalog version %d)\n", res.CatalogVersion)
+		return
+	}
+	sh.printResult(res)
+}
+
+func (sh *remoteShell) printResult(res *client.Result) {
+	for _, info := range res.Rewrites {
+		fmt.Fprintf(sh.out, "-- rewrite [%s]: %s\n", info.Rule, info.Description)
+	}
+	if res.Reprepared {
+		fmt.Fprintln(sh.out, "-- statement re-validated after schema change")
+	}
+	printRows(sh.out, res.Columns, res.Rows)
 }

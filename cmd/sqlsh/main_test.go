@@ -1,14 +1,71 @@
 package main
 
 import (
+	"context"
+	"net"
 	"strings"
 	"testing"
+	"time"
+
+	"uniqopt"
+	"uniqopt/internal/server"
+	"uniqopt/internal/server/client"
+	"uniqopt/internal/workload"
 )
 
 func runShell(t *testing.T, script string) string {
 	t.Helper()
 	var out strings.Builder
 	if err := repl(strings.NewReader(script), &out); err != nil {
+		t.Fatal(err)
+	}
+	return out.String()
+}
+
+// runRemoteShell drives the -connect REPL against an in-process
+// uniqoptd server preloaded with the demo workload.
+func runRemoteShell(t *testing.T, script string) string {
+	t.Helper()
+	db := uniqopt.Open()
+	cfg := workload.DefaultConfig()
+	cfg.Suppliers = 25
+	cfg.PartsPerSupplier = 4
+	fresh, err := workload.NewDB(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ddl := range workload.BenchDDL {
+		if err := db.Exec(ddl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, name := range []string{"SUPPLIER", "PARTS", "AGENTS"} {
+		src := fresh.MustTable(name)
+		dst := db.Store().MustTable(name)
+		for i := 0; i < src.Len(); i++ {
+			if err := dst.Insert(src.Row(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	srv := server.New(db, server.DefaultConfig())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	c, err := client.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var out strings.Builder
+	if err := remoteRepl(strings.NewReader(script), &out, c); err != nil {
 		t.Fatal(err)
 	}
 	return out.String()
@@ -158,5 +215,98 @@ SELECT B FROM N WHERE B IS NULL;
 	// No rows, but the query path must not crash on NULL columns.
 	if !strings.Contains(out, "(0 rows)") {
 		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestRemoteShellQueryAndRewrites(t *testing.T) {
+	out := runRemoteShell(t, `
+\d
+SELECT DISTINCT S.SNO, P.PNO FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO;
+\q
+`)
+	if !strings.Contains(out, "connected to") {
+		t.Errorf("remote banner missing:\n%s", out)
+	}
+	if !strings.Contains(out, "SUPPLIER") || !strings.Contains(out, "PARTS") {
+		t.Errorf("\\d should list server tables:\n%s", out)
+	}
+	if !strings.Contains(out, "-- rewrite [eliminate-distinct]") {
+		t.Errorf("rewrite banner missing:\n%s", out)
+	}
+	if !strings.Contains(out, "(100 rows)") {
+		t.Errorf("join rows missing:\n%s", out)
+	}
+}
+
+func TestRemoteShellPrepareExec(t *testing.T) {
+	out := runRemoteShell(t, `
+\prepare bysno SELECT S.SNO, S.SNAME FROM SUPPLIER S WHERE S.SNO = :N;
+\exec bysno N=1
+\exec bysno N=99999
+\exec nosuch N=1
+\q
+`)
+	if !strings.Contains(out, "prepared bysno") {
+		t.Errorf("prepare ack missing:\n%s", out)
+	}
+	if !strings.Contains(out, "(1 rows)") || !strings.Contains(out, "(0 rows)") {
+		t.Errorf("exec results missing:\n%s", out)
+	}
+	if !strings.Contains(out, "error:") {
+		t.Errorf("unknown statement should error:\n%s", out)
+	}
+}
+
+func TestRemoteShellExplainAndDDL(t *testing.T) {
+	out := runRemoteShell(t, `
+EXPLAIN SELECT DISTINCT S.SNO FROM SUPPLIER S;
+EXPLAIN ANALYZE SELECT S.SNO FROM SUPPLIER S;
+CREATE TABLE T2 (A INTEGER, PRIMARY KEY (A));
+\q
+`)
+	if !strings.Contains(out, "uniqueness analysis:") {
+		t.Errorf("provenance trace missing:\n%s", out)
+	}
+	if !strings.Contains(out, "out=25") {
+		t.Errorf("ANALYZE metrics missing:\n%s", out)
+	}
+	if !strings.Contains(out, "ok (catalog version") {
+		t.Errorf("remote DDL ack missing:\n%s", out)
+	}
+}
+
+func TestRemoteShellErrorsAndHelp(t *testing.T) {
+	out := runRemoteShell(t, `
+SELECT FROM;
+\nope
+\prepare
+\exec
+\help
+\q
+`)
+	if !strings.Contains(out, "error:") {
+		t.Errorf("server parse error should surface:\n%s", out)
+	}
+	if !strings.Contains(out, "unknown command") {
+		t.Errorf("unknown command should be reported:\n%s", out)
+	}
+	if !strings.Contains(out, "usage: \\prepare") || !strings.Contains(out, "usage: \\exec") {
+		t.Errorf("usage messages missing:\n%s", out)
+	}
+	if !strings.Contains(out, "\\prepare NAME SQL;") {
+		t.Errorf("\\help should document remote commands:\n%s", out)
+	}
+}
+
+func TestParseExecArgs(t *testing.T) {
+	args, err := parseExecArgs([]string{"N=42", "S='red'", "B=true", "X=NULL;"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if args["N"] != int64(42) || args["S"] != "red" || args["B"] != true || args["X"] != nil {
+		t.Fatalf("parsed args: %#v", args)
+	}
+	if _, err := parseExecArgs([]string{"novalue"}); err == nil {
+		t.Fatal("malformed binding should error")
 	}
 }

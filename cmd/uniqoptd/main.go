@@ -1,0 +1,177 @@
+// Command uniqoptd is the uniqopt network server: a TCP daemon that
+// serves concurrent sessions over the length-prefixed JSON wire
+// protocol (internal/server), with per-session prepared statements,
+// admission control, and graceful drain on SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	uniqoptd [-addr :7483] [-load demo] [-streaming]
+//	         [-max-sessions N] [-max-concurrent N]
+//	         [-session-max-rows N] [-session-mem BYTES] [-global-mem BYTES]
+//	         [-query-timeout D] [-drain-timeout D] [-expvar ADDR]
+//
+// Connect with sqlsh -connect host:port, the internal/server/client
+// library, or anything that frames JSON per the protocol. -load demo
+// preloads the paper's supplier/parts/agents workload so a fresh
+// daemon has something to query. -expvar serves the process expvar
+// endpoint (including the DB metrics registry) on a second address.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	_ "expvar" // mounts /debug/vars on the default mux for -expvar
+
+	"uniqopt"
+	"uniqopt/internal/server"
+	"uniqopt/internal/workload"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// daemonHandle is what run hands to a test harness: the serving
+// server and the address the listener actually bound (resolved, so
+// ":0" ports are usable).
+type daemonHandle struct {
+	Srv  *server.Server
+	Addr string
+}
+
+// run is main with its seams exposed: ready (if non-nil) receives
+// the serving server and its bound address once the listener is up,
+// so tests can drive a real daemon and stop it with Shutdown instead
+// of signals.
+func run(args []string, stdout, stderr io.Writer, ready chan<- daemonHandle) int {
+	fs := flag.NewFlagSet("uniqoptd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr         = fs.String("addr", ":7483", "TCP listen address")
+		load         = fs.String("load", "", "preload dataset: 'demo' for the paper workload")
+		streaming    = fs.Bool("streaming", false, "execute queries as batched iterator pipelines")
+		maxSessions  = fs.Int("max-sessions", 256, "max concurrent sessions (0 = unlimited)")
+		maxConc      = fs.Int("max-concurrent", 64, "max concurrently executing queries (0 = unlimited)")
+		maxRows      = fs.Int64("session-max-rows", 5_000_000, "per-query row budget ceiling per session (0 = unlimited)")
+		sessionMem   = fs.Int64("session-mem", 256<<20, "per-query memory budget ceiling per session, bytes (0 = unlimited)")
+		globalMem    = fs.Int64("global-mem", 2<<30, "global query-memory admission pool, bytes (0 = unlimited)")
+		queryTimeout = fs.Duration("query-timeout", 0, "per-statement execution timeout (0 = none)")
+		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain deadline before in-flight queries are cancelled")
+		expvarAddr   = fs.String("expvar", "", "serve /debug/vars (expvar, incl. DB metrics) on this address")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	db := uniqopt.OpenWith(uniqopt.Options{Streaming: *streaming})
+	switch *load {
+	case "":
+	case "demo":
+		if err := loadDemo(db); err != nil {
+			fmt.Fprintln(stderr, "uniqoptd: load demo:", err)
+			return 1
+		}
+		fmt.Fprintln(stdout, "uniqoptd: demo supplier database loaded")
+	default:
+		fmt.Fprintf(stderr, "uniqoptd: unknown dataset %q (only 'demo')\n", *load)
+		return 2
+	}
+
+	cfg := server.Config{
+		MaxSessions:      *maxSessions,
+		MaxConcurrent:    *maxConc,
+		SessionMaxRows:   *maxRows,
+		SessionMemBudget: *sessionMem,
+		GlobalMemBudget:  *globalMem,
+		QueryTimeout:     *queryTimeout,
+		Name:             "uniqoptd",
+	}
+	srv := server.New(db, cfg)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "uniqoptd:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "uniqoptd: listening on %s (sessions<=%d, concurrent<=%d)\n",
+		ln.Addr(), cfg.MaxSessions, cfg.MaxConcurrent)
+
+	if *expvarAddr != "" {
+		db.PublishMetrics("uniqoptd_db")
+		go func() {
+			if err := http.ListenAndServe(*expvarAddr, nil); err != nil {
+				fmt.Fprintln(stderr, "uniqoptd: expvar:", err)
+			}
+		}()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	if ready != nil {
+		ready <- daemonHandle{Srv: srv, Addr: ln.Addr().String()}
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+
+	select {
+	case sig := <-sigs:
+		fmt.Fprintf(stdout, "uniqoptd: %s — draining (deadline %s)\n", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(stdout, "uniqoptd: drain deadline hit; in-flight queries cancelled")
+		}
+		if err := <-serveErr; err != nil {
+			fmt.Fprintln(stderr, "uniqoptd: serve:", err)
+			return 1
+		}
+	case err := <-serveErr:
+		// Serve returned on its own: nil means someone (a test) shut
+		// us down programmatically; an error means the listener died.
+		if err != nil {
+			fmt.Fprintln(stderr, "uniqoptd: serve:", err)
+			return 1
+		}
+	}
+	fmt.Fprintln(stdout, "uniqoptd: shutdown complete")
+	return 0
+}
+
+// loadDemo fills db with the paper's supplier workload (the same
+// dataset sqlsh's \load demo uses): SUPPLIER, PARTS, AGENTS with
+// keys and foreign keys intact.
+func loadDemo(db *uniqopt.DB) error {
+	cfg := workload.DefaultConfig()
+	cfg.Suppliers = 25
+	cfg.PartsPerSupplier = 4
+	fresh, err := workload.NewDB(cfg)
+	if err != nil {
+		return err
+	}
+	for _, ddl := range workload.BenchDDL {
+		if err := db.Exec(ddl); err != nil {
+			return err
+		}
+	}
+	for _, name := range []string{"SUPPLIER", "PARTS", "AGENTS"} { // parents before FK children
+		src := fresh.MustTable(name)
+		dst := db.Store().MustTable(name)
+		for i := 0; i < src.Len(); i++ {
+			if err := dst.Insert(src.Row(i)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

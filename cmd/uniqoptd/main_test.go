@@ -1,0 +1,119 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"uniqopt"
+	"uniqopt/internal/server/client"
+	"uniqopt/internal/testleak"
+)
+
+// warmSignalLoop starts os/signal's process-wide watcher goroutine
+// (a deliberate singleton that never exits) before a test records
+// its goroutine baseline, so the leak check measures the daemon, not
+// the runtime.
+func warmSignalLoop() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGHUP)
+	signal.Stop(ch)
+}
+
+// TestDaemonServesDemo boots the real daemon (flags, demo preload,
+// listener) on an ephemeral port, talks to it through the client
+// library, and shuts it down programmatically.
+func TestDaemonServesDemo(t *testing.T) {
+	warmSignalLoop()
+	testleak.Check(t)
+	ready := make(chan daemonHandle, 1)
+	var out, errOut strings.Builder
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var code int
+	go func() {
+		defer wg.Done()
+		code = run([]string{"-addr", "127.0.0.1:0", "-load", "demo", "-max-sessions", "4"}, &out, &errOut, ready)
+	}()
+	h := <-ready
+	srv := h.Srv
+
+	c, err := client.Dial(h.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := c.Info()
+	if len(info.Tables) != 3 { // AGENTS, PARTS, SUPPLIER
+		t.Fatalf("demo tables = %v", info.Tables)
+	}
+	res, err := c.Query(`SELECT DISTINCT S.SNO FROM SUPPLIER S`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 25 {
+		t.Fatalf("demo suppliers = %d, want 25", len(res.Rows))
+	}
+	c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if code != 0 {
+		t.Fatalf("run exited %d; stderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "listening on") || !strings.Contains(out.String(), "shutdown complete") {
+		t.Fatalf("daemon output:\n%s", out.String())
+	}
+}
+
+func TestDaemonBadFlags(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-load", "nonsense"}, &out, &errOut, nil); code != 2 {
+		t.Fatalf("unknown dataset: exit %d", code)
+	}
+	if code := run([]string{"-no-such-flag"}, &out, &errOut, nil); code != 2 {
+		t.Fatalf("bad flag: exit %d", code)
+	}
+}
+
+// TestDaemonBudgetFlagsReachSessions proves the flag plumbing ends
+// at the governor: a daemon started with a tiny row budget refuses
+// the big join with a typed budget error.
+func TestDaemonBudgetFlagsReachSessions(t *testing.T) {
+	warmSignalLoop()
+	testleak.Check(t)
+	ready := make(chan daemonHandle, 1)
+	var out, errOut strings.Builder
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-load", "demo", "-session-max-rows", "10"}, &out, &errOut, ready)
+	}()
+	h := <-ready
+	srv := h.Srv
+	c, err := client.Dial(h.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Query(`SELECT S.SNO, P.PNO FROM SUPPLIER S, PARTS P`)
+	if !errors.Is(err, uniqopt.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want budget error", err)
+	}
+	c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if code := <-done; code != 0 {
+		t.Fatalf("run exited %d", code)
+	}
+}

@@ -1,0 +1,111 @@
+package uniqopt
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestHostVarMissingBinding: executing a statement without a value
+// for one of its host variables fails with a named, typed error —
+// the statement is not silently run with NULL.
+func TestHostVarMissingBinding(t *testing.T) {
+	db := paperDB(t)
+	_, err := db.QueryWithContext(context.Background(),
+		`SELECT S.SNO FROM SUPPLIER S WHERE S.SNO = :SNO AND S.SCITY = :CITY`,
+		map[string]any{"SNO": 1}, true)
+	if err == nil {
+		t.Fatal("missing binding should fail")
+	}
+	if !strings.Contains(err.Error(), "unbound host variable :CITY") {
+		t.Errorf("error should name the unbound variable, got: %v", err)
+	}
+	// No bindings at all fails the same way.
+	_, err = db.QueryWithContext(context.Background(),
+		`SELECT S.SNO FROM SUPPLIER S WHERE S.SNO = :SNO`, nil, true)
+	if err == nil || !strings.Contains(err.Error(), "unbound host variable :SNO") {
+		t.Errorf("nil bindings: %v", err)
+	}
+}
+
+// TestHostVarExtraBinding: bindings the statement never references
+// are ignored — a client may keep one parameter map for several
+// prepared statements.
+func TestHostVarExtraBinding(t *testing.T) {
+	db := paperDB(t)
+	rows, err := db.QueryWithContext(context.Background(),
+		`SELECT S.SNO FROM SUPPLIER S WHERE S.SNO = :SNO`,
+		map[string]any{"SNO": 2, "UNUSED": "x", "ALSO-UNUSED": int64(7)}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 1 || rows.Data[0][0] != int64(2) {
+		t.Errorf("rows = %v", rows.Data)
+	}
+}
+
+// TestHostVarNullBinding: a host variable explicitly bound to NULL
+// participates in three-valued logic — :X = NULL makes the predicate
+// UNKNOWN everywhere, so the result is empty rather than an error.
+func TestHostVarNullBinding(t *testing.T) {
+	db := paperDB(t)
+	rows, err := db.QueryWithContext(context.Background(),
+		`SELECT S.SNO FROM SUPPLIER S WHERE S.SNO = :SNO`,
+		map[string]any{"SNO": nil}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 0 {
+		t.Errorf("NULL-valued comparison should match nothing, got %v", rows.Data)
+	}
+	// The same under the baseline path, so the rewrite layer cannot
+	// be what discarded the rows.
+	rows, err = db.QueryWithContext(context.Background(),
+		`SELECT S.SNO FROM SUPPLIER S WHERE S.SNO = :SNO`,
+		map[string]any{"SNO": nil}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 0 {
+		t.Errorf("baseline NULL comparison should match nothing, got %v", rows.Data)
+	}
+}
+
+// TestHostVarReexecution: the prepared-statement pattern — one shape,
+// many bindings. Results track the bindings, and after the first
+// execution the analyzer's verdict comes from the cache (the verdict
+// depends on the shape, not the host values).
+func TestHostVarReexecution(t *testing.T) {
+	db := paperDB(t)
+	const src = `SELECT DISTINCT S.SNO, S.SNAME FROM SUPPLIER S WHERE S.SNO = :SNO`
+	want := map[int64]string{1: "Smith", 2: "Jones", 3: "Smith"}
+
+	if _, err := db.QueryWithContext(context.Background(), src,
+		map[string]any{"SNO": 1}, true); err != nil {
+		t.Fatal(err)
+	}
+	_, missesAfterFirst := db.CacheCounters()
+	hitsBefore, _ := db.CacheCounters()
+
+	for sno, name := range want {
+		rows, err := db.QueryWithContext(context.Background(), src,
+			map[string]any{"SNO": sno}, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows.Data) != 1 || rows.Data[0][0] != sno || rows.Data[0][1] != name {
+			t.Errorf("SNO=%d: rows = %v", sno, rows.Data)
+		}
+		if len(rows.Rewrites) == 0 {
+			t.Errorf("SNO=%d: DISTINCT over the key should be rewritten", sno)
+		}
+	}
+
+	hits, misses := db.CacheCounters()
+	if misses != missesAfterFirst {
+		t.Errorf("re-execution re-analyzed the shape: misses %d -> %d", missesAfterFirst, misses)
+	}
+	if hits < hitsBefore+3 {
+		t.Errorf("re-executions should hit the verdict cache: hits %d -> %d", hitsBefore, hits)
+	}
+}

@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"uniqopt"
+	"uniqopt/internal/metrics"
+	"uniqopt/internal/server"
+	"uniqopt/internal/server/client"
+	"uniqopt/internal/workload"
+)
+
+// serverWorkloadDB builds an embedded DB carrying the paper's
+// supplier workload, sized by sc, for a uniqoptd instance to serve.
+func serverWorkloadDB(sc Scale) (*uniqopt.DB, int) {
+	cfg := workload.DefaultConfig()
+	cfg.Suppliers = sc.size(100)
+	cfg.PartsPerSupplier = 4
+	fresh := mustDB(cfg)
+	db := uniqopt.Open()
+	for _, ddl := range workload.BenchDDL {
+		if err := db.Exec(ddl); err != nil {
+			panic(fmt.Sprintf("bench: server DDL: %v", err))
+		}
+	}
+	for _, name := range []string{"SUPPLIER", "PARTS", "AGENTS"} { // parents before FK children
+		src := fresh.MustTable(name)
+		dst := db.Store().MustTable(name)
+		for i := 0; i < src.Len(); i++ {
+			if err := dst.Insert(src.Row(i)); err != nil {
+				panic(fmt.Sprintf("bench: server load: %v", err))
+			}
+		}
+	}
+	return db, cfg.Suppliers
+}
+
+// EServer — uniqoptd under concurrent load. An in-process server gets
+// the paper workload; each leg runs S closed-loop clients over real
+// TCP connections, each preparing one point-lookup statement and then
+// mixing prepared EXECs (3 of 4 ops, distinct host values) with a
+// DISTINCT query the optimizer rewrites (1 of 4). Latency is measured
+// client-side — dial to decoded response — into a metrics histogram
+// per session count; the table reports interpolated p50/p99 and
+// closed-loop throughput.
+func EServer(sc Scale, sessions []int) *Table {
+	t := &Table{
+		ID:    "ES",
+		Title: "uniqoptd under concurrent load — closed-loop clients over the wire protocol",
+		Columns: []string{"sessions", "ops", "wall ms", "qps",
+			"p50 µs", "p99 µs", "max µs", "errors"},
+	}
+
+	db, suppliers := serverWorkloadDB(sc)
+	cfg := server.DefaultConfig()
+	srv := server.New(db, cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(fmt.Sprintf("bench: ES listen: %v", err))
+	}
+	go srv.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			panic(fmt.Sprintf("bench: ES shutdown: %v", err))
+		}
+	}()
+	addr := ln.Addr().String()
+
+	reg := metrics.New()
+	opsPerClient := sc.size(200)
+	for _, s := range sessions {
+		shape := fmt.Sprintf("sessions=%d", s)
+		var errCount atomic.Int64
+		var wg sync.WaitGroup
+		start := time.Now()
+		for cid := 0; cid < s; cid++ {
+			wg.Add(1)
+			go func(cid int) {
+				defer wg.Done()
+				cl, err := client.Dial(addr)
+				if err != nil {
+					panic(fmt.Sprintf("bench: ES dial: %v", err))
+				}
+				defer cl.Close()
+				if err := cl.Prepare("bysno",
+					`SELECT S.SNO, S.SNAME FROM SUPPLIER S WHERE S.SNO = :N`); err != nil {
+					panic(fmt.Sprintf("bench: ES prepare: %v", err))
+				}
+				for i := 0; i < opsPerClient; i++ {
+					t0 := time.Now()
+					var opErr error
+					if i%4 == 3 {
+						_, opErr = cl.Query(`SELECT DISTINCT S.SNO FROM SUPPLIER S`)
+					} else {
+						sno := int64(1 + (cid*opsPerClient+i)%suppliers)
+						_, opErr = cl.Exec("bysno", map[string]any{"N": sno})
+					}
+					reg.ObserveQuery(shape, time.Since(t0).Nanoseconds())
+					if opErr != nil {
+						errCount.Add(1)
+					}
+				}
+			}(cid)
+		}
+		wg.Wait()
+		wall := time.Since(start)
+
+		var ss metrics.ShapeSnapshot
+		for _, cand := range reg.Snapshot().Shapes {
+			if cand.Shape == shape {
+				ss = cand
+			}
+		}
+		qps := float64(ss.Count) / wall.Seconds()
+		t.AddRow(n(int64(s)), n(ss.Count),
+			fmt.Sprintf("%.1f", float64(wall.Nanoseconds())/1e6), f(qps),
+			us(ss.P50Nanos), us(ss.P99Nanos), us(ss.MaxNanos), n(errCount.Load()))
+	}
+
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("closed-loop: each client issues its next op when the previous response lands; %d ops/client over real TCP on loopback.", opsPerClient),
+		fmt.Sprintf("workload: %d suppliers; op mix 3:1 prepared point lookup (host variable) to DISTINCT query (rewritten by the optimizer, verdict served from cache).", suppliers),
+		fmt.Sprintf("server limits: sessions<=%d, concurrent<=%d; p50/p99 interpolated from the 1-2-5 log histogram.", cfg.MaxSessions, cfg.MaxConcurrent),
+		"errors counts ops whose response carried a wire error (0 expected under default limits).")
+	return t
+}

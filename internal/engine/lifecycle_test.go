@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"uniqopt/internal/testleak"
 	"uniqopt/internal/value"
 	"uniqopt/internal/workload"
 )
@@ -28,19 +29,10 @@ func bigRelation(prefix string, rows int) *Relation {
 	return rel
 }
 
-// settleGoroutines polls until the goroutine count drops back to at
-// most base, or the grace period expires; it returns the final count.
-func settleGoroutines(base int) int {
-	deadline := time.Now().Add(2 * time.Second)
-	for {
-		n := runtime.NumGoroutine()
-		if n <= base || time.Now().After(deadline) {
-			return n
-		}
-		runtime.Gosched()
-		time.Sleep(5 * time.Millisecond)
-	}
-}
+// settleGoroutines defers to the shared leak helper: poll until the
+// goroutine count drops back to at most base or the grace period
+// expires, returning the final count.
+func settleGoroutines(base int) int { return testleak.Settle(base) }
 
 func TestCancelledContextStopsOperators(t *testing.T) {
 	forceSerial(t)

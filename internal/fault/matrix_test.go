@@ -21,6 +21,7 @@ import (
 	"uniqopt"
 	"uniqopt/internal/engine"
 	"uniqopt/internal/fault"
+	"uniqopt/internal/testleak"
 	"uniqopt/internal/value"
 )
 
@@ -136,17 +137,7 @@ func runContained(op string, f func() (*engine.Relation, error)) (rel *engine.Re
 	return f()
 }
 
-func settle(base int) int {
-	deadline := time.Now().Add(2 * time.Second)
-	for {
-		n := runtime.NumGoroutine()
-		if n <= base || time.Now().After(deadline) {
-			return n
-		}
-		runtime.Gosched()
-		time.Sleep(5 * time.Millisecond)
-	}
-}
+func settle(base int) int { return testleak.Settle(base) }
 
 func TestFaultMatrix(t *testing.T) {
 	if !fault.Enabled() {

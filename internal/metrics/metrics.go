@@ -12,17 +12,25 @@ package metrics
 import (
 	"encoding/json"
 	"expvar"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
 )
 
 // bucketBounds are the histogram's inclusive nanosecond upper bounds:
-// 10µs, 100µs, 1ms, 10ms, 100ms, 1s, 10s, plus an implicit overflow
-// bucket. Log-spaced decades cover everything from a cached analyzer
-// verdict to a pathological product join.
+// a 1-2-5 log series from 10µs to 10s, plus an implicit overflow
+// bucket. The series covers everything from a cached analyzer verdict
+// to a pathological product join, and is fine enough that
+// interpolated quantiles (p50/p99) are meaningful.
 var bucketBounds = [...]int64{
-	10_000, 100_000, 1_000_000, 10_000_000, 100_000_000, 1_000_000_000, 10_000_000_000,
+	10_000, 20_000, 50_000,
+	100_000, 200_000, 500_000,
+	1_000_000, 2_000_000, 5_000_000,
+	10_000_000, 20_000_000, 50_000_000,
+	100_000_000, 200_000_000, 500_000_000,
+	1_000_000_000, 2_000_000_000, 5_000_000_000,
+	10_000_000_000,
 }
 
 // NumBuckets is the bucket count including the overflow bucket.
@@ -47,6 +55,48 @@ func (h *Histogram) Observe(ns int64) {
 	}
 }
 
+// Quantile estimates the q-th quantile (0 < q < 1) of the recorded
+// durations in nanoseconds by linear interpolation within the bucket
+// holding the target rank. The overflow bucket reports the recorded
+// max, and every estimate is clamped to it.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := int64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if cum < rank {
+			continue
+		}
+		if i >= len(bucketBounds) {
+			return h.max
+		}
+		var lo int64
+		if i > 0 {
+			lo = bucketBounds[i-1]
+		}
+		hi := bucketBounds[i]
+		frac := float64(rank-(cum-c)) / float64(c)
+		v := lo + int64(frac*float64(hi-lo))
+		if v > h.max {
+			v = h.max
+		}
+		return v
+	}
+	return h.max
+}
+
 // BucketCount is one histogram bucket in a snapshot: the count of
 // observations at most UpperNanos (0 = the overflow bucket).
 type BucketCount struct {
@@ -54,12 +104,16 @@ type BucketCount struct {
 	Count      int64 `json:"count"`
 }
 
-// ShapeSnapshot is one query shape's latency distribution.
+// ShapeSnapshot is one query shape's latency distribution. P50Nanos
+// and P99Nanos are interpolated from the bucket layout (see
+// Histogram.Quantile).
 type ShapeSnapshot struct {
 	Shape    string        `json:"shape"`
 	Count    int64         `json:"count"`
 	SumNanos int64         `json:"sum_ns"`
 	MaxNanos int64         `json:"max_ns"`
+	P50Nanos int64         `json:"p50_ns"`
+	P99Nanos int64         `json:"p99_ns"`
 	Buckets  []BucketCount `json:"buckets,omitempty"`
 }
 
@@ -168,7 +222,10 @@ func (r *Registry) Snapshot() Snapshot {
 	sort.Strings(names)
 	for _, name := range names {
 		h := r.shapes[name]
-		ss := ShapeSnapshot{Shape: name, Count: h.count, SumNanos: h.sum, MaxNanos: h.max}
+		ss := ShapeSnapshot{
+			Shape: name, Count: h.count, SumNanos: h.sum, MaxNanos: h.max,
+			P50Nanos: h.Quantile(0.50), P99Nanos: h.Quantile(0.99),
+		}
 		for i, c := range h.counts {
 			if c == 0 {
 				continue

@@ -27,6 +27,40 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile should be 0")
+	}
+	// 100 observations spread 1ms..100ms: p50 near 50ms, p99 near
+	// 99ms, both within one 1-2-5 bucket of the true value.
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i * 1_000_000)
+	}
+	p50, p99 := h.Quantile(0.50), h.Quantile(0.99)
+	if p50 < 20_000_000 || p50 > 50_000_000 {
+		t.Errorf("p50 = %d, want ~50ms within bucket resolution", p50)
+	}
+	if p99 < 50_000_000 || p99 > 100_000_000 {
+		t.Errorf("p99 = %d, want ~99ms within bucket resolution", p99)
+	}
+	if got := h.Quantile(1); got != h.max {
+		t.Errorf("q=1 should be max, got %d", got)
+	}
+	// A single observation pins every quantile to itself (clamped max).
+	var one Histogram
+	one.Observe(3_000_000)
+	if one.Quantile(0.5) != 3_000_000 || one.Quantile(0.99) != 3_000_000 {
+		t.Errorf("single-sample quantiles = %d / %d", one.Quantile(0.5), one.Quantile(0.99))
+	}
+	// Overflow-bucket quantiles report the recorded max.
+	var of Histogram
+	of.Observe(30_000_000_000)
+	if of.Quantile(0.5) != 30_000_000_000 {
+		t.Errorf("overflow quantile = %d", of.Quantile(0.5))
+	}
+}
+
 func TestSnapshotDeterministicAndSorted(t *testing.T) {
 	r := New()
 	r.ObserveQuery("zeta", 100)

@@ -1,0 +1,316 @@
+// Package client is the Go client for the uniqoptd wire protocol:
+// it dials a server, opens a session with HELLO, and exposes
+// Prepare/Exec/Query/Explain over the length-prefixed JSON framing
+// defined in internal/server. One Client is one session; it holds
+// one connection and serializes requests on it (the protocol is
+// synchronous per connection), so concurrent load wants one Client
+// per goroutine — exactly the shape of a connection pool.
+//
+// Server-side failures come back as *RemoteError carrying the wire
+// code. Budget overruns satisfy errors.Is(err, uniqopt.ErrBudgetExceeded),
+// so code written against the embedded library's typed errors works
+// unchanged against the network.
+package client
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"uniqopt"
+	"uniqopt/internal/server"
+)
+
+// Options tune session negotiation at HELLO.
+type Options struct {
+	// MaxRows / MemBudget request per-query budgets; the server
+	// clamps them to its session ceilings (0 requests the ceiling).
+	MaxRows   int64
+	MemBudget int64
+}
+
+// ServerInfo is what HELLO reported.
+type ServerInfo struct {
+	Proto   int
+	Server  string
+	Session uint64
+	// Tables is the catalog's sorted table list at HELLO time.
+	Tables []string
+	// MaxRows / MemBudget are the granted per-query budgets.
+	MaxRows   int64
+	MemBudget int64
+	// CatalogVersion is the schema version at HELLO time.
+	CatalogVersion uint64
+}
+
+// Result is a query's materialized answer.
+type Result struct {
+	Columns []string
+	// Rows hold int64, string, bool, or nil cells.
+	Rows [][]any
+	// Rewrites names the optimizer transformations applied.
+	Rewrites []server.WireRewrite
+	// CatalogVersion is the schema version the query ran under.
+	CatalogVersion uint64
+	// Reprepared reports (on Exec) that the schema changed since
+	// Prepare and the statement was re-validated under the new one.
+	Reprepared bool
+}
+
+// RemoteError is a server-reported failure. Code is one of the
+// server.Code* constants; budget errors additionally carry the
+// governor's resource/limit/used accounting.
+type RemoteError struct {
+	Code     string
+	Msg      string
+	Resource string
+	Limit    int64
+	Used     int64
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("remote: %s: %s", e.Code, e.Msg)
+}
+
+// Is maps wire codes back onto the library's sentinels: a CodeBudget
+// error matches uniqopt.ErrBudgetExceeded, so errors.Is works the
+// same against a server as against an embedded DB.
+func (e *RemoteError) Is(target error) bool {
+	return target == uniqopt.ErrBudgetExceeded && e.Code == server.CodeBudget
+}
+
+// Client is one session on one connection. Methods are safe for
+// concurrent use but serialize on the connection; use one Client per
+// worker for parallelism.
+type Client struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	nextID uint64
+	info   ServerInfo
+	closed bool
+}
+
+// Dial connects, says HELLO with default budgets, and returns a
+// ready session.
+func Dial(addr string) (*Client, error) {
+	return DialOptions(addr, Options{})
+}
+
+// DialOptions is Dial with budget negotiation.
+func DialOptions(addr string, opts Options) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn}
+	info, err := c.hello(opts)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c.info = *info
+	return c, nil
+}
+
+// Info reports the session's HELLO result.
+func (c *Client) Info() ServerInfo { return c.info }
+
+// hello negotiates the session.
+func (c *Client) hello(opts Options) (*ServerInfo, error) {
+	resp, err := c.roundTrip(&server.Request{
+		Cmd:       server.CmdHello,
+		MaxRows:   opts.MaxRows,
+		MemBudget: opts.MemBudget,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Proto != server.ProtocolVersion {
+		return nil, fmt.Errorf("client: server speaks protocol %d, want %d", resp.Proto, server.ProtocolVersion)
+	}
+	return &ServerInfo{
+		Proto:          resp.Proto,
+		Server:         resp.Server,
+		Session:        resp.Session,
+		Tables:         resp.Tables,
+		MaxRows:        resp.MaxRows,
+		MemBudget:      resp.MemBudget,
+		CatalogVersion: resp.CatalogVersion,
+	}, nil
+}
+
+// Refresh re-runs HELLO (same budgets as the response grants) to
+// pick up the current table list and catalog version.
+func (c *Client) Refresh() (*ServerInfo, error) {
+	info, err := c.hello(Options{MaxRows: c.info.MaxRows, MemBudget: c.info.MemBudget})
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.info = *info
+	c.mu.Unlock()
+	return info, nil
+}
+
+// Prepare validates sql on the server and binds it to name in this
+// session; re-preparing a name replaces it.
+func (c *Client) Prepare(name, sql string) error {
+	_, err := c.roundTrip(&server.Request{Cmd: server.CmdPrepare, Name: name, SQL: sql})
+	return err
+}
+
+// Exec runs a prepared statement with host-variable bindings (Go
+// values: int/int64, string, bool, nil).
+func (c *Client) Exec(name string, args map[string]any) (*Result, error) {
+	resp, err := c.roundTrip(&server.Request{Cmd: server.CmdExec, Name: name, Args: wireArgs(args)})
+	if err != nil {
+		return nil, err
+	}
+	return toResult(resp)
+}
+
+// Query runs a one-shot statement: CREATE TABLE or a query. For DDL
+// the Result has no rows and carries the new catalog version.
+func (c *Client) Query(sql string) (*Result, error) {
+	return c.QueryArgs(sql, nil)
+}
+
+// QueryArgs is Query with host-variable bindings.
+func (c *Client) QueryArgs(sql string, args map[string]any) (*Result, error) {
+	resp, err := c.roundTrip(&server.Request{Cmd: server.CmdQuery, SQL: sql, Args: wireArgs(args)})
+	if err != nil {
+		return nil, err
+	}
+	return toResult(resp)
+}
+
+// Explain returns the server's rendered plan tree, rewrites, and
+// uniqueness provenance trace; analyze executes the query for real
+// and annotates the tree with per-operator metrics.
+func (c *Client) Explain(sql string, analyze bool) (string, []server.WireRewrite, error) {
+	resp, err := c.roundTrip(&server.Request{Cmd: server.CmdExplain, SQL: sql, Analyze: analyze})
+	if err != nil {
+		return "", nil, err
+	}
+	return resp.Explain, resp.Rewrite, nil
+}
+
+// Close ends the session: best-effort CLOSE frame, then the
+// connection. Safe to call twice.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	// Best-effort goodbye; the server also handles abrupt closes.
+	c.nextID++
+	_ = server.WriteFrame(c.conn, &server.Request{ID: c.nextID, Cmd: server.CmdClose})
+	var resp server.Response
+	_ = server.ReadFrame(c.conn, &resp)
+	return c.conn.Close()
+}
+
+// Abandon closes the connection without the CLOSE handshake — the
+// rude disconnect. Tests use it to prove the server survives
+// clients that vanish.
+func (c *Client) Abandon() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.conn.Close()
+}
+
+// roundTrip sends one request and reads its response, enforcing id
+// matching and unwrapping wire errors.
+func (c *Client) roundTrip(req *server.Request) (*server.Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, errors.New("client: session closed")
+	}
+	c.nextID++
+	req.ID = c.nextID
+	if err := server.WriteFrame(c.conn, req); err != nil {
+		return nil, fmt.Errorf("client: send: %w", err)
+	}
+	var resp server.Response
+	if err := server.ReadFrame(c.conn, &resp); err != nil {
+		return nil, fmt.Errorf("client: receive: %w", err)
+	}
+	if resp.ID != req.ID {
+		return nil, fmt.Errorf("client: response id %d for request %d; session desynchronized", resp.ID, req.ID)
+	}
+	if !resp.OK {
+		if resp.Err == nil {
+			return nil, errors.New("client: server reported failure without an error")
+		}
+		return nil, &RemoteError{
+			Code:     resp.Err.Code,
+			Msg:      resp.Err.Msg,
+			Resource: resp.Err.Resource,
+			Limit:    resp.Err.Limit,
+			Used:     resp.Err.Used,
+		}
+	}
+	return &resp, nil
+}
+
+// toResult converts a response into a Result, normalizing JSON
+// numbers back to int64 cells.
+func toResult(resp *server.Response) (*Result, error) {
+	out := &Result{
+		Columns:        resp.Columns,
+		Rewrites:       resp.Rewrite,
+		CatalogVersion: resp.CatalogVersion,
+		Reprepared:     resp.Reprepared,
+	}
+	out.Rows = make([][]any, len(resp.Rows))
+	for i, row := range resp.Rows {
+		cells := make([]any, len(row))
+		for j, v := range row {
+			cv, err := fromWire(v)
+			if err != nil {
+				return nil, fmt.Errorf("client: row %d col %d: %w", i, j, err)
+			}
+			cells[j] = cv
+		}
+		out.Rows[i] = cells
+	}
+	return out, nil
+}
+
+// fromWire normalizes one decoded JSON cell.
+func fromWire(v any) (any, error) {
+	switch x := v.(type) {
+	case json.Number:
+		return x.Int64()
+	case string, bool, nil:
+		return x, nil
+	default:
+		return nil, fmt.Errorf("unsupported wire value %T", v)
+	}
+}
+
+// wireArgs passes int variants through as int64 so the server's
+// json.Number decode round-trips exactly.
+func wireArgs(args map[string]any) map[string]any {
+	if len(args) == 0 {
+		return nil
+	}
+	out := make(map[string]any, len(args))
+	for k, v := range args {
+		if n, ok := v.(int); ok {
+			out[k] = int64(n)
+		} else {
+			out[k] = v
+		}
+	}
+	return out
+}

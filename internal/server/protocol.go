@@ -1,0 +1,195 @@
+// The uniqoptd wire protocol: length-prefixed JSON frames over a
+// byte stream. Every frame is a 4-byte big-endian payload length
+// followed by exactly that many bytes of JSON — one Request from the
+// client, one Response from the server, strictly request/response in
+// order (the protocol is synchronous per connection; concurrency
+// comes from opening more connections, each of which is a session).
+//
+// Commands:
+//
+//	HELLO    open the session: negotiate budgets, learn the catalog
+//	         version and table list
+//	PREPARE  validate a statement and bind it to a name in the session
+//	EXEC     run a prepared statement with :NAME host-variable bindings
+//	QUERY    run a one-shot statement (CREATE TABLE or a query)
+//	EXPLAIN  plan (or with Analyze execute) a query and return the
+//	         plan tree text and the uniqueness provenance trace
+//	CLOSE    end the session
+//
+// Errors travel as typed WireError values with stable codes, so a
+// client can distinguish a blown per-query budget (CodeBudget, with
+// resource/limit/used) from an admission rejection (CodeAdmission)
+// from a server draining for shutdown (CodeShutdown) without parsing
+// message text.
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ProtocolVersion is bumped on any incompatible wire change; HELLO
+// reports it so clients can refuse servers they do not understand.
+const ProtocolVersion = 1
+
+// MaxFrame caps a single frame's payload; a length prefix beyond it
+// poisons the connection (there is no way to resynchronize).
+const MaxFrame = 16 << 20
+
+// Command is the request verb.
+type Command string
+
+// The protocol's commands.
+const (
+	CmdHello   Command = "HELLO"
+	CmdPrepare Command = "PREPARE"
+	CmdExec    Command = "EXEC"
+	CmdQuery   Command = "QUERY"
+	CmdExplain Command = "EXPLAIN"
+	CmdClose   Command = "CLOSE"
+)
+
+// Request is one client frame.
+type Request struct {
+	// ID is echoed in the matching Response; clients use it to detect
+	// desynchronization.
+	ID  uint64  `json:"id"`
+	Cmd Command `json:"cmd"`
+	// SQL carries the statement for PREPARE/QUERY/EXPLAIN.
+	SQL string `json:"sql,omitempty"`
+	// Name is the prepared-statement name for PREPARE/EXEC.
+	Name string `json:"name,omitempty"`
+	// Args bind host variables (:NAME) for EXEC/QUERY/EXPLAIN. Values
+	// are JSON scalars: numbers arrive as json.Number (frames are
+	// decoded with UseNumber) and are converted to INTEGER.
+	Args map[string]any `json:"args,omitempty"`
+	// Baseline executes without the uniqueness rewrites.
+	Baseline bool `json:"baseline,omitempty"`
+	// Analyze turns EXPLAIN into EXPLAIN ANALYZE.
+	Analyze bool `json:"analyze,omitempty"`
+	// MaxRows/MemBudget on HELLO request per-query budgets for this
+	// session; the server clamps them to its configured ceilings.
+	MaxRows   int64 `json:"max_rows,omitempty"`
+	MemBudget int64 `json:"mem_budget,omitempty"`
+}
+
+// Error codes carried by WireError.Code.
+const (
+	// CodeParse: the statement did not parse.
+	CodeParse = "parse"
+	// CodeSQL: the statement parsed but failed semantically or during
+	// execution (unknown table, unbound host variable, ...).
+	CodeSQL = "sql"
+	// CodeBudget: the query exceeded its per-session row or memory
+	// budget; Resource/Limit/Used carry the governor's accounting.
+	CodeBudget = "budget"
+	// CodeAdmission: the server refused to start the work — too many
+	// sessions, too many concurrent queries, or the global memory
+	// pool is exhausted; Resource names which, Limit/Used its state.
+	CodeAdmission = "admission"
+	// CodeShutdown: the server is draining; no new work is accepted.
+	CodeShutdown = "shutdown"
+	// CodeCancelled: the query was cancelled (client went away or the
+	// server's drain deadline cancelled in-flight work).
+	CodeCancelled = "cancelled"
+	// CodeInternal: a contained panic; the session survives.
+	CodeInternal = "internal"
+	// CodeUnknownStmt: EXEC named a statement this session never
+	// prepared.
+	CodeUnknownStmt = "unknown_statement"
+	// CodeProtocol: malformed frame or unsupported command.
+	CodeProtocol = "protocol"
+)
+
+// WireError is a typed error on the wire.
+type WireError struct {
+	Code string `json:"code"`
+	Msg  string `json:"msg"`
+	// Resource qualifies budget/admission errors ("rows", "memory",
+	// "sessions", "concurrency").
+	Resource string `json:"resource,omitempty"`
+	Limit    int64  `json:"limit,omitempty"`
+	Used     int64  `json:"used,omitempty"`
+}
+
+// WireRewrite is one applied optimizer transformation.
+type WireRewrite struct {
+	Rule        string `json:"rule"`
+	Description string `json:"description"`
+}
+
+// Response is one server frame.
+type Response struct {
+	ID  uint64     `json:"id"`
+	OK  bool       `json:"ok"`
+	Err *WireError `json:"err,omitempty"`
+
+	// HELLO fields.
+	Proto   int    `json:"proto,omitempty"`
+	Server  string `json:"server,omitempty"`
+	Session uint64 `json:"session,omitempty"`
+	// Tables is the sorted table list at HELLO time.
+	Tables []string `json:"tables,omitempty"`
+	// MaxRows/MemBudget echo the granted (possibly clamped) budgets.
+	MaxRows   int64 `json:"max_rows,omitempty"`
+	MemBudget int64 `json:"mem_budget,omitempty"`
+
+	// Result fields (EXEC/QUERY).
+	Columns []string      `json:"columns,omitempty"`
+	Rows    [][]any       `json:"rows,omitempty"`
+	Rewrite []WireRewrite `json:"rewrites,omitempty"`
+
+	// CatalogVersion is the schema version the statement ran against
+	// (or, for DDL, the version it produced). A session can detect
+	// concurrent DDL by watching it change between responses.
+	CatalogVersion uint64 `json:"catalog_version,omitempty"`
+	// Reprepared is set on EXEC when the catalog version has moved
+	// since PREPARE: the statement was transparently re-validated and
+	// its cached uniqueness verdicts re-derived under the new schema.
+	Reprepared bool `json:"reprepared,omitempty"`
+
+	// EXPLAIN fields: the rendered plan/trace text and its lines.
+	Explain string `json:"explain,omitempty"`
+}
+
+// WriteFrame writes one length-prefixed JSON frame.
+func WriteFrame(w io.Writer, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("server: encode frame: %w", err)
+	}
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("server: frame of %d bytes exceeds MaxFrame", len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame and decodes it into v.
+// Numbers are decoded as json.Number so INTEGER values survive the
+// trip without a float64 detour.
+func ReadFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return fmt.Errorf("server: frame of %d bytes exceeds MaxFrame", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return err
+	}
+	dec := json.NewDecoder(bytes.NewReader(payload))
+	dec.UseNumber()
+	return dec.Decode(v)
+}

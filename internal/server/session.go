@@ -1,0 +1,332 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"uniqopt"
+	"uniqopt/internal/sql/ast"
+	"uniqopt/internal/sql/parser"
+)
+
+// preparedStmt is one session-scoped prepared statement: the SQL text
+// (re-parameterized per EXEC through the :NAME host-variable
+// machinery) and the catalog version it was last validated under.
+// Re-planning per EXEC is cheap by design — the expensive asset, the
+// uniqueness verdict, is cached DB-wide keyed by NNF fingerprint ×
+// catalog version, so every EXEC of the same shape after the first
+// hits that cache until DDL moves the version.
+type preparedStmt struct {
+	sql        string
+	catVersion uint64
+}
+
+// session is one connection's state. All fields are owned by the
+// session goroutine; nothing here needs locking because the protocol
+// is synchronous per connection.
+type session struct {
+	id   uint64
+	srv  *Server
+	conn io.ReadWriteCloser
+	br   io.Reader
+	bw   interface {
+		io.Writer
+		Flush() error
+	}
+	view     *uniqopt.DB // budget-scoped handle; set by HELLO or lazily
+	prepared map[string]*preparedStmt
+	// reject, when non-nil, makes the session answer its first
+	// request with this admission error and close.
+	reject *AdmissionError
+	// granted budgets, for the HELLO response.
+	grantedMaxRows, grantedMem int64
+}
+
+// run is the session goroutine: read one request, handle it, write
+// the response, until the client closes, CLOSE arrives, or Shutdown
+// severs the connection.
+func (sess *session) run() {
+	defer sess.srv.dropSession(sess)
+	defer sess.conn.Close()
+	for {
+		var req Request
+		if err := ReadFrame(sess.br, &req); err != nil {
+			// EOF (client gone or Shutdown closed us) ends the
+			// session silently; a malformed frame gets a best-effort
+			// protocol error before the connection is abandoned —
+			// framing cannot be resynchronized after garbage.
+			if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				sess.write(errorResponse(0, protocolError("bad frame: %v", err)))
+			}
+			return
+		}
+		if sess.reject != nil {
+			sess.srv.metrics.ObserveRejection()
+			sess.write(errorResponse(req.ID, wireError(sess.reject)))
+			return
+		}
+		if !sess.srv.beginRequest() {
+			sess.write(errorResponse(req.ID, shutdownError()))
+			return
+		}
+		t0 := time.Now()
+		resp, closing := sess.handle(&req)
+		sess.srv.metrics.ObserveQuery("cmd."+string(req.Cmd), time.Since(t0).Nanoseconds())
+		ok := sess.write(resp)
+		sess.srv.endRequest()
+		if closing || !ok {
+			return
+		}
+	}
+}
+
+// write sends one response frame, reporting whether the connection
+// is still usable.
+func (sess *session) write(resp *Response) bool {
+	if err := WriteFrame(sess.bw, resp); err != nil {
+		return false
+	}
+	return sess.bw.Flush() == nil
+}
+
+// handle dispatches one request; closing is true when the session
+// should end after the response is written.
+func (sess *session) handle(req *Request) (resp *Response, closing bool) {
+	switch req.Cmd {
+	case CmdHello:
+		return sess.hello(req), false
+	case CmdPrepare:
+		return sess.prepare(req), false
+	case CmdExec:
+		return sess.exec(req), false
+	case CmdQuery:
+		return sess.query(req), false
+	case CmdExplain:
+		return sess.explain(req), false
+	case CmdClose:
+		return &Response{ID: req.ID, OK: true}, true
+	default:
+		return errorResponse(req.ID, protocolError("unsupported command %q", req.Cmd)), false
+	}
+}
+
+// ensureView makes the budget-scoped DB handle, defaulting the
+// budgets when the client never said HELLO.
+func (sess *session) ensureView() *uniqopt.DB {
+	if sess.view == nil {
+		sess.grantBudgets(0, 0)
+	}
+	return sess.view
+}
+
+func (sess *session) grantBudgets(maxRows, memBudget int64) {
+	sess.grantedMaxRows = clampBudget(maxRows, sess.srv.cfg.SessionMaxRows)
+	sess.grantedMem = clampBudget(memBudget, sess.srv.cfg.SessionMemBudget)
+	sess.view = sess.srv.sessionView(maxRows, memBudget)
+}
+
+// hello opens (or re-negotiates) the session: budgets are granted
+// clamped to the server's ceilings, and the response carries the
+// protocol version, catalog version, and sorted table list.
+func (sess *session) hello(req *Request) *Response {
+	sess.grantBudgets(req.MaxRows, req.MemBudget)
+	cat := sess.srv.db.Store().Catalog
+	tables := cat.TableNames()
+	sort.Strings(tables)
+	name := sess.srv.cfg.Name
+	if name == "" {
+		name = "uniqoptd"
+	}
+	return &Response{
+		ID:             req.ID,
+		OK:             true,
+		Proto:          ProtocolVersion,
+		Server:         name,
+		Session:        sess.id,
+		Tables:         tables,
+		MaxRows:        sess.grantedMaxRows,
+		MemBudget:      sess.grantedMem,
+		CatalogVersion: cat.Version(),
+	}
+}
+
+// prepare validates the statement (it must parse as a query) and
+// binds it to a name in this session. Re-preparing a name replaces
+// it, like DEALLOCATE + PREPARE.
+func (sess *session) prepare(req *Request) *Response {
+	if req.Name == "" {
+		return errorResponse(req.ID, protocolError("PREPARE requires a statement name"))
+	}
+	if _, err := parser.ParseQuery(req.SQL); err != nil {
+		return errorResponse(req.ID, &WireError{Code: CodeParse, Msg: err.Error()})
+	}
+	sess.prepared[req.Name] = &preparedStmt{
+		sql:        req.SQL,
+		catVersion: sess.srv.db.Store().Catalog.Version(),
+	}
+	return &Response{ID: req.ID, OK: true, CatalogVersion: sess.srv.db.Store().Catalog.Version()}
+}
+
+// exec runs a prepared statement with the request's host-variable
+// bindings.
+func (sess *session) exec(req *Request) *Response {
+	ps, ok := sess.prepared[req.Name]
+	if !ok {
+		return errorResponse(req.ID, &WireError{
+			Code: CodeUnknownStmt,
+			Msg:  fmt.Sprintf("server: no prepared statement %q in this session", req.Name),
+		})
+	}
+	resp := sess.runQuery(req, ps.sql)
+	if resp.OK && resp.CatalogVersion != ps.catVersion {
+		// The schema moved underneath the statement since it was
+		// prepared (or last executed). Execution already re-validated
+		// it against the new catalog — surface that so the client
+		// knows its cached assumptions (column order, verdicts) may
+		// have changed.
+		resp.Reprepared = true
+		ps.catVersion = resp.CatalogVersion
+	}
+	return resp
+}
+
+// query runs a one-shot statement: CREATE TABLE takes the DDL path
+// (exclusive against in-flight queries), anything else executes as a
+// query.
+func (sess *session) query(req *Request) *Response {
+	st, err := parser.ParseStatement(req.SQL)
+	if err != nil {
+		return errorResponse(req.ID, &WireError{Code: CodeParse, Msg: err.Error()})
+	}
+	if _, isDDL := st.(*ast.CreateTable); isDDL {
+		return sess.runDDL(req)
+	}
+	return sess.runQuery(req, req.SQL)
+}
+
+// runDDL applies a schema change under the write side of the
+// snapshot lock: it waits for in-flight queries, applies, and lets
+// the catalog-version bump invalidate every cached verdict derived
+// under the old schema.
+func (sess *session) runDDL(req *Request) *Response {
+	srv := sess.srv
+	srv.ddlMu.Lock()
+	defer srv.ddlMu.Unlock()
+	if err := srv.db.Exec(req.SQL); err != nil {
+		return errorResponse(req.ID, &WireError{Code: CodeSQL, Msg: err.Error()})
+	}
+	return &Response{ID: req.ID, OK: true, CatalogVersion: srv.db.Store().Catalog.Version()}
+}
+
+// runQuery executes sql under admission control and the read side of
+// the snapshot lock, through the session's budget-scoped view.
+func (sess *session) runQuery(req *Request, sql string) *Response {
+	srv := sess.srv
+	view := sess.ensureView()
+
+	// Admission: one concurrency slot plus this session's memory
+	// ceiling from the global pool — the cheap no before any work.
+	if err := srv.adm.acquire(sess.grantedMem); err != nil {
+		srv.metrics.ObserveRejection()
+		return errorResponse(req.ID, wireError(err))
+	}
+	defer srv.adm.release(sess.grantedMem)
+
+	hosts, err := decodeArgs(req.Args)
+	if err != nil {
+		return errorResponse(req.ID, protocolError("%v", err))
+	}
+
+	// Snapshot consistency: hold the read side for the whole
+	// execution, so the catalog version observed here is the one the
+	// query ran under, start to finish.
+	srv.ddlMu.RLock()
+	defer srv.ddlMu.RUnlock()
+	catVersion := srv.db.Store().Catalog.Version()
+
+	ctx, cancel := srv.queryCtx()
+	defer cancel()
+	rows, err := view.QueryWithContext(ctx, sql, hosts, !req.Baseline)
+	if err != nil {
+		return errorResponse(req.ID, wireError(err))
+	}
+	resp := &Response{
+		ID:             req.ID,
+		OK:             true,
+		Columns:        rows.Columns,
+		Rows:           rows.Data,
+		CatalogVersion: catVersion,
+	}
+	for _, rw := range rows.Rewrites {
+		resp.Rewrite = append(resp.Rewrite, WireRewrite{Rule: rw.Rule, Description: rw.Description})
+	}
+	return resp
+}
+
+// explain plans (Analyze=false) or executes (Analyze=true) the query
+// and returns the rendered plan tree, rewrites, and provenance
+// trace. Like queries, it runs under admission and the snapshot
+// lock — EXPLAIN ANALYZE does real work.
+func (sess *session) explain(req *Request) *Response {
+	srv := sess.srv
+	view := sess.ensureView()
+	if err := srv.adm.acquire(sess.grantedMem); err != nil {
+		srv.metrics.ObserveRejection()
+		return errorResponse(req.ID, wireError(err))
+	}
+	defer srv.adm.release(sess.grantedMem)
+
+	hosts, err := decodeArgs(req.Args)
+	if err != nil {
+		return errorResponse(req.ID, protocolError("%v", err))
+	}
+	srv.ddlMu.RLock()
+	defer srv.ddlMu.RUnlock()
+	catVersion := srv.db.Store().Catalog.Version()
+
+	ctx, cancel := srv.queryCtx()
+	defer cancel()
+	e, err := view.ExplainWith(ctx, req.SQL, hosts, !req.Baseline, req.Analyze)
+	if err != nil {
+		return errorResponse(req.ID, wireError(err))
+	}
+	resp := &Response{
+		ID:             req.ID,
+		OK:             true,
+		Explain:        e.String(),
+		CatalogVersion: catVersion,
+	}
+	for _, rw := range e.Rewrites {
+		resp.Rewrite = append(resp.Rewrite, WireRewrite{Rule: rw.Rule, Description: rw.Description})
+	}
+	return resp
+}
+
+// decodeArgs converts wire host-variable bindings to Go values the
+// engine understands: json.Number becomes int64 (the SQL subset has
+// no floats), and strings, bools, and nulls pass through.
+func decodeArgs(args map[string]any) (map[string]any, error) {
+	if len(args) == 0 {
+		return nil, nil
+	}
+	out := make(map[string]any, len(args))
+	for k, v := range args {
+		switch x := v.(type) {
+		case json.Number:
+			n, err := x.Int64()
+			if err != nil {
+				return nil, fmt.Errorf("host :%s: non-integer number %q", k, x.String())
+			}
+			out[k] = n
+		case string, bool, nil:
+			out[k] = x
+		default:
+			return nil, fmt.Errorf("host :%s: unsupported value type %T", k, v)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,62 @@
+// Package testleak is the repo's shared goroutine-leak assertion: a
+// test records the goroutine count up front and asserts the process
+// settles back to it before the test ends. The engine lifecycle
+// suite, the fault matrix, and the server disconnect/shutdown tests
+// all use the same discipline, so it lives in one place.
+//
+// The check is a polling settle, not an instantaneous compare: the
+// runtime is allowed a grace period to retire goroutines that are
+// already past their last observable effect (worker pools draining,
+// net connections closing) before the count is judged.
+package testleak
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// settleGrace is how long Settle waits for stray goroutines to
+// retire before giving up and reporting the still-elevated count.
+const settleGrace = 2 * time.Second
+
+// Settle polls until the process goroutine count drops to at most
+// base, or the grace period expires; it returns the final count.
+// Callers that want a plain assertion should use Check instead.
+func Settle(base int) int {
+	deadline := time.Now().Add(settleGrace)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base || time.Now().After(deadline) {
+			return n
+		}
+		runtime.Gosched()
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Check records the current goroutine count and registers a cleanup
+// that fails the test if the count has not settled back down by the
+// time the test (and every cleanup registered after this call) has
+// finished. Call it first thing in the test, before starting
+// servers, clients, or pools:
+//
+//	func TestServerShutdown(t *testing.T) {
+//		testleak.Check(t)
+//		srv := startServer(t) // cleanup-stopped after the check runs
+//		...
+//	}
+//
+// Cleanups run last-registered-first, so resources acquired after
+// Check are torn down before the leak assertion fires. Not suitable
+// for tests running under t.Parallel, where unrelated tests shift
+// the process-wide count.
+func Check(t testing.TB) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		if n := Settle(base); n > base {
+			t.Errorf("goroutines leaked: %d before, %d after (grace %v)", base, n, settleGrace)
+		}
+	})
+}

@@ -51,8 +51,9 @@ type DB struct {
 	opts  Options
 	cache *core.VerdictCache
 	// stats accumulates engine work counters across every query this
-	// DB has executed (merged atomically; see EngineCounters).
-	stats engine.Stats
+	// DB has executed (merged atomically; see EngineCounters). It is a
+	// pointer so View handles share one accumulator with their parent.
+	stats *engine.Stats
 	// metrics accumulates per-shape latency histograms, cache hit
 	// rates, governor rejections, and pool utilization (see Metrics).
 	metrics *metrics.Registry
@@ -113,9 +114,31 @@ func OpenWith(opts Options) *DB {
 		store:   storage.NewDB(catalog.New()),
 		opts:    opts,
 		cache:   core.NewVerdictCache(0),
+		stats:   &engine.Stats{},
 		metrics: metrics.New(),
 	}
 }
+
+// View returns a handle onto the same database with different
+// Options: it shares this DB's storage, verdict cache, metrics
+// registry, and cumulative counters, but queries issued through the
+// view run under the view's options. This is the per-session budget
+// mechanism of the network server — each session gets a view whose
+// MaxRows/MemBudget cap its queries without constraining anyone
+// else's, while every verdict-cache hit and latency observation still
+// lands in the shared registries.
+func (d *DB) View(opts Options) *DB {
+	return &DB{
+		store:   d.store,
+		opts:    opts,
+		cache:   d.cache,
+		stats:   d.stats,
+		metrics: d.metrics,
+	}
+}
+
+// Opts reports the options this handle executes under.
+func (d *DB) Opts() Options { return d.opts }
 
 // Exec runs a DDL statement (CREATE TABLE).
 func (d *DB) Exec(ddl string) error {
