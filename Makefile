@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet lint build test test-fault race bench-smoke explain-smoke stream-smoke server-smoke bench-tables ci clean
+.PHONY: all vet lint build test test-fault race bench-smoke explain-smoke stream-smoke server-smoke crash-matrix storage-smoke bench-tables ci clean
 
 all: ci
 
@@ -58,11 +58,27 @@ server-smoke:
 	$(GO) test -race ./internal/server/... ./cmd/uniqoptd ./cmd/sqlsh
 	$(GO) run ./cmd/benchrunner -exp server -scale 0.3 -sessions 1,8 -json BENCH_server.json
 
+# Crash matrix: the storage suite under the race detector with the
+# fault registry armed — WAL append/sync/checkpoint fault points, torn
+# and corrupt tails, the kill -9 subprocess recovery test, and the
+# daemon's -data lifecycle (recovering refusals, fsync-before-ack,
+# demo-load suppression after recovery).
+crash-matrix:
+	$(GO) test -race -tags fault ./internal/storage/... ./cmd/uniqoptd
+
+# Storage smoke: golden paper examples byte-identical on the memory
+# and WAL backends, then the storage experiment — insert throughput
+# under both ack disciplines plus cold-start recovery — emitting the
+# machine-readable artifact BENCH_storage.json alongside the table.
+storage-smoke:
+	$(GO) test -run 'BothBackends' .
+	$(GO) run ./cmd/benchrunner -exp storage -scale 0.05 -json BENCH_storage.json
+
 # Full experiment sweep, regenerating bench_output_tables.txt.
 bench-tables:
 	$(GO) run ./cmd/benchrunner -exp all -scale 0.25 > bench_output_tables.txt
 
-ci: vet lint build test test-fault race stream-smoke bench-smoke explain-smoke server-smoke
+ci: vet lint build test test-fault race stream-smoke bench-smoke explain-smoke server-smoke crash-matrix storage-smoke
 
 clean:
-	rm -f BENCH_parallel.json BENCH_explain.json BENCH_server.json
+	rm -f BENCH_parallel.json BENCH_explain.json BENCH_server.json BENCH_storage.json

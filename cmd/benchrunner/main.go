@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	benchrunner [-exp e1|e2|...|e9|ep|explain|server|all] [-scale 1.0] [-hash]
-//	            [-trials N] [-sessions 1,8,64] [-json FILE]
+//	benchrunner [-exp e1|e2|...|e9|ep|explain|server|storage|all] [-scale 1.0]
+//	            [-hash] [-trials N] [-sessions 1,8,64] [-json FILE]
 //
 // -scale shrinks or grows the workload sizes; -hash runs E1's
 // hash-DISTINCT ablation; -trials overrides E8's corpus size; -json
@@ -14,7 +14,10 @@
 // examples plus a metrics-registry summary. -exp server boots an
 // in-process uniqoptd and drives it with concurrent wire-protocol
 // clients at each -sessions level, reporting client-side p50/p99
-// latency and closed-loop throughput (not part of -exp all).
+// latency and closed-loop throughput (not part of -exp all). -exp
+// storage compares the in-memory and write-ahead-log backends on the
+// same bulk load (group commit and fsync-per-insert ack disciplines)
+// and measures cold-start recovery (not part of -exp all).
 package main
 
 import (
@@ -29,7 +32,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: e1..e9, ep, explain, or all")
+	exp := flag.String("exp", "all", "experiment to run: e1..e9, ep, explain, server, storage, or all")
 	scale := flag.Float64("scale", 1.0, "workload scale factor")
 	hash := flag.Bool("hash", false, "E1 ablation: hash-based DISTINCT instead of sort")
 	trials := flag.Int("trials", 0, "E8 corpus size (0 = default)")
@@ -70,6 +73,8 @@ func main() {
 		tables = []*bench.Table{bench.EExplain(sc)}
 	case "server":
 		tables = []*bench.Table{bench.EServer(sc, sessions)}
+	case "storage":
+		tables = []*bench.Table{bench.EStorage(sc)}
 	case "all":
 		tables = bench.All(sc)
 		if *hash {

@@ -1,12 +1,19 @@
 // Command sqlsh is an interactive shell over the uniqopt engine:
-// CREATE TABLE, INSERT-free data loading via \load, queries with the
-// uniqueness optimizer, and side-by-side baseline comparison.
+// CREATE TABLE, INSERT INTO … VALUES, data loading via \load,
+// queries with the uniqueness optimizer, and side-by-side baseline
+// comparison.
 //
 // With -connect host:port the same REPL runs against a uniqoptd
 // server through the wire-protocol client library instead of an
 // embedded database: statements and EXPLAIN work identically, \d
 // lists the server's tables, and \prepare/\exec drive server-side
-// prepared statements with host-variable bindings.
+// prepared statements with host-variable bindings. Transient dial
+// failures are retried with capped, jittered backoff.
+//
+// With -data DIR the embedded database is crash-safe: writes go
+// through a write-ahead log in DIR and are fsynced before the shell
+// reports success, and a later sqlsh -data DIR (or uniqoptd -data
+// DIR) session recovers them.
 //
 // Statements end with ';'. EXPLAIN and EXPLAIN ANALYZE prefixes on a
 // query print the typed plan tree (with per-operator metrics for
@@ -40,6 +47,7 @@ import (
 // helpText documents the shell's statements and commands (\help).
 const helpText = `statements (end with ';'):
   CREATE TABLE ...           define a table (keys, CHECKs, FKs)
+  INSERT INTO t VALUES ...   insert rows (fsynced before 'ok' with -data)
   SELECT ... / INTERSECT / EXCEPT
                              run a query through the uniqueness optimizer
   EXPLAIN <query>;           show the plan tree and the analyzer's
@@ -59,15 +67,27 @@ commands:
 
 func main() {
 	connect := flag.String("connect", "", "connect to a uniqoptd server at host:port instead of running embedded")
+	data := flag.String("data", "", "open this crash-safe data directory instead of an in-memory database (embedded mode)")
 	flag.Parse()
 	var err error
-	if *connect != "" {
+	switch {
+	case *connect != "":
+		// Transient dial failures (a daemon still binding or
+		// restarting) are retried with backoff before giving up.
 		var c *client.Client
-		if c, err = client.Dial(*connect); err == nil {
+		if c, err = client.DialRetry(*connect, client.Options{}); err == nil {
 			defer c.Close()
 			err = remoteRepl(os.Stdin, os.Stdout, c)
 		}
-	} else {
+	case *data != "":
+		var db *uniqopt.DB
+		if db, err = uniqopt.OpenPersistent(*data, uniqopt.Options{}); err == nil {
+			err = replDB(os.Stdin, os.Stdout, db)
+			if cerr := db.Close(); err == nil {
+				err = cerr
+			}
+		}
+	default:
 		err = repl(os.Stdin, os.Stdout)
 	}
 	if err != nil {
@@ -84,7 +104,11 @@ type shell struct {
 }
 
 func repl(in io.Reader, out io.Writer) error {
-	sh := &shell{db: uniqopt.Open(), out: out}
+	return replDB(in, out, uniqopt.Open())
+}
+
+func replDB(in io.Reader, out io.Writer, db *uniqopt.DB) error {
+	sh := &shell{db: db, out: out}
 	return replLoop(in, out,
 		"uniqopt sqlsh — statements end with ';', \\q quits, \\load demo loads the paper schema",
 		sh.command, sh.execute)
@@ -142,8 +166,8 @@ func (sh *shell) command(cmd string) (quit bool) {
 	case "\\q", "\\quit":
 		return true
 	case "\\d":
-		for _, name := range sh.db.Store().Catalog.TableNames() {
-			t, _ := sh.db.Store().Catalog.Table(name)
+		for _, name := range sh.db.Store().Catalog().TableNames() {
+			t, _ := sh.db.Store().Catalog().Table(name)
 			st, _ := sh.db.Store().Table(name)
 			fmt.Fprintf(sh.out, "%s (%s) — %d rows\n",
 				name, strings.Join(t.ColumnNames(), ", "), st.Len())
@@ -179,6 +203,10 @@ func (sh *shell) command(cmd string) (quit bool) {
 }
 
 func (sh *shell) loadDemo() {
+	if len(sh.db.Store().Catalog().TableNames()) > 0 {
+		fmt.Fprintln(sh.out, "error: \\load demo needs an empty database (tables already defined)")
+		return
+	}
 	cfg := workload.DefaultConfig()
 	cfg.Suppliers = 25
 	cfg.PartsPerSupplier = 4
@@ -187,24 +215,25 @@ func (sh *shell) loadDemo() {
 		fmt.Fprintln(sh.out, "error:", err)
 		return
 	}
-	db := uniqopt.Open()
 	for _, ddl := range workload.BenchDDL {
-		if err := db.Exec(ddl); err != nil {
+		if err := sh.db.Exec(ddl); err != nil {
 			fmt.Fprintln(sh.out, "error:", err)
 			return
 		}
 	}
 	for _, name := range []string{"SUPPLIER", "PARTS", "AGENTS"} { // parents before FK children
 		src := fresh.MustTable(name)
-		dst := db.Store().MustTable(name)
 		for i := 0; i < src.Len(); i++ {
-			if err := dst.Insert(src.Row(i)); err != nil {
+			if err := sh.db.InsertRow(name, src.Row(i)); err != nil {
 				fmt.Fprintln(sh.out, "error:", err)
 				return
 			}
 		}
 	}
-	sh.db = db
+	if err := sh.db.Sync(); err != nil {
+		fmt.Fprintln(sh.out, "error:", err)
+		return
+	}
 	fmt.Fprintln(sh.out, "demo supplier database loaded (25 suppliers, 100 parts, 50 agents)")
 }
 
@@ -235,6 +264,20 @@ func (sh *shell) execute(stmt string) {
 			return
 		}
 		fmt.Fprintln(sh.out, "ok")
+		return
+	}
+	if strings.HasPrefix(upper, "INSERT") {
+		n, err := sh.db.ExecWith(stmt, nil)
+		if err != nil {
+			fmt.Fprintln(sh.out, "error:", err)
+			return
+		}
+		// Make the rows durable before claiming success.
+		if err := sh.db.Sync(); err != nil {
+			fmt.Fprintln(sh.out, "error:", err)
+			return
+		}
+		fmt.Fprintf(sh.out, "INSERT %d\n", n)
 		return
 	}
 	rows, err := sh.db.QueryWith(stmt, nil, !sh.baseline)
@@ -410,6 +453,10 @@ func (sh *remoteShell) execute(stmt string) {
 	}
 	if strings.HasPrefix(upper, "CREATE") {
 		fmt.Fprintf(sh.out, "ok (catalog version %d)\n", res.CatalogVersion)
+		return
+	}
+	if strings.HasPrefix(upper, "INSERT") {
+		fmt.Fprintf(sh.out, "INSERT %d\n", res.RowsAffected)
 		return
 	}
 	sh.printResult(res)

@@ -41,9 +41,8 @@ func runRemoteShell(t *testing.T, script string) string {
 	}
 	for _, name := range []string{"SUPPLIER", "PARTS", "AGENTS"} {
 		src := fresh.MustTable(name)
-		dst := db.Store().MustTable(name)
 		for i := 0; i < src.Len(); i++ {
-			if err := dst.Insert(src.Row(i)); err != nil {
+			if err := db.InsertRow(name, src.Row(i)); err != nil {
 				t.Fatal(err)
 			}
 		}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	uniqoptd [-addr :7483] [-load demo] [-streaming]
+//	uniqoptd [-addr :7483] [-data DIR] [-load demo] [-streaming]
 //	         [-max-sessions N] [-max-concurrent N]
 //	         [-session-max-rows N] [-session-mem BYTES] [-global-mem BYTES]
 //	         [-query-timeout D] [-drain-timeout D] [-expvar ADDR]
@@ -15,6 +15,15 @@
 // preloads the paper's supplier/parts/agents workload so a fresh
 // daemon has something to query. -expvar serves the process expvar
 // endpoint (including the DB metrics registry) on a second address.
+//
+// With -data DIR the database is crash-safe: every DDL statement and
+// INSERT is written to a write-ahead log in DIR and fsynced before
+// the client sees the acknowledgement. The daemon binds its listener
+// immediately and replays the log in the background; until replay
+// finishes, HELLO answers status "recovering" and every other
+// command is refused with a typed recovering error, so clients see
+// fast failures instead of connection timeouts. -load demo is
+// skipped when the directory already holds recovered tables.
 package main
 
 import (
@@ -26,6 +35,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -33,6 +43,7 @@ import (
 
 	"uniqopt"
 	"uniqopt/internal/server"
+	"uniqopt/internal/storage/wal"
 	"uniqopt/internal/workload"
 )
 
@@ -53,10 +64,16 @@ type daemonHandle struct {
 // so tests can drive a real daemon and stop it with Shutdown instead
 // of signals.
 func run(args []string, stdout, stderr io.Writer, ready chan<- daemonHandle) int {
+	// The recovery goroutine, the expvar goroutine, and the signal loop
+	// all log; os.Stdout tolerates that, but run accepts arbitrary
+	// writers (tests pass strings.Builders), so serialize explicitly.
+	stdout = &syncWriter{w: stdout}
+	stderr = &syncWriter{w: stderr}
 	fs := flag.NewFlagSet("uniqoptd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
 		addr         = fs.String("addr", ":7483", "TCP listen address")
+		data         = fs.String("data", "", "data directory for crash-safe persistence (empty = in-memory)")
 		load         = fs.String("load", "", "preload dataset: 'demo' for the paper workload")
 		streaming    = fs.Bool("streaming", false, "execute queries as batched iterator pipelines")
 		maxSessions  = fs.Int("max-sessions", 256, "max concurrent sessions (0 = unlimited)")
@@ -72,18 +89,32 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- daemonHandle) int
 		return 2
 	}
 
-	db := uniqopt.OpenWith(uniqopt.Options{Streaming: *streaming})
-	switch *load {
-	case "":
-	case "demo":
-		if err := loadDemo(db); err != nil {
-			fmt.Fprintln(stderr, "uniqoptd: load demo:", err)
-			return 1
-		}
-		fmt.Fprintln(stdout, "uniqoptd: demo supplier database loaded")
-	default:
+	if *load != "" && *load != "demo" {
 		fmt.Fprintf(stderr, "uniqoptd: unknown dataset %q (only 'demo')\n", *load)
 		return 2
+	}
+
+	dbOpts := uniqopt.Options{Streaming: *streaming}
+	var db *uniqopt.DB
+	if *data != "" {
+		// Persistent mode: open without replaying so the listener binds
+		// first; recovery runs in the background below.
+		var err error
+		db, err = uniqopt.OpenPersistentDeferred(*data, dbOpts)
+		if err != nil {
+			fmt.Fprintln(stderr, "uniqoptd: open data dir:", err)
+			return 1
+		}
+		defer db.Close()
+	} else {
+		db = uniqopt.OpenWith(dbOpts)
+		if *load == "demo" {
+			if err := loadDemo(db); err != nil {
+				fmt.Fprintln(stderr, "uniqoptd: load demo:", err)
+				return 1
+			}
+			fmt.Fprintln(stdout, "uniqoptd: demo supplier database loaded")
+		}
 	}
 
 	cfg := server.Config{
@@ -116,6 +147,47 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- daemonHandle) int
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
+
+	// In persistent mode the listener is already accepting; replay the
+	// write-ahead log in the background. Sessions arriving before it
+	// finishes get the typed recovering status, not a hung connection.
+	recoverErr := make(chan error, 1)
+	recoverDone := make(chan struct{})
+	close(recoverDone)
+	if *data != "" {
+		recoverDone = make(chan struct{})
+		// Exiting before the recovery goroutine has finished logging
+		// would close the store (and, in tests, free the output writer)
+		// under it; replay is bounded by the log on disk, so waiting is
+		// cheap. Registered after the db.Close defer so the wait happens
+		// first.
+		defer func() { <-recoverDone }()
+		go func() {
+			defer close(recoverDone)
+			if err := db.Recover(); err != nil {
+				recoverErr <- err
+				return
+			}
+			msg := "uniqoptd: recovered " + *data
+			if ws, ok := db.Backend().(*wal.Store); ok {
+				msg += " (" + ws.Stats().String() + ")"
+			}
+			fmt.Fprintln(stdout, msg)
+			if *load == "demo" && len(db.Store().Catalog().TableNames()) == 0 {
+				if err := loadDemo(db); err != nil {
+					recoverErr <- fmt.Errorf("load demo: %w", err)
+					return
+				}
+				if err := db.Sync(); err != nil {
+					recoverErr <- fmt.Errorf("load demo: %w", err)
+					return
+				}
+				fmt.Fprintln(stdout, "uniqoptd: demo supplier database loaded")
+			}
+			fmt.Fprintln(stdout, "uniqoptd: ready")
+		}()
+	}
+
 	if ready != nil {
 		ready <- daemonHandle{Srv: srv, Addr: ln.Addr().String()}
 	}
@@ -143,9 +215,32 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- daemonHandle) int
 			fmt.Fprintln(stderr, "uniqoptd: serve:", err)
 			return 1
 		}
+	case err := <-recoverErr:
+		// The data directory is unusable (corrupt frame, replay
+		// failure, unreadable files). Serving a write-refusing shell
+		// forever helps nobody; report and exit nonzero so supervisors
+		// notice.
+		fmt.Fprintln(stderr, "uniqoptd: recovery failed:", err)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		srv.Shutdown(ctx)
+		<-serveErr
+		return 1
 	}
 	fmt.Fprintln(stdout, "uniqoptd: shutdown complete")
 	return 0
+}
+
+// syncWriter serializes Write calls from the daemon's goroutines.
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
 }
 
 // loadDemo fills db with the paper's supplier workload (the same
@@ -166,9 +261,8 @@ func loadDemo(db *uniqopt.DB) error {
 	}
 	for _, name := range []string{"SUPPLIER", "PARTS", "AGENTS"} { // parents before FK children
 		src := fresh.MustTable(name)
-		dst := db.Store().MustTable(name)
 		for i := 0; i < src.Len(); i++ {
-			if err := dst.Insert(src.Row(i)); err != nil {
+			if err := db.InsertRow(name, src.Row(i)); err != nil {
 				return err
 			}
 		}

@@ -47,9 +47,8 @@ func main() {
 	}
 	for _, name := range []string{"SUPPLIER", "PARTS", "AGENTS"} { // parents before FK children
 		src := gen.MustTable(name)
-		dst := db.Store().MustTable(name)
 		for i := 0; i < src.Len(); i++ {
-			if err := dst.Insert(src.Row(i)); err != nil {
+			if err := db.InsertRow(name, src.Row(i)); err != nil {
 				log.Fatal(err)
 			}
 		}

@@ -39,7 +39,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	an := core.NewAnalyzer(rel.Catalog)
+	an := core.NewAnalyzer(rel.Catalog())
 	ap, err := an.JoinToSubquery(s)
 	if err != nil {
 		log.Fatal(err)

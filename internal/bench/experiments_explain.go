@@ -28,9 +28,8 @@ func paperDB(sc Scale) *uniqopt.DB {
 	}
 	for _, name := range []string{"SUPPLIER", "PARTS", "AGENTS"} {
 		src := fresh.MustTable(name)
-		dst := db.Store().MustTable(name)
 		for i := 0; i < src.Len(); i++ {
-			if err := dst.Insert(src.Row(i)); err != nil {
+			if err := db.InsertRow(name, src.Row(i)); err != nil {
 				panic("bench: explain load: " + err.Error())
 			}
 		}

@@ -30,9 +30,8 @@ func serverWorkloadDB(sc Scale) (*uniqopt.DB, int) {
 	}
 	for _, name := range []string{"SUPPLIER", "PARTS", "AGENTS"} { // parents before FK children
 		src := fresh.MustTable(name)
-		dst := db.Store().MustTable(name)
 		for i := 0; i < src.Len(); i++ {
-			if err := dst.Insert(src.Row(i)); err != nil {
+			if err := db.InsertRow(name, src.Row(i)); err != nil {
 				panic(fmt.Sprintf("bench: server load: %v", err))
 			}
 		}

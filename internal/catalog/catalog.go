@@ -254,6 +254,11 @@ func (t *Table) ColumnNames() []string {
 // declarations.
 type Catalog struct {
 	tables map[string]*Table
+	// order remembers definition order. Foreign keys may only
+	// reference tables that are already defined (AddForeignKey), so
+	// replaying DDL in this order is always FK-safe — the property
+	// snapshot encoding and WAL recovery depend on.
+	order []string
 	// hostDomains optionally declares the domain of a host variable as
 	// "TABLE.COLUMN" — the paper defines a host variable's domain as
 	// the intersection of the column domains it is compared with; an
@@ -275,6 +280,22 @@ func (c *Catalog) Version() uint64 { return c.version.Load() }
 // Table fields in place.
 func (c *Catalog) Bump() { c.version.Add(1) }
 
+// RestoreVersion raises the schema version to at least v. Recovery
+// uses it to restore version continuity across restarts: replaying a
+// snapshot's DDL from scratch produces fewer bumps than the original
+// history (dropped keys, host domains), so without restoration a
+// recovered catalog could report a version an old cached verdict was
+// keyed under while describing a different schema. The version only
+// moves forward — a stale v is ignored, never a rollback.
+func (c *Catalog) RestoreVersion(v uint64) {
+	for {
+		cur := c.version.Load()
+		if cur >= v || c.version.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
 // New returns an empty catalog.
 func New() *Catalog {
 	return &Catalog{
@@ -289,6 +310,7 @@ func (c *Catalog) Define(t *Table) error {
 		return fmt.Errorf("catalog: table %s already defined", t.Name)
 	}
 	c.tables[t.Name] = t
+	c.order = append(c.order, t.Name)
 	t.cat = c
 	c.Bump()
 	return nil
@@ -401,6 +423,20 @@ func (c *Catalog) TableNames() []string {
 		out = append(out, n)
 	}
 	sort.Strings(out)
+	return out
+}
+
+// DefinedTables returns the tables in definition order. Because a
+// FOREIGN KEY may only reference an already-defined table, replaying
+// each table's DDL in this order re-creates the schema without
+// forward references.
+func (c *Catalog) DefinedTables() []*Table {
+	out := make([]*Table, 0, len(c.order))
+	for _, n := range c.order {
+		if t, ok := c.tables[n]; ok {
+			out = append(out, t)
+		}
+	}
 	return out
 }
 

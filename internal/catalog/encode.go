@@ -1,0 +1,68 @@
+package catalog
+
+import (
+	"fmt"
+
+	"uniqopt/internal/sql/ast"
+	"uniqopt/internal/value"
+)
+
+// CreateAST reconstructs the canonical CREATE TABLE statement that
+// defines this table: columns in ordinal order, then keys, foreign
+// keys, and CHECK constraints in declaration order. Rendering the
+// result with its SQL() method and parsing it back through
+// DefineFromAST yields an equivalent schema, which is how snapshots
+// and the WAL persist the catalog — as replayable DDL text rather
+// than a parallel binary schema format.
+//
+// Foreign keys need the referenced table's key columns by name, so a
+// table with foreign keys must belong to a catalog (be Defined).
+func (t *Table) CreateAST() (*ast.CreateTable, error) {
+	ct := &ast.CreateTable{Name: t.Name}
+	for _, c := range t.Columns {
+		var tn ast.TypeName
+		switch c.Type {
+		case value.KindInt:
+			tn = ast.TypeInteger
+		case value.KindString:
+			tn = ast.TypeVarchar
+		case value.KindBool:
+			tn = ast.TypeBoolean
+		default:
+			return nil, fmt.Errorf("catalog: table %s: column %s has unencodable type %v", t.Name, c.Name, c.Type)
+		}
+		ct.Columns = append(ct.Columns, ast.ColumnDef{Name: c.Name, Type: tn, NotNull: c.NotNull})
+	}
+	for _, k := range t.Keys {
+		ct.Keys = append(ct.Keys, ast.KeyDef{Columns: t.KeyColumnNames(k), Primary: k.Primary})
+	}
+	for _, fk := range t.ForeignKeys {
+		if t.cat == nil {
+			return nil, fmt.Errorf("catalog: table %s: cannot encode FOREIGN KEY outside a catalog", t.Name)
+		}
+		ref, ok := t.cat.Table(fk.RefTable)
+		if !ok {
+			return nil, fmt.Errorf("catalog: table %s: FOREIGN KEY references missing table %s", t.Name, fk.RefTable)
+		}
+		if fk.RefKey < 0 || fk.RefKey >= len(ref.Keys) {
+			return nil, fmt.Errorf("catalog: table %s: FOREIGN KEY references missing key %d of %s", t.Name, fk.RefKey, fk.RefTable)
+		}
+		def := ast.ForeignKeyDef{RefTable: ref.Name, RefColumns: ref.KeyColumnNames(ref.Keys[fk.RefKey])}
+		for _, ci := range fk.Columns {
+			def.Columns = append(def.Columns, t.Columns[ci].Name)
+		}
+		ct.ForeignKeys = append(ct.ForeignKeys, def)
+	}
+	ct.Checks = append(ct.Checks, t.Checks...)
+	return ct, nil
+}
+
+// DDL renders the table's canonical CREATE TABLE text (CreateAST
+// printed back to SQL).
+func (t *Table) DDL() (string, error) {
+	ct, err := t.CreateAST()
+	if err != nil {
+		return "", err
+	}
+	return ct.SQL(), nil
+}

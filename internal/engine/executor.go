@@ -104,7 +104,7 @@ func (ex *Executor) QueryContext(ctx context.Context, q ast.Query) (rel *Relatio
 // carry the enclosing block's scope and current row bindings for
 // correlated subqueries; st receives this call's work counters.
 func (ex *Executor) execSelect(ctx context.Context, st *Stats, s *ast.Select, outer *catalog.Scope, outerCols map[string]value.Value) (*Relation, error) {
-	scope, err := catalog.NewScope(ex.DB.Catalog, s.From, outer)
+	scope, err := catalog.NewScope(ex.DB.Catalog(), s.From, outer)
 	if err != nil {
 		return nil, err
 	}

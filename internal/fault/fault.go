@@ -127,6 +127,31 @@ func Hits(name string) (hits, fires int64) {
 	return 0, 0
 }
 
+// Fires reports whether an armed point fires at this hit, without
+// producing an error or panic. It is the injection site for faults
+// whose *effect* the caller must implement itself — a short write
+// that leaves a torn frame, a bit flip that corrupts a payload —
+// where returning an error would bypass the damage being simulated.
+// Hit counting is shared with Point: the same Spec semantics (Skip,
+// Limit) select the firing site deterministically.
+func Fires(name string) bool {
+	mu.Lock()
+	defer mu.Unlock()
+	st, ok := points[name]
+	if !ok {
+		st = &state{}
+		points[name] = st
+	}
+	st.hits++
+	spec := st.spec
+	fire := spec != nil && st.hits > int64(spec.Skip) &&
+		(spec.Limit <= 0 || st.fires < int64(spec.Limit))
+	if fire {
+		st.fires++
+	}
+	return fire
+}
+
 // Point is the injection site. Unarmed (or skipped / over-limit) hits
 // return nil. An armed hit fires according to the spec's mode; firing
 // decisions happen under the lock, the delay itself outside it.

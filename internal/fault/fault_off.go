@@ -14,3 +14,6 @@ func Registered() []string { return nil }
 // Point always succeeds without the fault build tag; the call inlines
 // to nothing on hot paths.
 func Point(string) error { return nil }
+
+// Fires never fires without the fault build tag.
+func Fires(string) bool { return false }

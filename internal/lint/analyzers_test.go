@@ -174,3 +174,19 @@ func TestCtxFlowSkipsOtherPackages(t *testing.T) {
 		t.Errorf("ctxflow ran outside engine/plan: %v", fs)
 	}
 }
+
+func TestFileLifeFixture(t *testing.T) {
+	fs := checkFixture(t, "filefix/internal/storage/wal", FileLife)
+	if len(fs) != 4 {
+		t.Errorf("filelife findings = %d, want 4", len(fs))
+	}
+}
+
+func TestFileLifeSkipsOtherPackages(t *testing.T) {
+	// The analyzer is scoped to internal/storage/...; file handling
+	// elsewhere (test harnesses, benchmarks) is out of its remit.
+	fs, _ := loadFixture(t, "fix/tvlbool", FileLife)
+	if len(fs) != 0 {
+		t.Errorf("filelife ran outside internal/storage: %v", fs)
+	}
+}

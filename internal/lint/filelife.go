@@ -1,0 +1,399 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// FileLife polices the storage layer's file-descriptor and durability
+// hygiene. The write-ahead log's crash-safety argument rests on two
+// disciplines the compiler cannot check:
+//
+//  1. Every *os.File opened in internal/storage/... must be closed on
+//     every path — explicitly, via defer, or by handing ownership off
+//     (storing it in a struct, returning it, passing it to a callee
+//     whose summary retains or closes it). A descriptor that leaks on
+//     an error path exhausts the process under fault injection, and
+//     the crash-matrix tests assert zero FD leaks.
+//
+//  2. In internal/storage/wal, a raw (*os.File) write — one that
+//     bypasses the buffered writer — must reach an fsync before the
+//     function returns success. Buffered appends defer durability to
+//     the group-commit Sync barrier, but anything written straight to
+//     the descriptor (headers, snapshots, truncations) is promised
+//     durable the moment its function returns nil; skipping the fsync
+//     silently converts a durability guarantee into a hope.
+//
+// The analyzer is CFG-based and interprocedural through the unit's
+// function summaries: a helper that (transitively) reaches
+// (*os.File).Sync discharges the fsync obligation at its call site,
+// and a callee that closes or retains its parameter discharges the
+// close obligation. Error returns — a return whose final result is a
+// non-nil error expression — are exempt paths for both rules: rule 1
+// because the open's own guard returns before the descriptor is live,
+// rule 2 because a failed write must not be acknowledged at all.
+var FileLife = &Analyzer{
+	Name: "filelife",
+	Doc:  "flag storage files not closed on all paths and raw WAL file writes that can reach a success return without an fsync",
+	Run:  runFileLife,
+}
+
+// rawWriteMethods are the (*os.File) methods that move caller bytes
+// to the descriptor directly, bypassing any buffered writer.
+var rawWriteMethods = []string{"Write", "WriteString", "WriteAt", "ReadFrom"}
+
+// fileOpenFuncs are the package-os constructors whose *os.File result
+// the caller owns.
+var fileOpenFuncs = map[string]bool{"Open": true, "OpenFile": true, "Create": true, "CreateTemp": true}
+
+func runFileLife(pass *Pass) {
+	if !pkgUnder(pass.Pkg, "internal/storage") {
+		return
+	}
+	df := pass.Dataflow()
+	inWal := pkgIs(pass.Pkg, "internal/storage/wal")
+	for _, file := range pass.Files {
+		base := pass.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(base, "_test.go") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFileClosed(pass, df, fd)
+			if inWal {
+				checkRawWriteSynced(pass, df, fd)
+			}
+		}
+	}
+}
+
+// pkgUnder reports whether pkg is the repository package with the
+// given import-path suffix or any package below it. Fixture packages
+// under testdata mirror the real import paths, so containment
+// matching works for both.
+func pkgUnder(pkg *types.Package, suffix string) bool {
+	if pkg == nil {
+		return false
+	}
+	p := pkg.Path()
+	return p == suffix || strings.HasSuffix(p, "/"+suffix) ||
+		strings.Contains(p, "/"+suffix+"/") || strings.HasPrefix(p, suffix+"/")
+}
+
+// isOSFileType reports whether t (after pointer indirection) is the
+// standard library's os.File.
+func isOSFileType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "File" && obj.Pkg() != nil && obj.Pkg().Path() == "os"
+}
+
+// isOSFileMethod reports whether call invokes one of the named
+// methods on an *os.File receiver.
+func isOSFileMethod(info *types.Info, call *ast.CallExpr, names ...string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	match := false
+	for _, n := range names {
+		if sel.Sel.Name == n {
+			match = true
+			break
+		}
+	}
+	if !match {
+		return false
+	}
+	s, ok := info.Selections[sel]
+	if !ok {
+		return false
+	}
+	return isOSFileType(s.Recv())
+}
+
+// isFileOpenCall reports whether call is os.Open / os.OpenFile /
+// os.Create / os.CreateTemp.
+func isFileOpenCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !fileOpenFuncs[sel.Sel.Name] {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "os"
+}
+
+// isFailureReturn classifies a return statement: a final result that
+// is an error-typed expression other than the nil literal is a
+// failure return, exempt from both obligations on its path. Naked
+// returns, returns without an error slot, and `return ..., nil` are
+// success returns.
+func isFailureReturn(info *types.Info, ret *ast.ReturnStmt) bool {
+	if len(ret.Results) == 0 {
+		return false
+	}
+	last := ret.Results[len(ret.Results)-1]
+	if id, ok := ast.Unparen(last).(*ast.Ident); ok && id.Name == "nil" {
+		return false
+	}
+	t := info.TypeOf(last)
+	return t != nil && isErrorType(t)
+}
+
+// fileAcq is one tracked acquisition: the variable bound to the
+// opened file and the CFG block the open executes in.
+type fileAcq struct {
+	id    *ast.Ident
+	obj   *types.Var
+	block *Block
+}
+
+// checkFileClosed flags rule 1: an opened *os.File whose function
+// exit is reachable without the descriptor being closed or handed
+// off.
+func checkFileClosed(pass *Pass, df *Analysis, fd *ast.FuncDecl) {
+	info := pass.Info
+	cfg := df.CFGFor(fd.Body)
+
+	// Collect acquisitions: `f, err := os.Open(...)` in any
+	// assignment form whose call is a file constructor. Blocks are
+	// walked in index order so findings are deterministic.
+	var acqs []fileAcq
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Rhs) != 1 {
+				continue
+			}
+			call, ok := as.Rhs[0].(*ast.CallExpr)
+			if !ok || !isFileOpenCall(info, call) {
+				continue
+			}
+			acq := fileAcq{block: b}
+			for _, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				if obj := objOf(info, id); obj != nil && isOSFileType(obj.Type()) {
+					acq.id, acq.obj = id, obj
+				}
+			}
+			if acq.obj != nil {
+				acqs = append(acqs, acq)
+			}
+		}
+	}
+	if len(acqs) == 0 {
+		return
+	}
+
+	// Global discharges: a deferred close (the defer runs on every
+	// exit) or a close inside a function literal (the closure is the
+	// function's own cleanup helper; its call sites are its business).
+	globallyDone := make(map[*types.Var]bool)
+	closeTarget := func(call *ast.CallExpr) *types.Var {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Close" {
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+				return objOf(info, id)
+			}
+		}
+		return nil
+	}
+	for _, d := range cfg.Defers {
+		if obj := closeTarget(d.Call); obj != nil {
+			globallyDone[obj] = true
+		}
+		// defer of an in-package helper that closes its argument.
+		if sum := df.CallSummary(d.Call); sum != nil {
+			for j, arg := range d.Call.Args {
+				if j >= len(sum.ClosesParam) || !sum.ClosesParam[j] {
+					continue
+				}
+				if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+					if obj := objOf(info, id); obj != nil {
+						globallyDone[obj] = true
+					}
+				}
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		fl, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(fl.Body, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				if obj := closeTarget(call); obj != nil {
+					globallyDone[obj] = true
+				}
+			}
+			return true
+		})
+		return false
+	})
+
+	for _, acq := range acqs {
+		if globallyDone[acq.obj] {
+			continue
+		}
+		// discharged reports whether block b closes the file or hands
+		// its ownership off; failure returns guard the not-yet-open
+		// error path and excuse it.
+		discharged := func(b *Block) bool {
+			found := false
+			for _, n := range b.Nodes {
+				InspectNode(n, func(x ast.Node) bool {
+					switch y := x.(type) {
+					case *ast.CallExpr:
+						if closeTarget(y) == acq.obj {
+							found = true
+						}
+						sum := df.CallSummary(y)
+						for j, arg := range y.Args {
+							id, ok := ast.Unparen(arg).(*ast.Ident)
+							if !ok || objOf(info, id) != acq.obj {
+								continue
+							}
+							// Unknown callee: may retain — conservative
+							// handoff. Known callee: a borrow (neither
+							// closes nor retains) keeps the obligation
+							// here.
+							if sum == nil || j >= len(sum.ClosesParam) ||
+								sum.ClosesParam[j] || sum.RetainsParam[j] {
+								found = true
+							}
+						}
+					case *ast.ReturnStmt:
+						if isFailureReturn(info, y) {
+							found = true
+						}
+						for _, r := range y.Results {
+							if id, ok := ast.Unparen(r).(*ast.Ident); ok && objOf(info, id) == acq.obj {
+								found = true
+							}
+						}
+					case *ast.AssignStmt:
+						if y.Tok.String() == ":=" {
+							break
+						}
+						for _, rhs := range y.Rhs {
+							if id, ok := ast.Unparen(rhs).(*ast.Ident); ok && objOf(info, id) == acq.obj {
+								found = true
+							}
+						}
+					case *ast.CompositeLit:
+						for _, el := range y.Elts {
+							v := el
+							if kv, ok := el.(*ast.KeyValueExpr); ok {
+								v = kv.Value
+							}
+							if id, ok := ast.Unparen(v).(*ast.Ident); ok && objOf(info, id) == acq.obj {
+								found = true
+							}
+						}
+					case *ast.SendStmt:
+						if id, ok := ast.Unparen(y.Value).(*ast.Ident); ok && objOf(info, id) == acq.obj {
+							found = true
+						}
+					}
+					return !found
+				})
+				if found {
+					return true
+				}
+			}
+			return false
+		}
+		// The acquisition block itself counts: a discharge in the same
+		// straight-line run (close, return f, store) covers it.
+		if !cfg.ReachesWithout(acq.block, cfg.Exit, discharged) {
+			continue
+		}
+		pass.Report(acq.id.Pos(),
+			"file %s opened here can reach function exit without being closed; close it on every path (or defer %s.Close(), or hand ownership off) — leaked descriptors fail the crash matrix",
+			acq.id.Name, acq.id.Name)
+	}
+}
+
+// checkRawWriteSynced flags rule 2: a direct (*os.File) write that
+// can reach a success return without an intervening fsync.
+func checkRawWriteSynced(pass *Pass, df *Analysis, fd *ast.FuncDecl) {
+	info := pass.Info
+	cfg := df.CFGFor(fd.Body)
+
+	// A deferred (transitive) sync runs between every return and the
+	// actual exit, covering all paths.
+	for _, d := range cfg.Defers {
+		if df.SyncsFile(d.Call) {
+			return
+		}
+	}
+
+	// Locate raw writes block-by-block (InspectNode keeps closures
+	// out: a literal's body is its own function).
+	type rawWrite struct {
+		call  *ast.CallExpr
+		block *Block
+	}
+	var writes []rawWrite
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			InspectNode(n, func(x ast.Node) bool {
+				if call, ok := x.(*ast.CallExpr); ok && isOSFileMethod(info, call, rawWriteMethods...) {
+					writes = append(writes, rawWrite{call: call, block: b})
+				}
+				return true
+			})
+		}
+	}
+	if len(writes) == 0 {
+		return
+	}
+
+	// synced reports whether block b fsyncs (directly or through an
+	// in-package helper) or is a failure return — a path that refuses
+	// the write cannot be acknowledging it.
+	synced := func(b *Block) bool {
+		found := false
+		for _, n := range b.Nodes {
+			InspectNode(n, func(x ast.Node) bool {
+				if call, ok := x.(*ast.CallExpr); ok && df.SyncsFile(call) {
+					found = true
+				}
+				if ret, ok := x.(*ast.ReturnStmt); ok && isFailureReturn(info, ret) {
+					found = true
+				}
+				return !found
+			})
+			if found {
+				return true
+			}
+		}
+		return false
+	}
+	for _, w := range writes {
+		if !cfg.ReachesWithout(w.block, cfg.Exit, synced) {
+			continue
+		}
+		pass.Report(w.call.Pos(),
+			"raw *os.File write can reach a success return without an fsync; bytes written past the buffer are promised durable when this function returns nil — Sync before returning success")
+	}
+}

@@ -24,6 +24,7 @@ var analyzerFixtures = map[string]string{
 	"iterstate":   "statefix/internal/engine",
 	"batchlife":   "batchfix/internal/engine",
 	"partroute":   "partfix/internal/engine",
+	"filelife":    "filefix/internal/storage/wal",
 	"allowstale":  "fix/stale",
 }
 

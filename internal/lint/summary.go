@@ -53,6 +53,12 @@ type FuncSummary struct {
 	// ReleasesGov is true when the function transitively reaches
 	// Governor.Release.
 	ReleasesGov bool
+	// WritesFile / SyncsFile: the function transitively performs a raw
+	// (*os.File).Write*/ReadFrom, or reaches (*os.File).Sync. The
+	// filelife analyzer uses these to prove write-then-fsync pairing
+	// through in-package helpers.
+	WritesFile bool
+	SyncsFile  bool
 }
 
 // paramIndex returns the index of obj among the summary's parameters,
@@ -182,6 +188,17 @@ func (a *Analysis) ReleasesGovernor(call *ast.CallExpr) bool {
 	return sum != nil && sum.ReleasesGov
 }
 
+// SyncsFile reports whether a call site (transitively) reaches an
+// (*os.File).Sync: a direct f.Sync(), or a call to an in-package
+// function whose summary syncs.
+func (a *Analysis) SyncsFile(call *ast.CallExpr) bool {
+	if isOSFileMethod(a.Info, call, "Sync") {
+		return true
+	}
+	sum := a.CallSummary(call)
+	return sum != nil && sum.SyncsFile
+}
+
 // paramEdge records that caller's parameter i flows into callee's
 // parameter j (plain-identifier argument binding), so callee effects
 // on j propagate to i.
@@ -227,6 +244,8 @@ func (a *Analysis) computeSummaries() {
 			}
 			or(&cs.ChargesGov, ce.ChargesGov)
 			or(&cs.ReleasesGov, ce.ReleasesGov)
+			or(&cs.WritesFile, ce.WritesFile)
+			or(&cs.SyncsFile, ce.SyncsFile)
 		}
 		for _, e := range paramEdges {
 			cs, ce := a.summaries[e.caller], a.summaries[e.callee]
@@ -297,6 +316,12 @@ func (a *Analysis) directFacts(fn *types.Func, fd *ast.FuncDecl,
 			}
 			if a.isGovernorMethod(x, "Release") {
 				sum.ReleasesGov = true
+			}
+			if isOSFileMethod(a.Info, x, rawWriteMethods...) {
+				sum.WritesFile = true
+			}
+			if isOSFileMethod(a.Info, x, "Sync") {
+				sum.SyncsFile = true
 			}
 			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Close" {
 				if i := paramOf(sel.X); i >= 0 {

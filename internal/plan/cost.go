@@ -52,7 +52,7 @@ func EstimateCost(db *storage.DB, q ast.Query) (float64, error) {
 
 // estimateSelect returns (cost, output cardinality estimate).
 func estimateSelect(db *storage.DB, s *ast.Select, outer *catalog.Scope) (float64, float64, error) {
-	scope, err := catalog.NewScope(db.Catalog, s.From, outer)
+	scope, err := catalog.NewScope(db.Catalog(), s.From, outer)
 	if err != nil {
 		return 0, 0, err
 	}

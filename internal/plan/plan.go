@@ -102,7 +102,7 @@ type Planner struct {
 func NewPlanner(db *storage.DB, opts Options) *Planner {
 	return &Planner{
 		DB:   db,
-		An:   &core.Analyzer{Cat: db.Catalog, Opts: opts.Core, Cache: opts.Cache},
+		An:   &core.Analyzer{Cat: db.Catalog(), Opts: opts.Core, Cache: opts.Cache},
 		Opts: opts,
 	}
 }
@@ -317,7 +317,7 @@ type joinStep struct {
 // planSelect makes every planning decision for one query
 // specification without executing anything.
 func (p *Planner) planSelect(s *ast.Select, hosts map[string]value.Value) (*selectPlan, error) {
-	scope, err := catalog.NewScope(p.DB.Catalog, s.From, nil)
+	scope, err := catalog.NewScope(p.DB.Catalog(), s.From, nil)
 	if err != nil {
 		return nil, err
 	}

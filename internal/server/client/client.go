@@ -16,8 +16,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"syscall"
+	"time"
 
 	"uniqopt"
 	"uniqopt/internal/server"
@@ -36,6 +39,10 @@ type ServerInfo struct {
 	Proto   int
 	Server  string
 	Session uint64
+	// Status is "ready", or "recovering" while the server replays its
+	// write-ahead log (every command but HELLO/CLOSE is refused with
+	// CodeRecovering until it turns ready).
+	Status string
 	// Tables is the catalog's sorted table list at HELLO time.
 	Tables []string
 	// MaxRows / MemBudget are the granted per-query budgets.
@@ -57,6 +64,9 @@ type Result struct {
 	// Reprepared reports (on Exec) that the schema changed since
 	// Prepare and the statement was re-validated under the new one.
 	Reprepared bool
+	// RowsAffected counts tuples written by an INSERT; the server
+	// fsyncs them to its write-ahead log before acknowledging.
+	RowsAffected int64
 }
 
 // RemoteError is a server-reported failure. Code is one of the
@@ -114,6 +124,42 @@ func DialOptions(addr string, opts Options) (*Client, error) {
 	return c, nil
 }
 
+// dialRetryAttempts is how many connection attempts DialRetry makes
+// before giving up.
+const dialRetryAttempts = 3
+
+// DialRetry is DialOptions with transient-failure tolerance: a dial
+// that fails with a network error (connection refused while the
+// server is still binding, a reset, a timeout) is retried up to
+// three times with capped, jittered backoff. Non-network failures —
+// a bad address, a protocol-version mismatch, a server that answers
+// and refuses — are returned immediately; retrying cannot fix them.
+func DialRetry(addr string, opts Options) (*Client, error) {
+	backoff := 50 * time.Millisecond
+	const capped = 500 * time.Millisecond
+	var lastErr error
+	for attempt := 0; attempt < dialRetryAttempts; attempt++ {
+		if attempt > 0 {
+			// Full jitter over the current backoff window, so a herd of
+			// clients restarting against one server spreads out.
+			time.Sleep(time.Duration(rand.Int63n(int64(backoff))) + backoff/2)
+			if backoff *= 2; backoff > capped {
+				backoff = capped
+			}
+		}
+		c, err := DialOptions(addr, opts)
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+		var ne net.Error
+		if !errors.As(err, &ne) && !errors.Is(err, syscall.ECONNREFUSED) && !errors.Is(err, syscall.ECONNRESET) {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("client: %d dial attempts failed: %w", dialRetryAttempts, lastErr)
+}
+
 // Info reports the session's HELLO result.
 func (c *Client) Info() ServerInfo { return c.info }
 
@@ -134,6 +180,7 @@ func (c *Client) hello(opts Options) (*ServerInfo, error) {
 		Proto:          resp.Proto,
 		Server:         resp.Server,
 		Session:        resp.Session,
+		Status:         resp.Status,
 		Tables:         resp.Tables,
 		MaxRows:        resp.MaxRows,
 		MemBudget:      resp.MemBudget,
@@ -270,6 +317,7 @@ func toResult(resp *server.Response) (*Result, error) {
 		Rewrites:       resp.Rewrite,
 		CatalogVersion: resp.CatalogVersion,
 		Reprepared:     resp.Reprepared,
+		RowsAffected:   resp.RowsAffected,
 	}
 	out.Rows = make([][]any, len(resp.Rows))
 	for i, row := range resp.Rows {

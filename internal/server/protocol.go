@@ -8,10 +8,12 @@
 // Commands:
 //
 //	HELLO    open the session: negotiate budgets, learn the catalog
-//	         version and table list
+//	         version, table list, and readiness status ("recovering"
+//	         while the server replays its write-ahead log)
 //	PREPARE  validate a statement and bind it to a name in the session
 //	EXEC     run a prepared statement with :NAME host-variable bindings
-//	QUERY    run a one-shot statement (CREATE TABLE or a query)
+//	QUERY    run a one-shot statement (CREATE TABLE, INSERT, or a
+//	         query); INSERT is acknowledged only after fsync
 //	EXPLAIN  plan (or with Analyze execute) a query and return the
 //	         plan tree text and the uniqueness provenance trace
 //	CLOSE    end the session
@@ -100,6 +102,10 @@ const (
 	// CodeUnknownStmt: EXEC named a statement this session never
 	// prepared.
 	CodeUnknownStmt = "unknown_statement"
+	// CodeRecovering: the server is still replaying its write-ahead
+	// log; HELLO and CLOSE work, everything else is refused until
+	// recovery completes. Clients should back off and retry.
+	CodeRecovering = "recovering"
 	// CodeProtocol: malformed frame or unsupported command.
 	CodeProtocol = "protocol"
 )
@@ -131,6 +137,9 @@ type Response struct {
 	Proto   int    `json:"proto,omitempty"`
 	Server  string `json:"server,omitempty"`
 	Session uint64 `json:"session,omitempty"`
+	// Status is "ready", or "recovering" while the server replays its
+	// write-ahead log (writes and queries are refused until ready).
+	Status string `json:"status,omitempty"`
 	// Tables is the sorted table list at HELLO time.
 	Tables []string `json:"tables,omitempty"`
 	// MaxRows/MemBudget echo the granted (possibly clamped) budgets.
@@ -141,6 +150,9 @@ type Response struct {
 	Columns []string      `json:"columns,omitempty"`
 	Rows    [][]any       `json:"rows,omitempty"`
 	Rewrite []WireRewrite `json:"rewrites,omitempty"`
+	// RowsAffected counts tuples written by an INSERT. The response is
+	// sent only after the rows are fsynced to the write-ahead log.
+	RowsAffected int64 `json:"rows_affected,omitempty"`
 
 	// CatalogVersion is the schema version the statement ran against
 	// (or, for DDL, the version it produced). A session can detect

@@ -35,6 +35,7 @@ import (
 
 	"uniqopt"
 	"uniqopt/internal/metrics"
+	"uniqopt/internal/storage"
 )
 
 // Config tunes a Server. The zero value means "no limit" for every
@@ -265,6 +266,19 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-done
 	}
 
+	// Every acknowledged write is already fsynced, but a final sync
+	// flushes anything loaders wrote through the embedded API before
+	// the process exits. It must happen after the drain (no writer is
+	// mid-append) and before the connections are severed.
+	// ErrClosed means the store's owner already closed it (Close
+	// flushes and fsyncs), which races benignly with Shutdown when the
+	// daemon's serve loop returns as the listeners close.
+	if !s.db.Recovering() {
+		if serr := s.db.Sync(); serr != nil && !errors.Is(serr, storage.ErrClosed) && err == nil {
+			err = serr
+		}
+	}
+
 	// All responses are written; sever the connections so sessions
 	// blocked reading the next request exit.
 	s.mu.Lock()
@@ -323,10 +337,17 @@ func wireError(err error) *WireError {
 		// the operator and the panic value.
 		return &WireError{Code: CodeInternal, Msg: ie.Error()}
 	}
+	if errors.Is(err, storage.ErrRecovering) {
+		return recoveringError()
+	}
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return &WireError{Code: CodeCancelled, Msg: err.Error()}
 	}
 	return &WireError{Code: CodeSQL, Msg: err.Error()}
+}
+
+func recoveringError() *WireError {
+	return &WireError{Code: CodeRecovering, Msg: "server: recovering; replaying the write-ahead log — retry shortly"}
 }
 
 // errorResponse builds a failed Response for request id.

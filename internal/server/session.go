@@ -23,6 +23,9 @@ import (
 type preparedStmt struct {
 	sql        string
 	catVersion uint64
+	// insert marks an INSERT statement, which EXEC routes through the
+	// durable write path instead of the query engine.
+	insert bool
 }
 
 // session is one connection's state. All fields are owned by the
@@ -96,6 +99,13 @@ func (sess *session) write(resp *Response) bool {
 // handle dispatches one request; closing is true when the session
 // should end after the response is written.
 func (sess *session) handle(req *Request) (resp *Response, closing bool) {
+	// While the write-ahead log is replaying, the heap is visibly
+	// partial: only HELLO (which reports the recovering status) and
+	// CLOSE are served; everything else gets a typed refusal so
+	// clients can back off and retry instead of reading bad state.
+	if sess.srv.db.Recovering() && req.Cmd != CmdHello && req.Cmd != CmdClose {
+		return errorResponse(req.ID, recoveringError()), false
+	}
 	switch req.Cmd {
 	case CmdHello:
 		return sess.hello(req), false
@@ -134,12 +144,16 @@ func (sess *session) grantBudgets(maxRows, memBudget int64) {
 // protocol version, catalog version, and sorted table list.
 func (sess *session) hello(req *Request) *Response {
 	sess.grantBudgets(req.MaxRows, req.MemBudget)
-	cat := sess.srv.db.Store().Catalog
+	cat := sess.srv.db.Store().Catalog()
 	tables := cat.TableNames()
 	sort.Strings(tables)
 	name := sess.srv.cfg.Name
 	if name == "" {
 		name = "uniqoptd"
+	}
+	status := "ready"
+	if sess.srv.db.Recovering() {
+		status = "recovering"
 	}
 	return &Response{
 		ID:             req.ID,
@@ -147,6 +161,7 @@ func (sess *session) hello(req *Request) *Response {
 		Proto:          ProtocolVersion,
 		Server:         name,
 		Session:        sess.id,
+		Status:         status,
 		Tables:         tables,
 		MaxRows:        sess.grantedMaxRows,
 		MemBudget:      sess.grantedMem,
@@ -154,21 +169,27 @@ func (sess *session) hello(req *Request) *Response {
 	}
 }
 
-// prepare validates the statement (it must parse as a query) and
-// binds it to a name in this session. Re-preparing a name replaces
-// it, like DEALLOCATE + PREPARE.
+// prepare validates the statement (a query or an INSERT) and binds
+// it to a name in this session. Re-preparing a name replaces it,
+// like DEALLOCATE + PREPARE.
 func (sess *session) prepare(req *Request) *Response {
 	if req.Name == "" {
 		return errorResponse(req.ID, protocolError("PREPARE requires a statement name"))
 	}
-	if _, err := parser.ParseQuery(req.SQL); err != nil {
+	st, err := parser.ParseStatement(req.SQL)
+	if err != nil {
 		return errorResponse(req.ID, &WireError{Code: CodeParse, Msg: err.Error()})
+	}
+	_, isInsert := st.(*ast.Insert)
+	if _, isDDL := st.(*ast.CreateTable); isDDL {
+		return errorResponse(req.ID, protocolError("PREPARE accepts queries and INSERT, not DDL"))
 	}
 	sess.prepared[req.Name] = &preparedStmt{
 		sql:        req.SQL,
-		catVersion: sess.srv.db.Store().Catalog.Version(),
+		catVersion: sess.srv.db.Store().Catalog().Version(),
+		insert:     isInsert,
 	}
-	return &Response{ID: req.ID, OK: true, CatalogVersion: sess.srv.db.Store().Catalog.Version()}
+	return &Response{ID: req.ID, OK: true, CatalogVersion: sess.srv.db.Store().Catalog().Version()}
 }
 
 // exec runs a prepared statement with the request's host-variable
@@ -181,7 +202,12 @@ func (sess *session) exec(req *Request) *Response {
 			Msg:  fmt.Sprintf("server: no prepared statement %q in this session", req.Name),
 		})
 	}
-	resp := sess.runQuery(req, ps.sql)
+	var resp *Response
+	if ps.insert {
+		resp = sess.runInsert(req, ps.sql)
+	} else {
+		resp = sess.runQuery(req, ps.sql)
+	}
 	if resp.OK && resp.CatalogVersion != ps.catVersion {
 		// The schema moved underneath the statement since it was
 		// prepared (or last executed). Execution already re-validated
@@ -194,16 +220,19 @@ func (sess *session) exec(req *Request) *Response {
 	return resp
 }
 
-// query runs a one-shot statement: CREATE TABLE takes the DDL path
-// (exclusive against in-flight queries), anything else executes as a
-// query.
+// query runs a one-shot statement: CREATE TABLE and INSERT take the
+// write path (exclusive against in-flight queries, fsynced before
+// the acknowledgement), anything else executes as a query.
 func (sess *session) query(req *Request) *Response {
 	st, err := parser.ParseStatement(req.SQL)
 	if err != nil {
 		return errorResponse(req.ID, &WireError{Code: CodeParse, Msg: err.Error()})
 	}
-	if _, isDDL := st.(*ast.CreateTable); isDDL {
+	switch st.(type) {
+	case *ast.CreateTable:
 		return sess.runDDL(req)
+	case *ast.Insert:
+		return sess.runInsert(req, req.SQL)
 	}
 	return sess.runQuery(req, req.SQL)
 }
@@ -219,7 +248,36 @@ func (sess *session) runDDL(req *Request) *Response {
 	if err := srv.db.Exec(req.SQL); err != nil {
 		return errorResponse(req.ID, &WireError{Code: CodeSQL, Msg: err.Error()})
 	}
-	return &Response{ID: req.ID, OK: true, CatalogVersion: srv.db.Store().Catalog.Version()}
+	return &Response{ID: req.ID, OK: true, CatalogVersion: srv.db.Store().Catalog().Version()}
+}
+
+// runInsert applies an INSERT under the write side of the snapshot
+// lock (it mutates tables concurrent queries are scanning) and syncs
+// the write-ahead log before responding: by the time the client sees
+// OK, the rows survive kill -9.
+func (sess *session) runInsert(req *Request, sql string) *Response {
+	srv := sess.srv
+	hosts, err := decodeArgs(req.Args)
+	if err != nil {
+		return errorResponse(req.ID, protocolError("%v", err))
+	}
+	srv.ddlMu.Lock()
+	defer srv.ddlMu.Unlock()
+	n, err := srv.db.ExecWith(sql, hosts)
+	if err != nil {
+		return errorResponse(req.ID, wireError(err))
+	}
+	// The fsync ack: group commit happens naturally when concurrent
+	// sessions' appends land between two syncs.
+	if err := srv.db.Sync(); err != nil {
+		return errorResponse(req.ID, wireError(err))
+	}
+	return &Response{
+		ID:             req.ID,
+		OK:             true,
+		RowsAffected:   n,
+		CatalogVersion: srv.db.Store().Catalog().Version(),
+	}
 }
 
 // runQuery executes sql under admission control and the read side of
@@ -246,7 +304,7 @@ func (sess *session) runQuery(req *Request, sql string) *Response {
 	// query ran under, start to finish.
 	srv.ddlMu.RLock()
 	defer srv.ddlMu.RUnlock()
-	catVersion := srv.db.Store().Catalog.Version()
+	catVersion := srv.db.Store().Catalog().Version()
 
 	ctx, cancel := srv.queryCtx()
 	defer cancel()
@@ -286,7 +344,7 @@ func (sess *session) explain(req *Request) *Response {
 	}
 	srv.ddlMu.RLock()
 	defer srv.ddlMu.RUnlock()
-	catVersion := srv.db.Store().Catalog.Version()
+	catVersion := srv.db.Store().Catalog().Version()
 
 	ctx, cancel := srv.queryCtx()
 	defer cancel()

@@ -330,7 +330,17 @@ type CreateTable struct {
 	Checks      []Expr
 }
 
-// Statement is a top-level SQL statement: a Query or a CreateTable.
+// Insert is an INSERT INTO … VALUES statement. Each row supplies one
+// value per table column in ordinal order; values are literals or
+// host variables (:NAME), never expressions — the storage layer, not
+// the query engine, consumes them.
+type Insert struct {
+	Table string
+	Rows  [][]Expr
+}
+
+// Statement is a top-level SQL statement: a Query, a CreateTable, or
+// an Insert.
 type Statement interface {
 	Node
 	stmtNode()
@@ -339,3 +349,4 @@ type Statement interface {
 func (*Select) stmtNode()      {}
 func (*SetOp) stmtNode()       {}
 func (*CreateTable) stmtNode() {}
+func (*Insert) stmtNode()      {}

@@ -237,3 +237,23 @@ func (c *CreateTable) SQL() string {
 	sb.WriteString(")")
 	return sb.String()
 }
+
+// SQL renders the INSERT statement.
+func (ins *Insert) SQL() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "INSERT INTO %s VALUES ", ins.Table)
+	for i, row := range ins.Rows {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString("(")
+		for j, v := range row {
+			if j > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(v.SQL())
+		}
+		sb.WriteString(")")
+	}
+	return sb.String()
+}

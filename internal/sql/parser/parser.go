@@ -152,11 +152,13 @@ func (p *parser) ident() (string, error) {
 	return t.Text, nil
 }
 
-// statement parses a query or CREATE TABLE.
+// statement parses a query, CREATE TABLE, or INSERT.
 func (p *parser) statement() (ast.Statement, error) {
 	switch p.cur().Kind {
 	case token.KwCreate:
 		return p.createTable()
+	case token.KwInsert:
+		return p.insertStmt()
 	case token.KwSelect:
 		q, err := p.queryExpr()
 		if err != nil {
@@ -164,7 +166,83 @@ func (p *parser) statement() (ast.Statement, error) {
 		}
 		return q.(ast.Statement), nil
 	default:
-		return nil, p.errorf("expected SELECT or CREATE, found %s", p.cur())
+		return nil, p.errorf("expected SELECT, CREATE, or INSERT, found %s", p.cur())
+	}
+}
+
+// insertStmt parses INSERT INTO table VALUES (v, …) [, (v, …)]….
+// Values are literals or host variables; general expressions are not
+// part of the subset.
+func (p *parser) insertStmt() (*ast.Insert, error) {
+	if err := p.expect(token.KwInsert); err != nil {
+		return nil, err
+	}
+	if err := p.expect(token.KwInto); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(token.KwValues); err != nil {
+		return nil, err
+	}
+	ins := &ast.Insert{Table: name}
+	for {
+		if err := p.expect(token.LParen); err != nil {
+			return nil, err
+		}
+		var row []ast.Expr
+		for {
+			v, err := p.insertValue()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+			if !p.accept(token.Comma) {
+				break
+			}
+		}
+		if err := p.expect(token.RParen); err != nil {
+			return nil, err
+		}
+		ins.Rows = append(ins.Rows, row)
+		if !p.accept(token.Comma) {
+			break
+		}
+	}
+	return ins, nil
+}
+
+// insertValue parses one VALUES element: an integer, string, or
+// boolean literal, NULL, or a host variable.
+func (p *parser) insertValue() (ast.Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case token.Number:
+		p.pos++
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, &Error{Pos: t.Pos, Msg: "integer literal out of range"}
+		}
+		return &ast.IntLit{V: v}, nil
+	case token.String:
+		p.pos++
+		return &ast.StringLit{V: t.Text}, nil
+	case token.KwTrue:
+		p.pos++
+		return &ast.BoolLit{V: true}, nil
+	case token.KwFalse:
+		p.pos++
+		return &ast.BoolLit{V: false}, nil
+	case token.KwNull:
+		p.pos++
+		return &ast.NullLit{}, nil
+	case token.HostVar:
+		p.pos++
+		return &ast.HostVar{Name: t.Text, Pos: t.Pos}, nil
+	default:
+		return nil, p.errorf("expected a literal, NULL, or host variable, found %s", t)
 	}
 }
 

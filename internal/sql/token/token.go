@@ -63,6 +63,9 @@ const (
 	KwVarchar
 	KwBoolean
 	KwAs
+	KwInsert
+	KwInto
+	KwValues
 )
 
 var kindNames = map[Kind]string{
@@ -79,7 +82,7 @@ var kindNames = map[Kind]string{
 	KwUnique: "UNIQUE", KwCheck: "CHECK", KwConstraint: "CONSTRAINT",
 	KwForeign: "FOREIGN", KwReferences: "REFERENCES",
 	KwInteger: "INTEGER", KwVarchar: "VARCHAR", KwBoolean: "BOOLEAN",
-	KwAs: "AS",
+	KwAs: "AS", KwInsert: "INSERT", KwInto: "INTO", KwValues: "VALUES",
 }
 
 // String returns a human-readable name for k.
@@ -103,6 +106,7 @@ var Keywords = map[string]Kind{
 	"FOREIGN":    KwForeign, "REFERENCES": KwReferences,
 	"INTEGER": KwInteger, "INT": KwInteger, "VARCHAR": KwVarchar,
 	"CHAR": KwVarchar, "BOOLEAN": KwBoolean, "AS": KwAs,
+	"INSERT": KwInsert, "INTO": KwInto, "VALUES": KwValues,
 }
 
 // Pos is a 1-based source position.

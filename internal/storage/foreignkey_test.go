@@ -64,7 +64,7 @@ func TestFKStandaloneTableUnenforced(t *testing.T) {
 	// Tables created outside a DB have no sibling access and skip FK
 	// checks — documented behavior for loaders and unit fixtures.
 	db := fkDB(t)
-	schema, _ := db.Catalog.Table("PARTS")
+	schema, _ := db.Catalog().Table("PARTS")
 	solo := NewTable(schema)
 	if err := solo.Insert(value.Row{value.Int(77), value.Int(1), value.String_("RED")}); err != nil {
 		t.Errorf("standalone table should not enforce FKs: %v", err)

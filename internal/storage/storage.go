@@ -197,16 +197,21 @@ func (t *Table) Truncate() {
 	}
 }
 
-// DB is a collection of stored tables over a catalog.
+// DB is a collection of stored tables over a catalog. It is the
+// in-memory Store: writes apply directly to the heap and durability
+// calls are no-ops.
 type DB struct {
-	Catalog *catalog.Catalog
-	tables  map[string]*Table
+	cat    *catalog.Catalog
+	tables map[string]*Table
 }
+
+// Catalog returns the schema catalog the database stores rows for.
+func (db *DB) Catalog() *catalog.Catalog { return db.cat }
 
 // NewDB creates an empty database over cat. A stored table is created
 // for every table currently in the catalog.
 func NewDB(cat *catalog.Catalog) *DB {
-	db := &DB{Catalog: cat, tables: make(map[string]*Table)}
+	db := &DB{cat: cat, tables: make(map[string]*Table)}
 	for _, name := range cat.TableNames() {
 		schema, _ := cat.Table(name)
 		t := NewTable(schema)
@@ -220,7 +225,7 @@ func NewDB(cat *catalog.Catalog) *DB {
 // the catalog after the DB was opened. It is a no-op if the table is
 // already attached.
 func (db *DB) AttachTable(schema *catalog.Table) error {
-	if _, ok := db.Catalog.Table(schema.Name); !ok {
+	if _, ok := db.cat.Table(schema.Name); !ok {
 		return fmt.Errorf("storage: schema %s is not in the catalog", schema.Name)
 	}
 	if _, exists := db.tables[schema.Name]; exists {

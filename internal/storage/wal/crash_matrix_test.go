@@ -1,0 +1,190 @@
+//go:build fault
+
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"uniqopt/internal/fault"
+	"uniqopt/internal/storage"
+	"uniqopt/internal/testleak"
+	"uniqopt/internal/value"
+)
+
+// countFDs reports the process's open file descriptors (Linux); -1
+// where /proc is unavailable.
+func countFDs() int {
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return -1
+	}
+	return len(ents)
+}
+
+// crashWorkload drives a scripted write sequence against a store in
+// dir with a fault armed, recording which row ids were acknowledged
+// (covered by a successful Sync). It stops at the first wedging
+// failure, exactly like a server would.
+func crashWorkload(t *testing.T, dir string) (acked []int64, inserted []int64) {
+	t.Helper()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer s.Close()
+	if err := s.Recover(); err != nil {
+		// The armed fault hit the initial-open path (log creation or
+		// the empty first snapshot); nothing was promised.
+		return nil, nil
+	}
+	ct, err := parseCreate(testDDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ApplyDDL(testDDL, ct); err != nil {
+		// DDL is fsync-acked; a fault here means nothing is promised.
+		return nil, nil
+	}
+	var pending []int64
+	for i := int64(0); i < 30; i++ {
+		if err := s.Insert("SUPPLIER", value.Row{value.Int(i), value.String_("S"), value.Int(0)}); err != nil {
+			break
+		}
+		inserted = append(inserted, i)
+		pending = append(pending, i)
+		if len(pending) == 5 {
+			if err := s.Sync(); err != nil {
+				pending = nil
+				break
+			}
+			acked = append(acked, pending...)
+			pending = nil
+		}
+		if i == 14 {
+			// Mid-workload compaction; failures here must leave the
+			// current generation intact and writable (unless wedged).
+			_ = s.Checkpoint()
+		}
+	}
+	return acked, inserted
+}
+
+// TestCrashRecoveryMatrix arms every wal.* fault point at several
+// deterministic firing sites, runs the scripted workload, then
+// reopens the directory and asserts the recovery contract: either
+// recovery succeeds and the heap holds a prefix of the inserted
+// sequence covering every acknowledged row, or it refuses with a
+// typed corruption error (bit-rot of once-durable interior frames —
+// the one fate truncation must NOT paper over).
+func TestCrashRecoveryMatrix(t *testing.T) {
+	testleak.Check(t)
+	var walPoints []string
+	for _, name := range fault.Registered() {
+		if strings.HasPrefix(name, "wal.") {
+			walPoints = append(walPoints, name)
+		}
+	}
+	if len(walPoints) < 7 {
+		t.Fatalf("expected the 7 wal fault points registered, got %v", walPoints)
+	}
+	baseFDs := countFDs()
+
+	for _, point := range walPoints {
+		for _, skip := range []int{0, 1, 2, 5} {
+			t.Run(fmt.Sprintf("%s/skip%d", point, skip), func(t *testing.T) {
+				fault.Reset()
+				defer fault.Reset()
+				if err := fault.Arm(point, fault.Spec{Mode: fault.ModeError, Skip: skip, Limit: 1}); err != nil {
+					t.Fatal(err)
+				}
+				dir := t.TempDir()
+				acked, inserted := crashWorkload(t, dir)
+				fault.Reset() // recovery itself runs fault-free
+
+				re, err := Open(dir, Options{})
+				if err != nil {
+					t.Fatalf("reopen: %v", err)
+				}
+				defer re.Close()
+				switch err := re.Recover(); {
+				case err == nil:
+					rows := supplierRows(re)
+					// Prefix property: the recovered rows are exactly
+					// the first len(rows) inserted ids, in order.
+					if len(rows) > len(inserted) {
+						t.Fatalf("recovered %d rows, only %d were ever inserted", len(rows), len(inserted))
+					}
+					for i, row := range rows {
+						if row[0].AsInt() != inserted[i] {
+							t.Fatalf("row %d: got id %d, want %d (not a prefix)", i, row[0].AsInt(), inserted[i])
+						}
+					}
+					// No acknowledged row may be missing.
+					if len(rows) < len(acked) {
+						t.Fatalf("recovered %d rows, %d were acknowledged", len(rows), len(acked))
+					}
+					// Writes must work again after recovery. If the
+					// fault fired before the DDL was acked, the table
+					// legitimately does not exist yet — recreate it.
+					if _, ok := re.Heap().Table("SUPPLIER"); !ok {
+						ct, err := parseCreate(testDDL)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if _, err := re.ApplyDDL(testDDL, ct); err != nil {
+							t.Fatalf("ddl after recovery: %v", err)
+						}
+					}
+					if err := re.Insert("SUPPLIER", value.Row{value.Int(1000), value.String_("S"), value.Int(0)}); err != nil {
+						t.Fatalf("insert after recovery: %v", err)
+					}
+					if err := re.Sync(); err != nil {
+						t.Fatalf("sync after recovery: %v", err)
+					}
+				case errors.Is(err, ErrCorrupt) || errors.Is(err, ErrSnapshotCorrupt):
+					// Typed refusal: only acceptable for the silent
+					// bit-flip fault, whose corruption may land in the
+					// durable interior.
+					if point != FaultAppendCorrupt {
+						t.Fatalf("recover: unexpected corruption verdict %v for %s", err, point)
+					}
+					if re.Recovering() != true {
+						t.Error("store should stay recovering after typed refusal")
+					}
+					if werr := re.Insert("SUPPLIER", value.Row{value.Int(0)}); !errors.Is(werr, storage.ErrRecovering) {
+						t.Errorf("insert after refusal: got %v, want ErrRecovering", werr)
+					}
+				default:
+					t.Fatalf("recover: %v (neither success nor typed corruption)", err)
+				}
+			})
+		}
+	}
+
+	if baseFDs >= 0 {
+		if got := countFDs(); got > baseFDs {
+			t.Errorf("file descriptors leaked across the matrix: %d before, %d after", baseFDs, got)
+		}
+	}
+}
+
+// TestFaultPointsRegistered pins the registry names the Makefile's
+// crash-matrix target greps for.
+func TestFaultPointsRegistered(t *testing.T) {
+	want := []string{FaultAppend, FaultAppendShort, FaultAppendCorrupt, FaultSync,
+		FaultCheckpointNewLog, FaultCheckpointSnapshot, FaultCheckpointRename}
+	reg := fault.Registered()
+	have := make(map[string]bool, len(reg))
+	for _, n := range reg {
+		have[n] = true
+	}
+	for _, n := range want {
+		if !have[n] {
+			t.Errorf("fault point %s not registered", n)
+		}
+	}
+}

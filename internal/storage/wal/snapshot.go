@@ -1,0 +1,164 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"uniqopt/internal/fault"
+	"uniqopt/internal/storage"
+	"uniqopt/internal/value"
+)
+
+const snapName = "snapshot.dat"
+
+// snapshot is the decoded content of snapshot.dat: the schema as
+// replayable canonical DDL (definition order, so foreign keys never
+// reference forward) and every table's rows.
+type snapshot struct {
+	gen     uint64
+	version uint64
+	ddl     []string
+	rows    [][]value.Row // parallel to ddl
+}
+
+// writeSnapshot materializes the heap into dir/snapshot.dat with the
+// atomic temp-write/fsync/rename/dir-fsync dance: either the old
+// snapshot or the complete new one exists, never a partial file
+// under the live name.
+func writeSnapshot(dir string, gen uint64, heap *storage.DB) error {
+	if err := fault.Point(FaultCheckpointSnapshot); err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	cat := heap.Catalog()
+	body := make([]byte, 0, 4096)
+	body = binary.BigEndian.AppendUint64(body, gen)
+	body = binary.BigEndian.AppendUint64(body, cat.Version())
+	tables := cat.DefinedTables()
+	body = binary.AppendUvarint(body, uint64(len(tables)))
+	for _, schema := range tables {
+		ddl, err := schema.DDL()
+		if err != nil {
+			return fmt.Errorf("wal: snapshot: encode %s: %w", schema.Name, err)
+		}
+		body = binary.AppendUvarint(body, uint64(len(ddl)))
+		body = append(body, ddl...)
+	}
+	for _, schema := range tables {
+		t, ok := heap.Table(schema.Name)
+		if !ok {
+			return fmt.Errorf("wal: snapshot: table %s defined but not attached", schema.Name)
+		}
+		body = binary.AppendUvarint(body, uint64(t.Len()))
+		for i := 0; i < t.Len(); i++ {
+			body = appendRow(body, t.Row(i))
+		}
+	}
+
+	tmp, err := os.CreateTemp(dir, "snapshot-*.tmp")
+	if err != nil {
+		return err
+	}
+	tmpPath := tmp.Name()
+	// Clean the temp file up on every failure path below.
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	bw := bufio.NewWriterSize(tmp, 1<<20)
+	if _, err := bw.WriteString(snapMagic); err != nil {
+		return fail(err)
+	}
+	if _, err := bw.Write(body); err != nil {
+		return fail(err)
+	}
+	var crc [4]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(body))
+	if _, err := bw.Write(crc[:]); err != nil {
+		return fail(err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := fault.Point(FaultCheckpointRename); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("wal: snapshot rename: %w", err)
+	}
+	if err := os.Rename(tmpPath, filepath.Join(dir, snapName)); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// loadSnapshot reads and verifies dir/snapshot.dat. A missing file
+// returns (nil, nil); any structural or checksum failure returns
+// ErrSnapshotCorrupt.
+func loadSnapshot(dir string) (*snapshot, error) {
+	path := filepath.Join(dir, snapName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	if len(raw) < len(snapMagic)+16+4 || string(raw[:len(snapMagic)]) != snapMagic {
+		return nil, fmt.Errorf("%w: %s: bad header", ErrSnapshotCorrupt, path)
+	}
+	body := raw[len(snapMagic) : len(raw)-4]
+	wantCRC := binary.BigEndian.Uint32(raw[len(raw)-4:])
+	if crc32.ChecksumIEEE(body) != wantCRC {
+		return nil, fmt.Errorf("%w: %s: checksum mismatch", ErrSnapshotCorrupt, path)
+	}
+	snap := &snapshot{
+		gen:     binary.BigEndian.Uint64(body[0:8]),
+		version: binary.BigEndian.Uint64(body[8:16]),
+	}
+	b := body[16:]
+	nTables, sz := binary.Uvarint(b)
+	if sz <= 0 || nTables > MaxRecord {
+		return nil, fmt.Errorf("%w: %s: bad table count", ErrSnapshotCorrupt, path)
+	}
+	b = b[sz:]
+	for i := uint64(0); i < nTables; i++ {
+		l, lsz := binary.Uvarint(b)
+		if lsz <= 0 || uint64(len(b)-lsz) < l {
+			return nil, fmt.Errorf("%w: %s: DDL %d truncated", ErrSnapshotCorrupt, path, i)
+		}
+		snap.ddl = append(snap.ddl, string(b[lsz:lsz+int(l)]))
+		b = b[lsz+int(l):]
+	}
+	for i := uint64(0); i < nTables; i++ {
+		nRows, rsz := binary.Uvarint(b)
+		if rsz <= 0 {
+			return nil, fmt.Errorf("%w: %s: row count %d truncated", ErrSnapshotCorrupt, path, i)
+		}
+		b = b[rsz:]
+		rows := make([]value.Row, 0, nRows)
+		for r := uint64(0); r < nRows; r++ {
+			row, rest, err := decodeRow(b)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %s: table %d row %d: %v", ErrSnapshotCorrupt, path, i, r, err)
+			}
+			rows = append(rows, row)
+			b = rest
+		}
+		snap.rows = append(snap.rows, rows)
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("%w: %s: %d trailing bytes", ErrSnapshotCorrupt, path, len(b))
+	}
+	return snap, nil
+}

@@ -1,0 +1,533 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"uniqopt/internal/fault"
+	"uniqopt/internal/sql/ast"
+	"uniqopt/internal/sql/parser"
+	"uniqopt/internal/storage"
+	"uniqopt/internal/value"
+
+	"uniqopt/internal/catalog"
+)
+
+// Options tune a WAL store.
+type Options struct {
+	// CheckpointEvery compacts the log into a snapshot after this
+	// many appended records (0 = only on explicit Checkpoint calls).
+	CheckpointEvery int
+}
+
+// DefaultOptions is what uniqopt.OpenPersistent uses.
+var DefaultOptions = Options{CheckpointEvery: 1 << 16}
+
+// RecoveryStats reports what Recover did, for operators and tests.
+type RecoveryStats struct {
+	Generation     uint64
+	SnapshotTables int
+	SnapshotRows   int
+	ReplayedDDL    int
+	ReplayedRows   int
+	TornTail       bool
+	TornBytes      int64
+	Duration       time.Duration
+}
+
+// String renders the stats the way uniqoptd logs them.
+func (st RecoveryStats) String() string {
+	return fmt.Sprintf("gen %d: snapshot %d tables/%d rows, replayed %d DDL/%d rows, torn tail %v (%d bytes), %s",
+		st.Generation, st.SnapshotTables, st.SnapshotRows, st.ReplayedDDL, st.ReplayedRows,
+		st.TornTail, st.TornBytes, st.Duration.Round(time.Microsecond))
+}
+
+// Store state machine. A store opens recovering, becomes ready after
+// Recover, and ends closed. A write-path I/O failure wedges it:
+// reads stay up, writes are refused, and a close/reopen cycle
+// recovers the durable prefix.
+const (
+	stateRecovering = iota
+	stateReady
+	stateClosed
+)
+
+// Store is the disk-backed storage.Store: an in-memory heap for
+// reads, fronted by the write-ahead log for durability. All methods
+// are safe for concurrent use; writes serialize on one mutex, which
+// matches the server's DDL-lock discipline.
+type Store struct {
+	dir  string
+	opts Options
+	heap *storage.DB
+
+	mu      sync.Mutex
+	state   int
+	wedged  error
+	log     *logFile
+	gen     uint64
+	appends int // records since the last checkpoint
+	stats   RecoveryStats
+}
+
+var _ storage.Store = (*Store)(nil)
+
+// Open prepares a store over the data directory without replaying
+// it: the heap is empty and the store reports Recovering until
+// Recover is called. Servers use this split to bind their listener
+// first and replay in the background, refusing writes with
+// storage.ErrRecovering instead of refusing connections.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Store{
+		dir:   dir,
+		opts:  opts,
+		heap:  storage.NewDB(catalog.New()),
+		state: stateRecovering,
+	}, nil
+}
+
+// Heap returns the in-memory tables queries execute against. During
+// recovery it is visibly partial; the server gates reads behind its
+// readiness status instead of blocking here.
+func (s *Store) Heap() *storage.DB { return s.heap }
+
+// Catalog returns the schema catalog backing the heap.
+func (s *Store) Catalog() *catalog.Catalog { return s.heap.Catalog() }
+
+// Recovering reports whether Recover has yet to complete.
+func (s *Store) Recovering() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state == stateRecovering
+}
+
+// Stats reports what the last Recover did.
+func (s *Store) Stats() RecoveryStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Generation reports the live (snapshot, log) generation.
+func (s *Store) Generation() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gen
+}
+
+// Recover replays persisted state into the heap: snapshot first,
+// then the matching log, every row through the same
+// constraint-enforcing insert path live writes use — so recovery
+// re-proves the valid-instance invariant instead of assuming it. A
+// torn tail (crash residue past the last complete frame) is
+// truncated; interior corruption aborts with a typed error and the
+// store stays in the recovering state, readable but write-refusing.
+func (s *Store) Recover() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch s.state {
+	case stateReady:
+		return fmt.Errorf("wal: store already recovered")
+	case stateClosed:
+		return storage.ErrClosed
+	}
+	start := time.Now()
+
+	snap, err := loadSnapshot(s.dir)
+	if err != nil {
+		return err
+	}
+	gens, tmps, err := scanDir(s.dir)
+	if err != nil {
+		return err
+	}
+	// Leftover snapshot temp files are failed checkpoint attempts;
+	// the live snapshot is authoritative.
+	for _, tmp := range tmps {
+		os.Remove(filepath.Join(s.dir, tmp))
+	}
+
+	var stats RecoveryStats
+	switch {
+	case snap == nil && len(gens) == 0:
+		// Fresh directory: establish generation 1 (empty snapshot
+		// first, then its log — the order every crash window of the
+		// checkpoint protocol assumes).
+		s.gen = 1
+		if err := writeSnapshot(s.dir, 1, s.heap); err != nil {
+			return err
+		}
+	case snap == nil:
+		// A log without its snapshot: only tolerable at generation 1,
+		// where the base state is empty by construction.
+		if len(gens) != 1 || gens[0] != 1 {
+			return fmt.Errorf("%w: have logs %v", ErrMissingSnapshot, gens)
+		}
+		s.gen = 1
+	default:
+		if err := s.applySnapshot(snap, &stats); err != nil {
+			return err
+		}
+		s.gen = snap.gen
+	}
+
+	// Stale generations are crash residue of the checkpoint
+	// protocol: a new log whose snapshot never landed, or an old log
+	// whose deletion never happened.
+	for _, g := range gens {
+		if g != s.gen {
+			if err := os.Remove(walPath(s.dir, g)); err != nil {
+				return err
+			}
+		}
+	}
+
+	path := walPath(s.dir, s.gen)
+	if _, err := os.Stat(path); os.IsNotExist(err) {
+		// Crash between snapshot creation and log creation; nothing
+		// was appendable yet, so an empty log completes the pair.
+		l, err := createLog(s.dir, s.gen)
+		if err != nil {
+			return err
+		}
+		s.log = l
+	} else {
+		outcome, err := scanLog(path, s.gen, func(rec record) error {
+			return s.replayRecord(rec, &stats)
+		})
+		if err != nil {
+			return err
+		}
+		if outcome.torn {
+			// Crash residue past the last complete frame: records
+			// there were never sync-acknowledged, so truncation loses
+			// nothing that was promised. (If the creation itself was
+			// torn, rewrite the header too.)
+			if err := truncateLog(path, max64(outcome.goodSize, 0)); err != nil {
+				return err
+			}
+			if outcome.goodSize < headerLen {
+				os.Remove(path)
+				l, err := createLog(s.dir, s.gen)
+				if err != nil {
+					return err
+				}
+				s.log = l
+			}
+			stats.TornTail = true
+			stats.TornBytes = outcome.tornBytes
+		}
+		if s.log == nil {
+			f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return err
+			}
+			s.log = &logFile{f: f, bw: newLogWriter(f), path: path, gen: s.gen}
+		}
+	}
+
+	stats.Generation = s.gen
+	stats.Duration = time.Since(start)
+	s.stats = stats
+	s.state = stateReady
+	return nil
+}
+
+// applySnapshot replays a snapshot's DDL and rows into the heap and
+// restores the catalog version it recorded, so verdict-cache keys
+// minted before the crash stay distinct from post-restart schemas.
+func (s *Store) applySnapshot(snap *snapshot, stats *RecoveryStats) error {
+	for i, ddl := range snap.ddl {
+		ct, err := parseCreate(ddl)
+		if err != nil {
+			return fmt.Errorf("%w: snapshot DDL %d: %v", ErrSnapshotCorrupt, i, err)
+		}
+		if _, err := s.heap.ApplyDDL(ddl, ct); err != nil {
+			return fmt.Errorf("%w: snapshot DDL %d: %v", ErrSnapshotCorrupt, i, err)
+		}
+		stats.SnapshotTables++
+	}
+	for i, rows := range snap.rows {
+		table := ""
+		if i < len(snap.ddl) {
+			ct, _ := parseCreate(snap.ddl[i])
+			table = ct.Name
+		}
+		for _, row := range rows {
+			if err := s.heap.Insert(table, row); err != nil {
+				return fmt.Errorf("%w: snapshot table %s: %v", ErrReplay, table, err)
+			}
+			stats.SnapshotRows++
+		}
+	}
+	s.heap.Catalog().RestoreVersion(snap.version)
+	return nil
+}
+
+// replayRecord applies one log record through the live write paths.
+func (s *Store) replayRecord(rec record, stats *RecoveryStats) error {
+	switch rec.kind {
+	case recDDL:
+		ct, err := parseCreate(rec.sql)
+		if err != nil {
+			return fmt.Errorf("%w: DDL %q: %v", ErrReplay, rec.sql, err)
+		}
+		if _, err := s.heap.ApplyDDL(rec.sql, ct); err != nil {
+			return fmt.Errorf("%w: DDL %q: %v", ErrReplay, rec.sql, err)
+		}
+		s.heap.Catalog().RestoreVersion(rec.version)
+		stats.ReplayedDDL++
+	case recInsert:
+		if err := s.heap.Insert(rec.table, rec.row); err != nil {
+			return fmt.Errorf("%w: %v", ErrReplay, err)
+		}
+		stats.ReplayedRows++
+	case recCheckpoint:
+		if rec.gen != s.gen {
+			return fmt.Errorf("%w: checkpoint record names generation %d in log %d", ErrCorrupt, rec.gen, s.gen)
+		}
+	}
+	return nil
+}
+
+// writable returns the typed refusal for the store's current state,
+// or nil when writes may proceed.
+func (s *Store) writable() error {
+	switch s.state {
+	case stateRecovering:
+		return storage.ErrRecovering
+	case stateClosed:
+		return storage.ErrClosed
+	}
+	if s.wedged != nil {
+		return fmt.Errorf("%w (cause: %v)", ErrWedged, s.wedged)
+	}
+	return nil
+}
+
+// wedge records the first write-path failure; later writes are
+// refused until the store is reopened.
+func (s *Store) wedge(err error) {
+	if s.wedged == nil {
+		s.wedged = err
+	}
+}
+
+// ApplyDDL defines a table, logs the statement, and fsyncs: schema
+// changes are rare and immediately durable.
+func (s *Store) ApplyDDL(sql string, ct *ast.CreateTable) (*catalog.Table, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.writable(); err != nil {
+		return nil, err
+	}
+	schema, err := s.heap.ApplyDDL(sql, ct)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.log.append(encodeDDL(s.heap.Catalog().Version(), sql)); err != nil {
+		s.wedge(err)
+		return nil, err
+	}
+	if err := s.log.sync(); err != nil {
+		s.wedge(err)
+		return nil, err
+	}
+	s.appends++
+	return schema, nil
+}
+
+// Insert validates the row against every constraint (the heap path),
+// then logs it. The row is durable — and may be acknowledged —
+// after the next Sync; batching appends between syncs is the group
+// commit that keeps bulk loads off the fsync floor.
+func (s *Store) Insert(table string, row value.Row) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.writable(); err != nil {
+		return err
+	}
+	// Heap first: it enforces the constraints, and a row the heap
+	// refuses must never reach the log (replay would refuse it too).
+	// The crash window between heap and log loses only rows that
+	// were never acknowledged.
+	if err := s.heap.Insert(table, row); err != nil {
+		return err
+	}
+	if err := s.log.append(encodeInsert(s.heap.MustTable(table).Schema.Name, row)); err != nil {
+		s.wedge(err)
+		return err
+	}
+	s.appends++
+	if s.opts.CheckpointEvery > 0 && s.appends >= s.opts.CheckpointEvery {
+		// Opportunistic compaction; a failed attempt leaves the
+		// current generation intact and is retried on a later write.
+		if err := s.checkpointLocked(); err != nil && s.wedged != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sync flushes buffered appends and fsyncs the log — the durability
+// barrier every acknowledgement waits behind.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.writable(); err != nil {
+		return err
+	}
+	if !s.log.dirty {
+		return nil
+	}
+	if err := s.log.sync(); err != nil {
+		s.wedge(err)
+		return err
+	}
+	return nil
+}
+
+// Checkpoint compacts the log into a fresh snapshot generation.
+func (s *Store) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.writable(); err != nil {
+		return err
+	}
+	return s.checkpointLocked()
+}
+
+// checkpointLocked runs the generation handoff under s.mu:
+//
+//  1. fsync the current log (the snapshot must cover everything the
+//     log does, and more);
+//  2. create and fsync wal-(G+1).log with its checkpoint marker;
+//  3. write snapshot generation G+1 (temp + fsync + atomic rename +
+//     dir fsync) — the commit point of the checkpoint;
+//  4. retire wal-G.log.
+//
+// A crash or failure before step 3's rename leaves generation G
+// authoritative (the stray new log is deleted at recovery); after
+// it, generation G+1. No window loses acknowledged records.
+func (s *Store) checkpointLocked() error {
+	if s.log.dirty {
+		if err := s.log.sync(); err != nil {
+			s.wedge(err)
+			return err
+		}
+	}
+	if err := fault.Point(FaultCheckpointNewLog); err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	newLog, err := createLog(s.dir, s.gen+1)
+	if err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	abort := func(err error) error {
+		newLog.f.Close()
+		os.Remove(newLog.path)
+		return err
+	}
+	if err := newLog.append(encodeCheckpoint(s.gen+1, s.heap.Catalog().Version())); err != nil {
+		return abort(err)
+	}
+	if err := newLog.sync(); err != nil {
+		return abort(err)
+	}
+	if err := writeSnapshot(s.dir, s.gen+1, s.heap); err != nil {
+		return abort(err)
+	}
+	// Commit point passed: snapshot.dat names generation G+1.
+	old := s.log
+	s.log = newLog
+	s.gen++
+	s.appends = 0
+	old.f.Close()       // already synced in step 1; nothing buffered
+	os.Remove(old.path) // best-effort; recovery deletes stale logs too
+	return nil
+}
+
+// Close makes everything acknowledged durable and releases the log
+// file. The heap stays readable. Close after Close is a no-op.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state == stateClosed {
+		return nil
+	}
+	state := s.state
+	s.state = stateClosed
+	if s.log == nil {
+		return nil
+	}
+	if s.wedged != nil || state == stateRecovering {
+		// The buffer's relationship to the file is unknown (or there
+		// is nothing promised); don't risk appending frames after a
+		// torn tail — recovery owns this file now.
+		return s.log.f.Close()
+	}
+	return s.log.close()
+}
+
+// scanDir lists the wal generations and leftover snapshot temp files
+// in dir.
+func scanDir(dir string) (gens []uint64, tmps []string, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range entries {
+		if g, ok := parseWalName(e.Name()); ok {
+			gens = append(gens, g)
+		}
+		if strings.HasPrefix(e.Name(), "snapshot-") && strings.HasSuffix(e.Name(), ".tmp") {
+			tmps = append(tmps, e.Name())
+		}
+	}
+	return gens, tmps, nil
+}
+
+// truncateLog cuts the file to size and fsyncs, removing crash
+// residue past the last complete frame.
+func truncateLog(path string, size int64) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := f.Truncate(size); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// parseCreate parses one CREATE TABLE statement.
+func parseCreate(sql string) (*ast.CreateTable, error) {
+	st, err := parser.ParseStatement(sql)
+	if err != nil {
+		return nil, err
+	}
+	ct, ok := st.(*ast.CreateTable)
+	if !ok {
+		return nil, fmt.Errorf("statement is %T, not CREATE TABLE", st)
+	}
+	return ct, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -39,15 +39,18 @@ import (
 	"uniqopt/internal/sql/ast"
 	"uniqopt/internal/sql/parser"
 	"uniqopt/internal/storage"
+	"uniqopt/internal/storage/wal"
 	"uniqopt/internal/value"
 )
 
-// DB is an in-memory database with the uniqueness-aware optimizer
-// attached. Analysis verdicts are memoized in a per-DB cache keyed on
+// DB is a database with the uniqueness-aware optimizer attached. The
+// default backend is in-memory; OpenPersistent swaps in the
+// write-ahead-logged disk backend without changing any other API.
+// Analysis verdicts are memoized in a per-DB cache keyed on
 // query shape and schema version, so repeated statements skip
 // Algorithm 1 entirely; DDL invalidates the cache automatically.
 type DB struct {
-	store *storage.DB
+	store storage.Store
 	opts  Options
 	cache *core.VerdictCache
 	// stats accumulates engine work counters across every query this
@@ -110,14 +113,71 @@ func Open() *DB { return OpenWith(Options{}) }
 
 // OpenWith creates an empty database with the given optimizer options.
 func OpenWith(opts Options) *DB {
+	return newDB(storage.NewDB(catalog.New()), opts)
+}
+
+// OpenPersistent opens (or creates) a crash-safe database in the data
+// directory dir: every DDL statement and inserted row goes through a
+// write-ahead log, compacted periodically into a snapshot, and a
+// restart replays the durable prefix through the same
+// constraint-enforcing paths the live system uses. Recovery runs
+// before OpenPersistent returns; see OpenPersistentDeferred for the
+// server's listen-first variant. Call Sync to make recent inserts
+// durable and Close before process exit.
+func OpenPersistent(dir string, opts Options) (*DB, error) {
+	db, err := OpenPersistentDeferred(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.Recover(); err != nil {
+		db.Close()
+		return nil, err
+	}
+	return db, nil
+}
+
+// OpenPersistentDeferred opens the data directory without replaying
+// it: the database is immediately usable for Recovering checks but
+// refuses reads of meaningful state and all writes (with an error
+// matching storage.ErrRecovering) until Recover completes. Servers
+// use this to bind their listener first and replay in the background.
+func OpenPersistentDeferred(dir string, opts Options) (*DB, error) {
+	st, err := wal.Open(dir, wal.DefaultOptions)
+	if err != nil {
+		return nil, err
+	}
+	return newDB(st, opts), nil
+}
+
+func newDB(st storage.Store, opts Options) *DB {
 	return &DB{
-		store:   storage.NewDB(catalog.New()),
+		store:   st,
 		opts:    opts,
 		cache:   core.NewVerdictCache(0),
 		stats:   &engine.Stats{},
 		metrics: metrics.New(),
 	}
 }
+
+// Recover replays persisted state (no-op completion for the in-memory
+// backend, which opens recovered). See OpenPersistentDeferred.
+func (d *DB) Recover() error { return d.store.Recover() }
+
+// Recovering reports whether the backend is still replaying persisted
+// state; writes are refused until it returns false.
+func (d *DB) Recovering() bool { return d.store.Recovering() }
+
+// Sync makes every acknowledged-pending write durable — the fsync
+// barrier. A no-op on the in-memory backend.
+func (d *DB) Sync() error { return d.store.Sync() }
+
+// Checkpoint compacts the write-ahead log into a snapshot, bounding
+// restart time. A no-op on the in-memory backend.
+func (d *DB) Checkpoint() error { return d.store.Checkpoint() }
+
+// Close flushes and fsyncs the backend and releases its files. The
+// in-memory backend closes trivially.
+func (d *DB) Close() error { return d.store.Close() }
 
 // View returns a handle onto the same database with different
 // Options: it shares this DB's storage, verdict cache, metrics
@@ -140,21 +200,83 @@ func (d *DB) View(opts Options) *DB {
 // Opts reports the options this handle executes under.
 func (d *DB) Opts() Options { return d.opts }
 
-// Exec runs a DDL statement (CREATE TABLE).
-func (d *DB) Exec(ddl string) error {
-	st, err := parser.ParseStatement(ddl)
+// Exec runs a write statement: CREATE TABLE or INSERT INTO … VALUES.
+func (d *DB) Exec(sql string) error {
+	_, err := d.ExecWith(sql, nil)
+	return err
+}
+
+// ExecWith runs a write statement with host-variable bindings and
+// reports the rows affected (0 for DDL, the tuple count for INSERT —
+// all-or-nothing: the first constraint violation rejects the
+// statement's remaining tuples too). On the persistent backend DDL is
+// immediately durable; inserted rows become durable at the next Sync.
+func (d *DB) ExecWith(sql string, hosts map[string]any) (int64, error) {
+	st, err := parser.ParseStatement(sql)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	ct, ok := st.(*ast.CreateTable)
-	if !ok {
-		return fmt.Errorf("uniqopt: Exec accepts CREATE TABLE; use Query for queries")
+	switch st := st.(type) {
+	case *ast.CreateTable:
+		_, err := d.store.ApplyDDL(sql, st)
+		return 0, err
+	case *ast.Insert:
+		return d.execInsert(st, hosts)
+	default:
+		return 0, fmt.Errorf("uniqopt: Exec accepts CREATE TABLE and INSERT; use Query for queries")
 	}
-	schema, err := d.store.Catalog.DefineFromAST(ct)
-	if err != nil {
-		return err
+}
+
+// execInsert evaluates each VALUES tuple and routes it through the
+// backend's constraint-enforcing insert path.
+func (d *DB) execInsert(ins *ast.Insert, hosts map[string]any) (int64, error) {
+	hv := map[string]value.Value{}
+	for k, v := range hosts {
+		cv, err := Convert(v)
+		if err != nil {
+			return 0, fmt.Errorf("uniqopt: host :%s: %w", k, err)
+		}
+		hv[k] = cv
 	}
-	return d.store.AttachTable(schema)
+	var n int64
+	for _, tuple := range ins.Rows {
+		row := make(value.Row, len(tuple))
+		for i, e := range tuple {
+			v, err := insertValue(e, hv)
+			if err != nil {
+				return n, err
+			}
+			row[i] = v
+		}
+		if err := d.store.Insert(ins.Table, row); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// insertValue evaluates one INSERT value: a literal or a host
+// variable, never a general expression.
+func insertValue(e ast.Expr, hosts map[string]value.Value) (value.Value, error) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return value.Int(e.V), nil
+	case *ast.StringLit:
+		return value.String_(e.V), nil
+	case *ast.BoolLit:
+		return value.Bool(e.V), nil
+	case *ast.NullLit:
+		return value.Null, nil
+	case *ast.HostVar:
+		v, ok := hosts[e.Name]
+		if !ok {
+			return value.Null, fmt.Errorf("uniqopt: unbound host variable :%s", e.Name)
+		}
+		return v, nil
+	default:
+		return value.Null, fmt.Errorf("uniqopt: INSERT value is %T, not a literal or host variable", e)
+	}
 }
 
 // Insert adds a row; Go values are converted (int/int64 → INTEGER,
@@ -168,6 +290,14 @@ func (d *DB) Insert(table string, values ...any) error {
 		}
 		row[i] = cv
 	}
+	return d.store.Insert(table, row)
+}
+
+// InsertRow adds an already-typed row through the backend's
+// constraint-enforcing (and, when persistent, WAL-logged) insert
+// path. Loaders that copy rows between databases use this instead of
+// writing to Store() directly, so bulk loads survive a restart.
+func (d *DB) InsertRow(table string, row value.Row) error {
 	return d.store.Insert(table, row)
 }
 
@@ -285,7 +415,7 @@ func (d *DB) QueryWithContext(ctx context.Context, sql string, hosts map[string]
 // planner builds a planner over this DB's store with its configured
 // options; explainOnly plans without reading base-table data.
 func (d *DB) planner(optimize, explainOnly bool) *plan.Planner {
-	return plan.NewPlanner(d.store, plan.Options{
+	return plan.NewPlanner(d.store.Heap(), plan.Options{
 		ApplyRewrites: optimize,
 		CostBased:     d.opts.CostBased,
 		HashDistinct:  d.opts.HashDistinct,
@@ -539,7 +669,7 @@ func (d *DB) Suggest(sql string) ([]RewriteInfo, error) {
 }
 
 func (d *DB) analyzer() *core.Analyzer {
-	return &core.Analyzer{Cat: d.store.Catalog, Opts: core.Options{
+	return &core.Analyzer{Cat: d.store.Catalog(), Opts: core.Options{
 		UseKeyFDs:           d.opts.UseKeyFDs,
 		BindIsNull:          d.opts.BindIsNull,
 		UseCheckConstraints: d.opts.UseCheckConstraints,
@@ -577,14 +707,19 @@ func (d *DB) MetricsJSON() ([]byte, error) { return d.metrics.JSON() }
 // expvar.Publish, if the name is already taken).
 func (d *DB) PublishMetrics(name string) { d.metrics.Publish(name) }
 
-// Store exposes the underlying storage for advanced integrations
-// (the IMS/OODB loaders, the benchmark harness).
-func (d *DB) Store() *storage.DB { return d.store }
+// Store exposes the underlying heap storage for advanced integrations
+// (the IMS/OODB loaders, the benchmark harness). Writes through this
+// handle bypass the write-ahead log — on a persistent database they
+// will not survive a restart; use Exec/Insert for durable writes.
+func (d *DB) Store() *storage.DB { return d.store.Heap() }
+
+// Backend exposes the storage.Store the database writes through.
+func (d *DB) Backend() storage.Store { return d.store }
 
 // CreateIndex builds an ordered secondary index on the named table,
 // enabling the planner's point/range access paths.
 func (d *DB) CreateIndex(table, name string, columns ...string) error {
-	t, ok := d.store.Table(table)
+	t, ok := d.store.Heap().Table(table)
 	if !ok {
 		return fmt.Errorf("uniqopt: unknown table %s", table)
 	}
@@ -608,7 +743,7 @@ func (d *DB) CheckExact(sql string, maxCombos int) (unique bool, witness string,
 		maxCombos = 5_000_000
 	}
 	an := d.analyzer()
-	domains, err := core.DefaultDomains(d.store.Catalog, s)
+	domains, err := core.DefaultDomains(d.store.Catalog(), s)
 	if err != nil {
 		return false, "", err
 	}
