@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet lint build test test-fault race bench-smoke explain-smoke stream-smoke server-smoke crash-matrix storage-smoke bench-tables ci clean
+.PHONY: all vet lint build test test-fault race bench-smoke explain-smoke stream-smoke server-smoke planner-smoke crash-matrix storage-smoke bench-tables ci clean
 
 all: ci
 
@@ -58,6 +58,17 @@ server-smoke:
 	$(GO) test -race ./internal/server/... ./cmd/uniqoptd ./cmd/sqlsh
 	$(GO) run ./cmd/benchrunner -exp server -scale 0.3 -sessions 1,8 -json BENCH_server.json
 
+# Planner smoke: the join-ordering, plan-cache, and access-path suite
+# under the race detector (including the concurrent DDL×EXEC stale-plan
+# regression in the server suite), then the planner experiment —
+# written-order vs uniqueness-bounded ordering on ≥3-way joins plus
+# cold/warm plan-cache timing — emitting the machine-readable artifact
+# BENCH_planner.json alongside the table.
+planner-smoke:
+	$(GO) test -race -run 'TestJoinOrder|TestDerived|TestWrittenJoinOrder|TestExplainNamesBounds|TestPlanCache|TestIndex|TestCost' ./internal/plan/
+	$(GO) test -race -run 'TestServerPlanCacheDDLRace' ./internal/server/
+	$(GO) run ./cmd/benchrunner -exp planner -scale 0.3 -json BENCH_planner.json
+
 # Crash matrix: the storage suite under the race detector with the
 # fault registry armed — WAL append/sync/checkpoint fault points, torn
 # and corrupt tails, the kill -9 subprocess recovery test, and the
@@ -78,7 +89,7 @@ storage-smoke:
 bench-tables:
 	$(GO) run ./cmd/benchrunner -exp all -scale 0.25 > bench_output_tables.txt
 
-ci: vet lint build test test-fault race stream-smoke bench-smoke explain-smoke server-smoke crash-matrix storage-smoke
+ci: vet lint build test test-fault race stream-smoke bench-smoke explain-smoke server-smoke planner-smoke crash-matrix storage-smoke
 
 clean:
-	rm -f BENCH_parallel.json BENCH_explain.json BENCH_server.json BENCH_storage.json
+	rm -f BENCH_parallel.json BENCH_explain.json BENCH_server.json BENCH_storage.json BENCH_planner.json

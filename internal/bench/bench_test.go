@@ -272,6 +272,39 @@ func TestEPShape(t *testing.T) {
 	}
 }
 
+func TestEPlannerShape(t *testing.T) {
+	tab := EPlanner(small)
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5:\n%s", len(tab.Rows), tab.Format())
+	}
+	for i := 0; i < 3; i++ {
+		if got := cell(t, tab, i, 7); got != "yes" {
+			t.Errorf("row %d (%s): legs disagree", i, cell(t, tab, i, 0))
+		}
+		// Ordering must strictly cut the join work on every workload —
+		// that is the whole point of bounding the intermediates.
+		if cellInt(t, tab, i, 6) >= cellInt(t, tab, i, 5) {
+			t.Errorf("row %d (%s): ordered pairs %d >= written pairs %d",
+				i, cell(t, tab, i, 0), cellInt(t, tab, i, 6), cellInt(t, tab, i, 5))
+		}
+	}
+	// Wall clock at test scale is noise (runs are microseconds), so the
+	// acceptance margin is pinned on the deterministic metric instead:
+	// the key-bound chains must cut join pairs by well over the ≥2×
+	// the full-scale gate demands of wall clock.
+	for _, i := range []int{0, 2} {
+		written, ordered := cellInt(t, tab, i, 5), cellInt(t, tab, i, 6)
+		if written < 2*ordered {
+			t.Errorf("row %d (%s): written pairs %d < 2× ordered pairs %d",
+				i, cell(t, tab, i, 0), written, ordered)
+		}
+	}
+	// Warm planning through the cache must beat cold re-planning.
+	if sp := cellFloat(t, tab, 4, 4); sp <= 1.0 {
+		t.Errorf("warm plan-cache speedup = %.2f, want > 1", sp)
+	}
+}
+
 func benchRelPair(rows int) (*engine.Relation, *engine.Relation) {
 	return synthRelation(1, "L", rows), synthRelation(2, "R", rows/4)
 }

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"fmt"
+
+	"uniqopt/internal/plan"
+	"uniqopt/internal/sql/parser"
+	"uniqopt/internal/value"
+	"uniqopt/internal/workload"
+)
+
+// plannerWorkloads are the ≥3-way join shapes the ordering experiment
+// sweeps: a chain anchored by a host-variable-bound key (the planner
+// walks the chain outward from the one-row table), a star filtered by
+// a visible constant, and a four-way self-extension of the chain.
+var plannerWorkloads = []struct {
+	name  string
+	sql   string
+	hosts map[string]value.Value
+}{
+	{
+		name: "chain-3 key-bound",
+		sql: `SELECT A.ANAME, P.PNAME FROM AGENTS A, PARTS P, SUPPLIER S
+			WHERE A.SNO = P.SNO AND P.SNO = S.SNO AND S.SNO = :N`,
+		hosts: map[string]value.Value{"N": value.Int(3)},
+	},
+	{
+		name: "star-3 const-filtered",
+		sql: `SELECT S.SNAME, P.PNAME, A.ANAME FROM AGENTS A, SUPPLIER S, PARTS P
+			WHERE S.SNO = P.SNO AND S.SNO = A.SNO AND P.COLOR = 'RED' AND P.PNO = 2`,
+	},
+	{
+		name: "chain-4 key-bound",
+		sql: `SELECT A.ANAME, B.ANAME, P.PNAME FROM AGENTS A, PARTS P, AGENTS B, SUPPLIER S
+			WHERE A.SNO = P.SNO AND P.SNO = B.SNO AND B.SNO = S.SNO AND S.SNO = :N`,
+		hosts: map[string]value.Value{"N": value.Int(5)},
+	},
+}
+
+// EPlanner — uniqueness-bounded join ordering and the normalized plan
+// cache. Part 1 runs each ≥3-way workload twice on the same data:
+// written FROM order (the pre-planner baseline) versus the greedy
+// order driven by verdict-derived cardinality bounds plus derived-
+// equality pushdown. Both legs push single-table predicates; only the
+// ordering and derivation differ, so the ratio isolates the planner.
+// Part 2 meters planning alone (plan-only runs, no data touched):
+// cold re-plans every statement each round, warm serves the normalized
+// plan cache after one priming round.
+func EPlanner(sc Scale) *Table {
+	t := &Table{
+		ID:    "EPlanner",
+		Title: "Uniqueness-bounded join ordering vs written order, and the normalized plan cache",
+		Columns: []string{"workload", "|SUPPLIER|", "written µs", "ordered µs", "speedup",
+			"written pairs", "ordered pairs", "identical"},
+	}
+
+	cfg := workload.DefaultConfig()
+	cfg.Suppliers = sc.size(500)
+	cfg.PartsPerSupplier = 10
+	cfg.AgentsPerSupplier = 3
+	cfg.RedFraction = 0.2
+	db := mustDB(cfg)
+
+	for _, w := range plannerWorkloads {
+		written := runPlanner(db, plan.Options{WrittenJoinOrder: true}, w.sql, w.hosts)
+		ordered := runPlanner(db, plan.Options{}, w.sql, w.hosts)
+		verifyEqual(written.res, ordered.res, "EPlanner "+w.name)
+		t.AddRow(w.name, n(int64(cfg.Suppliers)),
+			us(written.elapsed.Nanoseconds()), us(ordered.elapsed.Nanoseconds()),
+			f(float64(written.elapsed)/float64(ordered.elapsed)),
+			n(written.res.Stats.JoinPairs), n(ordered.res.Stats.JoinPairs),
+			yes(written.res.Rel.Len() == ordered.res.Rel.Len()))
+	}
+
+	// Part 2: plan-only runs through the shared cache — the repeated-
+	// prepare workload where the same statement shapes are planned over
+	// and over against an unchanged catalog.
+	cache := plan.NewPlanCache(0)
+	planAll := func(c *plan.PlanCache) {
+		for _, w := range plannerWorkloads {
+			q, err := parser.ParseQuery(w.sql)
+			if err != nil {
+				panic(fmt.Sprintf("bench: EPlanner parse: %v", err))
+			}
+			p := plan.NewPlanner(db, plan.Options{ExplainOnly: true, Plans: c})
+			if _, err := p.Run(q, w.hosts); err != nil {
+				panic(fmt.Sprintf("bench: EPlanner plan: %v", err))
+			}
+		}
+	}
+	const rounds = 200
+	cold := minTime(func() {
+		for i := 0; i < rounds; i++ {
+			cache.Reset() // every round re-plans from scratch
+			planAll(cache)
+		}
+	})
+	cache.Reset()
+	planAll(cache) // prime
+	warm := minTime(func() {
+		for i := 0; i < rounds; i++ {
+			planAll(cache)
+		}
+	})
+	hits, misses := cache.Counters()
+	t.AddRow("plan-only cold", n(int64(len(plannerWorkloads)*rounds)),
+		us(cold.Nanoseconds()), "", "", "", "", "")
+	t.AddRow("plan-only warm", n(int64(len(plannerWorkloads)*rounds)),
+		"", us(warm.Nanoseconds()), f(float64(cold)/float64(warm)), "", "", "")
+
+	t.Notes = append(t.Notes,
+		"written = FROM-list order (WrittenJoinOrder); ordered = greedy uniqueness-bounded order with derived-equality pushdown. Both legs push single-table predicates.",
+		"pairs = row pairs examined by join operators; the ordered legs bound each intermediate by starting at the key-bound table.",
+		fmt.Sprintf("Warm plan-cache counters: %d hits / %d misses over %d statements × %d rounds.",
+			hits, misses, len(plannerWorkloads), rounds),
+		"identical = both legs return the same multiset (verified row-by-row before timing is reported).")
+	return t
+}

@@ -38,6 +38,8 @@ type Stats struct {
 	ParallelRows int64 // rows processed by parallel operator invocations
 	CacheHits    int64 // analyzer verdict/normalization cache hits
 	CacheMisses  int64 // analyzer verdict/normalization cache misses
+	PlanHits     int64 // physical plan cache hits
+	PlanMisses   int64 // physical plan cache misses
 
 	// Lifecycle-governor accounting (see lifecycle.go). These are
 	// charged at every materialization point whether or not a budget
@@ -83,6 +85,8 @@ func (s *Stats) fields(o *Stats) []statField {
 		{dst: &s.ParallelRows, src: &o.ParallelRows},
 		{dst: &s.CacheHits, src: &o.CacheHits},
 		{dst: &s.CacheMisses, src: &o.CacheMisses},
+		{dst: &s.PlanHits, src: &o.PlanHits},
+		{dst: &s.PlanMisses, src: &o.PlanMisses},
 		{dst: &s.RowsMaterialized, src: &o.RowsMaterialized},
 		{dst: &s.BytesReserved, src: &o.BytesReserved},
 		{dst: &s.Batches, src: &o.Batches},
@@ -134,6 +138,16 @@ func (s *Stats) AddCache(hits, misses int64) {
 	}
 }
 
+// AddPlanCache atomically bumps the plan-cache counters.
+func (s *Stats) AddPlanCache(hits, misses int64) {
+	if hits != 0 {
+		atomic.AddInt64(&s.PlanHits, hits)
+	}
+	if misses != 0 {
+		atomic.AddInt64(&s.PlanMisses, misses)
+	}
+}
+
 // Snapshot returns an atomically loaded copy of s, safe to read while
 // other goroutines Add into it.
 func (s *Stats) Snapshot() Stats {
@@ -168,6 +182,9 @@ func (s *Stats) String() string {
 		out += fmt.Sprintf(" cachehits=%d cachemisses=%d hitrate=%.0f%%",
 			c.CacheHits, c.CacheMisses,
 			100*float64(c.CacheHits)/float64(c.CacheHits+c.CacheMisses))
+	}
+	if c.PlanHits+c.PlanMisses > 0 {
+		out += fmt.Sprintf(" planhits=%d planmisses=%d", c.PlanHits, c.PlanMisses)
 	}
 	return out
 }

@@ -5,19 +5,31 @@ import (
 	"go/types"
 )
 
-// CatVer guards the verdict cache's invalidation contract. Every entry
-// in core.VerdictCache is keyed by the catalog schema version, so a
-// schema mutation that does not bump the version leaves stale
-// uniqueness verdicts live — and a stale verdict does not just waste
-// time, it licenses semantic rewrites (DISTINCT elimination, subquery
-// flattening) that are only valid under the old dependency set. The
-// analyzer requires every exported method in internal/catalog that
-// mutates its receiver to bump the version in its body: a call to
-// Bump/bump/bumped, or a direct version.Add.
+// CatVer guards the version-keyed caches' invalidation contract. Every
+// entry in core.VerdictCache and plan.PlanCache is keyed by the catalog
+// schema version, so a schema mutation that does not bump the version
+// leaves stale entries live — and a stale entry does not just waste
+// time: a stale verdict licenses semantic rewrites (DISTINCT
+// elimination, subquery flattening) that are only valid under the old
+// dependency set, and a stale plan joins in an order whose cardinality
+// bounds no longer hold. The analyzer requires every exported method in
+// internal/catalog that mutates its receiver to bump the version in its
+// body: a call to Bump/bump/bumped, or a direct version.Add.
 var CatVer = &Analyzer{
 	Name: "catver",
-	Doc:  "flag exported mutating catalog methods that never bump the schema version keying the verdict cache",
+	Doc:  "flag exported mutating catalog methods that never bump the schema version keying the verdict and plan caches",
 	Run:  runCatVer,
+}
+
+// VersionKeyedCaches registers every cache whose entries embed the
+// catalog schema version in their key — the consumers the catver
+// contract protects. The lint meta-test asserts each registered file
+// exists and actually keys on the version, so a new version-keyed
+// cache must be added here (and one that drops the version from its
+// key fails the build until the registry is updated).
+var VersionKeyedCaches = map[string]string{
+	"core.VerdictCache": "internal/core/cache.go",
+	"plan.PlanCache":    "internal/plan/plancache.go",
 }
 
 func runCatVer(pass *Pass) {

@@ -58,6 +58,7 @@ func estimateSelect(db *storage.DB, s *ast.Select, outer *catalog.Scope) (float6
 	}
 	type tableEst struct {
 		corr string
+		tbl  *storage.Table
 		rows float64
 	}
 	var tables []tableEst
@@ -68,15 +69,23 @@ func estimateSelect(db *storage.DB, s *ast.Select, outer *catalog.Scope) (float6
 		}
 		tables = append(tables, tableEst{
 			corr: strings.ToUpper(tr.Name()),
+			tbl:  tbl,
 			rows: float64(tbl.Len()),
 		})
 	}
 
 	cost := 0.0
-	// Classify conjuncts.
+	// Classify conjuncts. normalizeComparison treats host variables as
+	// constants (a bound :NAME is one value at execution time), so a
+	// parameterized point predicate costs like a literal one instead of
+	// like an opaque filter over a full scan. The first point- or
+	// range-bound column per table is remembered so the scan cost below
+	// can mirror the physical planner's index access paths.
 	var joinEq int
 	var subqueries []*ast.Select
 	perTableSel := map[string]float64{}
+	pointCol := map[string]string{}
+	rangeCol := map[string]string{}
 	for _, c := range ast.Conjuncts(s.Where) {
 		switch x := c.(type) {
 		case *ast.Exists:
@@ -88,16 +97,42 @@ func estimateSelect(db *storage.DB, s *ast.Select, outer *catalog.Scope) (float6
 			switch len(qs) {
 			case 1:
 				sel := selOther
-				if cmp, ok := x.(*ast.Compare); ok && cmp.Op == ast.EqOp {
-					sel = selEquality
-				} else if _, ok := x.(*ast.Between); ok {
+				var boundCol string
+				isPoint := false
+				switch y := x.(type) {
+				case *ast.Compare:
+					if ref, _, op := normalizeComparison(y); ref != nil {
+						switch op {
+						case ast.EqOp:
+							sel, boundCol, isPoint = selEquality, ref.Column, true
+						case ast.LtOp, ast.LeOp, ast.GtOp, ast.GeOp:
+							sel, boundCol = selRange, ref.Column
+						}
+					} else if y.Op == ast.EqOp {
+						sel = selEquality
+					}
+				case *ast.Between:
 					sel = selRange
+					if ref, ok := y.X.(*ast.ColumnRef); ok && !y.Negated &&
+						isConstExpr(y.Lo) && isConstExpr(y.Hi) {
+						boundCol = ref.Column
+					}
 				}
 				for corr := range qs {
 					if perTableSel[corr] == 0 {
 						perTableSel[corr] = 1
 					}
 					perTableSel[corr] *= sel
+					if boundCol == "" {
+						continue
+					}
+					if isPoint {
+						if _, seen := pointCol[corr]; !seen {
+							pointCol[corr] = boundCol
+						}
+					} else if _, seen := rangeCol[corr]; !seen {
+						rangeCol[corr] = boundCol
+					}
 				}
 			default:
 				if cmp, ok := x.(*ast.Compare); ok && cmp.Op == ast.EqOp {
@@ -107,14 +142,23 @@ func estimateSelect(db *storage.DB, s *ast.Select, outer *catalog.Scope) (float6
 		}
 	}
 
-	// Scan (with pushdown) per table.
+	// Scan (with pushdown) per table. When a bound column has an
+	// ordered index on its leading position, the scan touches only the
+	// estimated qualifying fraction — the same access paths
+	// chooseAccessPath picks — instead of every row.
 	out := 1.0
 	for i := range tables {
 		eff := tables[i].rows
 		if f, ok := perTableSel[tables[i].corr]; ok {
 			eff *= f
 		}
-		cost += tables[i].rows // scan touches every row (index paths help, ignored here)
+		scan := tables[i].rows
+		if col, ok := pointCol[tables[i].corr]; ok && tables[i].tbl.OrderedIndexOn(col) != nil {
+			scan = math.Max(1, scan*selEquality)
+		} else if col, ok := rangeCol[tables[i].corr]; ok && tables[i].tbl.OrderedIndexOn(col) != nil {
+			scan = math.Max(1, scan*selRange)
+		}
+		cost += scan
 		tables[i].rows = eff
 	}
 	// Left-deep joins.

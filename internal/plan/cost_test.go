@@ -56,6 +56,40 @@ func TestCostEstimateOrdering(t *testing.T) {
 	}
 }
 
+// A bound host variable is a single value at execution time, so a
+// parameterized point lookup on an indexed column must cost the same
+// as its literal twin and far less than a full scan — the physical
+// planner turns both into the same index probe. Without an index the
+// assist must not apply.
+func TestCostHostVarPointLookup(t *testing.T) {
+	db := indexedDB(t)
+	scan := estimate(t, db, `SELECT S.SNAME FROM SUPPLIER S`)
+	hostPt := estimate(t, db, `SELECT S.SNAME FROM SUPPLIER S WHERE S.SNO = :N`)
+	litPt := estimate(t, db, `SELECT S.SNAME FROM SUPPLIER S WHERE S.SNO = 3`)
+	if hostPt != litPt {
+		t.Errorf("host-var point lookup (%.2f) must cost like the literal one (%.2f)", hostPt, litPt)
+	}
+	if hostPt >= scan {
+		t.Errorf("indexed point lookup (%.2f) must undercut a full scan (%.2f)", hostPt, scan)
+	}
+	rng := estimate(t, db, `SELECT S.SNAME FROM SUPPLIER S WHERE S.SNO >= :N`)
+	if rng >= scan {
+		t.Errorf("indexed range scan (%.2f) must undercut a full scan (%.2f)", rng, scan)
+	}
+	if rng <= hostPt {
+		t.Errorf("range scan (%.2f) must cost more than a point lookup (%.2f)", rng, hostPt)
+	}
+
+	// No index: host-var equality still narrows the estimated output,
+	// but the scan itself must be charged in full.
+	plain := smallDB(t)
+	noIx := estimate(t, plain, `SELECT S.SNAME FROM SUPPLIER S WHERE S.SNO = :N`)
+	full := estimate(t, plain, `SELECT S.SNAME FROM SUPPLIER S`)
+	if noIx != full {
+		t.Errorf("without an index the scan cost must stay %.2f, got %.2f", full, noIx)
+	}
+}
+
 func TestCostEstimateSetOp(t *testing.T) {
 	db := smallDB(t)
 	c := estimate(t, db, `SELECT S.SNO FROM SUPPLIER S

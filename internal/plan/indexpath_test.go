@@ -131,6 +131,59 @@ func TestIndexHalfOpenRanges(t *testing.T) {
 	}
 }
 
+// Regression: two half-open bounds on the same leading index column
+// used to become one half-open IndexScanRange plus a residual filter,
+// scanning every row past the lower bound. They must combine into a
+// single closed range scan that touches only the qualifying rows.
+func TestIndexClosedRangeCombinesBounds(t *testing.T) {
+	res := runIndexed(t, "SELECT S.SNO FROM SUPPLIER S WHERE S.SNO >= 10 AND S.SNO <= 20", nil)
+	if !hasPlanLine(res, "IndexScan(S via SUPPLIER_SNO BETWEEN 10 AND 20)") {
+		t.Errorf("bounds not combined into one closed scan:\n%s", strings.Join(res.Plan, "\n"))
+	}
+	if res.Stats.RowsScanned != 11 {
+		t.Errorf("scanned = %d, want 11 (closed range must not over-scan)", res.Stats.RowsScanned)
+	}
+	if res.Rel.Len() != 11 {
+		t.Errorf("rows = %d, want 11", res.Rel.Len())
+	}
+
+	// Strict bounds still combine into one scan; each strict side keeps
+	// its boundary check as a residual filter.
+	res = runIndexed(t, "SELECT S.SNO FROM SUPPLIER S WHERE S.SNO > 10 AND S.SNO < 20", nil)
+	if !hasPlanLine(res, "BETWEEN 10 AND 20") {
+		t.Errorf("strict bounds not combined:\n%s", strings.Join(res.Plan, "\n"))
+	}
+	if !hasPlanLine(res, "residual >") || !hasPlanLine(res, "residual <") {
+		t.Errorf("strict boundaries need residual filters:\n%s", strings.Join(res.Plan, "\n"))
+	}
+	if res.Stats.RowsScanned != 11 {
+		t.Errorf("scanned = %d, want 11", res.Stats.RowsScanned)
+	}
+	if res.Rel.Len() != 9 {
+		t.Errorf("rows = %d, want 9", res.Rel.Len())
+	}
+
+	// The streaming executor runs the identical access plan: same rows
+	// scanned, batches visible in the analyzed counters.
+	q, err := parser.ParseQuery("SELECT S.SNO FROM SUPPLIER S WHERE S.SNO >= 10 AND S.SNO <= 20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, err := NewPlanner(indexedDB(t), Options{Streaming: true}).Run(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sres.Stats.RowsScanned != 11 {
+		t.Errorf("streaming scanned = %d, want 11", sres.Stats.RowsScanned)
+	}
+	if sres.Stats.Batches == 0 {
+		t.Error("streaming run should report batches")
+	}
+	if sres.Rel.Len() != 11 {
+		t.Errorf("streaming rows = %d, want 11", sres.Rel.Len())
+	}
+}
+
 func TestIndexStringEquality(t *testing.T) {
 	res := runIndexed(t, "SELECT P.PNO FROM PARTS P WHERE P.COLOR = 'RED'", nil)
 	if !hasPlanLine(res, "IndexScan(P via PARTS_COLOR = 'RED')") {

@@ -21,12 +21,14 @@ package plan
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strings"
 
 	"uniqopt/internal/catalog"
 	"uniqopt/internal/core"
 	"uniqopt/internal/engine"
 	"uniqopt/internal/eval"
+	"uniqopt/internal/norm"
 	"uniqopt/internal/sql/ast"
 	"uniqopt/internal/storage"
 	"uniqopt/internal/value"
@@ -53,6 +55,16 @@ type Options struct {
 	// normalizations across Run calls (and across planners sharing the
 	// cache). Hit/miss deltas are reported in Result.Stats.
 	Cache *core.VerdictCache
+	// Plans, when non-nil, memoizes physical plans (join order,
+	// pushdown, symbolic access paths) across Run calls, keyed by query
+	// shape and catalog version so any DDL invalidates them. Hit/miss
+	// deltas are reported in Result.Stats.
+	Plans *PlanCache
+	// WrittenJoinOrder disables the greedy uniqueness-bounded join
+	// ordering and the derived-equality pushdown, executing joins
+	// exactly in FROM-list order (the pre-planner behavior; the
+	// benchmark baseline).
+	WrittenJoinOrder bool
 	// MaxRows bounds the rows any single query may materialize across
 	// its operators (0 = unlimited); exceeding it fails the query with
 	// an error matching engine.ErrBudgetExceeded.
@@ -142,6 +154,13 @@ func (p *Planner) RunContext(ctx context.Context, q ast.Query, hosts map[string]
 		defer func() {
 			h1, m1 := c.Counters()
 			result.Stats.AddCache(h1-h0, m1-m0)
+		}()
+	}
+	if c := p.Opts.Plans; c != nil {
+		h0, m0 := c.Counters()
+		defer func() {
+			h1, m1 := c.Counters()
+			result.Stats.AddPlanCache(h1-h0, m1-m0)
 		}()
 	}
 	if p.Opts.ApplyRewrites {
@@ -296,27 +315,48 @@ type selectPlan struct {
 	residual ast.Expr   // nil = none
 	cols     []string
 	distinct bool
+	// Join-order provenance, rendered by EXPLAIN on the root node and
+	// as a legacy plan line ("" when ordering did not apply).
+	orderLine string // JoinOrder(...) legacy plan line
+	orderNote string // chosen order vs written order
+	startNote string // why the first table starts the join
 }
 
-// accessStep is one base-table access: the chosen access path (nil =
-// full scan) and the pushed single-table filter remaining after the
-// path consumed its conjunct (nil = none).
+/// accessStep is one base-table access: the symbolic access path (nil =
+// full scan) plus the pushed single-table conjuncts — push carries all
+// of them (the fallback filter when the path fails to bind at
+// execution), pushResidual the ones the path does not subsume.
 type accessStep struct {
-	corr string
-	tbl  *storage.Table
-	ap   *accessDecision
-	push ast.Expr
+	corr         string
+	tbl          *storage.Table
+	ap           *accessPlan
+	push         ast.Expr
+	pushResidual ast.Expr
 }
 
 // joinStep holds the equi-join keys binding the next table into the
-// left-deep tree (empty = Cartesian product).
+// left-deep tree (empty = Cartesian product) and the cardinality-bound
+// note that justified its position in the join order ("" = none).
+/// buildLeft flips the hash join's roles: the accumulated prefix —
+// known to be bounded to at most one row by a constant-bound key —
+// becomes the build side, and the incoming table streams through as
+// the probe, so a large unfiltered table is never materialized into a
+// hash table just because it joins a tiny prefix.
 type joinStep struct {
-	lk, rk []string
+	lk, rk    []string
+	bound     string
+	buildLeft bool
 }
 
+// buildPrefixNote is attached to a hash-join node whose roles were
+// flipped because the accumulated prefix is bounded to at most one row.
+const buildPrefixNote = "builds the bounded join prefix (≤1 row) as the hash side"
+
 // planSelect makes every planning decision for one query
-// specification without executing anything.
-func (p *Planner) planSelect(s *ast.Select, hosts map[string]value.Value) (*selectPlan, error) {
+// specification without executing anything and without reading any
+// host-variable binding — the selectPlan depends only on the query
+// shape and the schema, which is what makes it cacheable.
+func (p *Planner) planSelect(s *ast.Select) (*selectPlan, error) {
 	scope, err := catalog.NewScope(p.DB.Catalog(), s.From, nil)
 	if err != nil {
 		return nil, err
@@ -331,41 +371,90 @@ func (p *Planner) planSelect(s *ast.Select, hosts map[string]value.Value) (*sele
 		conjuncts = append(conjuncts, q)
 	}
 	sp := &selectPlan{scope: scope, distinct: s.Quant.IsDistinct()}
-	used := make([]bool, len(conjuncts))
+	terms := make([]*tableTerm, 0, len(s.From))
 	for _, tr := range s.From {
 		corr := strings.ToUpper(tr.Name())
 		tbl, ok := p.DB.Table(tr.Table)
 		if !ok {
 			return nil, fmt.Errorf("plan: unknown table %s", tr.Table)
 		}
-		var push []ast.Expr
-		for i, c := range conjuncts {
-			if used[i] || ast.HasExists(c) {
-				continue
-			}
-			qs := qualifiersOf(c)
-			if len(qs) == 1 && qs[corr] {
-				push = append(push, c)
+		terms = append(terms, &tableTerm{corr: corr, tbl: tbl})
+	}
+	used := make([]bool, len(conjuncts))
+	for i, c := range conjuncts {
+		if ast.HasExists(c) {
+			continue
+		}
+		qs := qualifiersOf(c)
+		if len(qs) != 1 {
+			continue
+		}
+		for _, t := range terms {
+			if qs[t.corr] {
+				t.push = append(t.push, c)
 				used[i] = true
+				break
 			}
 		}
+	}
+	// Sink key-derived constant equalities below the joins, then pick
+	// the join order from the resulting per-table bounds.
+	if !p.Opts.WrittenJoinOrder {
+		deriveConstEqualities(conjuncts, terms)
+	}
+	order, startNote, startTiny := p.chooseJoinOrder(terms, conjuncts, used)
+	sp.startNote = startNote
+	if len(order) > 1 && !p.Opts.WrittenJoinOrder {
+		chosen := make([]string, len(order))
+		written := make([]string, len(terms))
+		for i, st := range order {
+			chosen[i] = terms[st.idx].corr
+			written[i] = terms[i].corr
+		}
+		sp.orderLine = fmt.Sprintf("JoinOrder(%s)", strings.Join(chosen, ", "))
+		if strings.Join(chosen, ",") == strings.Join(written, ",") {
+			sp.orderNote = fmt.Sprintf("join order: %s (as written)", strings.Join(chosen, ", "))
+		} else {
+			sp.orderNote = fmt.Sprintf("join order: %s (written: %s)",
+				strings.Join(chosen, ", "), strings.Join(written, ", "))
+		}
+	}
+	for _, st := range order {
+		t := terms[st.idx]
+		all := append(append([]ast.Expr{}, t.push...), t.derived...)
 		// Prefer an ordered-index access path for a pushed point or
 		// range predicate on an indexed leading column.
-		ap := p.chooseAccessPath(tbl, corr, push, hosts)
-		if ap != nil && ap.consumed >= 0 {
-			push = append(push[:ap.consumed], push[ap.consumed+1:]...)
+		ap := p.chooseAccessPath(t.tbl, t.corr, all)
+		residual := all
+		if ap != nil && len(ap.consumed) > 0 {
+			residual = nil
+			ci := 0
+			for i, c := range all {
+				if ci < len(ap.consumed) && ap.consumed[ci] == i {
+					ci++
+					continue
+				}
+				residual = append(residual, c)
+			}
 		}
-		step := accessStep{corr: corr, tbl: tbl, ap: ap}
-		if len(push) > 0 {
-			step.push = ast.AndAll(push...)
+		step := accessStep{corr: t.corr, tbl: t.tbl, ap: ap}
+		if len(all) > 0 {
+			step.push = ast.AndAll(all...)
+		}
+		if len(residual) > 0 {
+			step.pushResidual = ast.AndAll(residual...)
 		}
 		sp.tables = append(sp.tables, step)
 	}
 
 	// Left-deep join tree: bind each further table with whatever
 	// equality conjuncts connect it to the tables already joined.
+	// prefixTiny tracks whether the accumulated prefix is still bounded
+	// to at most one row (a key-bound start followed by unique probes);
+	// while it is, each hash join builds the prefix, not the new table.
 	bound := map[string]bool{sp.tables[0].corr: true}
-	for _, t := range sp.tables[1:] {
+	prefixTiny := startTiny
+	for k, t := range sp.tables[1:] {
 		var lk, rk []string
 		for i, c := range conjuncts {
 			if used[i] {
@@ -391,7 +480,9 @@ func (p *Planner) planSelect(s *ast.Select, hosts map[string]value.Value) (*sele
 				used[i] = true
 			}
 		}
-		sp.joins = append(sp.joins, joinStep{lk: lk, rk: rk})
+		sp.joins = append(sp.joins, joinStep{lk: lk, rk: rk, bound: order[k+1].bound,
+			buildLeft: prefixTiny && len(lk) > 0})
+		prefixTiny = prefixTiny && order[k+1].unique
 		bound[t.corr] = true
 	}
 
@@ -417,15 +508,46 @@ func (p *Planner) planSelect(s *ast.Select, hosts map[string]value.Value) (*sele
 	return sp, nil
 }
 
+// planSelectCached consults the plan cache around planSelect. The key
+// is computed once, before planning: the catalog version it captures
+// keys both the lookup and the store, so a DDL committing mid-planning
+// can never file a plan derived under the older catalog beneath the
+// newer version — the racing store lands under the old version and is
+// simply never served again.
+func (p *Planner) planSelectCached(s *ast.Select) (*selectPlan, error) {
+	c := p.Opts.Plans
+	if c == nil {
+		return p.planSelect(s)
+	}
+	src := s.SQL()
+	key := planKey{
+		fp:     norm.FingerprintStrings(src),
+		catVer: p.DB.Catalog().Version(),
+		opts:   p.Opts.planBits(),
+	}
+	if sp, ok := c.get(key, src); ok {
+		return sp, nil
+	}
+	sp, err := p.planSelect(s)
+	if err != nil {
+		return nil, err
+	}
+	c.put(key, src, sp)
+	return sp, nil
+}
+
 // execSelect plans one query specification (planSelect) and executes
 // it — with the materializing operators below, or as a streaming
 // iterator pipeline (stream.go) when Options.Streaming is set. It
 // returns the result relation together with the typed plan subtree it
 // executed (the legacy Result.Plan lines are appended as before).
 func (p *Planner) execSelect(ctx context.Context, s *ast.Select, hosts map[string]value.Value, res *Result) (*engine.Relation, *Node, error) {
-	sp, err := p.planSelect(s, hosts)
+	sp, err := p.planSelectCached(s)
 	if err != nil {
 		return nil, nil, err
+	}
+	if sp.orderLine != "" {
+		res.Plan = append(res.Plan, sp.orderLine)
 	}
 	if p.Opts.Streaming && !p.Opts.ExplainOnly {
 		return p.execSelectStream(ctx, sp, hosts, res)
@@ -448,18 +570,25 @@ func (p *Planner) execSelect(ctx context.Context, s *ast.Select, hosts map[strin
 		tbl, corr := t.tbl, t.corr
 		var rel *engine.Relation
 		var node *Node
-		if ap := t.ap; ap != nil {
-			rel, node, err = timedOp(res, analyzed, ap.op, ap.detail, int64(tbl.Len()), nil,
+		// Bind the symbolic access path against this execution's host
+		// variables; a nil decision falls back to scan + full filter.
+		dec := t.ap.bind(tbl, corr, hosts)
+		pred := t.pushResidual
+		if dec == nil {
+			pred = t.push
+		}
+		if dec != nil {
+			rel, node, err = timedOp(res, analyzed, dec.op, dec.detail, int64(tbl.Len()), nil,
 				func() (*engine.Relation, error) {
 					if p.Opts.ExplainOnly {
 						return engine.NewRelation(qualifiedCols(tbl, corr)...), nil
 					}
-					return ap.exec(ctx, &res.Stats)
+					return dec.exec(ctx, &res.Stats)
 				})
 			if err != nil {
 				return nil, nil, err
 			}
-			res.Plan = append(res.Plan, fmt.Sprintf("%s(%s)", ap.op, ap.detail))
+			res.Plan = append(res.Plan, fmt.Sprintf("%s(%s)", dec.op, dec.detail))
 		} else {
 			rel, node, err = timedOp(res, analyzed, "Scan",
 				fmt.Sprintf("%s as %s", tbl.Schema.Name, corr), int64(tbl.Len()), nil,
@@ -474,8 +603,7 @@ func (p *Planner) execSelect(ctx context.Context, s *ast.Select, hosts map[strin
 			}
 			res.Plan = append(res.Plan, fmt.Sprintf("Scan(%s as %s)", tbl.Schema.Name, corr))
 		}
-		if t.push != nil {
-			pred := t.push
+		if pred != nil {
 			in := rel
 			rel, node, err = timedOp(res, analyzed, "Filter", pred.SQL(), int64(in.Len()), []*Node{node},
 				func() (*engine.Relation, error) {
@@ -495,7 +623,21 @@ func (p *Planner) execSelect(ctx context.Context, s *ast.Select, hosts map[strin
 	for k, t := range tables[1:] {
 		j := sp.joins[k]
 		l, lnode := cur, curNode
-		if len(j.lk) > 0 {
+		if len(j.lk) > 0 && j.buildLeft {
+			// The accumulated prefix is bounded (≤1 row): build it as
+			// the hash side and stream the new table through as probe.
+			detail := fmt.Sprintf("%s = %s", strings.Join(j.rk, ","), strings.Join(j.lk, ","))
+			cur, curNode, err = timedOp(res, analyzed, "HashJoin", detail,
+				int64(l.Len()+t.rel.Len()), []*Node{t.node, lnode},
+				func() (*engine.Relation, error) {
+					return engine.HashJoin(ctx, &res.Stats, t.rel, l, j.rk, j.lk)
+				})
+			if err != nil {
+				return nil, nil, err
+			}
+			curNode.Notes = append(curNode.Notes, buildPrefixNote)
+			res.Plan = append(res.Plan, fmt.Sprintf("HashJoin(%s)", detail))
+		} else if len(j.lk) > 0 {
 			detail := fmt.Sprintf("%s = %s", strings.Join(j.lk, ","), strings.Join(j.rk, ","))
 			cur, curNode, err = timedOp(res, analyzed, "HashJoin", detail,
 				int64(l.Len()+t.rel.Len()), []*Node{lnode, t.node},
@@ -516,6 +658,9 @@ func (p *Planner) execSelect(ctx context.Context, s *ast.Select, hosts map[strin
 				return nil, nil, err
 			}
 			res.Plan = append(res.Plan, "Product")
+		}
+		if j.bound != "" {
+			curNode.Notes = append(curNode.Notes, j.bound)
 		}
 	}
 
@@ -565,7 +710,21 @@ func (p *Planner) execSelect(ctx context.Context, s *ast.Select, hosts map[strin
 		}
 		res.Plan = append(res.Plan, op)
 	}
+	attachOrderNotes(curNode, sp)
 	return cur, curNode, nil
+}
+
+// attachOrderNotes records the chosen join order and the start-table
+// justification on the plan root, where EXPLAIN renders them above the
+// per-join bound notes.
+func attachOrderNotes(root *Node, sp *selectPlan) {
+	if root == nil || sp.orderNote == "" {
+		return
+	}
+	root.Notes = append(root.Notes, sp.orderNote)
+	if sp.startNote != "" {
+		root.Notes = append(root.Notes, sp.startNote)
+	}
 }
 
 // filterScoped filters rows with a scoped environment (for correlated
@@ -632,137 +791,230 @@ func qualifiersOf(e ast.Expr) map[string]bool {
 	return out
 }
 
-// accessDecision is a chosen index access path: the plan rendering
-// (op + detail), the index of the consumed conjunct within the pushed
-// list (-1 = none), and the deferred execution bodies — exec
+// accessPlan is a symbolic index access path: the target column and,
+// as unevaluated expressions, the point key or range bounds the index
+// probe will use. It carries no host-variable values — those are
+// resolved per execution by bind — so the plan is cacheable across
+// executions of the same statement shape. consumed lists the positions
+// (ascending) of the pushed conjuncts the probe fully subsumes; strict
+// bounds stay residual because the index range is inclusive.
+type accessPlan struct {
+	column             string
+	eq                 ast.Expr // point key; when set, lo/hi are unused
+	lo, hi             ast.Expr // range bounds (nil = unbounded side)
+	loStrict, hiStrict bool     // bound came from > / < : re-filter boundary
+	consumed           []int
+}
+
+// accessDecision is a bound access path for one execution: the plan
+// rendering (op + detail) and the deferred execution bodies — exec
 // materializes the rows, stream performs the index probe and returns
-// a batched iterator over the matched ordinals. Splitting the
-// decision from the execution lets ExplainOnly render the exact access
-// path a real run would take without reading any table data.
+// a batched iterator over the matched ordinals. Splitting the decision
+// from the execution lets ExplainOnly render the exact access path a
+// real run would take without reading any table data.
 type accessDecision struct {
-	op       string
-	detail   string
-	consumed int
-	exec     func(ctx context.Context, st *engine.Stats) (*engine.Relation, error)
-	stream   func(st *engine.Stats) (engine.Iterator, error)
+	op     string
+	detail string
+	exec   func(ctx context.Context, st *engine.Stats) (*engine.Relation, error)
+	stream func(st *engine.Stats) (engine.Iterator, error)
+}
+
+// bind evaluates the access plan's bounds against one execution's host
+// variables. A nil receiver or an unevaluable bound (unbound host
+// variable) yields nil: fall back to scan + full filter, where the
+// predicate reports the error the paper-facing way. A NULL bound makes
+// the comparison never true: the decision is an empty relation.
+func (ap *accessPlan) bind(tbl *storage.Table, corr string, hosts map[string]value.Value) *accessDecision {
+	if ap == nil {
+		return nil
+	}
+	ix := tbl.OrderedIndexOn(ap.column)
+	if ix == nil {
+		return nil
+	}
+	env := &eval.Env{Cols: map[string]value.Value{}, Hosts: hosts}
+	nullDecision := &accessDecision{op: "IndexScan",
+		detail: fmt.Sprintf("%s.%s, never-true NULL bound", corr, ix.Name),
+		exec: func(context.Context, *engine.Stats) (*engine.Relation, error) {
+			return engine.NewRelation(qualifiedCols(tbl, corr)...), nil
+		},
+		stream: func(*engine.Stats) (engine.Iterator, error) {
+			return engine.NewEmptyIter(qualifiedCols(tbl, corr)), nil
+		}}
+	if ap.eq != nil {
+		v, err := eval.Value(ap.eq, env)
+		if err != nil {
+			return nil
+		}
+		if v.IsNull() {
+			return nullDecision
+		}
+		return &accessDecision{op: "IndexScan",
+			detail: fmt.Sprintf("%s via %s = %s", corr, ix.Name, v),
+			exec: func(ctx context.Context, st *engine.Stats) (*engine.Relation, error) {
+				return engine.IndexScanEq(ctx, st, tbl, corr, ix, value.Row{v})
+			},
+			stream: func(st *engine.Stats) (engine.Iterator, error) {
+				ords, err := ix.Lookup(value.Row{v})
+				if err != nil {
+					return nil, err
+				}
+				return engine.NewIndexScanIter(st, tbl, corr, ords), nil
+			}}
+	}
+	var lo, hi *value.Value
+	if ap.lo != nil {
+		v, err := eval.Value(ap.lo, env)
+		if err != nil {
+			return nil
+		}
+		if v.IsNull() {
+			return nullDecision
+		}
+		lo = &v
+	}
+	if ap.hi != nil {
+		v, err := eval.Value(ap.hi, env)
+		if err != nil {
+			return nil
+		}
+		if v.IsNull() {
+			return nullDecision
+		}
+		hi = &v
+	}
+	var detail string
+	switch {
+	case lo != nil && hi != nil:
+		detail = fmt.Sprintf("%s via %s BETWEEN %s AND %s", corr, ix.Name, *lo, *hi)
+	case lo != nil:
+		detail = fmt.Sprintf("%s via %s >= %s", corr, ix.Name, *lo)
+	default:
+		detail = fmt.Sprintf("%s via %s <= %s", corr, ix.Name, *hi)
+	}
+	if ap.loStrict {
+		// Half-open: re-filter the boundary rows.
+		detail += ", residual >"
+	}
+	if ap.hiStrict {
+		detail += ", residual <"
+	}
+	return &accessDecision{op: "IndexScan", detail: detail,
+		exec: func(ctx context.Context, st *engine.Stats) (*engine.Relation, error) {
+			return engine.IndexScanRange(ctx, st, tbl, corr, ix, lo, hi)
+		},
+		stream: func(st *engine.Stats) (engine.Iterator, error) {
+			return engine.NewIndexScanIter(st, tbl, corr, ix.Range(lo, hi)), nil
+		}}
 }
 
 // chooseAccessPath inspects the pushed-down conjuncts for tbl and
-// returns an index-based access decision when one of them is a point
-// or range predicate on the leading column of an ordered index (nil =
-// no index path; fall back to a full scan).
-func (p *Planner) chooseAccessPath(tbl *storage.Table, corr string, push []ast.Expr,
-	hosts map[string]value.Value) *accessDecision {
-	env := &eval.Env{Cols: map[string]value.Value{}, Hosts: hosts}
-	emptyExec := func(context.Context, *engine.Stats) (*engine.Relation, error) {
-		return engine.NewRelation(qualifiedCols(tbl, corr)...), nil
-	}
-	emptyStream := func(*engine.Stats) (engine.Iterator, error) {
-		return engine.NewEmptyIter(qualifiedCols(tbl, corr)), nil
-	}
-	for pi, c := range push {
-		cmp, ok := c.(*ast.Compare)
-		if ok {
-			colRef, constExpr, op := normalizeComparison(cmp)
-			if colRef == nil || colRef.Qualifier != corr {
+// returns a symbolic index access plan when one of them is a point or
+// range predicate on the leading column of an ordered index (nil = no
+// index path; fall back to a full scan). An equality wins outright;
+// otherwise every bound on the chosen column is combined, so a
+// conjunction bounding it from both sides (SNO >= 10 AND SNO <= 20)
+// becomes one closed range scan instead of a half-open scan plus a
+// filter. Strict bounds (>, <) widen to the inclusive index range and
+// stay in the residual filter.
+func (p *Planner) chooseAccessPath(tbl *storage.Table, corr string, push []ast.Expr) *accessPlan {
+	// Pick the target column: the first pushed conjunct that is a point
+	// or range predicate on an indexed leading column.
+	col := ""
+	for _, c := range push {
+		var ref *ast.ColumnRef
+		switch x := c.(type) {
+		case *ast.Compare:
+			r, k, op := normalizeComparison(x)
+			if r == nil || k == nil {
 				continue
-			}
-			ix := tbl.OrderedIndexOn(colRef.Column)
-			if ix == nil {
-				continue
-			}
-			v, err := eval.Value(constExpr, env)
-			if err != nil {
-				continue // unbound host var etc.: fall back to scan+filter
-			}
-			if v.IsNull() {
-				// Comparison with NULL is never true: empty result.
-				return &accessDecision{op: "IndexScan",
-					detail:   fmt.Sprintf("%s.%s, never-true NULL bound", corr, ix.Name),
-					consumed: pi, exec: emptyExec, stream: emptyStream}
 			}
 			switch op {
-			case ast.EqOp:
-				return &accessDecision{op: "IndexScan",
-					detail:   fmt.Sprintf("%s via %s = %s", corr, ix.Name, v),
-					consumed: pi,
-					exec: func(ctx context.Context, st *engine.Stats) (*engine.Relation, error) {
-						return engine.IndexScanEq(ctx, st, tbl, corr, ix, value.Row{v})
-					},
-					stream: func(st *engine.Stats) (engine.Iterator, error) {
-						ords, err := ix.Lookup(value.Row{v})
-						if err != nil {
-							return nil, err
-						}
-						return engine.NewIndexScanIter(st, tbl, corr, ords), nil
-					}}
-			case ast.GtOp, ast.GeOp:
-				lo := v
-				d := &accessDecision{op: "IndexScan",
-					detail:   fmt.Sprintf("%s via %s >= %s", corr, ix.Name, v),
-					consumed: pi,
-					exec: func(ctx context.Context, st *engine.Stats) (*engine.Relation, error) {
-						return engine.IndexScanRange(ctx, st, tbl, corr, ix, &lo, nil)
-					},
-					stream: func(st *engine.Stats) (engine.Iterator, error) {
-						return engine.NewIndexScanIter(st, tbl, corr, ix.Range(&lo, nil)), nil
-					}}
-				if op == ast.GtOp {
-					// Half-open: re-filter the boundary rows.
-					d.detail += ", residual >"
-					d.consumed = -1
-				}
-				return d
-			case ast.LtOp, ast.LeOp:
-				hi := v
-				d := &accessDecision{op: "IndexScan",
-					detail:   fmt.Sprintf("%s via %s <= %s", corr, ix.Name, v),
-					consumed: pi,
-					exec: func(ctx context.Context, st *engine.Stats) (*engine.Relation, error) {
-						return engine.IndexScanRange(ctx, st, tbl, corr, ix, nil, &hi)
-					},
-					stream: func(st *engine.Stats) (engine.Iterator, error) {
-						return engine.NewIndexScanIter(st, tbl, corr, ix.Range(nil, &hi)), nil
-					}}
-				if op == ast.LtOp {
-					d.detail += ", residual <"
-					d.consumed = -1
-				}
-				return d
+			case ast.EqOp, ast.GtOp, ast.GeOp, ast.LtOp, ast.LeOp:
+				ref = r
+			default:
+				continue
 			}
+		case *ast.Between:
+			r, isCol := x.X.(*ast.ColumnRef)
+			if x.Negated || !isCol || !isConstExpr(x.Lo) || !isConstExpr(x.Hi) {
+				continue
+			}
+			ref = r
+		default:
 			continue
 		}
-		if btw, ok := c.(*ast.Between); ok && !btw.Negated {
-			colRef, isCol := btw.X.(*ast.ColumnRef)
-			if !isCol || colRef.Qualifier != corr {
-				continue
-			}
-			ix := tbl.OrderedIndexOn(colRef.Column)
-			if ix == nil {
-				continue
-			}
-			lo, errL := eval.Value(btw.Lo, env)
-			hi, errH := eval.Value(btw.Hi, env)
-			if errL != nil || errH != nil || !isConstExpr(btw.Lo) || !isConstExpr(btw.Hi) {
-				continue
-			}
-			if lo.IsNull() || hi.IsNull() {
-				return &accessDecision{op: "IndexScan",
-					detail:   fmt.Sprintf("%s.%s, never-true NULL bound", corr, ix.Name),
-					consumed: pi, exec: emptyExec, stream: emptyStream}
-			}
-			return &accessDecision{op: "IndexScan",
-				detail:   fmt.Sprintf("%s via %s BETWEEN %s AND %s", corr, ix.Name, lo, hi),
-				consumed: pi,
-				exec: func(ctx context.Context, st *engine.Stats) (*engine.Relation, error) {
-					return engine.IndexScanRange(ctx, st, tbl, corr, ix, &lo, &hi)
-				},
-				stream: func(st *engine.Stats) (engine.Iterator, error) {
-					return engine.NewIndexScanIter(st, tbl, corr, ix.Range(&lo, &hi)), nil
-				}}
+		if ref.Qualifier != corr {
+			continue
+		}
+		if tbl.OrderedIndexOn(ref.Column) != nil {
+			col = ref.Column
+			break
 		}
 	}
-	return nil
+	if col == "" {
+		return nil
+	}
+	ap := &accessPlan{column: col}
+	for i, c := range push {
+		cmp, ok := c.(*ast.Compare)
+		if !ok {
+			continue
+		}
+		ref, k, op := normalizeComparison(cmp)
+		if ref == nil || op != ast.EqOp || ref.Qualifier != corr || ref.Column != col {
+			continue
+		}
+		ap.eq = k
+		ap.consumed = []int{i}
+		return ap
+	}
+	for i, c := range push {
+		switch x := c.(type) {
+		case *ast.Compare:
+			ref, k, op := normalizeComparison(x)
+			if ref == nil || ref.Qualifier != corr || ref.Column != col {
+				continue
+			}
+			switch op {
+			case ast.GeOp:
+				if ap.lo == nil {
+					ap.lo = k
+					ap.consumed = append(ap.consumed, i)
+				}
+			case ast.GtOp:
+				if ap.lo == nil {
+					ap.lo, ap.loStrict = k, true
+				}
+			case ast.LeOp:
+				if ap.hi == nil {
+					ap.hi = k
+					ap.consumed = append(ap.consumed, i)
+				}
+			case ast.LtOp:
+				if ap.hi == nil {
+					ap.hi, ap.hiStrict = k, true
+				}
+			}
+		case *ast.Between:
+			ref, isCol := x.X.(*ast.ColumnRef)
+			if x.Negated || !isCol || ref.Qualifier != corr || ref.Column != col {
+				continue
+			}
+			if !isConstExpr(x.Lo) || !isConstExpr(x.Hi) {
+				continue
+			}
+			if ap.lo == nil && ap.hi == nil {
+				ap.lo, ap.hi = x.Lo, x.Hi
+				ap.consumed = append(ap.consumed, i)
+			}
+		}
+	}
+	if ap.lo == nil && ap.hi == nil {
+		return nil
+	}
+	sort.Ints(ap.consumed)
+	return ap
 }
 
 // normalizeComparison orients a comparison as (column op constant),

@@ -1,0 +1,114 @@
+package plan
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// PlanCache memoizes normalized physical plans (selectPlan) across Run
+// calls and across planners sharing the cache. It lives beside the
+// core.VerdictCache and shares its invalidation discipline: entries
+// are keyed by a fingerprint of the query-specification rendering, the
+// catalog schema version, and the planner option bits that change plan
+// shape, so any DDL — CREATE TABLE, ADD KEY/CHECK/FOREIGN KEY, DROP
+// KEY, CREATE INDEX — bumps the version and implicitly invalidates
+// every cached plan.
+//
+// Cached plans are safe to share because a selectPlan is host-value-
+// and data-independent: every decision in it (join order, pushdown,
+// symbolic access paths, projection) depends only on the query shape
+// and the schema. Host variables are bound per execution by
+// accessPlan.bind, so one immutable entry serves every concurrent
+// execution of the same statement shape.
+type PlanCache struct {
+	mu    sync.RWMutex
+	plans map[planKey]planEntry
+	max   int
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// planEntry carries the source rendering behind the fingerprint: a
+// lookup whose fingerprint matches but whose source differs (a 64-bit
+// hash collision) is treated as a miss rather than executing a plan
+// built for a different query.
+type planEntry struct {
+	src string
+	sp  *selectPlan
+}
+
+type planKey struct {
+	fp     uint64 // fingerprint of the query-specification rendering
+	catVer uint64 // catalog schema version
+	opts   uint64 // planner option bits that affect plan shape
+}
+
+// DefaultPlanCacheEntries bounds the cache map. When it fills up it is
+// cleared wholesale — simple, and correct under any access pattern.
+const DefaultPlanCacheEntries = 4096
+
+// NewPlanCache returns an empty cache holding at most maxEntries plans
+// (0 = DefaultPlanCacheEntries).
+func NewPlanCache(maxEntries int) *PlanCache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultPlanCacheEntries
+	}
+	return &PlanCache{plans: make(map[planKey]planEntry), max: maxEntries}
+}
+
+// Counters reports cumulative hit/miss counts.
+func (c *PlanCache) Counters() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Len reports the number of cached plans.
+func (c *PlanCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.plans)
+}
+
+// Reset drops every entry and zeroes the hit/miss counters, returning
+// the cache to its cold state.
+func (c *PlanCache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.plans = make(map[planKey]planEntry)
+	c.hits.Store(0)
+	c.misses.Store(0)
+}
+
+func (c *PlanCache) get(k planKey, src string) (*selectPlan, bool) {
+	c.mu.RLock()
+	e, ok := c.plans[k]
+	c.mu.RUnlock()
+	if !ok || e.src != src {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return e.sp, true
+}
+
+func (c *PlanCache) put(k planKey, src string, sp *selectPlan) {
+	c.mu.Lock()
+	if len(c.plans) >= c.max {
+		c.plans = make(map[planKey]planEntry)
+	}
+	c.plans[k] = planEntry{src: src, sp: sp}
+	c.mu.Unlock()
+}
+
+// planBits folds the planner options that change the shape of a
+// selectPlan into cache-key bits. Options that only affect execution
+// (Streaming, HashDistinct, budgets, ExplainOnly) are deliberately
+// excluded: the same plan serves them all, which is what keeps the
+// serial, parallel, and streaming strategies byte-identical.
+func (o Options) planBits() uint64 {
+	var b uint64
+	if o.WrittenJoinOrder {
+		b |= 1
+	}
+	return b
+}

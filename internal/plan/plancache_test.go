@@ -1,0 +1,273 @@
+package plan
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"uniqopt/internal/engine"
+	"uniqopt/internal/sql/ast"
+	"uniqopt/internal/sql/parser"
+	"uniqopt/internal/storage"
+	"uniqopt/internal/value"
+)
+
+// planRun executes src through a planner sharing pc, failing the test
+// on any error.
+func planRun(t *testing.T, db *storage.DB, pc *PlanCache, src string, hosts map[string]value.Value) *Result {
+	t.Helper()
+	q, err := parser.ParseQuery(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := NewPlanner(db, Options{Plans: pc}).Run(q, hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+const cacheProbeSQL = `SELECT S.SNAME, P.PNO FROM SUPPLIER S, PARTS P
+	WHERE S.SNO = P.SNO AND P.COLOR = 'RED'`
+
+// The first run of a shape misses and populates; the second hits. Both
+// outcomes surface on the per-run Stats and the cache's cumulative
+// counters, and the cached run returns the identical plan and rows.
+func TestPlanCacheHitMissCounters(t *testing.T) {
+	db := smallDB(t)
+	pc := NewPlanCache(0)
+
+	r1 := planRun(t, db, pc, cacheProbeSQL, nil)
+	if r1.Stats.PlanMisses != 1 || r1.Stats.PlanHits != 0 {
+		t.Fatalf("cold run: hits=%d misses=%d, want 0/1", r1.Stats.PlanHits, r1.Stats.PlanMisses)
+	}
+	if pc.Len() != 1 {
+		t.Fatalf("cache holds %d plans, want 1", pc.Len())
+	}
+
+	r2 := planRun(t, db, pc, cacheProbeSQL, nil)
+	if r2.Stats.PlanHits != 1 || r2.Stats.PlanMisses != 0 {
+		t.Fatalf("warm run: hits=%d misses=%d, want 1/0", r2.Stats.PlanHits, r2.Stats.PlanMisses)
+	}
+	if fmt.Sprint(r1.Plan) != fmt.Sprint(r2.Plan) {
+		t.Fatalf("cached plan differs:\ncold: %v\nwarm: %v", r1.Plan, r2.Plan)
+	}
+	if !engine.MultisetEqual(r1.Rel, r2.Rel) {
+		t.Fatal("cached plan changed the result")
+	}
+	if hits, misses := pc.Counters(); hits != 1 || misses != 1 {
+		t.Fatalf("cumulative counters = %d/%d, want 1/1", hits, misses)
+	}
+}
+
+// Every DDL kind that can change a planning decision must invalidate
+// cached plans: the catalog-version key makes old entries unreachable,
+// so the next run re-plans (a miss) instead of serving a plan derived
+// under the old schema.
+func TestPlanCacheInvalidationPerDDLKind(t *testing.T) {
+	kinds := []struct {
+		name  string
+		setup func(t *testing.T, db *storage.DB)
+		ddl   func(t *testing.T, db *storage.DB)
+	}{
+		{
+			name: "AddKey",
+			ddl: func(t *testing.T, db *storage.DB) {
+				if err := db.MustTable("SUPPLIER").Schema.AddKey(false, "SNAME"); err != nil {
+					t.Fatal(err)
+				}
+			},
+		},
+		{
+			name: "DropKey",
+			setup: func(t *testing.T, db *storage.DB) {
+				if err := db.MustTable("SUPPLIER").Schema.AddKey(false, "SNAME"); err != nil {
+					t.Fatal(err)
+				}
+			},
+			ddl: func(t *testing.T, db *storage.DB) {
+				s := db.MustTable("SUPPLIER").Schema
+				if err := s.DropKey(len(s.Keys) - 1); err != nil {
+					t.Fatal(err)
+				}
+			},
+		},
+		{
+			name: "AddCheck",
+			ddl: func(t *testing.T, db *storage.DB) {
+				check := &ast.Compare{Op: ast.GeOp,
+					L: &ast.ColumnRef{Column: "SNO"}, R: &ast.IntLit{V: 0}}
+				if err := db.MustTable("SUPPLIER").Schema.AddCheck(check); err != nil {
+					t.Fatal(err)
+				}
+			},
+		},
+		{
+			name: "AddForeignKey",
+			ddl: func(t *testing.T, db *storage.DB) {
+				err := db.Catalog().AddForeignKey(db.MustTable("PARTS").Schema,
+					[]string{"SNO"}, "SUPPLIER", []string{"SNO"})
+				if err != nil {
+					t.Fatal(err)
+				}
+			},
+		},
+		{
+			name: "CreateIndex",
+			ddl: func(t *testing.T, db *storage.DB) {
+				if _, err := db.MustTable("SUPPLIER").CreateOrderedIndex("PC_IX", "SCITY"); err != nil {
+					t.Fatal(err)
+				}
+			},
+		},
+		{
+			name: "CreateTable",
+			ddl: func(t *testing.T, db *storage.DB) {
+				st, err := parser.ParseStatement(`CREATE TABLE PC_T (ID INTEGER NOT NULL, PRIMARY KEY (ID))`)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := db.ApplyDDL("", st.(*ast.CreateTable)); err != nil {
+					t.Fatal(err)
+				}
+			},
+		},
+	}
+	for _, k := range kinds {
+		t.Run(k.name, func(t *testing.T) {
+			db := smallDB(t)
+			if k.setup != nil {
+				k.setup(t, db)
+			}
+			pc := NewPlanCache(0)
+			planRun(t, db, pc, cacheProbeSQL, nil)
+			warm := planRun(t, db, pc, cacheProbeSQL, nil)
+			if warm.Stats.PlanHits != 1 {
+				t.Fatalf("warm-up never hit: %s", warm.Stats.String())
+			}
+			v0 := db.Catalog().Version()
+			k.ddl(t, db)
+			if db.Catalog().Version() == v0 {
+				t.Fatalf("%s did not bump the catalog version", k.name)
+			}
+			after := planRun(t, db, pc, cacheProbeSQL, nil)
+			if after.Stats.PlanMisses != 1 || after.Stats.PlanHits != 0 {
+				t.Fatalf("run after %s: hits=%d misses=%d, want a re-plan (0/1)",
+					k.name, after.Stats.PlanHits, after.Stats.PlanMisses)
+			}
+		})
+	}
+}
+
+// A fingerprint collision (same 64-bit hash, different source) must be
+// treated as a miss, never execute a plan built for a different query.
+func TestPlanCacheSourceCollisionIsMiss(t *testing.T) {
+	pc := NewPlanCache(0)
+	k := planKey{fp: 42, catVer: 1}
+	pc.put(k, "SELECT A.X FROM A", &selectPlan{})
+	if sp, ok := pc.get(k, "SELECT B.Y FROM B"); ok || sp != nil {
+		t.Fatal("colliding fingerprint with different source must miss")
+	}
+	if hits, misses := pc.Counters(); hits != 0 || misses != 1 {
+		t.Fatalf("counters = %d/%d, want 0/1", hits, misses)
+	}
+}
+
+// When the cache fills it is cleared wholesale, so it keeps admitting
+// new shapes instead of pinning the first max entries forever.
+func TestPlanCacheCapacityClearsWholesale(t *testing.T) {
+	pc := NewPlanCache(2)
+	pc.put(planKey{fp: 1}, "q1", &selectPlan{})
+	pc.put(planKey{fp: 2}, "q2", &selectPlan{})
+	if pc.Len() != 2 {
+		t.Fatalf("len = %d, want 2", pc.Len())
+	}
+	pc.put(planKey{fp: 3}, "q3", &selectPlan{})
+	if pc.Len() != 1 {
+		t.Fatalf("len after overflow = %d, want 1 (wholesale clear then insert)", pc.Len())
+	}
+	if sp, ok := pc.get(planKey{fp: 3}, "q3"); !ok || sp == nil {
+		t.Fatal("newest entry must survive the clear")
+	}
+}
+
+// Reset returns the cache to cold: no entries, zero counters.
+func TestPlanCacheReset(t *testing.T) {
+	pc := NewPlanCache(0)
+	pc.put(planKey{fp: 7}, "q", &selectPlan{})
+	pc.get(planKey{fp: 7}, "q")
+	pc.Reset()
+	if pc.Len() != 0 {
+		t.Fatalf("len after reset = %d", pc.Len())
+	}
+	if hits, misses := pc.Counters(); hits != 0 || misses != 0 {
+		t.Fatalf("counters after reset = %d/%d", hits, misses)
+	}
+}
+
+// Planner-option bits that change plan shape partition the cache:
+// written-order and ordered plans of the same SQL never collide.
+func TestPlanCacheOptionBitsPartition(t *testing.T) {
+	db := smallDB(t)
+	pc := NewPlanCache(0)
+	q, err := parser.ParseQuery(cacheProbeSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPlanner(db, Options{Plans: pc}).Run(q, nil); err != nil {
+		t.Fatal(err)
+	}
+	res, err := NewPlanner(db, Options{Plans: pc, WrittenJoinOrder: true}).Run(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.PlanHits != 0 || res.Stats.PlanMisses != 1 {
+		t.Fatalf("written-order run must not reuse the ordered plan: %s", res.Stats.String())
+	}
+	if pc.Len() != 2 {
+		t.Fatalf("len = %d, want 2 distinct entries", pc.Len())
+	}
+}
+
+// Concurrent planners sharing one cache on one database: every run
+// must return the correct rows, and -race must stay silent (the CI
+// planner-smoke target runs this suite with the race detector).
+func TestPlanCacheConcurrentSharing(t *testing.T) {
+	db := smallDB(t)
+	pc := NewPlanCache(0)
+	q, err := parser.ParseQuery(cacheProbeSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewPlanner(db, Options{}).Run(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				res, err := NewPlanner(db, Options{Plans: pc}).Run(q, nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !engine.MultisetEqual(ref.Rel, res.Rel) {
+					t.Error("shared cached plan changed the result")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	hits, misses := pc.Counters()
+	if hits+misses != workers*20 {
+		t.Fatalf("hits+misses = %d, want %d", hits+misses, workers*20)
+	}
+	if hits == 0 {
+		t.Fatal("concurrent sharing never hit the cache")
+	}
+}

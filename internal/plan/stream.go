@@ -113,24 +113,32 @@ func (p *Planner) execSelectStream(ctx context.Context, sp *selectPlan, hosts ma
 	for _, t := range sp.tables {
 		var it engine.Iterator
 		var node *Node
-		if ap := t.ap; ap != nil {
-			base, err := ap.stream(st)
+		// Same binding step as the materializing path: the symbolic
+		// access plan resolves host variables here, falling back to a
+		// full scan plus the whole pushed filter when it cannot.
+		dec := t.ap.bind(t.tbl, t.corr, hosts)
+		pred := t.pushResidual
+		if dec == nil {
+			pred = t.push
+		}
+		if dec != nil {
+			base, err := dec.stream(st)
 			if err != nil {
 				return fail(err)
 			}
-			it, node = wrap(base, ap.op, ap.detail, int64(t.tbl.Len()), nil)
-			res.Plan = append(res.Plan, fmt.Sprintf("%s(%s)", ap.op, ap.detail))
+			it, node = wrap(base, dec.op, dec.detail, int64(t.tbl.Len()), nil)
+			res.Plan = append(res.Plan, fmt.Sprintf("%s(%s)", dec.op, dec.detail))
 		} else {
 			it, node = wrap(engine.NewTableIter(st, t.tbl, t.corr), "Scan",
 				fmt.Sprintf("%s as %s", t.tbl.Schema.Name, t.corr), int64(t.tbl.Len()), nil)
 			res.Plan = append(res.Plan, fmt.Sprintf("Scan(%s as %s)", t.tbl.Schema.Name, t.corr))
 		}
 		roots = append(roots, it)
-		if t.push != nil {
-			it, node = wrap(engine.NewFilterIter(st, it, t.push, envProto),
-				"Filter", t.push.SQL(), 0, []*Node{node})
+		if pred != nil {
+			it, node = wrap(engine.NewFilterIter(st, it, pred, envProto),
+				"Filter", pred.SQL(), 0, []*Node{node})
 			roots[len(roots)-1] = it
-			res.Plan = append(res.Plan, fmt.Sprintf("  Filter(%s)", t.push.SQL()))
+			res.Plan = append(res.Plan, fmt.Sprintf("  Filter(%s)", pred.SQL()))
 		}
 		tables = append(tables, streamTable{it: it, node: node})
 	}
@@ -140,7 +148,20 @@ func (p *Planner) execSelectStream(ctx context.Context, sp *selectPlan, hosts ma
 	cur, curNode := tables[0].it, tables[0].node
 	for k, t := range tables[1:] {
 		j := sp.joins[k]
-		if len(j.lk) > 0 {
+		if len(j.lk) > 0 && j.buildLeft {
+			// Same role swap as the materializing path: the bounded
+			// prefix becomes the (tiny) build side, the new table
+			// streams through as probe, so the blocking state stays
+			// within any memory budget.
+			detail := fmt.Sprintf("%s = %s", strings.Join(j.rk, ","), strings.Join(j.lk, ","))
+			jit, err := engine.NewHashJoinIter(st, t.it, cur, j.rk, j.lk)
+			if err != nil {
+				return fail(err)
+			}
+			cur, curNode = wrap(jit, "HashJoin", detail, 0, []*Node{t.node, curNode})
+			curNode.Notes = append(curNode.Notes, buildPrefixNote)
+			res.Plan = append(res.Plan, fmt.Sprintf("HashJoin(%s)", detail))
+		} else if len(j.lk) > 0 {
 			detail := fmt.Sprintf("%s = %s", strings.Join(j.lk, ","), strings.Join(j.rk, ","))
 			jit, err := engine.NewHashJoinIter(st, cur, t.it, j.lk, j.rk)
 			if err != nil {
@@ -152,6 +173,9 @@ func (p *Planner) execSelectStream(ctx context.Context, sp *selectPlan, hosts ma
 			cur, curNode = wrap(engine.NewProductIter(st, cur, t.it),
 				"Product", "", 0, []*Node{curNode, t.node})
 			res.Plan = append(res.Plan, "Product")
+		}
+		if j.bound != "" {
+			curNode.Notes = append(curNode.Notes, j.bound)
 		}
 		roots[0], roots[k+1] = cur, nil
 	}
@@ -195,5 +219,6 @@ func (p *Planner) execSelectStream(ctx context.Context, sp *selectPlan, hosts ma
 		return nil, nil, err
 	}
 	finalizeStream(curNode)
+	attachOrderNotes(curNode, sp)
 	return rel, curNode, nil
 }

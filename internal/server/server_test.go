@@ -383,6 +383,95 @@ func TestServerDDLVersioningAndReprepare(t *testing.T) {
 	}
 }
 
+// TestServerPlanCacheDDLRace pins the stale-plan race: DDL committing
+// between a prepared EXEC's catalog-version check and its plan-cache
+// lookup must never let the EXEC run a plan cached under the old
+// schema. The server closes the window by holding the snapshot lock
+// across the version read and the whole execution (which contains the
+// version-keyed plan-cache probe), so under -race this hammers EXEC
+// from one connection while another commits DDL, asserting every
+// result stays correct, then verifies deterministically that a
+// post-DDL EXEC re-plans (Reprepared) and that a quiet re-execution
+// hits the plan cache rather than re-planning forever.
+func TestServerPlanCacheDDLRace(t *testing.T) {
+	testleak.Check(t)
+	db := testDB(t, 60, uniqopt.Options{})
+	_, addr := startServer(t, db, server.Config{})
+
+	execConn := dial(t, addr)
+	defer execConn.Close()
+	ddlConn := dial(t, addr)
+	defer ddlConn.Close()
+
+	if err := execConn.Prepare("probe", `SELECT S.CITY FROM S WHERE S.SNO = :N`); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			ddl := fmt.Sprintf(`CREATE TABLE RACE_%d (ID INTEGER NOT NULL, PRIMARY KEY (ID))`, i)
+			if _, err := ddlConn.Query(ddl); err != nil {
+				t.Errorf("concurrent DDL: %v", err)
+				return
+			}
+		}
+	}()
+
+	for i := 0; i < 200; i++ {
+		n := int64(i % 60)
+		res, err := execConn.Exec("probe", map[string]any{"N": n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := fmt.Sprintf("city-%d", n%7)
+		if len(res.Rows) != 1 || res.Rows[0][0] != want {
+			t.Fatalf("EXEC N=%d under concurrent DDL: rows = %v, want [[%s]]", n, res.Rows, want)
+		}
+	}
+	close(done)
+	wg.Wait()
+
+	// Deterministic tail: a DDL with no EXEC in flight, then an EXEC —
+	// it must observe the new version and re-plan, never serve a
+	// stale-version plan.
+	if _, err := ddlConn.Query(`CREATE TABLE RACE_FINAL (ID INTEGER, PRIMARY KEY (ID))`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := execConn.Exec("probe", map[string]any{"N": 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reprepared {
+		t.Fatal("EXEC after DDL must re-validate and report Reprepared")
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != "city-3" {
+		t.Fatalf("post-DDL EXEC: rows = %v", res.Rows)
+	}
+
+	// With the schema quiet, re-executing the same shape must hit the
+	// plan cache under the now-current version.
+	h0, _ := db.PlanCacheCounters()
+	if _, err := execConn.Exec("probe", map[string]any{"N": 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := execConn.Exec("probe", map[string]any{"N": 5}); err != nil {
+		t.Fatal(err)
+	}
+	h1, _ := db.PlanCacheCounters()
+	if h1 <= h0 {
+		t.Errorf("quiet re-execution never hit the plan cache: hits %d -> %d", h0, h1)
+	}
+}
+
 // TestServerConcurrentQueriesAndDDL is the snapshot-consistency
 // stress: many sessions querying while DDL lands between them. Under
 // -race this proves queries never observe a half-applied schema

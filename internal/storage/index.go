@@ -120,6 +120,12 @@ func (t *Table) CreateOrderedIndex(name string, cols ...string) (*OrderedIndex, 
 		ix.insert(indexKey(row, ix.Columns), ri)
 	}
 	t.ordered = append(t.ordered, ix)
+	if t.db != nil {
+		// A new access path changes which plan the planner would pick:
+		// bump the schema version so version-keyed caches (verdicts,
+		// physical plans) re-derive rather than serve pre-index results.
+		t.db.cat.Bump()
+	}
 	return ix, nil
 }
 

@@ -46,13 +46,15 @@ import (
 // DB is a database with the uniqueness-aware optimizer attached. The
 // default backend is in-memory; OpenPersistent swaps in the
 // write-ahead-logged disk backend without changing any other API.
-// Analysis verdicts are memoized in a per-DB cache keyed on
-// query shape and schema version, so repeated statements skip
-// Algorithm 1 entirely; DDL invalidates the cache automatically.
+// Analysis verdicts and physical plans are memoized in per-DB caches
+// keyed on query shape and schema version, so repeated statements skip
+// Algorithm 1 and planning entirely; DDL invalidates both caches
+// automatically.
 type DB struct {
 	store storage.Store
 	opts  Options
 	cache *core.VerdictCache
+	plans *plan.PlanCache
 	// stats accumulates engine work counters across every query this
 	// DB has executed (merged atomically; see EngineCounters). It is a
 	// pointer so View handles share one accumulator with their parent.
@@ -154,6 +156,7 @@ func newDB(st storage.Store, opts Options) *DB {
 		store:   st,
 		opts:    opts,
 		cache:   core.NewVerdictCache(0),
+		plans:   plan.NewPlanCache(0),
 		stats:   &engine.Stats{},
 		metrics: metrics.New(),
 	}
@@ -192,6 +195,7 @@ func (d *DB) View(opts Options) *DB {
 		store:   d.store,
 		opts:    opts,
 		cache:   d.cache,
+		plans:   d.plans,
 		stats:   d.stats,
 		metrics: d.metrics,
 	}
@@ -425,6 +429,7 @@ func (d *DB) planner(optimize, explainOnly bool) *plan.Planner {
 			UseCheckConstraints: d.opts.UseCheckConstraints,
 		},
 		Cache:       d.cache,
+		Plans:       d.plans,
 		MaxRows:     d.opts.MaxRows,
 		MemBudget:   d.opts.MemBudget,
 		ExplainOnly: explainOnly,
@@ -679,6 +684,10 @@ func (d *DB) analyzer() *core.Analyzer {
 // CacheCounters reports the cumulative analyzer-cache hits and misses
 // for this DB.
 func (d *DB) CacheCounters() (hits, misses int64) { return d.cache.Counters() }
+
+// PlanCacheCounters reports the cumulative plan-cache hits and misses
+// for this DB.
+func (d *DB) PlanCacheCounters() (hits, misses int64) { return d.plans.Counters() }
 
 // EngineCounters reports the cumulative engine work counters across
 // every query executed on this DB (a consistent atomic snapshot).
